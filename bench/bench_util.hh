@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure bench binaries. Every
+ * bench regenerates one table or figure from the paper's evaluation
+ * and prints the corresponding rows/series; EXPERIMENTS.md records
+ * paper-vs-measured for each.
+ */
+
+#ifndef MADMAX_BENCH_BENCH_UTIL_HH
+#define MADMAX_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "util/strfmt.hh"
+
+namespace madmax::bench
+{
+
+/** Print a figure/table banner with the paper reference. */
+inline void
+banner(const std::string &what, const std::string &claim)
+{
+    std::cout << std::string(72, '=') << "\n" << what << "\n";
+    if (!claim.empty())
+        std::cout << "paper: " << claim << "\n";
+    std::cout << std::string(72, '=') << "\n";
+}
+
+/** Accuracy of a model estimate vs. a measured value, as the paper
+ *  reports it (100% minus relative error). */
+inline std::string
+accuracy(double ours, double reference)
+{
+    if (reference == 0.0)
+        return "n/a";
+    double acc = 1.0 - std::abs(ours - reference) / std::abs(reference);
+    return strfmt("%.2f%%", acc * 100.0);
+}
+
+} // namespace madmax::bench
+
+#endif // MADMAX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Fig. 1: the resource-performance pareto frontier of
+ * DLRM training on public-cloud instances. The default FSDP mapping
+ * defines the baseline frontier (blue); MAD-Max-identified mappings
+ * improve on it (green).
+ */
+
+#include <iostream>
+#include <set>
+
+#include "bench_util.hh"
+#include "core/strategy_explorer.hh"
+#include "dse/pareto.hh"
+#include "dse/sweep.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace madmax;
+
+int
+main()
+{
+    bench::banner("Fig. 1: resource-performance pareto frontier "
+                  "(DLRM on cloud instances)",
+                  "MAD-Max improves on the default-mapping frontier");
+
+    const ModelDesc model = model_zoo::dlrmA();
+    const TaskSpec task = TaskSpec::preTraining();
+    const double samples = 1e9;
+    const double a100_peak = hw_zoo::a100_40().peakFlopsTensor16;
+
+    struct Point
+    {
+        std::string label;
+        double hours;    // Aggregate GPU-hours / 1B samples (A100-norm).
+        double elapsed;  // Elapsed hours / 1B samples.
+        bool tuned;
+    };
+    std::vector<Point> pts;
+
+    for (const hw_zoo::CloudInstance &inst :
+         hw_zoo::cloudInstances(16)) {
+        PerfModel madmax(inst.cluster);
+        StrategyExplorer explorer(madmax);
+        PerfReport fsdp = explorer.baseline(model, task);
+        if (fsdp.valid) {
+            pts.push_back(Point{
+                inst.name + " [FSDP]",
+                normalizedGpuHours(fsdp, inst.cluster, samples,
+                                   a100_peak),
+                samples / fsdp.throughput() / 3600.0, false});
+        }
+        try {
+            ExplorationResult best = explorer.best(model, task);
+            pts.push_back(Point{
+                inst.name + " [MAD-Max]",
+                normalizedGpuHours(best.report, inst.cluster, samples,
+                                   a100_peak),
+                samples / best.report.throughput() / 3600.0, true});
+        } catch (const ConfigError &) {
+            // No plan fits this instance fleet; skip it.
+        }
+    }
+
+    AsciiTable table({"configuration", "agg GPU-hrs/1B (A100-norm)",
+                      "elapsed hrs/1B", "frontier"});
+    std::vector<ParetoPoint> fsdp_pts, tuned_pts;
+    for (size_t i = 0; i < pts.size(); ++i) {
+        auto &bucket = pts[i].tuned ? tuned_pts : fsdp_pts;
+        bucket.push_back(
+            ParetoPoint{pts[i].hours, 1.0 / pts[i].elapsed, i});
+    }
+    std::set<size_t> on_frontier;
+    for (size_t idx : paretoFrontier(fsdp_pts))
+        on_frontier.insert(fsdp_pts[idx].tag);
+    for (size_t idx : paretoFrontier(tuned_pts))
+        on_frontier.insert(tuned_pts[idx].tag);
+
+    for (size_t i = 0; i < pts.size(); ++i) {
+        std::string frontier_tag;
+        if (on_frontier.count(i)) {
+            frontier_tag = pts[i].tuned ? "MAD-Max frontier"
+                                        : "default frontier";
+        }
+        table.addRow({pts[i].label, strfmt("%.0f", pts[i].hours),
+                      strfmt("%.2f", pts[i].elapsed), frontier_tag});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates Fig. 8: ViT training validation across model sizes,
+ * global batch sizes, and GPU counts on AWS p4d.24xlarge instances
+ * with FSDP, reporting model FLOPs utilization (MFU). SM utilization
+ * is modeled as a function of per-device layer work (§V).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/perf_model.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/table.hh"
+
+using namespace madmax;
+
+int
+main()
+{
+    bench::banner("Fig. 8: ViT MFU across sizes/batches/GPU counts "
+                  "(AWS p4d, FSDP)",
+                  "paper reports 93.88% average / 95.74% median MFU "
+                  "modeling accuracy vs measurements");
+
+    AsciiTable table({"model", "global batch", "GPUs", "iter time",
+                      "MFU", "note"});
+
+    using model_zoo::VitSize;
+    const VitSize sizes[] = {VitSize::L, VitSize::H, VitSize::G,
+                             VitSize::B22, VitSize::B120};
+    const long batches[] = {2048, 4096};
+    const int gpu_counts[] = {32, 128, 512, 2048};
+
+    for (VitSize size : sizes) {
+        for (long batch : batches) {
+            for (int gpus : gpu_counts) {
+                // Larger models need more devices; skip infeasible or
+                // beyond-paper combinations.
+                if (batch < gpus)
+                    continue;
+                ModelDesc model = model_zoo::vit(size, batch);
+                ClusterSpec cluster = hw_zoo::awsP4d(gpus / 8);
+
+                PerfModelOptions opts;
+                // SM utilization as a function of per-device layer
+                // FLOPs: saturates at 72% for multi-TFLOP blocks.
+                opts.smModel = SmUtilizationModel(0.72, 6e10);
+                opts.keepTimeline = false;
+                PerfModel madmax(cluster, opts);
+                PerfReport r =
+                    madmax.evaluate(model, TaskSpec::preTraining(),
+                                    ParallelPlan::fsdpBaseline());
+                if (!r.valid) {
+                    table.addRow({model.name, formatCount((double)batch),
+                                  std::to_string(gpus), "-", "-",
+                                  "OOM"});
+                    continue;
+                }
+                // MFU: achieved model FLOPs over peak.
+                double model_flops = 3.0 *
+                    model.graph.totals().forwardFlopsPerSample *
+                    static_cast<double>(batch);
+                double mfu = model_flops /
+                    (r.iterationTime *
+                     cluster.aggregatePeakFlops(model.computeDtype));
+                table.addRow({model.name, formatCount((double)batch),
+                              std::to_string(gpus),
+                              formatTime(r.iterationTime),
+                              formatPercent(mfu),
+                              mfu < 0.25 ? "comm/launch bound" : ""});
+            }
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: MFU falls at small per-device batch "
+                 "(SM under-occupancy) and at large scale-out (FSDP "
+                 "gathers on 50 Gbps EFA), as in the paper's spread.\n";
+    return 0;
+}

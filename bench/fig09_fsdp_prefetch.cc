@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Fig. 9: the optimized FSDP implementation with
+ * prefetching — earlier layers' weight AllGathers overlap with later
+ * layers' gradient compute. Validated point: 98% measured vs 93%
+ * MAD-Max-predicted communication overlap on a LLaMA pre-training
+ * run.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/perf_model.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "trace/chrome_trace.hh"
+#include "util/table.hh"
+
+using namespace madmax;
+
+int
+main()
+{
+    bench::banner("Fig. 9: FSDP prefetching validation (LLaMA)",
+                  "98% measured vs 93% predicted communication overlap "
+                  "with prefetching enabled");
+
+    PerfModel madmax(hw_zoo::llmTrainingSystem());
+    ModelDesc model = model_zoo::llama65b();
+
+    AsciiTable table({"FSDP variant", "iteration", "comm overlap",
+                      "exposed comm", "tokens/s"});
+    PerfReport with, without;
+    for (bool prefetch : {false, true}) {
+        ParallelPlan plan = ParallelPlan::fsdpBaseline();
+        plan.fsdpPrefetch = prefetch;
+        PerfReport r =
+            madmax.evaluate(model, TaskSpec::preTraining(), plan);
+        (prefetch ? with : without) = r;
+        table.addRow({prefetch ? "prefetch on (optimized)"
+                                : "prefetch off",
+                      formatTime(r.iterationTime),
+                      formatPercent(r.overlapFraction()),
+                      formatTime(r.exposedCommTime),
+                      formatCount(r.tokensPerSecond())});
+    }
+    table.print(std::cout);
+
+    std::cout << strfmt(
+        "\nprefetch speedup: %.2fx; overlap %s -> %s "
+        "(paper predicted 93%%, production measured 98%%)\n",
+        with.throughput() / without.throughput(),
+        formatPercent(without.overlapFraction()).c_str(),
+        formatPercent(with.overlapFraction()).c_str());
+
+    // Stream view of the first layers, showing AllGathers hidden
+    // behind the preceding layer's compute.
+    std::cout << "\nstream prefix with prefetching "
+                 "('#' compute, '=' blocking comm):\n";
+    Timeline prefix;
+    for (const ScheduledEvent &se : with.timeline.events) {
+        if (se.event.id < 24) {
+            prefix.events.push_back(se);
+            prefix.makespan = std::max(prefix.makespan, se.finish);
+        }
+    }
+    std::cout << asciiStreams(prefix, 76);
+    return 0;
+}

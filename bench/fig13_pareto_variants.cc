@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Fig. 13: pareto curves of parallelization strategies
+ * for the DLRM-A variants — per-device memory vs. throughput — for
+ * (a) pre-training and (b) inference. During inference the MoE
+ * variant overtakes the transformer variant (its expert compute is
+ * sparse while the expensive gradient routing disappears).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/strategy_explorer.hh"
+#include "dse/pareto.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/table.hh"
+
+using namespace madmax;
+
+int
+main()
+{
+    bench::banner("Fig. 13: memory-vs-throughput pareto for DLRM-A "
+                  "variants",
+                  "higher memory capacity buys throughput; MoE beats "
+                  "transformer at inference");
+
+    PerfModel madmax(hw_zoo::dlrmTrainingSystem());
+    StrategyExplorer explorer(madmax);
+
+    std::vector<ModelDesc> variants;
+    variants.push_back(model_zoo::dlrmA());
+    variants.push_back(model_zoo::dlrmATransformer());
+    variants.push_back(model_zoo::dlrmAMoe());
+
+    for (TaskSpec task : {TaskSpec::preTraining(), TaskSpec::inference()}) {
+        std::cout << "\n(" << task.toString() << ")\n";
+        AsciiTable table({"model", "plan (pareto-optimal)",
+                          "mem/device", "throughput"});
+        std::map<std::string, double> best_tp;
+        for (const ModelDesc &model : variants) {
+            std::vector<ExplorationResult> results =
+                explorer.explore(model, task);
+            std::vector<ParetoPoint> pts;
+            for (size_t i = 0; i < results.size(); ++i) {
+                if (!results[i].report.valid)
+                    continue;
+                pts.push_back(
+                    ParetoPoint{results[i].report.memory.total(),
+                                results[i].report.throughput(), i});
+            }
+            for (size_t idx : paretoFrontier(pts)) {
+                const ExplorationResult &r = results[pts[idx].tag];
+                table.addRow(
+                    {model.name, r.plan.toString(),
+                     formatBytes(r.report.memory.total()),
+                     formatCount(r.report.throughput()) + "/s"});
+                best_tp[model.name] = std::max(
+                    best_tp[model.name], r.report.throughput());
+            }
+            table.addSeparator();
+        }
+        table.print(std::cout);
+
+        if (task.kind == TaskKind::Inference) {
+            std::cout << strfmt(
+                "MoE/transformer inference throughput ratio: %.2fx "
+                "(paper: MoE more efficient at inference)\n",
+                best_tp["DLRM-A-MoE"] / best_tp["DLRM-A-Transformer"]);
+        } else {
+            std::cout << strfmt(
+                "transformer and MoE variants trail the base model at "
+                "pre-training (%.2fx / %.2fx of base)\n",
+                best_tp["DLRM-A-Transformer"] / best_tp["DLRM-A"],
+                best_tp["DLRM-A-MoE"] / best_tp["DLRM-A"]);
+        }
+    }
+    return 0;
+}

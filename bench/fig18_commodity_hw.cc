@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Fig. 18: MAD-Max on alternative commodity hardware —
+ * AMD MI250X / MI300X and Intel Gaudi2 clusters of 128 devices —
+ * reporting the throughput improvement of the MAD-Max-identified
+ * strategy over the FSDP baseline for DLRM-A pre-training. The
+ * larger HBM parts (80+ GB) admit replication-heavy plans the
+ * A100-40GB cannot fit (Insight 9).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/strategy_explorer.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/table.hh"
+
+using namespace madmax;
+
+int
+main()
+{
+    bench::banner("Fig. 18: commodity hardware platforms (DLRM-A, "
+                  "128 devices)",
+                  "bigger HBM admits more replication; MAD-Max finds "
+                  "strategies beating FSDP on every platform");
+
+    ModelDesc model = model_zoo::dlrmA();
+    TaskSpec task = TaskSpec::preTraining();
+
+    const std::pair<const char *, ClusterSpec> systems[] = {
+        {"A100-40GB (ref)", hw_zoo::dlrmTrainingSystem()},
+        {"AMD MI250X", hw_zoo::mi250xSystem()},
+        {"AMD MI300X", hw_zoo::mi300xSystem()},
+        {"Intel Gaudi2", hw_zoo::gaudi2System()},
+    };
+
+    AsciiTable table({"platform", "HBM/device", "FSDP", "MAD-Max best",
+                      "speedup", "best dense strategy"});
+    for (const auto &[name, cluster] : systems) {
+        PerfModel madmax(cluster);
+        StrategyExplorer explorer(madmax);
+        PerfReport baseline = explorer.baseline(model, task);
+        ExplorationResult best = explorer.best(model, task);
+        table.addRow(
+            {name, formatBytes(cluster.device.hbmCapacity),
+             strfmt("%.2f MQPS", baseline.throughput() / 1e6),
+             strfmt("%.2f MQPS", best.report.throughput() / 1e6),
+             strfmt("%.2fx",
+                    best.report.throughput() / baseline.throughput()),
+             best.plan.strategyFor(LayerClass::BaseDense).toString()});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nInsight 9: 80+ GB HBM parts let MAD-Max replicate "
+                 "more dense components; the independent compute and "
+                 "communication streams of the model transfer across "
+                 "vendors unchanged.\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Config-driven evaluation, matching the paper's user interface
+ * (§IV-A): "Users have to provide JSON files for: 1) model
+ * architecture, 2) distributed system specifications, and 3) task and
+ * parallelization strategy."
+ *
+ * Usage: json_driven [model.json] [system.json] [task.json]
+ * Defaults to the shipped DLRM-A / ZionEX / optimal-pre-training
+ * configs under configs/.
+ */
+
+#include <iostream>
+
+#include "config/config_loader.hh"
+#include "core/perf_model.hh"
+#include "util/logging.hh"
+
+using namespace madmax;
+
+int
+main(int argc, char **argv)
+{
+    std::string root = MADMAX_CONFIG_DIR;
+    std::string model_path =
+        argc > 1 ? argv[1] : root + "/model_dlrm_a.json";
+    std::string system_path =
+        argc > 2 ? argv[2] : root + "/system_zionex.json";
+    std::string task_path =
+        argc > 3 ? argv[3] : root + "/task_pretrain_optimal.json";
+
+    try {
+        ModelDesc model = loadModelFile(model_path);
+        ClusterSpec cluster = loadClusterFile(system_path);
+        TaskConfig task = loadTaskFile(task_path);
+
+        PerfModel madmax(cluster);
+        PerfReport report =
+            madmax.evaluate(model, task.task, task.plan);
+        std::cout << report.summary();
+        return report.valid ? 0 : 2;
+    } catch (const ConfigError &e) {
+        std::cerr << "configuration error: " << e.what() << "\n";
+        return 1;
+    }
+}

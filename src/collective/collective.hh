@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Communication-collective cost model (§IV-C "Estimating Communication
+ * Collective Execution").
+ *
+ * Collectives run at one of three scopes on the two-level cluster:
+ *
+ *  - Intra:  among the d devices of one node, on the scale-up fabric.
+ *  - Inter:  among the m nodes (one "rail" device per node), on the
+ *            scale-out fabric.
+ *  - Global: among all n = d x m devices; bandwidth-optimal
+ *            hierarchical decomposition for AllReduce / AllGather /
+ *            ReduceScatter, slowest-link bound for All2All (the NCCL
+ *            All2All is point-to-point Send/Recv, so it cannot exploit
+ *            the faster fabric; §IV-C).
+ *
+ * Size convention: `bytes` is the full logical tensor size T.
+ *  - AllReduce(T): every device starts and ends with a T-byte buffer.
+ *  - AllGather(T): result is T; each device contributes T/g.
+ *  - ReduceScatter(T): input is T per device; result shard is T/g.
+ *  - All2All(T): every device sends T bytes total, spread over peers.
+ */
+
+#ifndef MADMAX_COLLECTIVE_COLLECTIVE_HH
+#define MADMAX_COLLECTIVE_COLLECTIVE_HH
+
+#include <string>
+
+#include "hw/cluster.hh"
+
+namespace madmax
+{
+
+/** Collective flavors MAD-Max models. */
+enum class Collective
+{
+    AllReduce,
+    AllGather,
+    ReduceScatter,
+    All2All,
+    Broadcast,
+};
+
+/** Which slice of the cluster a collective spans. */
+enum class CommScope
+{
+    Intra,   ///< Devices within one node.
+    Inter,   ///< One device per node, across nodes.
+    Global,  ///< All devices (hierarchical).
+};
+
+std::string toString(Collective kind);
+std::string toString(CommScope scope);
+
+/** Per-message launch/latency constants (alpha term, seconds/step). */
+struct CollectiveLatency
+{
+    double intraAlpha = 1.5e-6; ///< Per-step latency on scale-up links.
+    double interAlpha = 5e-6;   ///< Per-step latency on scale-out links.
+};
+
+/**
+ * AllReduce algorithm selection (§IV-C: the effective-bandwidth ratio
+ * depends on "NCCL implementation version (e.g., ring vs. tree)").
+ * Ring is bandwidth-optimal but pays (g-1) latency steps; tree pays a
+ * small bandwidth constant for logarithmic latency.
+ */
+enum class AllReduceAlgorithm
+{
+    Ring,
+    Tree,
+    Auto, ///< Cheapest of the two per call — NCCL's tuner behavior.
+};
+
+std::string toString(AllReduceAlgorithm algo);
+
+/**
+ * Maps (collective, scope, tensor bytes) to seconds on a given
+ * cluster. Pure function of the cluster spec; cheap to copy.
+ */
+class CollectiveModel
+{
+  public:
+    explicit CollectiveModel(const ClusterSpec &cluster,
+                             CollectiveLatency latency = {},
+                             AllReduceAlgorithm algorithm =
+                                 AllReduceAlgorithm::Auto);
+
+    /** Execution time in seconds for the collective. */
+    double time(Collective kind, CommScope scope, double bytes) const;
+
+    /** Group size at @p scope (d, m, or n). */
+    int groupSize(CommScope scope) const;
+
+    /**
+     * Effective ring bandwidth the collective sees, bytes/s — the
+     * paper's "Effective AllReduce BW" / "Effective All2All BW"
+     * diagnostic: tensor bytes divided by modeled time.
+     */
+    double effectiveBandwidth(Collective kind, CommScope scope,
+                              double bytes) const;
+
+  private:
+    double allReduce(CommScope scope, double bytes) const;
+
+    /** One-level AllReduce under the configured algorithm. */
+    double allReduceLevel(double bytes, int group, double bandwidth,
+                          CommScope alpha_scope) const;
+
+    double allGather(CommScope scope, double bytes) const;
+    double reduceScatter(CommScope scope, double bytes) const;
+    double allToAll(CommScope scope, double bytes) const;
+    double broadcast(CommScope scope, double bytes) const;
+
+    /** Latency (alpha) term for a ring of @p steps on @p scope. */
+    double alphaTerm(CommScope scope, int steps) const;
+
+    ClusterSpec cluster_;
+    CollectiveLatency latency_;
+    AllReduceAlgorithm algorithm_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_COLLECTIVE_COLLECTIVE_HH

@@ -1,0 +1,418 @@
+#include "config/config_loader.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "model/model_zoo.hh"
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+#include "util/units.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+Strategy
+parseOneStrategy(const std::string &raw)
+{
+    std::string s = lower(raw);
+    if (s == "ddp")
+        return Strategy::DDP;
+    if (s == "fsdp")
+        return Strategy::FSDP;
+    if (s == "tp")
+        return Strategy::TP;
+    if (s == "mp" || s == "shard" || s == "sharding")
+        return Strategy::MP;
+    fatal("unknown strategy name: " + raw);
+}
+
+std::vector<long>
+parseDims(const JsonValue &json)
+{
+    std::vector<long> dims;
+    for (const JsonValue &v : json.asArray())
+        dims.push_back(v.asLong());
+    return dims;
+}
+
+DataType
+parseDtype(const std::string &raw)
+{
+    std::string s = lower(raw);
+    if (s == "fp32")
+        return DataType::FP32;
+    if (s == "tf32")
+        return DataType::TF32;
+    if (s == "fp16")
+        return DataType::FP16;
+    if (s == "bf16")
+        return DataType::BF16;
+    fatal("unknown dtype: " + raw);
+}
+
+ModelDesc
+loadZooModel(const JsonValue &json)
+{
+    std::string name = lower(json.at("name").asString());
+    if (name == "dlrm-a")
+        return model_zoo::dlrmA();
+    if (name == "dlrm-a-transformer")
+        return model_zoo::dlrmATransformer();
+    if (name == "dlrm-a-moe")
+        return model_zoo::dlrmAMoe();
+    if (name == "dlrm-b")
+        return model_zoo::dlrmB();
+    if (name == "dlrm-b-transformer")
+        return model_zoo::dlrmBTransformer();
+    if (name == "dlrm-b-moe")
+        return model_zoo::dlrmBMoe();
+    if (name == "gpt-3" || name == "gpt3")
+        return model_zoo::gpt3();
+    if (name == "llama-65b")
+        return model_zoo::llama65b();
+    if (name == "llama2-70b")
+        return model_zoo::llama2_70b();
+    if (name == "llm-moe")
+        return model_zoo::llmMoe();
+    fatal("unknown zoo model: " + json.at("name").asString());
+}
+
+ModelDesc
+loadDlrmModel(const JsonValue &json)
+{
+    ModelDesc m;
+    m.name = json.stringOr("name", "custom-dlrm");
+    m.globalBatchSize = json.at("global_batch").asLong();
+    m.contextLength = 1;
+    m.isRecommendation = true;
+    m.computeDtype =
+        parseDtype(json.stringOr("compute_dtype", "tf32"));
+    m.paramDtype = parseDtype(json.stringOr("param_dtype", "fp32"));
+
+    const JsonValue &emb = json.at("embedding");
+    int emb_idx = m.graph.addLayer(std::make_unique<EmbeddingBagLayer>(
+        "EMB", emb.at("tables").asLong(),
+        emb.at("rows_per_table").asLong(), emb.at("dim").asLong(),
+        emb.at("pooling").asDouble()));
+    int bot = m.graph.addLayer(std::make_unique<MlpLayer>(
+        "Bot_MLP", LayerClass::BaseDense,
+        parseDims(json.at("bottom_mlp"))));
+
+    int trunk;
+    long trunk_width;
+    if (json.has("transformer")) {
+        const JsonValue &tr = json.at("transformer");
+        long hidden = tr.at("hidden").asLong();
+        int prev = -1;
+        long layers = tr.at("layers").asLong();
+        for (long i = 0; i < layers; ++i) {
+            std::vector<int> deps = i == 0 ? std::vector<int>{emb_idx, bot}
+                                           : std::vector<int>{prev};
+            int attn = m.graph.addLayer(std::make_unique<AttentionLayer>(
+                strfmt("Attn_%ld", i), LayerClass::Transformer, hidden,
+                tr.at("heads").asLong(), tr.at("seq").asLong()),
+                std::move(deps));
+            prev = m.graph.addLayer(std::make_unique<FeedForwardLayer>(
+                strfmt("FFN_%ld", i), LayerClass::Transformer, hidden,
+                tr.at("ffn").asLong(), tr.at("seq").asLong()), {attn});
+        }
+        trunk = prev;
+        trunk_width = hidden;
+    } else {
+        long out_dim = json.has("top_mlp")
+            ? parseDims(json.at("top_mlp")).front()
+            : 512;
+        trunk = m.graph.addLayer(std::make_unique<InteractionLayer>(
+            "Interact", emb.at("tables").asLong() + 1,
+            emb.at("dim").asLong(), out_dim), {emb_idx, bot});
+        trunk_width = out_dim;
+    }
+
+    if (json.has("moe")) {
+        const JsonValue &moe = json.at("moe");
+        trunk = m.graph.addLayer(std::make_unique<MoeFeedForwardLayer>(
+            "MoE_Top", LayerClass::MoE,
+            static_cast<long>(moe.numberOr("hidden",
+                                           static_cast<double>(trunk_width))),
+            moe.at("ffn").asLong(), 1,
+            static_cast<int>(moe.at("experts").asLong()),
+            static_cast<int>(moe.at("active").asLong())), {trunk});
+    }
+    if (json.has("top_mlp")) {
+        m.graph.addLayer(std::make_unique<MlpLayer>(
+            "Top_MLP", LayerClass::BaseDense,
+            parseDims(json.at("top_mlp"))), {trunk});
+    }
+    return m;
+}
+
+ModelDesc
+loadLlmModel(const JsonValue &json)
+{
+    ModelDesc m;
+    m.name = json.stringOr("name", "custom-llm");
+    m.globalBatchSize = json.at("global_batch").asLong();
+    m.contextLength = json.at("context").asLong();
+    m.isRecommendation = false;
+    m.computeDtype =
+        parseDtype(json.stringOr("compute_dtype", "bf16"));
+    m.paramDtype = parseDtype(json.stringOr("param_dtype", "bf16"));
+
+    long hidden = json.at("hidden").asLong();
+    long ctx = m.contextLength;
+    int prev = m.graph.addLayer(std::make_unique<TokenEmbeddingLayer>(
+        "Tok_EMB", json.at("vocab").asLong(), hidden,
+        static_cast<double>(ctx),
+        static_cast<int>(json.numberOr("embedding_tie_factor", 1))));
+
+    long layers = json.at("layers").asLong();
+    long heads = json.at("heads").asLong();
+    long kv_heads = static_cast<long>(json.numberOr("kv_heads", 0));
+    long ffn = json.at("ffn").asLong();
+    int matrices = static_cast<int>(json.numberOr("ffn_matrices", 2));
+
+    for (long i = 0; i < layers; ++i) {
+        int attn = m.graph.addLayer(std::make_unique<AttentionLayer>(
+            strfmt("Attn_%ld", i), LayerClass::Transformer, hidden, heads,
+            ctx, kv_heads), {prev});
+        if (json.has("moe")) {
+            const JsonValue &moe = json.at("moe");
+            prev = m.graph.addLayer(std::make_unique<MoeFeedForwardLayer>(
+                strfmt("MoE_FFN_%ld", i), LayerClass::MoE, hidden, ffn,
+                ctx, static_cast<int>(moe.at("experts").asLong()),
+                static_cast<int>(moe.at("active").asLong()), matrices),
+                {attn});
+        } else {
+            prev = m.graph.addLayer(std::make_unique<FeedForwardLayer>(
+                strfmt("FFN_%ld", i), LayerClass::Transformer, hidden, ffn,
+                ctx, matrices), {attn});
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+ModelDesc
+loadModel(const JsonValue &json)
+{
+    std::string type = lower(json.at("type").asString());
+    if (type == "zoo")
+        return loadZooModel(json);
+    if (type == "dlrm")
+        return loadDlrmModel(json);
+    if (type == "llm")
+        return loadLlmModel(json);
+    fatal("unknown model type: " + json.at("type").asString());
+}
+
+ClusterSpec
+loadCluster(const JsonValue &json)
+{
+    using namespace units;
+    ClusterSpec c;
+    c.name = json.stringOr("name", "custom-cluster");
+
+    const JsonValue &dev = json.at("device");
+    c.device.name = dev.stringOr("name", "custom-device");
+    c.device.peakFlopsTensor16 = tflops(dev.at("peak_tflops_16").asDouble());
+    c.device.peakFlopsTf32 =
+        tflops(dev.numberOr("peak_tflops_tf32",
+                            dev.at("peak_tflops_16").asDouble() / 2.0));
+    c.device.peakFlopsFp32 =
+        tflops(dev.numberOr("peak_tflops_fp32", 0.0));
+    c.device.hbmCapacity = gib(dev.at("hbm_gib").asDouble());
+    c.device.hbmBandwidth = gBps(dev.at("hbm_gbps").asDouble());
+    c.device.intraNodeBandwidth =
+        gBps(dev.at("intra_node_gbps").asDouble());
+    c.device.interNodeBandwidth =
+        gBps(dev.at("inter_node_gbps").asDouble());
+
+    c.devicesPerNode =
+        static_cast<int>(json.at("devices_per_node").asLong());
+    c.numNodes = static_cast<int>(json.at("num_nodes").asLong());
+
+    c.util.compute = json.numberOr("compute_utilization", 0.70);
+    c.util.hbm = json.numberOr("hbm_utilization", 0.80);
+    c.util.intraLink = json.numberOr("intra_link_utilization", 0.80);
+    c.util.interLink = json.numberOr("inter_link_utilization", 0.65);
+
+    std::string fabric = lower(json.stringOr("inter_fabric", "infiniband"));
+    if (fabric == "roce")
+        c.interFabric = FabricKind::RoCE;
+    else if (fabric == "infiniband" || fabric == "ib")
+        c.interFabric = FabricKind::InfiniBand;
+    else if (fabric == "ethernet" || fabric == "efa")
+        c.interFabric = FabricKind::Ethernet;
+    else if (fabric == "nvlink")
+        c.interFabric = FabricKind::NVLink;
+    else
+        fatal("unknown inter_fabric: " + fabric);
+
+    c.validate();
+    return c;
+}
+
+HierStrategy
+parseStrategy(const std::string &text)
+{
+    // Strip parentheses and whitespace, split on comma.
+    std::string s;
+    for (char c : text) {
+        if (c != '(' && c != ')' && c != ' ')
+            s += c;
+    }
+    if (s.empty())
+        fatal("empty strategy string");
+    size_t comma = s.find(',');
+    if (comma == std::string::npos)
+        return HierStrategy{parseOneStrategy(s)};
+    return HierStrategy{parseOneStrategy(s.substr(0, comma)),
+                        parseOneStrategy(s.substr(comma + 1))};
+}
+
+TaskConfig
+loadTask(const JsonValue &json)
+{
+    TaskConfig cfg;
+    std::string kind = lower(json.at("task").asString());
+    if (kind == "pre-training" || kind == "pretraining" ||
+        kind == "training") {
+        cfg.task = TaskSpec::preTraining();
+    } else if (kind == "inference") {
+        cfg.task = TaskSpec::inference();
+    } else if (kind == "fine-tuning" || kind == "finetuning") {
+        std::string scope = lower(json.stringOr("finetune_scope", "dense"));
+        cfg.task = TaskSpec::fineTuning(
+            scope == "embedding" ? FineTuneScope::EmbeddingOnly
+                                 : FineTuneScope::DenseOnly);
+    } else {
+        fatal("unknown task: " + kind);
+    }
+
+    if (json.has("strategies")) {
+        for (const auto &[key, value] : json.at("strategies").asObject()) {
+            std::string k = lower(key);
+            LayerClass cls;
+            if (k == "sparse_embedding" || k == "embedding")
+                cls = LayerClass::SparseEmbedding;
+            else if (k == "dense_embedding")
+                cls = LayerClass::DenseEmbedding;
+            else if (k == "base_dense" || k == "dense")
+                cls = LayerClass::BaseDense;
+            else if (k == "transformer")
+                cls = LayerClass::Transformer;
+            else if (k == "moe")
+                cls = LayerClass::MoE;
+            else
+                fatal("unknown layer class in strategies: " + key);
+            cfg.plan.set(cls, parseStrategy(value.asString()));
+        }
+    } else {
+        cfg.plan = ParallelPlan::fsdpBaseline();
+    }
+    cfg.plan.fsdpPrefetch = json.boolOr("fsdp_prefetch", false);
+    return cfg;
+}
+
+ModelDesc
+loadModelFile(const std::string &path)
+{
+    return loadModel(JsonValue::parseFile(path));
+}
+
+ClusterSpec
+loadClusterFile(const std::string &path)
+{
+    return loadCluster(JsonValue::parseFile(path));
+}
+
+TaskConfig
+loadTaskFile(const std::string &path)
+{
+    return loadTask(JsonValue::parseFile(path));
+}
+
+JsonValue
+toJson(const ClusterSpec &cluster)
+{
+    using namespace units;
+    JsonValue dev;
+    dev.set("name", cluster.device.name);
+    dev.set("peak_tflops_16", cluster.device.peakFlopsTensor16 / 1e12);
+    dev.set("peak_tflops_tf32", cluster.device.peakFlopsTf32 / 1e12);
+    dev.set("peak_tflops_fp32", cluster.device.peakFlopsFp32 / 1e12);
+    dev.set("hbm_gib", cluster.device.hbmCapacity / GiB);
+    dev.set("hbm_gbps", cluster.device.hbmBandwidth / 1e9);
+    dev.set("intra_node_gbps", cluster.device.intraNodeBandwidth / 1e9);
+    dev.set("inter_node_gbps", cluster.device.interNodeBandwidth / 1e9);
+
+    JsonValue out;
+    out.set("name", cluster.name);
+    out.set("device", std::move(dev));
+    out.set("devices_per_node", static_cast<long>(cluster.devicesPerNode));
+    out.set("num_nodes", static_cast<long>(cluster.numNodes));
+    out.set("compute_utilization", cluster.util.compute);
+    out.set("hbm_utilization", cluster.util.hbm);
+    out.set("intra_link_utilization", cluster.util.intraLink);
+    out.set("inter_link_utilization", cluster.util.interLink);
+    std::string fabric;
+    switch (cluster.interFabric) {
+      case FabricKind::RoCE: fabric = "roce"; break;
+      case FabricKind::InfiniBand: fabric = "infiniband"; break;
+      case FabricKind::Ethernet: fabric = "ethernet"; break;
+      case FabricKind::NVLink: fabric = "nvlink"; break;
+      default: fabric = "infiniband"; break;
+    }
+    out.set("inter_fabric", fabric);
+    return out;
+}
+
+JsonValue
+toJson(const TaskConfig &config)
+{
+    JsonValue out;
+    switch (config.task.kind) {
+      case TaskKind::PreTraining:
+        out.set("task", "pre-training");
+        break;
+      case TaskKind::Inference:
+        out.set("task", "inference");
+        break;
+      case TaskKind::FineTuning:
+        out.set("task", "fine-tuning");
+        out.set("finetune_scope",
+                config.task.ftScope == FineTuneScope::EmbeddingOnly
+                    ? "embedding"
+                    : "dense");
+        break;
+    }
+    JsonValue strategies;
+    for (const auto &[cls, hs] : config.plan.byClass) {
+        std::string key;
+        switch (cls) {
+          case LayerClass::SparseEmbedding: key = "sparse_embedding"; break;
+          case LayerClass::DenseEmbedding: key = "dense_embedding"; break;
+          case LayerClass::BaseDense: key = "base_dense"; break;
+          case LayerClass::Transformer: key = "transformer"; break;
+          case LayerClass::MoE: key = "moe"; break;
+        }
+        strategies.set(key, hs.toString());
+    }
+    out.set("strategies", std::move(strategies));
+    out.set("fsdp_prefetch", config.plan.fsdpPrefetch);
+    return out;
+}
+
+} // namespace madmax

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Loaders for the three JSON inputs the paper specifies (§IV-A):
+ *
+ *  1. model architecture via layer-specific configurations,
+ *  2. distributed system specifications,
+ *  3. task and parallelization strategy.
+ *
+ * Sample configs ship under configs/. Writers are provided so specs
+ * round-trip (useful for generating sweeps programmatically).
+ */
+
+#ifndef MADMAX_CONFIG_CONFIG_LOADER_HH
+#define MADMAX_CONFIG_CONFIG_LOADER_HH
+
+#include <string>
+
+#include "config/json.hh"
+#include "hw/cluster.hh"
+#include "model/model_desc.hh"
+#include "parallel/strategy.hh"
+#include "task/task.hh"
+
+namespace madmax
+{
+
+/** Task + strategy file contents. */
+struct TaskConfig
+{
+    TaskSpec task;
+    ParallelPlan plan;
+};
+
+/**
+ * Build a ModelDesc from a model-architecture JSON object.
+ *
+ * Recognized "type" values:
+ *  - "dlrm": embedding {tables, rows_per_table, dim, pooling},
+ *    bottom_mlp, top_mlp, optional transformer {layers, hidden,
+ *    heads, seq, ffn}, optional moe {experts, active, hidden, ffn},
+ *    global_batch.
+ *  - "llm": vocab, hidden, layers, heads, ffn, context, global_batch,
+ *    optional kv_heads, ffn_matrices, moe {experts, active}.
+ *  - "zoo": name of a predefined model (Table II / ViT).
+ *
+ * @throws ConfigError on unknown type or missing fields.
+ */
+ModelDesc loadModel(const JsonValue &json);
+
+/** Build a ClusterSpec from a system-specification JSON object. */
+ClusterSpec loadCluster(const JsonValue &json);
+
+/** Build task + parallelization plan from a task JSON object. */
+TaskConfig loadTask(const JsonValue &json);
+
+/** File-path conveniences. */
+ModelDesc loadModelFile(const std::string &path);
+ClusterSpec loadClusterFile(const std::string &path);
+TaskConfig loadTaskFile(const std::string &path);
+
+/** Serializers (round-trip with the loaders). */
+JsonValue toJson(const ClusterSpec &cluster);
+JsonValue toJson(const TaskConfig &config);
+
+/**
+ * Parse a strategy string in paper notation: "(TP, DDP)", "(FSDP)",
+ * "MP", case-insensitive. @throws ConfigError on unknown names.
+ */
+HierStrategy parseStrategy(const std::string &text);
+
+} // namespace madmax
+
+#endif // MADMAX_CONFIG_CONFIG_LOADER_HH

@@ -1,0 +1,114 @@
+#include "core/layer_processor.hh"
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+LayerProcessor::LayerProcessor(const ClusterSpec &cluster,
+                               const ModelDesc &desc,
+                               std::optional<SmUtilizationModel> sm_model)
+    : cluster_(cluster), desc_(desc), smModel_(std::move(sm_model))
+{
+    cluster_.validate();
+    desc_.validate();
+}
+
+double
+LayerProcessor::deviceForwardFlops(const Layer &layer) const
+{
+    // Even division of the global batch's work across all devices
+    // holds for every strategy in the space: data-parallel levels
+    // split samples, TP/MP levels split the per-sample work.
+    return layer.forwardFlopsPerSample() *
+        static_cast<double>(desc_.globalBatchSize) /
+        static_cast<double>(cluster_.numDevices());
+}
+
+double
+LayerProcessor::computeTime(double flops) const
+{
+    if (flops <= 0.0)
+        return 0.0;
+    double peak = cluster_.device.peakFlops(desc_.computeDtype);
+    double util = smModel_ ? smModel_->utilization(flops)
+                           : cluster_.util.compute;
+    return flops / (peak * util);
+}
+
+double
+LayerProcessor::lookupTime(double bytes) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    return bytes / (cluster_.device.hbmBandwidth * cluster_.util.hbm);
+}
+
+double
+LayerProcessor::forwardTime(const Layer &layer) const
+{
+    const double batch_share =
+        static_cast<double>(desc_.globalBatchSize) /
+        static_cast<double>(cluster_.numDevices());
+
+    switch (layer.kind()) {
+      case LayerKind::EmbeddingBag: {
+        // Lookup-bound (§IV-B "Embedding Bags"). The hottest device
+        // gates lock-step SPMD execution when lookups shard unevenly.
+        const auto &emb = static_cast<const EmbeddingBagLayer &>(layer);
+        return lookupTime(emb.lookupBytesPerSample() * batch_share) *
+            emb.hotDeviceSkew();
+      }
+      case LayerKind::TokenEmbedding:
+        return lookupTime(layer.lookupBytesPerSample() * batch_share);
+      default:
+        // Compute-bound (§IV-B "Compute Blocks").
+        return computeTime(deviceForwardFlops(layer));
+    }
+}
+
+double
+LayerProcessor::backwardTime(const Layer &layer, const TaskSpec &task) const
+{
+    if (!task.needsBackward())
+        return 0.0;
+
+    const LayerClass cls = layer.layerClass();
+    const double batch_share =
+        static_cast<double>(desc_.globalBatchSize) /
+        static_cast<double>(cluster_.numDevices());
+
+    switch (layer.kind()) {
+      case LayerKind::EmbeddingBag:
+      case LayerKind::TokenEmbedding: {
+        // Frozen tables receive no gradients (nothing sits below
+        // them); trainable tables re-touch the looked-up rows to
+        // apply sparse updates.
+        if (!task.isTrainable(cls))
+            return 0.0;
+        double skew = layer.kind() == LayerKind::EmbeddingBag
+            ? static_cast<const EmbeddingBagLayer &>(layer)
+                  .hotDeviceSkew()
+            : 1.0;
+        return lookupTime(layer.lookupBytesPerSample() * batch_share) *
+            skew;
+      }
+      default:
+        return computeTime(deviceForwardFlops(layer)) *
+            task.backwardFlopsMultiplier(cls);
+    }
+}
+
+EventCategory
+LayerProcessor::categoryOf(const Layer &layer) const
+{
+    switch (layer.kind()) {
+      case LayerKind::EmbeddingBag:
+      case LayerKind::TokenEmbedding:
+        return EventCategory::EmbeddingLookup;
+      default:
+        return EventCategory::Gemm;
+    }
+}
+
+} // namespace madmax

@@ -1,0 +1,98 @@
+#include "core/memory_model.hh"
+
+#include <algorithm>
+
+#include "parallel/sharding.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+MemoryModel::MemoryModel(MemoryModelOptions options)
+    : options_(options)
+{
+    if (options_.reserveFraction < 0.0 || options_.reserveFraction >= 1.0)
+        fatal("MemoryModel: reserveFraction must be in [0, 1)");
+}
+
+MemoryFootprint
+MemoryModel::evaluate(const ModelDesc &desc, const TaskSpec &task,
+                      const ParallelPlan &plan,
+                      const ClusterSpec &cluster) const
+{
+    desc.validate();
+    cluster.validate();
+
+    MemoryFootprint fp;
+    fp.usableCapacity =
+        cluster.device.hbmCapacity * (1.0 - options_.reserveFraction);
+
+    const double param_elem_bytes = desc.paramBytes();
+    // Mixed-precision training keeps an fp32 master copy when params
+    // are stored in 16-bit.
+    const double master_bytes = param_elem_bytes < 4.0 ? 4.0 : 0.0;
+    const double batch_share =
+        static_cast<double>(desc.globalBatchSize) /
+        static_cast<double>(cluster.numDevices());
+
+    for (int i = 0; i < desc.graph.numLayers(); ++i) {
+        const Layer &layer = desc.graph.layer(i);
+        const LayerClass cls = layer.layerClass();
+        const ShardingInfo sh =
+            shardingFor(plan.strategyFor(cls), cluster);
+        const double params = layer.paramCount();
+        const bool trainable = task.isTrainable(cls);
+
+        fp.paramBytes += params * param_elem_bytes * sh.paramFraction;
+        fp.gradBytes +=
+            params * task.gradBytesPerParam(cls) * sh.paramFraction;
+        if (trainable) {
+            double opt = task.optimizerBytesPerParam(cls);
+            if (cls != LayerClass::SparseEmbedding)
+                opt += master_bytes;
+            fp.optimizerBytes += params * opt * sh.paramFraction;
+        }
+
+        if (task.retainsActivations()) {
+            double act = options_.checkpointActivations
+                ? layer.outputBytesPerSample(desc.activationBytes())
+                : layer.activationMemoryBytesPerSample(
+                      desc.activationBytes());
+            fp.activationBytes += act * batch_share;
+        }
+
+        // FSDP materializes the in-flight unit on top of its shard.
+        // MoE banks are wrapped per expert, so only one expert's
+        // weights are gathered at a time.
+        double transient_params = params;
+        if (layer.kind() == LayerKind::MoeFeedForward) {
+            transient_params /= static_cast<const MoeFeedForwardLayer &>(
+                                    layer)
+                                    .numExperts();
+        }
+        fp.transientBytes = std::max(
+            fp.transientBytes,
+            transient_params * param_elem_bytes *
+                sh.transientParamFraction);
+    }
+
+    if (!task.retainsActivations()) {
+        // Inference working set: the two widest adjacent layer
+        // outputs for the device's batch share.
+        double widest = 0.0, second = 0.0;
+        for (int i = 0; i < desc.graph.numLayers(); ++i) {
+            double b = desc.graph.layer(i).outputBytesPerSample(
+                desc.activationBytes());
+            if (b > widest) {
+                second = widest;
+                widest = b;
+            } else {
+                second = std::max(second, b);
+            }
+        }
+        fp.activationBytes = (widest + second) * batch_share;
+    }
+    return fp;
+}
+
+} // namespace madmax

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-device memory-capacity model. Determines which parallelization
+ * strategies are *valid* (the paper's OOM gray bars, Figs. 10-14):
+ * parameters, gradients and optimizer states under the plan's
+ * replication/sharding factors, retained activations for the device's
+ * batch share, and FSDP's transiently-gathered layer. A configurable
+ * fraction of HBM is reserved for the CUDA context, NCCL buffers and
+ * allocator fragmentation.
+ */
+
+#ifndef MADMAX_CORE_MEMORY_MODEL_HH
+#define MADMAX_CORE_MEMORY_MODEL_HH
+
+#include <string>
+
+#include "hw/cluster.hh"
+#include "model/model_desc.hh"
+#include "parallel/strategy.hh"
+#include "task/task.hh"
+
+namespace madmax
+{
+
+/** Per-device memory footprint split by source. */
+struct MemoryFootprint
+{
+    double paramBytes = 0.0;      ///< Persistent parameter shards.
+    double gradBytes = 0.0;       ///< Dense gradient buffers.
+    double optimizerBytes = 0.0;  ///< Optimizer states (+ fp32 master).
+    double activationBytes = 0.0; ///< Retained activations.
+    double transientBytes = 0.0;  ///< Peak FSDP gathered layer.
+    double usableCapacity = 0.0;  ///< HBM after reserves.
+
+    double total() const
+    {
+        return paramBytes + gradBytes + optimizerBytes +
+            activationBytes + transientBytes;
+    }
+
+    bool fits() const { return total() <= usableCapacity; }
+};
+
+/** Memory-model knobs. */
+struct MemoryModelOptions
+{
+    /**
+     * Fraction of HBM unavailable to the model (CUDA context, NCCL
+     * channels, caching-allocator fragmentation, workspace).
+     */
+    double reserveFraction = 0.30;
+
+    /**
+     * Store only layer-boundary activations and recompute the rest
+     * (standard for large-model training). When false the full
+     * intermediate activations are retained.
+     */
+    bool checkpointActivations = true;
+};
+
+/**
+ * Evaluates per-device memory footprints for (model, task, plan) on a
+ * cluster.
+ */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(MemoryModelOptions options = {});
+
+    MemoryFootprint evaluate(const ModelDesc &desc, const TaskSpec &task,
+                             const ParallelPlan &plan,
+                             const ClusterSpec &cluster) const;
+
+    const MemoryModelOptions &options() const { return options_; }
+
+  private:
+    MemoryModelOptions options_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_CORE_MEMORY_MODEL_HH

@@ -1,0 +1,128 @@
+#include "core/overlap_simulator.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/** Closed interval [lo, hi) on the time axis. */
+struct Interval
+{
+    double lo;
+    double hi;
+};
+
+/** Merge overlapping intervals; input need not be sorted. */
+std::vector<Interval>
+mergeIntervals(std::vector<Interval> in)
+{
+    if (in.empty())
+        return in;
+    std::sort(in.begin(), in.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.lo < b.lo;
+              });
+    std::vector<Interval> out;
+    out.push_back(in.front());
+    for (size_t i = 1; i < in.size(); ++i) {
+        if (in[i].lo <= out.back().hi)
+            out.back().hi = std::max(out.back().hi, in[i].hi);
+        else
+            out.push_back(in[i]);
+    }
+    return out;
+}
+
+/** Length of [lo, hi) covered by the merged interval set. */
+double
+coveredLength(const std::vector<Interval> &merged, double lo, double hi)
+{
+    double covered = 0.0;
+    for (const Interval &iv : merged) {
+        double a = std::max(lo, iv.lo);
+        double b = std::min(hi, iv.hi);
+        if (b > a)
+            covered += b - a;
+    }
+    return covered;
+}
+
+} // namespace
+
+Timeline
+OverlapSimulator::schedule(const std::vector<TraceEvent> &events) const
+{
+    Timeline tl;
+    tl.events.reserve(events.size());
+
+    std::unordered_map<int, double> finish_by_id;
+    finish_by_id.reserve(events.size());
+    double compute_cursor = 0.0;
+    double comm_cursor = 0.0;
+    // Non-blocking collectives (gradient AllReduce / ReduceScatter)
+    // ride a separate background channel, as NCCL does, so they do
+    // not head-of-line block later blocking collectives.
+    double background_cursor = 0.0;
+
+    for (const TraceEvent &ev : events) {
+        if (finish_by_id.count(ev.id))
+            panic(strfmt("OverlapSimulator: duplicate event id %d", ev.id));
+
+        double ready = 0.0;
+        for (int dep : ev.deps) {
+            auto it = finish_by_id.find(dep);
+            if (it == finish_by_id.end()) {
+                panic(strfmt("OverlapSimulator: event %d depends on "
+                             "unscheduled event %d",
+                             ev.id, dep));
+            }
+            ready = std::max(ready, it->second);
+        }
+
+        bool background = backgroundChannel_ && !ev.blocking &&
+            ev.stream == StreamKind::Communication;
+        double &cursor = ev.stream == StreamKind::Compute
+            ? compute_cursor
+            : (background ? background_cursor : comm_cursor);
+        double start = std::max(cursor, ready);
+        double finish = start + ev.duration;
+        cursor = finish;
+        finish_by_id.emplace(ev.id, finish);
+        tl.events.push_back(ScheduledEvent{ev, start, finish});
+        tl.makespan = std::max(tl.makespan, finish);
+
+        if (ev.stream == StreamKind::Compute)
+            tl.computeBusy += ev.duration;
+        else
+            tl.commBusy += ev.duration;
+    }
+
+    // Exposed communication: comm busy time not covered by concurrent
+    // compute execution.
+    std::vector<Interval> compute_busy;
+    for (const ScheduledEvent &se : tl.events) {
+        if (se.event.stream == StreamKind::Compute &&
+            se.finish > se.start) {
+            compute_busy.push_back(Interval{se.start, se.finish});
+        }
+    }
+    std::vector<Interval> merged = mergeIntervals(std::move(compute_busy));
+    for (const ScheduledEvent &se : tl.events) {
+        if (se.event.stream != StreamKind::Communication ||
+            se.finish <= se.start) {
+            continue;
+        }
+        double overlap = coveredLength(merged, se.start, se.finish);
+        tl.exposedComm += (se.finish - se.start) - overlap;
+    }
+    return tl;
+}
+
+} // namespace madmax

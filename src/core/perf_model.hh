@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The MAD-Max performance model facade (§IV): takes a model
+ * architecture, task, parallelization plan and distributed-system
+ * description; generates per-device compute and communication
+ * streams; schedules them; and reports throughput, exposed
+ * communication and execution breakdowns.
+ */
+
+#ifndef MADMAX_CORE_PERF_MODEL_HH
+#define MADMAX_CORE_PERF_MODEL_HH
+
+#include <optional>
+
+#include "collective/collective.hh"
+#include "core/memory_model.hh"
+#include "core/report.hh"
+#include "hw/cluster.hh"
+#include "hw/utilization.hh"
+#include "model/model_desc.hh"
+#include "parallel/strategy.hh"
+#include "task/task.hh"
+
+namespace madmax
+{
+
+/** Knobs for a PerfModel instance. */
+struct PerfModelOptions
+{
+    /** Batch-dependent SM utilization (Fig. 8); fixed factor if unset. */
+    std::optional<SmUtilizationModel> smModel;
+
+    /** Memory-model configuration. */
+    MemoryModelOptions memory;
+
+    /** Collective launch-latency constants. */
+    CollectiveLatency latency;
+
+    /** AllReduce algorithm (ring / tree / NCCL-style auto). */
+    AllReduceAlgorithm allReduceAlgorithm = AllReduceAlgorithm::Auto;
+
+    /** Schedule non-blocking collectives on a separate channel
+     *  (disable only for the ablation study). */
+    bool backgroundCommChannel = true;
+
+    /** Retain the full scheduled Timeline in reports. */
+    bool keepTimeline = true;
+
+    /** Evaluate plans even when they exceed device memory (the
+     *  paper's "without memory constraints" bars in Fig. 10). */
+    bool ignoreMemory = false;
+};
+
+/**
+ * An immutable performance model bound to one cluster. Thread-safe
+ * for concurrent evaluate() calls.
+ */
+class PerfModel
+{
+  public:
+    explicit PerfModel(ClusterSpec cluster, PerfModelOptions options = {});
+
+    /**
+     * Evaluate one (model, task, plan) mapping.
+     *
+     * An OOM plan yields a report with valid == false and the memory
+     * verdict filled in; timing fields are still populated when
+     * options.ignoreMemory is set (hypothetical-hardware analysis).
+     */
+    PerfReport evaluate(const ModelDesc &desc, const TaskSpec &task,
+                        const ParallelPlan &plan) const;
+
+    const ClusterSpec &cluster() const { return cluster_; }
+    const PerfModelOptions &options() const { return options_; }
+
+    /** Copy of this model bound to a different cluster. */
+    PerfModel withCluster(ClusterSpec cluster) const;
+
+  private:
+    ClusterSpec cluster_;
+    PerfModelOptions options_;
+    MemoryModel memoryModel_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_CORE_PERF_MODEL_HH

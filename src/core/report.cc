@@ -1,0 +1,79 @@
+#include "core/report.hh"
+
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+double
+PerfReport::throughput() const
+{
+    if (!valid || iterationTime <= 0.0)
+        return 0.0;
+    return static_cast<double>(globalBatchSize) / iterationTime;
+}
+
+double
+PerfReport::tokensPerSecond() const
+{
+    return throughput() * static_cast<double>(contextLength);
+}
+
+double
+PerfReport::overlapFraction() const
+{
+    return commTime > 0.0 ? (commTime - exposedCommTime) / commTime : 0.0;
+}
+
+double
+PerfReport::exposedFraction() const
+{
+    return commTime > 0.0 ? exposedCommTime / commTime : 0.0;
+}
+
+double
+PerfReport::deviceHoursPerSamples(double samples, int num_devices,
+                                  double peak_ratio) const
+{
+    if (!valid || throughput() <= 0.0)
+        return 0.0;
+    double seconds = samples / throughput();
+    return seconds / 3600.0 * static_cast<double>(num_devices) *
+        peak_ratio;
+}
+
+std::string
+PerfReport::summary() const
+{
+    std::string out;
+    out += strfmt("model: %s  cluster: %s  task: %s\n", modelName.c_str(),
+                  clusterName.c_str(), taskName.c_str());
+    out += strfmt("plan: %s\n", plan.toString().c_str());
+    if (!valid) {
+        out += strfmt("INVALID (OOM): needs %s of %s usable per device\n",
+                      formatBytes(memory.total()).c_str(),
+                      formatBytes(memory.usableCapacity).c_str());
+        return out;
+    }
+    out += strfmt("iteration: %s (serialized %s)\n",
+                  formatTime(iterationTime).c_str(),
+                  formatTime(serializedTime).c_str());
+    out += strfmt("throughput: %s samples/s",
+                  formatCount(throughput()).c_str());
+    if (contextLength > 1) {
+        out += strfmt("  (%s tokens/s)",
+                      formatCount(tokensPerSecond()).c_str());
+    }
+    out += "\n";
+    out += strfmt("compute: %s  comm: %s  exposed comm: %s (%s of comm)\n",
+                  formatTime(computeTime).c_str(),
+                  formatTime(commTime).c_str(),
+                  formatTime(exposedCommTime).c_str(),
+                  formatPercent(exposedFraction()).c_str());
+    out += strfmt("memory/device: %s of %s usable\n",
+                  formatBytes(memory.total()).c_str(),
+                  formatBytes(memory.usableCapacity).c_str());
+    return out;
+}
+
+} // namespace madmax

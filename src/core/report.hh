@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Performance report: everything MAD-Max tells you about one
+ * (model, task, plan, cluster) evaluation — iteration time,
+ * throughput, exposed communication, serialized-execution and
+ * communication breakdowns (Fig. 20), and the memory verdict.
+ */
+
+#ifndef MADMAX_CORE_REPORT_HH
+#define MADMAX_CORE_REPORT_HH
+
+#include <map>
+#include <string>
+
+#include "core/memory_model.hh"
+#include "hw/cluster.hh"
+#include "parallel/strategy.hh"
+#include "trace/trace_event.hh"
+
+namespace madmax
+{
+
+/** Result of one performance-model evaluation. */
+struct PerfReport
+{
+    std::string modelName;
+    std::string clusterName;
+    std::string taskName;
+    ParallelPlan plan;
+
+    /** False when the plan exceeds per-device memory (OOM). */
+    bool valid = false;
+
+    /** Per-device memory verdict. */
+    MemoryFootprint memory;
+
+    /** Overlapped (real) iteration time, seconds. */
+    double iterationTime = 0.0;
+
+    /** Serialized execution time: all compute + all comm, seconds. */
+    double serializedTime = 0.0;
+
+    double computeTime = 0.0;     ///< Compute-stream busy seconds.
+    double commTime = 0.0;        ///< Communication-stream busy seconds.
+    double exposedCommTime = 0.0; ///< Comm not hidden behind compute.
+
+    long globalBatchSize = 0;
+    long contextLength = 1;
+
+    /** Serialized seconds by category (Fig. 20a/c). */
+    std::map<EventCategory, double> serializedBreakdown;
+
+    /** Exposed seconds by communication category (Fig. 20b/d). */
+    std::map<EventCategory, double> exposedBreakdown;
+
+    /** Full scheduled trace (empty if PerfModelOptions disabled it). */
+    Timeline timeline;
+
+    /** Samples per second (queries/s for recommendation models). */
+    double throughput() const;
+
+    /** Tokens per second for LLM workloads. */
+    double tokensPerSecond() const;
+
+    /** Fraction of communication hidden behind compute. */
+    double overlapFraction() const;
+
+    /** Fraction of communication exposed. */
+    double exposedFraction() const;
+
+    /**
+     * Aggregate device-hours to process @p samples samples,
+     * optionally normalized to A100 peak FLOPS via @p peak_ratio
+     * (Fig. 16's resource metric).
+     */
+    double deviceHoursPerSamples(double samples, int num_devices,
+                                 double peak_ratio = 1.0) const;
+
+    /** Render a human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_CORE_REPORT_HH

@@ -1,0 +1,227 @@
+#include "core/strategy_explorer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+namespace
+{
+thread_local long search_evaluations = 0;
+} // namespace
+
+StrategyExplorer::StrategyExplorer(const PerfModel &model)
+    : model_(model)
+{
+}
+
+long
+StrategyExplorer::lastSearchEvaluations()
+{
+    return search_evaluations;
+}
+
+std::vector<LayerClass>
+StrategyExplorer::classesOf(const ModelDesc &desc) const
+{
+    std::vector<LayerClass> classes;
+    for (LayerClass cls : {LayerClass::SparseEmbedding,
+                           LayerClass::DenseEmbedding,
+                           LayerClass::BaseDense, LayerClass::Transformer,
+                           LayerClass::MoE}) {
+        if (desc.graph.hasClass(cls))
+            classes.push_back(cls);
+    }
+    if (classes.empty())
+        fatal("StrategyExplorer: model has no layers");
+    return classes;
+}
+
+std::vector<HierStrategy>
+StrategyExplorer::candidates(LayerClass cls)
+{
+    using S = Strategy;
+    switch (cls) {
+      case LayerClass::SparseEmbedding:
+        // Trillion-parameter tables: sharding variants only
+        // (Insight 1); node-local sharding replicates tables across
+        // nodes and needs the memory headroom of future devices.
+        return {
+            HierStrategy{S::MP},
+            HierStrategy{S::MP, S::DDP},
+        };
+      case LayerClass::MoE:
+        // Expert-parallel sharding plus the dense-style fallbacks.
+        return {
+            HierStrategy{S::MP},
+            HierStrategy{S::MP, S::DDP},
+            HierStrategy{S::FSDP},
+            HierStrategy{S::DDP},
+            HierStrategy{S::TP, S::DDP},
+        };
+      case LayerClass::DenseEmbedding:
+      case LayerClass::BaseDense:
+      case LayerClass::Transformer:
+        return {
+            HierStrategy{S::FSDP},
+            HierStrategy{S::DDP},
+            HierStrategy{S::TP},
+            HierStrategy{S::TP, S::DDP},
+            HierStrategy{S::DDP, S::TP},
+            HierStrategy{S::TP, S::FSDP},
+            HierStrategy{S::FSDP, S::DDP},
+            HierStrategy{S::DDP, S::FSDP},
+        };
+    }
+    panic("candidates: unknown LayerClass");
+}
+
+std::vector<ExplorationResult>
+StrategyExplorer::explore(const ModelDesc &desc, const TaskSpec &task,
+                          const ExplorerOptions &options) const
+{
+    // Gather the classes present, in a stable order.
+    std::vector<LayerClass> classes = classesOf(desc);
+    search_evaluations = 0;
+
+    // Cartesian product over per-class candidates. Plans inherit the
+    // production default of prefetch-enabled FSDP so the explorer
+    // never ranks below the baseline on a technicality.
+    std::vector<ParallelPlan> plans;
+    plans.emplace_back();
+    plans.back().fsdpPrefetch = true;
+    for (LayerClass cls : classes) {
+        std::vector<ParallelPlan> expanded;
+        for (const ParallelPlan &base : plans) {
+            for (HierStrategy hs : candidates(cls)) {
+                ParallelPlan p = base;
+                p.set(cls, hs);
+                expanded.push_back(std::move(p));
+            }
+        }
+        plans = std::move(expanded);
+    }
+    if (options.explorePrefetch) {
+        // Ablation variants with prefetching disabled (Fig. 9).
+        size_t base_count = plans.size();
+        for (size_t i = 0; i < base_count; ++i) {
+            bool has_fsdp = false;
+            for (const auto &[cls, hs] : plans[i].byClass) {
+                if (hs.intra == Strategy::FSDP ||
+                    hs.inter == Strategy::FSDP) {
+                    has_fsdp = true;
+                }
+            }
+            if (has_fsdp) {
+                ParallelPlan p = plans[i];
+                p.fsdpPrefetch = false;
+                plans.push_back(std::move(p));
+            }
+        }
+    }
+
+    const PerfModel *model = &model_;
+    PerfModel unconstrained = model_.withCluster(model_.cluster());
+    if (options.ignoreMemory) {
+        PerfModelOptions o = model_.options();
+        o.ignoreMemory = true;
+        unconstrained = PerfModel(model_.cluster(), o);
+        model = &unconstrained;
+    }
+
+    std::vector<ExplorationResult> results;
+    results.reserve(plans.size());
+    for (const ParallelPlan &plan : plans) {
+        ++search_evaluations;
+        PerfReport r = model->evaluate(desc, task, plan);
+        if (!r.valid && !options.keepInvalid)
+            continue;
+        results.push_back(ExplorationResult{plan, std::move(r)});
+    }
+
+    std::sort(results.begin(), results.end(),
+              [](const ExplorationResult &a, const ExplorationResult &b) {
+                  if (a.report.valid != b.report.valid)
+                      return a.report.valid;
+                  return a.report.throughput() > b.report.throughput();
+              });
+    return results;
+}
+
+ExplorationResult
+StrategyExplorer::bestByCoordinateDescent(
+    const ModelDesc &desc, const TaskSpec &task, const PerfModel &model,
+    const std::vector<LayerClass> &classes) const
+{
+    // Start from the baseline (prefetch-enabled) and greedily sweep
+    // one layer class at a time until no single-class change helps.
+    ParallelPlan plan = ParallelPlan::fsdpBaseline();
+    plan.fsdpPrefetch = true;
+    ++search_evaluations;
+    PerfReport best = model.evaluate(desc, task, plan);
+
+    bool improved = true;
+    int rounds = 0;
+    while (improved && rounds++ < 8) {
+        improved = false;
+        for (LayerClass cls : classes) {
+            for (HierStrategy hs : candidates(cls)) {
+                if (plan.strategyFor(cls) == hs)
+                    continue;
+                ParallelPlan trial = plan;
+                trial.set(cls, hs);
+                ++search_evaluations;
+                PerfReport r = model.evaluate(desc, task, trial);
+                if (r.valid &&
+                    (!best.valid ||
+                     r.throughput() > best.throughput())) {
+                    plan = std::move(trial);
+                    best = std::move(r);
+                    improved = true;
+                }
+            }
+        }
+    }
+    if (!best.valid) {
+        fatal("StrategyExplorer: no valid plan fits device memory "
+              "for '" + desc.name + "'");
+    }
+    return ExplorationResult{plan, std::move(best)};
+}
+
+ExplorationResult
+StrategyExplorer::best(const ModelDesc &desc, const TaskSpec &task,
+                       const ExplorerOptions &options) const
+{
+    if (options.algorithm == SearchAlgorithm::CoordinateDescent) {
+        search_evaluations = 0;
+        const PerfModel *model = &model_;
+        PerfModel unconstrained = model_.withCluster(model_.cluster());
+        if (options.ignoreMemory) {
+            PerfModelOptions o = model_.options();
+            o.ignoreMemory = true;
+            unconstrained = PerfModel(model_.cluster(), o);
+            model = &unconstrained;
+        }
+        return bestByCoordinateDescent(desc, task, *model,
+                                       classesOf(desc));
+    }
+    std::vector<ExplorationResult> all = explore(desc, task, options);
+    for (ExplorationResult &r : all) {
+        if (r.report.valid)
+            return std::move(r);
+    }
+    fatal("StrategyExplorer: no valid plan fits device memory for '" +
+          desc.name + "'");
+}
+
+PerfReport
+StrategyExplorer::baseline(const ModelDesc &desc,
+                           const TaskSpec &task) const
+{
+    return model_.evaluate(desc, task, ParallelPlan::fsdpBaseline());
+}
+
+} // namespace madmax

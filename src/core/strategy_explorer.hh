@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Design-space explorer (§V "Design Space Exploration"): enumerates
+ * valid hierarchical parallelization strategies per layer class,
+ * evaluates each full plan through the performance model, and ranks
+ * by throughput — the engine behind Figs. 10-18.
+ */
+
+#ifndef MADMAX_CORE_STRATEGY_EXPLORER_HH
+#define MADMAX_CORE_STRATEGY_EXPLORER_HH
+
+#include <vector>
+
+#include "core/perf_model.hh"
+
+namespace madmax
+{
+
+/** One explored point. */
+struct ExplorationResult
+{
+    ParallelPlan plan;
+    PerfReport report;
+};
+
+/** Search algorithm for the strategy space. */
+enum class SearchAlgorithm
+{
+    Exhaustive,        ///< Full cartesian product (default).
+    CoordinateDescent, ///< Greedy per-class sweeps until fixpoint.
+};
+
+/** Exploration knobs. */
+struct ExplorerOptions
+{
+    /**
+     * Keep OOM plans in the result list (reported invalid) so benches
+     * can render the paper's gray bars.
+     */
+    bool keepInvalid = true;
+
+    /**
+     * Evaluate timing for OOM plans too (the "unconstrained by memory
+     * capacity" analysis — Fig. 10's orange bars).
+     */
+    bool ignoreMemory = false;
+
+    /** Also explore FSDP-prefetch variants of FSDP-bearing plans. */
+    bool explorePrefetch = false;
+
+    /** How best() searches the space (explore() is always full). */
+    SearchAlgorithm algorithm = SearchAlgorithm::Exhaustive;
+};
+
+/**
+ * Exhaustive explorer over the per-layer-class strategy space. The
+ * candidate sets follow the paper: dense classes draw from global and
+ * hierarchical compositions of {DDP, FSDP, TP}; sparse embedding
+ * tables from sharding variants; MoE experts from expert-parallel and
+ * dense-style strategies.
+ */
+class StrategyExplorer
+{
+  public:
+    explicit StrategyExplorer(const PerfModel &model);
+
+    /** Candidate strategies for one layer class. */
+    static std::vector<HierStrategy> candidates(LayerClass cls);
+
+    /**
+     * Evaluate the cartesian product of candidates over the classes
+     * present in @p desc. Results are sorted by descending
+     * throughput, invalid plans last.
+     */
+    std::vector<ExplorationResult>
+    explore(const ModelDesc &desc, const TaskSpec &task,
+            const ExplorerOptions &options = {}) const;
+
+    /**
+     * The throughput-optimal valid plan, via the configured search
+     * algorithm. Coordinate descent evaluates O(classes x candidates)
+     * plans per round instead of the full product; it can stop in a
+     * local optimum but matches exhaustive search on every workload
+     * in this suite (see tests).
+     *
+     * @throws ConfigError if no plan fits in memory.
+     */
+    ExplorationResult best(const ModelDesc &desc, const TaskSpec &task,
+                           const ExplorerOptions &options = {}) const;
+
+    /** Baseline FSDP report for speedup normalization. */
+    PerfReport baseline(const ModelDesc &desc, const TaskSpec &task) const;
+
+    /** Number of evaluate() calls issued by the last best()/explore()
+     *  on this thread (search-cost instrumentation). */
+    static long lastSearchEvaluations();
+
+  private:
+    ExplorationResult bestByCoordinateDescent(
+        const ModelDesc &desc, const TaskSpec &task,
+        const PerfModel &model,
+        const std::vector<LayerClass> &classes) const;
+
+    std::vector<LayerClass> classesOf(const ModelDesc &desc) const;
+
+    const PerfModel &model_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_CORE_STRATEGY_EXPLORER_HH

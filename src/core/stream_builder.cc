@@ -1,0 +1,206 @@
+#include "core/stream_builder.hh"
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+StreamBuilder::StreamBuilder(const ModelDesc &desc, const TaskSpec &task,
+                             const ParallelPlan &plan,
+                             const ClusterSpec &cluster,
+                             const LayerProcessor &processor,
+                             const CollectiveModel &collectives)
+    : desc_(desc), task_(task), plan_(plan), cluster_(cluster),
+      processor_(processor), collectives_(collectives),
+      planner_(desc_, task_, plan_, cluster_)
+{
+}
+
+EventCategory
+StreamBuilder::categoryOf(Collective kind)
+{
+    switch (kind) {
+      case Collective::AllReduce: return EventCategory::AllReduce;
+      case Collective::AllGather: return EventCategory::AllGather;
+      case Collective::ReduceScatter: return EventCategory::ReduceScatter;
+      case Collective::All2All: return EventCategory::All2All;
+      case Collective::Broadcast: return EventCategory::Other;
+    }
+    panic("categoryOf: unknown Collective");
+}
+
+int
+StreamBuilder::addEvent(BuildState &st, TraceEvent ev) const
+{
+    ev.id = st.nextId++;
+    st.events.push_back(std::move(ev));
+    return st.events.back().id;
+}
+
+std::vector<int>
+StreamBuilder::paramGatherDeps(const BuildState &st) const
+{
+    // Parameter AllGathers have no data dependency; what limits them
+    // is issue time. Without prefetching the gather is issued when the
+    // consuming layer starts (i.e. after the preceding compute event
+    // finishes); with prefetching it is issued one layer earlier and
+    // can hide behind the preceding layer's compute (Fig. 9).
+    const size_t n = st.computeEvents.size();
+    if (plan_.fsdpPrefetch) {
+        if (n >= 2)
+            return {st.computeEvents[n - 2]};
+        return {};
+    }
+    if (n >= 1)
+        return {st.computeEvents[n - 1]};
+    return {};
+}
+
+void
+StreamBuilder::buildForwardLayer(BuildState &st, int idx) const
+{
+    const Layer &layer = desc_.graph.layer(idx);
+    std::vector<CommOp> ops = planner_.planLayer(idx);
+
+    std::vector<int> pre_ids;
+    for (const CommOp &op : ops) {
+        if (op.phase != Phase::Forward || op.position != CommPosition::Pre)
+            continue;
+        double dur = collectives_.time(op.kind, op.scope, op.bytes);
+        if (dur <= 0.0)
+            continue;
+        std::vector<int> deps;
+        if (op.kind == Collective::AllGather) {
+            deps = paramGatherDeps(st);
+        } else {
+            // Data-dependent pre-comm (e.g. MoE dispatch).
+            for (int d : desc_.graph.deps(idx)) {
+                if (st.fwdOutput[static_cast<size_t>(d)] >= 0)
+                    deps.push_back(st.fwdOutput[static_cast<size_t>(d)]);
+            }
+        }
+        pre_ids.push_back(addEvent(st, TraceEvent{
+            -1, op.tag, StreamKind::Communication, categoryOf(op.kind),
+            dur, std::move(deps), op.blocking, idx, false}));
+    }
+
+    // The layer's compute block.
+    std::vector<int> cdeps = pre_ids;
+    for (int d : desc_.graph.deps(idx)) {
+        if (st.fwdOutput[static_cast<size_t>(d)] >= 0)
+            cdeps.push_back(st.fwdOutput[static_cast<size_t>(d)]);
+    }
+    int cid = addEvent(st, TraceEvent{
+        -1, layer.name(), StreamKind::Compute,
+        processor_.categoryOf(layer), processor_.forwardTime(layer),
+        std::move(cdeps), true, idx, false});
+    st.computeEvents.push_back(cid);
+
+    // Post comms; blocking ones become the layer's visible output.
+    int out = cid;
+    for (const CommOp &op : ops) {
+        if (op.phase != Phase::Forward || op.position != CommPosition::Post)
+            continue;
+        double dur = collectives_.time(op.kind, op.scope, op.bytes);
+        if (dur <= 0.0)
+            continue;
+        int eid = addEvent(st, TraceEvent{
+            -1, op.tag, StreamKind::Communication, categoryOf(op.kind),
+            dur, {out}, op.blocking, idx, false});
+        if (op.blocking)
+            out = eid;
+    }
+    st.fwdOutput[static_cast<size_t>(idx)] = out;
+}
+
+void
+StreamBuilder::buildBackwardLayer(BuildState &st, int idx) const
+{
+    const Layer &layer = desc_.graph.layer(idx);
+    std::vector<CommOp> ops = planner_.planLayer(idx);
+
+    // Incoming gradients: the backward outputs of this layer's
+    // consumers (or the end of forward for the final layer).
+    std::vector<int> grad_deps;
+    for (int c : desc_.graph.consumers(idx)) {
+        if (st.bwdOutput[static_cast<size_t>(c)] >= 0)
+            grad_deps.push_back(st.bwdOutput[static_cast<size_t>(c)]);
+    }
+    if (grad_deps.empty() &&
+        st.fwdOutput[static_cast<size_t>(idx)] >= 0) {
+        grad_deps.push_back(st.fwdOutput[static_cast<size_t>(idx)]);
+    }
+
+    std::vector<int> pre_ids;
+    for (const CommOp &op : ops) {
+        if (op.phase != Phase::Backward ||
+            op.position != CommPosition::Pre) {
+            continue;
+        }
+        double dur = collectives_.time(op.kind, op.scope, op.bytes);
+        if (dur <= 0.0)
+            continue;
+        std::vector<int> deps = op.kind == Collective::AllGather
+            ? paramGatherDeps(st)
+            : grad_deps;
+        pre_ids.push_back(addEvent(st, TraceEvent{
+            -1, op.tag, StreamKind::Communication, categoryOf(op.kind),
+            dur, std::move(deps), op.blocking, idx, true}));
+    }
+
+    double bdur = processor_.backwardTime(layer, task_);
+    std::vector<int> cdeps = grad_deps;
+    cdeps.insert(cdeps.end(), pre_ids.begin(), pre_ids.end());
+    int cid = addEvent(st, TraceEvent{
+        -1, layer.name() + "'", StreamKind::Compute,
+        processor_.categoryOf(layer), bdur, std::move(cdeps), true, idx,
+        true});
+    st.computeEvents.push_back(cid);
+
+    int out = cid;
+    for (const CommOp &op : ops) {
+        if (op.phase != Phase::Backward ||
+            op.position != CommPosition::Post) {
+            continue;
+        }
+        double dur = collectives_.time(op.kind, op.scope, op.bytes);
+        if (dur <= 0.0)
+            continue;
+        int eid = addEvent(st, TraceEvent{
+            -1, op.tag, StreamKind::Communication, categoryOf(op.kind),
+            dur, {out}, op.blocking, idx, true});
+        if (op.blocking)
+            out = eid;
+    }
+    st.bwdOutput[static_cast<size_t>(idx)] = out;
+}
+
+std::vector<TraceEvent>
+StreamBuilder::build() const
+{
+    const int num_layers = desc_.graph.numLayers();
+    BuildState st;
+    st.fwdOutput.assign(static_cast<size_t>(num_layers), -1);
+    st.bwdOutput.assign(static_cast<size_t>(num_layers), -1);
+
+    for (int i = 0; i < num_layers; ++i)
+        buildForwardLayer(st, i);
+    if (task_.needsBackward()) {
+        for (int i = num_layers - 1; i >= 0; --i)
+            buildBackwardLayer(st, i);
+    }
+
+    // Iteration-end barrier: waits for everything, including
+    // non-blocking gradient collectives.
+    std::vector<int> all_ids;
+    all_ids.reserve(st.events.size());
+    for (const TraceEvent &ev : st.events)
+        all_ids.push_back(ev.id);
+    addEvent(st, TraceEvent{
+        -1, "iter_end", StreamKind::Compute, EventCategory::Other, 0.0,
+        std::move(all_ids), true, -1, task_.needsBackward()});
+
+    return std::move(st.events);
+}
+
+} // namespace madmax

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stream builder (§IV-C "Piecing Together Computation and Comm.
+ * Streams"): walks the layer graph in explicit execution order
+ * (reversed for the backward pass), emits per-layer compute events and
+ * the planner's collective events, and wires the dependencies that
+ * make communication blocking or non-blocking:
+ *
+ *  - blocking collectives (embedding All2All, TP partial-sum
+ *    AllReduce, FSDP parameter AllGather, MoE dispatch/combine) gate
+ *    the downstream compute event;
+ *  - non-blocking collectives (DDP gradient AllReduce, FSDP
+ *    ReduceScatter) only gate the iteration-end barrier;
+ *  - FSDP AllGathers optionally prefetch one layer ahead (Fig. 9),
+ *    letting them hide behind the preceding layer's compute.
+ */
+
+#ifndef MADMAX_CORE_STREAM_BUILDER_HH
+#define MADMAX_CORE_STREAM_BUILDER_HH
+
+#include <vector>
+
+#include "collective/collective.hh"
+#include "core/layer_processor.hh"
+#include "parallel/comm_planner.hh"
+#include "trace/trace_event.hh"
+
+namespace madmax
+{
+
+/**
+ * Builds the per-device event DAG for one iteration of (model, task,
+ * plan) on a cluster. The produced vector is in issue order and ready
+ * for OverlapSimulator::schedule().
+ */
+class StreamBuilder
+{
+  public:
+    StreamBuilder(const ModelDesc &desc, const TaskSpec &task,
+                  const ParallelPlan &plan, const ClusterSpec &cluster,
+                  const LayerProcessor &processor,
+                  const CollectiveModel &collectives);
+
+    /** Build the iteration's event list. */
+    std::vector<TraceEvent> build() const;
+
+  private:
+    struct BuildState
+    {
+        std::vector<TraceEvent> events;
+        std::vector<int> fwdOutput;      ///< Layer -> fwd output event.
+        std::vector<int> bwdOutput;      ///< Layer -> bwd output event.
+        std::vector<int> computeEvents;  ///< Compute events, issue order.
+        int nextId = 0;
+    };
+
+    /** Map a collective kind to its breakdown category. */
+    static EventCategory categoryOf(Collective kind);
+
+    int addEvent(BuildState &st, TraceEvent ev) const;
+
+    /** Dependency for an FSDP AllGather under (non-)prefetch. */
+    std::vector<int> paramGatherDeps(const BuildState &st) const;
+
+    void buildForwardLayer(BuildState &st, int idx) const;
+    void buildBackwardLayer(BuildState &st, int idx) const;
+
+    const ModelDesc &desc_;
+    TaskSpec task_;
+    ParallelPlan plan_;
+    ClusterSpec cluster_;
+    const LayerProcessor &processor_;
+    CollectiveModel collectives_;
+    CommPlanner planner_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_CORE_STREAM_BUILDER_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Validation utilities: the paper's workflow of checking modeled
+ * execution against measured references (Table I, Figs. 7-9).
+ * References are category-level time breakdowns (e.g. exported from
+ * production GPU traces); the comparator reports per-segment and
+ * aggregate modeling accuracy the way the paper quotes it
+ * (100% minus relative error).
+ */
+
+#ifndef MADMAX_CORE_VALIDATION_HH
+#define MADMAX_CORE_VALIDATION_HH
+
+#include <map>
+#include <string>
+
+#include "core/report.hh"
+
+namespace madmax
+{
+
+/** A measured reference for one workload-system configuration. */
+struct MeasuredReference
+{
+    std::string name;
+
+    /** Measured serialized seconds by category (0-valued = absent). */
+    std::map<EventCategory, double> serializedBreakdown;
+
+    /** Measured end-to-end iteration seconds (<= 0 when unknown). */
+    double iterationTime = 0.0;
+
+    /** Measured fraction of communication exposed (< 0 when unknown). */
+    double exposedFraction = -1.0;
+};
+
+/** Unit of a compared quantity (formatting only). */
+enum class ValidationUnit
+{
+    Seconds,
+    Fraction,
+};
+
+/** One compared quantity. */
+struct ValidationEntry
+{
+    std::string metric;
+    double measured = 0.0;
+    double modeled = 0.0;
+    ValidationUnit unit = ValidationUnit::Seconds;
+
+    /** The paper's accuracy convention: 1 - |model - meas| / meas. */
+    double accuracy() const;
+};
+
+/** Comparison of a PerfReport against a MeasuredReference. */
+struct ValidationReport
+{
+    std::vector<ValidationEntry> entries;
+
+    /** Mean accuracy across entries (0 when empty). */
+    double meanAccuracy() const;
+
+    /** Worst-case entry accuracy (1 when empty). */
+    double minAccuracy() const;
+
+    /** Render as an aligned table. */
+    std::string toString() const;
+};
+
+/**
+ * Compare a modeled report against a measured reference. Only
+ * quantities present in the reference are compared.
+ */
+ValidationReport validate(const PerfReport &report,
+                          const MeasuredReference &reference);
+
+/**
+ * Model FLOPs utilization: achieved model FLOPs over aggregate peak
+ * (the Fig. 8 metric). Uses 3x forward FLOPs for training tasks.
+ *
+ * @param training True when the iteration includes the backward pass.
+ */
+double modelFlopsUtilization(const PerfReport &report,
+                             const ModelDesc &desc,
+                             const ClusterSpec &cluster, bool training);
+
+} // namespace madmax
+
+#endif // MADMAX_CORE_VALIDATION_HH

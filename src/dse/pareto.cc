@@ -1,0 +1,40 @@
+#include "dse/pareto.hh"
+
+#include <algorithm>
+
+namespace madmax
+{
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    bool no_worse = a.cost <= b.cost && a.value >= b.value;
+    bool better = a.cost < b.cost || a.value > b.value;
+    return no_worse && better;
+}
+
+std::vector<size_t>
+paretoFrontier(const std::vector<ParetoPoint> &points)
+{
+    std::vector<size_t> order(points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        order[i] = i;
+    // Sort by ascending cost, descending value for ties.
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (points[a].cost != points[b].cost)
+            return points[a].cost < points[b].cost;
+        return points[a].value > points[b].value;
+    });
+
+    std::vector<size_t> frontier;
+    double best_value = -1e300;
+    for (size_t idx : order) {
+        if (points[idx].value > best_value) {
+            frontier.push_back(idx);
+            best_value = points[idx].value;
+        }
+    }
+    return frontier;
+}
+
+} // namespace madmax

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Pareto-frontier extraction for the cost/performance trade-off plots
+ * (Figs. 1, 13, 16): minimize cost (memory, GPU-hours), maximize
+ * value (throughput) — a point is on the frontier if no other point
+ * is at least as good on both axes and strictly better on one.
+ */
+
+#ifndef MADMAX_DSE_PARETO_HH
+#define MADMAX_DSE_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace madmax
+{
+
+/** One candidate in a cost/value trade-off. */
+struct ParetoPoint
+{
+    double cost = 0.0;   ///< Lower is better (e.g. memory per device).
+    double value = 0.0;  ///< Higher is better (e.g. throughput).
+    size_t tag = 0;      ///< Caller-defined identifier.
+};
+
+/**
+ * Indices (into @p points) of the pareto-optimal subset, sorted by
+ * ascending cost. Duplicate-dominance ties keep the first point.
+ */
+std::vector<size_t> paretoFrontier(const std::vector<ParetoPoint> &points);
+
+/** True if @p a dominates @p b (no worse on both, better on one). */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+} // namespace madmax
+
+#endif // MADMAX_DSE_PARETO_HH

@@ -1,0 +1,108 @@
+#include "dse/sweep.hh"
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+std::string
+toString(HwAxis axis)
+{
+    switch (axis) {
+      case HwAxis::Compute: return "compute";
+      case HwAxis::HbmCapacity: return "hbm-capacity";
+      case HwAxis::HbmBandwidth: return "hbm-bandwidth";
+      case HwAxis::IntraBandwidth: return "intra-node-bw";
+      case HwAxis::InterBandwidth: return "inter-node-bw";
+      case HwAxis::All: return "all";
+    }
+    panic("toString: unknown HwAxis");
+}
+
+const std::vector<HwAxis> &
+allHwAxes()
+{
+    static const std::vector<HwAxis> axes = {
+        HwAxis::Compute, HwAxis::HbmCapacity, HwAxis::HbmBandwidth,
+        HwAxis::IntraBandwidth, HwAxis::InterBandwidth, HwAxis::All};
+    return axes;
+}
+
+ClusterSpec
+scaleAxis(const ClusterSpec &cluster, HwAxis axis, double factor)
+{
+    switch (axis) {
+      case HwAxis::Compute:
+        return cluster.withComputeScale(factor);
+      case HwAxis::HbmCapacity:
+        return cluster.withHbmCapacityScale(factor);
+      case HwAxis::HbmBandwidth:
+        return cluster.withHbmBandwidthScale(factor);
+      case HwAxis::IntraBandwidth:
+        return cluster.withIntraBandwidthScale(factor);
+      case HwAxis::InterBandwidth:
+        return cluster.withInterBandwidthScale(factor);
+      case HwAxis::All:
+        return cluster.withComputeScale(factor)
+            .withHbmCapacityScale(factor)
+            .withHbmBandwidthScale(factor)
+            .withIntraBandwidthScale(factor)
+            .withInterBandwidthScale(factor);
+    }
+    panic("scaleAxis: unknown HwAxis");
+}
+
+std::vector<ScalingResult>
+hardwareScalingStudy(const PerfModel &base_model, const ModelDesc &desc,
+                     const TaskSpec &task, double factor,
+                     const std::vector<HwAxis> &axes)
+{
+    StrategyExplorer base_explorer(base_model);
+    ExplorationResult base_best = base_explorer.best(desc, task);
+    double base_throughput = base_best.report.throughput();
+
+    std::vector<ScalingResult> out;
+    out.reserve(axes.size());
+    for (HwAxis axis : axes) {
+        PerfModel scaled = base_model.withCluster(
+            scaleAxis(base_model.cluster(), axis, factor));
+        StrategyExplorer explorer(scaled);
+        ScalingResult r;
+        r.axis = axis;
+        r.factor = factor;
+        r.best = explorer.best(desc, task);
+        r.speedup = base_throughput > 0.0
+            ? r.best.report.throughput() / base_throughput
+            : 0.0;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+double
+energyKwhPerSamples(const PerfReport &report, const ClusterSpec &cluster,
+                    double samples)
+{
+    if (!report.valid || report.throughput() <= 0.0 ||
+        cluster.device.tdpWatts <= 0.0) {
+        return 0.0;
+    }
+    double seconds = samples / report.throughput();
+    double joules =
+        seconds * cluster.device.tdpWatts * cluster.numDevices();
+    return joules / 3.6e6;
+}
+
+double
+normalizedGpuHours(const PerfReport &report, const ClusterSpec &cluster,
+                   double samples, double a100_peak_flops)
+{
+    if (a100_peak_flops <= 0.0)
+        fatal("normalizedGpuHours: a100_peak_flops must be positive");
+    double ratio =
+        cluster.device.peakFlopsTensor16 / a100_peak_flops;
+    return report.deviceHoursPerSamples(samples, cluster.numDevices(),
+                                        ratio);
+}
+
+} // namespace madmax

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hardware-scaling sweeps for the future-technologies study (Fig. 19):
+ * scale one (or every) hardware capability by a factor, re-run the
+ * strategy explorer, and report the resulting best-plan speedup. Also
+ * hosts the GPU-hour normalization helper of Figs. 1/16.
+ */
+
+#ifndef MADMAX_DSE_SWEEP_HH
+#define MADMAX_DSE_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "core/strategy_explorer.hh"
+
+namespace madmax
+{
+
+/** A scalable hardware capability. */
+enum class HwAxis
+{
+    Compute,       ///< Peak FLOPS (all dtypes).
+    HbmCapacity,
+    HbmBandwidth,
+    IntraBandwidth,
+    InterBandwidth,
+    All,           ///< Every capability concurrently.
+};
+
+std::string toString(HwAxis axis);
+
+/** All individual axes plus the concurrent "All" case. */
+const std::vector<HwAxis> &allHwAxes();
+
+/** Scale @p axis of @p cluster by @p factor. */
+ClusterSpec scaleAxis(const ClusterSpec &cluster, HwAxis axis,
+                      double factor);
+
+/** One point of the scaling study. */
+struct ScalingResult
+{
+    HwAxis axis = HwAxis::All;
+    double factor = 1.0;
+    ExplorationResult best;   ///< Best plan on the scaled cluster.
+    double speedup = 0.0;     ///< Best-vs-baseline-cluster-best ratio.
+};
+
+/**
+ * For each axis, scale the cluster by @p factor, explore strategies,
+ * and report best-plan throughput relative to the unscaled cluster's
+ * best plan.
+ */
+std::vector<ScalingResult>
+hardwareScalingStudy(const PerfModel &base_model, const ModelDesc &desc,
+                     const TaskSpec &task, double factor,
+                     const std::vector<HwAxis> &axes = allHwAxes());
+
+/**
+ * Aggregate device-hours normalized to A100 peak FLOPS (Fig. 16's
+ * resource metric): raw device-hours x (device peak / A100 peak).
+ */
+double normalizedGpuHours(const PerfReport &report,
+                          const ClusterSpec &cluster, double samples,
+                          double a100_peak_flops);
+
+/**
+ * Operational accelerator energy in kWh to process @p samples samples
+ * (devices x TDP x elapsed time) — the "by extension, operational
+ * energy consumption is also reduced" metric of Insight 7. Returns 0
+ * when the device has no TDP on record or the report is invalid.
+ */
+double energyKwhPerSamples(const PerfReport &report,
+                           const ClusterSpec &cluster, double samples);
+
+} // namespace madmax
+
+#endif // MADMAX_DSE_SWEEP_HH

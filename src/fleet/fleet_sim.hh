@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fleet-wide training characterization (the §III-B substitute). The
+ * paper observed a production fleet over an extended period; here a
+ * representative synthetic fleet — a mix of DLRM and LLM training
+ * jobs with their deployed strategies — is pushed through the same
+ * performance model and aggregated into the Fig. 4 views:
+ *
+ *  (a) GPU-cycle categories (compute / exposed comm / exposed memcpy /
+ *      idle),
+ *  (b) communication overlap degree per workload,
+ *  (c) communication-collective mix per workload.
+ *
+ * Host-device memcpy and data-ingestion idle are not produced by the
+ * iteration model (they are second-order, §IV-A); the fleet model
+ * adds configurable per-job fractions for them.
+ */
+
+#ifndef MADMAX_FLEET_FLEET_SIM_HH
+#define MADMAX_FLEET_FLEET_SIM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/perf_model.hh"
+
+namespace madmax
+{
+
+/** One training job in the fleet. */
+struct FleetJob
+{
+    std::string family;      ///< Aggregation key ("DLRM", "LLM").
+    ModelDesc model;
+    TaskSpec task;
+    ParallelPlan plan;
+    ClusterSpec cluster;
+    double weight = 1.0;     ///< Relative share of fleet GPU-hours.
+    double memcpyFraction = 0.04; ///< Exposed host-device copies.
+    double idleFraction = 0.08;   ///< Data ingestion, launch overhead.
+};
+
+/** Fractions of observable GPU cycles by category (sums to 1). */
+struct CycleBreakdown
+{
+    double compute = 0.0;
+    double exposedComm = 0.0;
+    double exposedMemcpy = 0.0;
+    double idle = 0.0;
+};
+
+/** Aggregated fleet characterization. */
+struct FleetReport
+{
+    CycleBreakdown overall;
+    std::map<std::string, CycleBreakdown> byFamily;
+    std::map<std::string, double> overlapByFamily;
+    /** Collective seconds share by family (normalized per family). */
+    std::map<std::string, std::map<EventCategory, double>>
+        collectiveMixByFamily;
+};
+
+/** Runs a set of jobs through the performance model and aggregates. */
+class FleetSimulator
+{
+  public:
+    FleetSimulator() = default;
+
+    void addJob(FleetJob job);
+
+    size_t numJobs() const { return jobs_.size(); }
+
+    /** Evaluate all jobs and aggregate per family and overall. */
+    FleetReport run() const;
+
+    /**
+     * A representative fleet: DLRM-A/B (+ a transformer variant) on
+     * the ZionEX system and GPT-3/LLaMA jobs on the LLM system, with
+     * production-style plans.
+     */
+    static FleetSimulator representativeFleet();
+
+  private:
+    std::vector<FleetJob> jobs_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_FLEET_FLEET_SIM_HH

@@ -1,0 +1,135 @@
+#include "hw/cluster.hh"
+
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+std::string
+toString(FabricKind kind)
+{
+    switch (kind) {
+      case FabricKind::NVLink: return "NVLink";
+      case FabricKind::InfiniBand: return "InfiniBand";
+      case FabricKind::RoCE: return "RoCE";
+      case FabricKind::XGMI: return "xGMI";
+      case FabricKind::Ethernet: return "Ethernet";
+      case FabricKind::PCIe: return "PCIe";
+    }
+    panic("toString: unknown FabricKind");
+}
+
+double
+ClusterSpec::effIntraBandwidth() const
+{
+    return device.intraNodeBandwidth * util.intraLink;
+}
+
+double
+ClusterSpec::effInterBandwidth() const
+{
+    return device.interNodeBandwidth * util.interLink;
+}
+
+double
+ClusterSpec::aggregatePeakFlops(DataType dtype) const
+{
+    return device.peakFlops(dtype) * numDevices();
+}
+
+double
+ClusterSpec::aggregateHbmCapacity() const
+{
+    return device.hbmCapacity * numDevices();
+}
+
+double
+ClusterSpec::aggregateHbmBandwidth() const
+{
+    return device.hbmBandwidth * numDevices();
+}
+
+void
+ClusterSpec::validate() const
+{
+    if (devicesPerNode < 1)
+        fatal(strfmt("cluster '%s': devicesPerNode must be >= 1",
+                     name.c_str()));
+    if (numNodes < 1)
+        fatal(strfmt("cluster '%s': numNodes must be >= 1", name.c_str()));
+    if (device.hbmCapacity <= 0.0)
+        fatal(strfmt("cluster '%s': device HBM capacity must be positive",
+                     name.c_str()));
+    if (device.hbmBandwidth <= 0.0)
+        fatal(strfmt("cluster '%s': device HBM bandwidth must be positive",
+                     name.c_str()));
+    if (devicesPerNode > 1 && device.intraNodeBandwidth <= 0.0)
+        fatal(strfmt("cluster '%s': intra-node bandwidth must be positive",
+                     name.c_str()));
+    if (numNodes > 1 && device.interNodeBandwidth <= 0.0)
+        fatal(strfmt("cluster '%s': inter-node bandwidth must be positive",
+                     name.c_str()));
+    auto check_util = [&](double u, const char *what) {
+        if (u <= 0.0 || u > 1.0) {
+            fatal(strfmt("cluster '%s': %s utilization %.3f outside (0, 1]",
+                         name.c_str(), what, u));
+        }
+    };
+    check_util(util.compute, "compute");
+    check_util(util.hbm, "hbm");
+    check_util(util.intraLink, "intra-link");
+    check_util(util.interLink, "inter-link");
+}
+
+ClusterSpec
+ClusterSpec::withComputeScale(double factor) const
+{
+    ClusterSpec c = *this;
+    c.device.peakFlopsTensor16 *= factor;
+    c.device.peakFlopsTf32 *= factor;
+    c.device.peakFlopsFp32 *= factor;
+    return c;
+}
+
+ClusterSpec
+ClusterSpec::withHbmCapacityScale(double factor) const
+{
+    ClusterSpec c = *this;
+    c.device.hbmCapacity *= factor;
+    return c;
+}
+
+ClusterSpec
+ClusterSpec::withHbmBandwidthScale(double factor) const
+{
+    ClusterSpec c = *this;
+    c.device.hbmBandwidth *= factor;
+    return c;
+}
+
+ClusterSpec
+ClusterSpec::withIntraBandwidthScale(double factor) const
+{
+    ClusterSpec c = *this;
+    c.device.intraNodeBandwidth *= factor;
+    return c;
+}
+
+ClusterSpec
+ClusterSpec::withInterBandwidthScale(double factor) const
+{
+    ClusterSpec c = *this;
+    c.device.interNodeBandwidth *= factor;
+    return c;
+}
+
+ClusterSpec
+ClusterSpec::withNumNodes(int nodes) const
+{
+    ClusterSpec c = *this;
+    c.numNodes = nodes;
+    return c;
+}
+
+} // namespace madmax

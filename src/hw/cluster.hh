@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Distributed-system description: a cluster is numNodes nodes of
+ * devicesPerNode identical devices, an intra-node fabric and an
+ * inter-node fabric, plus the utilization factors that derate peak
+ * rates into achievable ones (the paper's tunable calibration knobs,
+ * §IV-B/§IV-C). Mirrors Table III.
+ */
+
+#ifndef MADMAX_HW_CLUSTER_HH
+#define MADMAX_HW_CLUSTER_HH
+
+#include <string>
+
+#include "hw/device.hh"
+
+namespace madmax
+{
+
+/** Interconnect technology; determines which fabric a collective rides. */
+enum class FabricKind
+{
+    NVLink,      ///< NVSwitch/NVLink style scale-up fabric.
+    InfiniBand,  ///< IB scale-out fabric.
+    RoCE,        ///< RDMA over Converged Ethernet scale-out fabric.
+    XGMI,        ///< AMD Infinity Fabric scale-up links.
+    Ethernet,    ///< Plain (possibly EFA) Ethernet scale-out.
+    PCIe,        ///< Host-mediated fallback.
+};
+
+std::string toString(FabricKind kind);
+
+/**
+ * Achievable-fraction-of-peak factors in [0, 1]. The paper quotes ~70%
+ * SM utilization for dense layers and ~80% HBM utilization for
+ * embedding bags on A100s; link utilizations absorb NCCL protocol
+ * overheads measured on real systems.
+ */
+struct UtilizationSpec
+{
+    double compute = 0.70;    ///< GEMM/attention SM utilization.
+    double hbm = 0.80;        ///< Embedding-bag HBM efficiency.
+    double intraLink = 0.80;  ///< NVLink-class achievable fraction.
+    double interLink = 0.65;  ///< NIC-class achievable fraction.
+};
+
+/**
+ * A homogeneous two-level distributed system. The two-level shape
+ * (devices within a node, nodes within a cluster) is what makes
+ * hierarchical (intra, inter) parallelization strategies meaningful.
+ */
+struct ClusterSpec
+{
+    std::string name;
+    DeviceSpec device;
+    int devicesPerNode = 8;
+    int numNodes = 1;
+    FabricKind intraFabric = FabricKind::NVLink;
+    FabricKind interFabric = FabricKind::InfiniBand;
+    UtilizationSpec util;
+
+    /** Total device count (= Table III "# nodes" x "devices per node"). */
+    int numDevices() const { return devicesPerNode * numNodes; }
+
+    /** Achievable per-device intra-node bandwidth, bytes/s. */
+    double effIntraBandwidth() const;
+
+    /** Achievable per-device inter-node bandwidth, bytes/s. */
+    double effInterBandwidth() const;
+
+    /** Aggregate peak FLOP/s across the cluster for @p dtype. */
+    double aggregatePeakFlops(DataType dtype) const;
+
+    /** Aggregate HBM capacity in bytes. */
+    double aggregateHbmCapacity() const;
+
+    /** Aggregate HBM bandwidth in bytes/s. */
+    double aggregateHbmBandwidth() const;
+
+    /** Validate invariants (positive counts/rates). @throws ConfigError */
+    void validate() const;
+
+    /**
+     * @name Scaled variants
+     * Builders for the Fig. 19 future-technology scaling study: return a
+     * copy with one capability multiplied by @p factor.
+     */
+    /// @{
+    ClusterSpec withComputeScale(double factor) const;
+    ClusterSpec withHbmCapacityScale(double factor) const;
+    ClusterSpec withHbmBandwidthScale(double factor) const;
+    ClusterSpec withIntraBandwidthScale(double factor) const;
+    ClusterSpec withInterBandwidthScale(double factor) const;
+    /// @}
+
+    /** Copy with a different node count (e.g. 8- vs 128-GPU validation). */
+    ClusterSpec withNumNodes(int nodes) const;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_HW_CLUSTER_HH

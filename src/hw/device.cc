@@ -1,0 +1,58 @@
+#include "hw/device.hh"
+
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+double
+bytesOf(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::FP32:
+      case DataType::TF32:
+        return 4.0;
+      case DataType::FP16:
+      case DataType::BF16:
+        return 2.0;
+    }
+    panic("bytesOf: unknown DataType");
+}
+
+std::string
+toString(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::FP32: return "fp32";
+      case DataType::TF32: return "tf32";
+      case DataType::FP16: return "fp16";
+      case DataType::BF16: return "bf16";
+    }
+    panic("toString: unknown DataType");
+}
+
+double
+DeviceSpec::peakFlops(DataType dtype) const
+{
+    double rate = 0.0;
+    switch (dtype) {
+      case DataType::FP32:
+        rate = peakFlopsFp32;
+        break;
+      case DataType::TF32:
+        rate = peakFlopsTf32 > 0.0 ? peakFlopsTf32 : peakFlopsFp32;
+        break;
+      case DataType::FP16:
+      case DataType::BF16:
+        rate = peakFlopsTensor16 > 0.0 ? peakFlopsTensor16 : peakFlopsFp32;
+        break;
+    }
+    if (rate <= 0.0) {
+        fatal(strfmt("device '%s' has no peak FLOPS for dtype %s",
+                     name.c_str(), madmax::toString(dtype).c_str()));
+    }
+    return rate;
+}
+
+} // namespace madmax

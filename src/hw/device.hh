@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-device (accelerator) hardware description. Mirrors the columns of
+ * Table IV in the paper: peak FLOPS by data type, HBM capacity and
+ * bandwidth, and per-device intra-/inter-node interconnect bandwidths.
+ */
+
+#ifndef MADMAX_HW_DEVICE_HH
+#define MADMAX_HW_DEVICE_HH
+
+#include <string>
+
+namespace madmax
+{
+
+/**
+ * Numeric precision for compute and storage. GPU peak FLOPS are heavily
+ * data-type dependent (§IV-B), and parameter/activation byte counts
+ * follow element size.
+ */
+enum class DataType
+{
+    FP32,  ///< IEEE fp32 (vector units).
+    TF32,  ///< Tensor-core TF32 (fp32 storage, reduced-precision mul).
+    FP16,  ///< Tensor-core fp16.
+    BF16,  ///< Tensor-core bf16 (same throughput class as fp16).
+};
+
+/** Element size in bytes for @p dtype as stored in memory. */
+double bytesOf(DataType dtype);
+
+/** Human-readable name ("fp32", "tf32", ...). */
+std::string toString(DataType dtype);
+
+/**
+ * One accelerator's datasheet. All rates are peak; utilization factors
+ * that derate them live in ClusterSpec / SmUtilizationModel so the same
+ * silicon can be modeled in differently-tuned deployments.
+ */
+struct DeviceSpec
+{
+    std::string name;
+
+    /** Peak dense tensor-core FLOP/s for fp16/bf16 inputs. */
+    double peakFlopsTensor16 = 0.0;
+
+    /** Peak tensor-core TF32 FLOP/s. */
+    double peakFlopsTf32 = 0.0;
+
+    /** Peak vector fp32 FLOP/s (fallback for pre-tensor-core parts). */
+    double peakFlopsFp32 = 0.0;
+
+    /** HBM capacity in bytes. */
+    double hbmCapacity = 0.0;
+
+    /** HBM peak bandwidth in bytes/second. */
+    double hbmBandwidth = 0.0;
+
+    /**
+     * Per-device intra-node interconnect bandwidth, unidirectional,
+     * bytes/second (e.g. NVLink).
+     */
+    double intraNodeBandwidth = 0.0;
+
+    /**
+     * Per-device inter-node interconnect bandwidth, unidirectional,
+     * bytes/second (e.g. one 200 Gbps NIC = 25 GB/s).
+     */
+    double interNodeBandwidth = 0.0;
+
+    /** Board power (TDP) in watts, for operational-energy estimates. */
+    double tdpWatts = 0.0;
+
+    /**
+     * Peak FLOP/s for @p dtype. TF32 falls back to fp32 vector rate on
+     * devices without tensor cores; fp16/bf16 fall back likewise.
+     *
+     * @throws ConfigError if the device has no usable rate at all.
+     */
+    double peakFlops(DataType dtype) const;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_HW_DEVICE_HH

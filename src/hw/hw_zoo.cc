@@ -1,0 +1,285 @@
+#include "hw/hw_zoo.hh"
+
+#include "util/units.hh"
+
+namespace madmax::hw_zoo
+{
+
+using namespace madmax::units;
+
+DeviceSpec
+a100_40()
+{
+    DeviceSpec d;
+    d.name = "A100-40GB";
+    d.tdpWatts = 400;
+    d.peakFlopsTensor16 = tflops(312);
+    d.peakFlopsTf32 = tflops(156);
+    d.peakFlopsFp32 = tflops(19.5);
+    d.hbmCapacity = gib(40);
+    d.hbmBandwidth = tBps(1.6);
+    d.intraNodeBandwidth = gBps(600) / 2.0; // 600 GB/s is bidirectional.
+    d.interNodeBandwidth = gbps(200);
+    return d;
+}
+
+DeviceSpec
+a100_80()
+{
+    DeviceSpec d = a100_40();
+    d.name = "A100-80GB";
+    d.hbmCapacity = gib(80);
+    d.hbmBandwidth = tBps(2.0);
+    return d;
+}
+
+DeviceSpec
+h100()
+{
+    DeviceSpec d;
+    d.name = "H100";
+    d.tdpWatts = 700;
+    d.peakFlopsTensor16 = tflops(756);
+    d.peakFlopsTf32 = tflops(378);
+    d.peakFlopsFp32 = tflops(67);
+    d.hbmCapacity = gib(80);
+    d.hbmBandwidth = tBps(2.0);
+    d.intraNodeBandwidth = gBps(900) / 2.0; // 900 GB/s bidirectional.
+    d.interNodeBandwidth = gbps(400);
+    return d;
+}
+
+DeviceSpec
+h100SuperPod()
+{
+    // NVLink replaces the scale-out fabric for up to 256 GPUs. The
+    // paper quotes the SuperPOD at 9x the A100's per-device inter-node
+    // bandwidth (Insight 10), i.e. 225 GB/s unidirectional.
+    DeviceSpec d = h100();
+    d.name = "H100-SuperPOD";
+    d.interNodeBandwidth = gBps(225);
+    return d;
+}
+
+DeviceSpec
+v100_16()
+{
+    DeviceSpec d;
+    d.name = "V100-16GB";
+    d.tdpWatts = 300;
+    d.peakFlopsTensor16 = tflops(125);
+    d.peakFlopsTf32 = 0.0; // No TF32 on Volta; falls back to fp32.
+    d.peakFlopsFp32 = tflops(15.7);
+    d.hbmCapacity = gib(16);
+    d.hbmBandwidth = gBps(900);
+    d.intraNodeBandwidth = gBps(300) / 2.0; // NVLink2, bidirectional.
+    d.interNodeBandwidth = gbps(25);
+    return d;
+}
+
+DeviceSpec
+v100_32()
+{
+    DeviceSpec d = v100_16();
+    d.name = "V100-32GB";
+    d.hbmCapacity = gib(32);
+    d.interNodeBandwidth = gbps(100) / 8.0; // 100 Gbps shared by 8 GPUs.
+    return d;
+}
+
+DeviceSpec
+mi250x()
+{
+    // Table IV: 383/96 TFLOPS, 128 GB, 3.2 TB/s, 500 GB/s, 200 Gbps.
+    DeviceSpec d;
+    d.name = "MI250X";
+    d.tdpWatts = 560;
+    d.peakFlopsTensor16 = tflops(383);
+    d.peakFlopsTf32 = tflops(95.7);
+    d.peakFlopsFp32 = tflops(47.9);
+    d.hbmCapacity = gib(128);
+    d.hbmBandwidth = tBps(3.2);
+    d.intraNodeBandwidth = gBps(500) / 2.0;
+    d.interNodeBandwidth = gbps(200);
+    return d;
+}
+
+DeviceSpec
+mi300x()
+{
+    // Table IV: 1307/654 TFLOPS, 192 GB, 5.3 TB/s, 896 GB/s, 400 Gbps.
+    DeviceSpec d;
+    d.name = "MI300X";
+    d.tdpWatts = 750;
+    d.peakFlopsTensor16 = tflops(1307);
+    d.peakFlopsTf32 = tflops(653.7);
+    d.peakFlopsFp32 = tflops(163.4);
+    d.hbmCapacity = gib(192);
+    d.hbmBandwidth = tBps(5.3);
+    d.intraNodeBandwidth = gBps(896) / 2.0;
+    d.interNodeBandwidth = gbps(400);
+    return d;
+}
+
+DeviceSpec
+gaudi2()
+{
+    // Table IV: 400/200 TFLOPS, 96 GB, 2.45 TB/s. Gaudi2 integrates
+    // 24x 100 GbE ports: 21 serve intra-node (262.5 GB/s), 3 scale out.
+    DeviceSpec d;
+    d.name = "Gaudi2";
+    d.tdpWatts = 600;
+    d.peakFlopsTensor16 = tflops(400);
+    d.peakFlopsTf32 = tflops(200);
+    d.peakFlopsFp32 = tflops(100);
+    d.hbmCapacity = gib(96);
+    d.hbmBandwidth = tBps(2.45);
+    d.intraNodeBandwidth = gBps(262.5);
+    d.interNodeBandwidth = gbps(300);
+    return d;
+}
+
+ClusterSpec
+dlrmTrainingSystem()
+{
+    ClusterSpec c;
+    c.name = "ZionEX-128xA100-40GB";
+    c.device = a100_40();
+    c.devicesPerNode = 8;
+    c.numNodes = 16;
+    c.intraFabric = FabricKind::NVLink;
+    c.interFabric = FabricKind::RoCE;
+    c.util.compute = 0.70; // Paper: ~70% SM utilization on A100 GEMMs.
+    c.util.hbm = 0.80;     // Paper: ~80% for embedding bags on A100.
+    c.util.intraLink = 0.80;
+    c.util.interLink = 0.65;
+    return c;
+}
+
+ClusterSpec
+llmTrainingSystem()
+{
+    ClusterSpec c;
+    c.name = "LLM-2048xA100-80GB";
+    c.device = a100_80();
+    c.devicesPerNode = 8;
+    c.numNodes = 256;
+    c.intraFabric = FabricKind::NVLink;
+    c.interFabric = FabricKind::InfiniBand;
+    // BF16 tensor-core MFU ceilings on transformer stacks sit lower
+    // than TF32 recommendation GEMMs; IB sustains better than RoCE.
+    c.util.compute = 0.60;
+    c.util.hbm = 0.80;
+    c.util.intraLink = 0.80;
+    c.util.interLink = 0.80;
+    return c;
+}
+
+namespace
+{
+
+ClusterSpec
+simulated128(const DeviceSpec &device, FabricKind inter, int num_nodes,
+             const std::string &name)
+{
+    ClusterSpec c = dlrmTrainingSystem();
+    c.name = name;
+    c.device = device;
+    c.numNodes = num_nodes;
+    c.interFabric = inter;
+    return c;
+}
+
+} // namespace
+
+ClusterSpec
+h100System(int num_nodes)
+{
+    return simulated128(h100(), FabricKind::InfiniBand, num_nodes,
+                        "H100-DGX");
+}
+
+ClusterSpec
+h100SuperPodSystem(int num_nodes)
+{
+    return simulated128(h100SuperPod(), FabricKind::NVLink, num_nodes,
+                        "H100-SuperPOD");
+}
+
+ClusterSpec
+mi250xSystem(int num_nodes)
+{
+    return simulated128(mi250x(), FabricKind::InfiniBand, num_nodes,
+                        "MI250X-cluster");
+}
+
+ClusterSpec
+mi300xSystem(int num_nodes)
+{
+    return simulated128(mi300x(), FabricKind::InfiniBand, num_nodes,
+                        "MI300X-cluster");
+}
+
+ClusterSpec
+gaudi2System(int num_nodes)
+{
+    return simulated128(gaudi2(), FabricKind::RoCE, num_nodes,
+                        "Gaudi2-cluster");
+}
+
+ClusterSpec
+awsP4d(int num_nodes)
+{
+    ClusterSpec c;
+    c.name = "aws-p4d.24xlarge";
+    c.device = a100_40();
+    // 400 Gbps EFA per instance, shared across the 8 GPUs.
+    c.device.interNodeBandwidth = gbps(400) / 8.0;
+    c.devicesPerNode = 8;
+    c.numNodes = num_nodes;
+    c.intraFabric = FabricKind::NVLink;
+    c.interFabric = FabricKind::Ethernet;
+    return c;
+}
+
+std::vector<CloudInstance>
+cloudInstances(int num_nodes)
+{
+    std::vector<CloudInstance> out;
+    const double a100_peak = a100_40().peakFlopsTensor16;
+
+    auto add = [&](const std::string &name, const DeviceSpec &dev,
+                   double inter_bw, FabricKind fabric,
+                   int node_scale) {
+        ClusterSpec c;
+        c.name = name;
+        c.device = dev;
+        c.device.interNodeBandwidth = inter_bw;
+        c.devicesPerNode = 8;
+        c.numNodes = num_nodes * node_scale;
+        c.intraFabric = FabricKind::NVLink;
+        c.interFabric = fabric;
+        out.push_back(CloudInstance{
+            name, c, dev.peakFlopsTensor16 / a100_peak});
+    };
+
+    // Three GPU generations; inter-node bandwidth per device ranges
+    // from <1 GB/s to 25 GB/s as in Fig. 16. Small-HBM V100 fleets
+    // need proportionally more instances to hold the sharded tables
+    // (the study co-explores instance count with mapping).
+    add("p3.16xlarge-V100", v100_16(), gbps(25) / 8.0,
+        FabricKind::Ethernet, 4);
+    add("p3dn.24xlarge-V100", v100_32(), gbps(100) / 8.0,
+        FabricKind::Ethernet, 2);
+    add("p4d.24xlarge-A100", a100_40(), gbps(400) / 8.0,
+        FabricKind::Ethernet, 1);
+    add("p4de.24xlarge-A100", a100_80(), gbps(400) / 8.0,
+        FabricKind::Ethernet, 1);
+    add("azure-ND96asr-A100", a100_40(), gbps(200),
+        FabricKind::InfiniBand, 1);
+    add("p5.48xlarge-H100", h100(), gbps(3200) / 8.0,
+        FabricKind::Ethernet, 1);
+    return out;
+}
+
+} // namespace madmax::hw_zoo

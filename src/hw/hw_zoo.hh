@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hardware zoo: the device datasheets of Table IV, the two baseline
+ * training systems of Table III, and the public-cloud instance types
+ * used by Figs. 1 and 16. All functions return fresh copies so callers
+ * can freely mutate (e.g. for the scaling studies).
+ */
+
+#ifndef MADMAX_HW_HW_ZOO_HH
+#define MADMAX_HW_HW_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/cluster.hh"
+#include "hw/device.hh"
+
+namespace madmax::hw_zoo
+{
+
+/** @name Devices (Table IV + V100 for the cloud study) */
+/// @{
+DeviceSpec a100_40(); ///< NVIDIA A100 40 GB (312/156 TFLOPS, 1.6 TB/s).
+DeviceSpec a100_80(); ///< NVIDIA A100 80 GB (2.0 TB/s HBM).
+DeviceSpec h100();    ///< NVIDIA H100 SXM (756/378 TFLOPS, 2 TB/s).
+DeviceSpec h100SuperPod(); ///< H100 with NVLink-based scale-out (9x A100 BW).
+DeviceSpec v100_16(); ///< NVIDIA V100 16 GB (125 TFLOPS fp16, 0.9 TB/s).
+DeviceSpec v100_32(); ///< NVIDIA V100 32 GB.
+DeviceSpec mi250x();  ///< AMD Instinct MI250X.
+DeviceSpec mi300x();  ///< AMD Instinct MI300X.
+DeviceSpec gaudi2();  ///< Intel Gaudi2.
+/// @}
+
+/** @name Baseline training systems (Table III) */
+/// @{
+
+/**
+ * DLRM training system [Mudigere et al., ZionEX]: 16 nodes x 8 A100
+ * 40 GB, RoCE scale-out, 20 PFLOPS aggregate TF32.
+ */
+ClusterSpec dlrmTrainingSystem();
+
+/**
+ * LLM training system [Touvron et al.]: 256 nodes x 8 A100 80 GB,
+ * InfiniBand scale-out, 319 PFLOPS aggregate TF32.
+ */
+ClusterSpec llmTrainingSystem();
+/// @}
+
+/** @name Simulated 128-device platforms (Figs. 17, 18) */
+/// @{
+ClusterSpec h100System(int num_nodes = 16);
+ClusterSpec h100SuperPodSystem(int num_nodes = 16);
+ClusterSpec mi250xSystem(int num_nodes = 16);
+ClusterSpec mi300xSystem(int num_nodes = 16);
+ClusterSpec gaudi2System(int num_nodes = 16);
+/// @}
+
+/**
+ * A public-cloud GPU instance type: a ClusterSpec template plus
+ * pricing-free metadata used by the cloud-deployment studies.
+ */
+struct CloudInstance
+{
+    std::string name;      ///< e.g. "p4d.24xlarge".
+    ClusterSpec cluster;   ///< One node's shape; scale numNodes to size.
+    double a100PeakRatio;  ///< device peak / A100 peak (GPU-hour norm).
+};
+
+/**
+ * Cloud instance catalog for Figs. 1 and 16: three GPU generations with
+ * widely varying inter-node bandwidths.
+ *
+ * @param num_nodes Node count applied to every instance type.
+ */
+std::vector<CloudInstance> cloudInstances(int num_nodes = 16);
+
+/** AWS p4d.24xlarge (8x A100 40 GB, 400 Gbps EFA) used by Fig. 8. */
+ClusterSpec awsP4d(int num_nodes);
+
+} // namespace madmax::hw_zoo
+
+#endif // MADMAX_HW_HW_ZOO_HH

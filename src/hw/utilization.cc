@@ -1,0 +1,28 @@
+#include "hw/utilization.hh"
+
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+SmUtilizationModel::SmUtilizationModel(double max_util,
+                                       double half_saturation_flops)
+    : maxUtil_(max_util), halfSaturationFlops_(half_saturation_flops)
+{
+    if (max_util <= 0.0 || max_util > 1.0)
+        fatal(strfmt("SmUtilizationModel: max_util %.3f outside (0, 1]",
+                     max_util));
+    if (half_saturation_flops <= 0.0)
+        fatal("SmUtilizationModel: half_saturation_flops must be positive");
+}
+
+double
+SmUtilizationModel::utilization(double flops) const
+{
+    if (flops <= 0.0)
+        return maxUtil_; // Degenerate layer: treat as fully efficient.
+    return maxUtil_ * flops / (flops + halfSaturationFlops_);
+}
+
+} // namespace madmax

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Batch-size-dependent SM utilization. For the ViT validation (Fig. 8)
+ * the paper states: "We model SM utilization as a function of GPU local
+ * batch size and model layer FLOPs requirements." Small per-device work
+ * cannot fill the SMs, so utilization ramps with the per-invocation
+ * FLOP count and saturates at the device's big-GEMM ceiling.
+ */
+
+#ifndef MADMAX_HW_UTILIZATION_HH
+#define MADMAX_HW_UTILIZATION_HH
+
+namespace madmax
+{
+
+/**
+ * Saturating utilization curve:
+ *   util(f) = maxUtil * f / (f + halfSaturationFlops)
+ * where f is the per-device FLOPs of one layer invocation (layer FLOPs
+ * per sample x local batch). A layer with f == halfSaturationFlops runs
+ * at half the ceiling; f -> infinity approaches the ceiling.
+ */
+class SmUtilizationModel
+{
+  public:
+    /**
+     * @param max_util Asymptotic utilization in (0, 1].
+     * @param half_saturation_flops FLOPs at which util is max_util/2;
+     *        must be positive.
+     */
+    SmUtilizationModel(double max_util, double half_saturation_flops);
+
+    /** Utilization in (0, max_util] for a layer of @p flops work. */
+    double utilization(double flops) const;
+
+    double maxUtil() const { return maxUtil_; }
+    double halfSaturationFlops() const { return halfSaturationFlops_; }
+
+  private:
+    double maxUtil_;
+    double halfSaturationFlops_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_HW_UTILIZATION_HH

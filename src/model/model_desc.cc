@@ -1,0 +1,29 @@
+#include "model/model_desc.hh"
+
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+double
+ModelDesc::forwardFlopsPerToken() const
+{
+    return graph.totals().forwardFlopsPerSample /
+        static_cast<double>(contextLength);
+}
+
+void
+ModelDesc::validate() const
+{
+    if (graph.empty())
+        fatal(strfmt("model '%s': empty layer graph", name.c_str()));
+    if (globalBatchSize < 1)
+        fatal(strfmt("model '%s': globalBatchSize must be >= 1",
+                     name.c_str()));
+    if (contextLength < 1)
+        fatal(strfmt("model '%s': contextLength must be >= 1",
+                     name.c_str()));
+}
+
+} // namespace madmax

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dependency graph of layers with an explicit forward execution order
+ * (§IV-C "Specifying Explicit Execution Order"). Node indices double
+ * as execution priority; edges record data dependencies that the
+ * stream builder turns into blocking relationships (e.g. the DLRM
+ * interaction layer depends on both the embedding All2All and the
+ * bottom MLP).
+ */
+
+#ifndef MADMAX_MODEL_MODEL_GRAPH_HH
+#define MADMAX_MODEL_MODEL_GRAPH_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "model/layer.hh"
+
+namespace madmax
+{
+
+/** Aggregate model-level characteristics (drives Table II / Fig. 3). */
+struct ModelTotals
+{
+    double paramCount = 0.0;
+    double forwardFlopsPerSample = 0.0;
+    double lookupBytesPerSample = 0.0;
+    std::map<LayerClass, double> paramsByClass;
+};
+
+/**
+ * An ordered DAG of layers. Construction order defines forward
+ * execution order; the backward pass is the reverse.
+ */
+class ModelGraph
+{
+  public:
+    ModelGraph() = default;
+
+    // Graphs own their layers; deep-copy on copy.
+    ModelGraph(const ModelGraph &other);
+    ModelGraph &operator=(const ModelGraph &other);
+    ModelGraph(ModelGraph &&) noexcept = default;
+    ModelGraph &operator=(ModelGraph &&) noexcept = default;
+
+    /**
+     * Append a layer.
+     *
+     * @param layer The layer block (ownership transferred).
+     * @param deps Indices of layers whose *outputs* this layer
+     *        consumes. Must all be < the new layer's index. An empty
+     *        list marks a graph input (e.g. both the embedding bag and
+     *        the bottom MLP in a DLRM).
+     * @return The new layer's index.
+     */
+    int addLayer(std::unique_ptr<Layer> layer, std::vector<int> deps = {});
+
+    int numLayers() const { return static_cast<int>(nodes_.size()); }
+    bool empty() const { return nodes_.empty(); }
+
+    const Layer &layer(int idx) const;
+    const std::vector<int> &deps(int idx) const;
+
+    /** Indices of layers consuming layer @p idx's output. */
+    std::vector<int> consumers(int idx) const;
+
+    /** Sum up model-level characteristics across all layers. */
+    ModelTotals totals() const;
+
+    /** All layers of a given strategy class. */
+    std::vector<int> layersOfClass(LayerClass cls) const;
+
+    /** True if any layer belongs to @p cls. */
+    bool hasClass(LayerClass cls) const;
+
+  private:
+    struct Node
+    {
+        std::unique_ptr<Layer> layer;
+        std::vector<int> deps;
+    };
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_MODEL_MODEL_GRAPH_HH

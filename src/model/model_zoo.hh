@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Model zoo: the suite of large ML models evaluated in the paper
+ * (Table II) plus the ViT family used for validation (Fig. 8).
+ *
+ * Internal geometries of the production DLRMs are proprietary; the
+ * geometries here are chosen so that each model's *aggregate*
+ * characteristics — parameter count, forward FLOPs per sample/token,
+ * sparse-lookup bytes per sample — match the published Table II values
+ * (see tests/model/test_model_zoo.cc for the tolerance checks).
+ */
+
+#ifndef MADMAX_MODEL_MODEL_ZOO_HH
+#define MADMAX_MODEL_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "model/model_desc.hh"
+
+namespace madmax::model_zoo
+{
+
+/** @name Recommendation models (Table II, left half) */
+/// @{
+ModelDesc dlrmA();            ///< 793B params, 638M FLOPs/sample.
+ModelDesc dlrmATransformer(); ///< 795B params, 2.6B FLOPs/sample, seq 80.
+ModelDesc dlrmAMoe();         ///< 957M FLOPs/sample, 16 experts (2 active).
+ModelDesc dlrmB();            ///< 332B params, 60M FLOPs/sample.
+ModelDesc dlrmBTransformer(); ///< 333B params, 2.1B FLOPs/sample.
+ModelDesc dlrmBMoe();         ///< 90M FLOPs/sample.
+/// @}
+
+/** @name LLMs (Table II, right half) */
+/// @{
+ModelDesc gpt3();      ///< 175B params, 350B FLOPs/token, ctx 2048.
+ModelDesc llama65b();  ///< 65.2B params, 130.4B FLOPs/token, ctx 2048.
+ModelDesc llama2_70b();///< 70B params (GQA), 140B FLOPs/token, ctx 4096.
+
+/**
+ * LLaMA2-70B architecture with a custom context length (Fig. 15's 8K
+ * point doubles the base context while holding the architecture).
+ */
+ModelDesc llama2WithContext(long context_length);
+
+ModelDesc llmMoe();    ///< Hypothetical 1.8T params, 16-way MoE, ctx 8192.
+/// @}
+
+/** ViT sizes for the Fig. 8 validation study. */
+enum class VitSize
+{
+    L,     ///< ~0.3B params.
+    H,     ///< ~0.6B.
+    G,     ///< ~1.8B.
+    B22,   ///< ~22B.
+    B120,  ///< ~120B.
+};
+
+/**
+ * Vision Transformer on 224x224 images with 16x16 patches (197-token
+ * sequences).
+ *
+ * @param size Model scale.
+ * @param global_batch Global batch size (paper uses 2K or 4K).
+ */
+ModelDesc vit(VitSize size, long global_batch);
+
+std::string toString(VitSize size);
+
+/** All ten Table II models in paper column order (for Fig. 10). */
+std::vector<ModelDesc> tableIISuite();
+
+} // namespace madmax::model_zoo
+
+#endif // MADMAX_MODEL_MODEL_ZOO_HH

@@ -1,0 +1,61 @@
+#include "parallel/sharding.hh"
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+ShardingInfo
+shardingFor(HierStrategy hs, const ClusterSpec &cluster)
+{
+    const int d = cluster.devicesPerNode;
+    const int m = cluster.numNodes;
+    const int n = cluster.numDevices();
+
+    if (hs.intra == Strategy::None)
+        fatal("shardingFor: intra strategy must be set");
+
+    ShardingInfo info;
+
+    if (hs.isGlobal()) {
+        // One-level plan across all n devices.
+        if (shardsParams(hs.intra))
+            info.paramFraction = 1.0 / n;
+        if (splitsData(hs.intra))
+            info.dataParallelWays = n;
+        if (hs.intra == Strategy::FSDP)
+            info.transientParamFraction = 1.0 - info.paramFraction;
+        return info;
+    }
+
+    // (FSDP, FSDP) is just global FSDP with extra steps.
+    if (hs.intra == Strategy::FSDP && hs.inter == Strategy::FSDP)
+        return shardingFor(HierStrategy{Strategy::FSDP}, cluster);
+
+    double fraction = 1.0;
+    int dp = 1;
+    if (shardsParams(hs.intra))
+        fraction /= d;
+    if (splitsData(hs.intra))
+        dp *= d;
+    if (shardsParams(hs.inter))
+        fraction /= m;
+    if (splitsData(hs.inter))
+        dp *= m;
+
+    info.paramFraction = fraction;
+    info.dataParallelWays = dp;
+    if (hs.intra == Strategy::FSDP || hs.inter == Strategy::FSDP) {
+        // The in-flight layer is gathered up to the residency implied
+        // by the non-FSDP level alone.
+        double gathered = 1.0;
+        if (hs.intra != Strategy::FSDP && shardsParams(hs.intra))
+            gathered /= d;
+        if (hs.inter != Strategy::FSDP && shardsParams(hs.inter))
+            gathered /= m;
+        info.transientParamFraction = gathered - fraction;
+    }
+    return info;
+}
+
+} // namespace madmax

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sharding math: what fraction of a layer's parameters, gradients and
+ * optimizer states each device persistently stores under a
+ * hierarchical strategy, how many ways the batch is split, and the
+ * transient working-set peaks (FSDP's temporarily-gathered layer).
+ */
+
+#ifndef MADMAX_PARALLEL_SHARDING_HH
+#define MADMAX_PARALLEL_SHARDING_HH
+
+#include "hw/cluster.hh"
+#include "parallel/strategy.hh"
+
+namespace madmax
+{
+
+/** Per-device storage/work factors for one layer under one strategy. */
+struct ShardingInfo
+{
+    /**
+     * Fraction of the layer's parameter elements stored per device
+     * (gradients and optimizer states follow the same residency).
+     */
+    double paramFraction = 1.0;
+
+    /**
+     * Ways the global batch is split for this layer: each device
+     * processes globalBatch / dataParallelWays samples (TP/MP levels
+     * process shared samples cooperatively, so they do not multiply).
+     */
+    int dataParallelWays = 1;
+
+    /**
+     * Fraction of the layer's parameters transiently materialized on
+     * top of the persistent shard (FSDP gathers a full copy of the
+     * in-flight layer).
+     */
+    double transientParamFraction = 0.0;
+};
+
+/**
+ * Compute sharding for @p hs on a cluster of shape @p cluster.
+ *
+ * Composition rules: a level running DDP stores a full copy at that
+ * level and splits data; FSDP shards storage *and* splits data; TP
+ * shards storage but processes shared data cooperatively; MP shards
+ * storage with globally-shared data (embedding tables / experts).
+ * (FSDP, FSDP) collapses to global FSDP.
+ */
+ShardingInfo shardingFor(HierStrategy hs, const ClusterSpec &cluster);
+
+} // namespace madmax
+
+#endif // MADMAX_PARALLEL_SHARDING_HH

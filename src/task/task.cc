@@ -1,0 +1,118 @@
+#include "task/task.hh"
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+std::string
+toString(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::PreTraining: return "pre-training";
+      case TaskKind::FineTuning: return "fine-tuning";
+      case TaskKind::Inference: return "inference";
+    }
+    panic("toString: unknown TaskKind");
+}
+
+std::string
+toString(FineTuneScope scope)
+{
+    switch (scope) {
+      case FineTuneScope::DenseOnly: return "dense-only";
+      case FineTuneScope::EmbeddingOnly: return "embedding-only";
+    }
+    panic("toString: unknown FineTuneScope");
+}
+
+TaskSpec
+TaskSpec::preTraining()
+{
+    return TaskSpec{TaskKind::PreTraining, FineTuneScope::DenseOnly};
+}
+
+TaskSpec
+TaskSpec::inference()
+{
+    return TaskSpec{TaskKind::Inference, FineTuneScope::DenseOnly};
+}
+
+TaskSpec
+TaskSpec::fineTuning(FineTuneScope scope)
+{
+    return TaskSpec{TaskKind::FineTuning, scope};
+}
+
+namespace
+{
+
+bool
+isEmbeddingClass(LayerClass cls)
+{
+    return cls == LayerClass::SparseEmbedding ||
+        cls == LayerClass::DenseEmbedding;
+}
+
+} // namespace
+
+bool
+TaskSpec::isTrainable(LayerClass cls) const
+{
+    switch (kind) {
+      case TaskKind::PreTraining:
+        return true;
+      case TaskKind::Inference:
+        return false;
+      case TaskKind::FineTuning:
+        return ftScope == FineTuneScope::EmbeddingOnly
+            ? isEmbeddingClass(cls)
+            : !isEmbeddingClass(cls);
+    }
+    panic("isTrainable: unknown TaskKind");
+}
+
+double
+TaskSpec::backwardFlopsMultiplier(LayerClass cls) const
+{
+    if (!needsBackward())
+        return 0.0;
+    // Trainable layers compute both input and weight gradients (~2x
+    // forward); frozen layers on the gradient path only propagate
+    // input gradients (~1x forward).
+    return isTrainable(cls) ? 2.0 : 1.0;
+}
+
+double
+TaskSpec::gradBytesPerParam(LayerClass cls) const
+{
+    if (!isTrainable(cls))
+        return 0.0;
+    if (cls == LayerClass::SparseEmbedding)
+        return 0.0; // Row-sparse gradients; not a dense resident buffer.
+    return 4.0;     // fp32 gradient accumulator.
+}
+
+double
+TaskSpec::optimizerBytesPerParam(LayerClass cls) const
+{
+    if (!isTrainable(cls))
+        return 0.0;
+    if (cls == LayerClass::SparseEmbedding) {
+        // Row-wise adagrad: one fp32 scalar per row. Rows are >= 64
+        // elements wide in practice; ~0.06 B/param, call it 0.1.
+        return 0.1;
+    }
+    return 8.0;     // Adam: fp32 momentum + variance.
+}
+
+std::string
+TaskSpec::toString() const
+{
+    std::string s = madmax::toString(kind);
+    if (kind == TaskKind::FineTuning)
+        s += " (" + madmax::toString(ftScope) + ")";
+    return s;
+}
+
+} // namespace madmax

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Task semantics (§II-A): pre-training exercises forward + backward
+ * passes with full optimizer state; fine-tuning freezes a subset of
+ * layers, eliding their weight-gradient compute, gradient
+ * communication, and optimizer state; inference is forward-only.
+ */
+
+#ifndef MADMAX_TASK_TASK_HH
+#define MADMAX_TASK_TASK_HH
+
+#include <string>
+
+#include "model/layer.hh"
+
+namespace madmax
+{
+
+enum class TaskKind
+{
+    PreTraining,
+    FineTuning,
+    Inference,
+};
+
+/** Which layer classes stay trainable during fine-tuning (Fig. 14). */
+enum class FineTuneScope
+{
+    DenseOnly,      ///< Tune MLP/transformer layers; freeze embeddings.
+    EmbeddingOnly,  ///< Tune embedding tables; freeze dense layers.
+};
+
+std::string toString(TaskKind kind);
+std::string toString(FineTuneScope scope);
+
+/**
+ * A task description. Pure value type; all queries are per layer
+ * class so the planner and memory model can treat frozen and
+ * trainable layers differently.
+ */
+struct TaskSpec
+{
+    TaskKind kind = TaskKind::PreTraining;
+    FineTuneScope ftScope = FineTuneScope::DenseOnly;
+
+    /** Convenience factories. */
+    static TaskSpec preTraining();
+    static TaskSpec inference();
+    static TaskSpec fineTuning(FineTuneScope scope);
+
+    /** True if any backward pass runs at all. */
+    bool needsBackward() const { return kind != TaskKind::Inference; }
+
+    /** True if layers of @p cls receive weight updates. */
+    bool isTrainable(LayerClass cls) const;
+
+    /**
+     * Backward-pass FLOPs as a multiple of forward FLOPs for a layer
+     * of @p cls: 2x when trainable (input + weight gradients), 1x when
+     * frozen but on the gradient path (input gradients only), 0 for
+     * inference.
+     */
+    double backwardFlopsMultiplier(LayerClass cls) const;
+
+    /**
+     * Gradient bytes per parameter held in device memory (0 when the
+     * class is frozen or running inference; sparse embedding gradients
+     * are row-sparse and folded into the activation working set).
+     */
+    double gradBytesPerParam(LayerClass cls) const;
+
+    /**
+     * Optimizer-state bytes per parameter: Adam for dense layers
+     * (fp32 momentum + variance), row-wise adagrad for sparse
+     * embedding tables (one fp32 scalar per row, amortized to ~0 per
+     * element).
+     */
+    double optimizerBytesPerParam(LayerClass cls) const;
+
+    /** True if forward activations must be retained for backward. */
+    bool retainsActivations() const { return needsBackward(); }
+
+    std::string toString() const;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_TASK_TASK_HH

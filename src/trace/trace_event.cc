@@ -1,0 +1,34 @@
+#include "trace/trace_event.hh"
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+std::string
+toString(StreamKind kind)
+{
+    switch (kind) {
+      case StreamKind::Compute: return "compute";
+      case StreamKind::Communication: return "communication";
+    }
+    panic("toString: unknown StreamKind");
+}
+
+std::string
+toString(EventCategory cat)
+{
+    switch (cat) {
+      case EventCategory::EmbeddingLookup: return "EmbLookup";
+      case EventCategory::Gemm: return "GEMM";
+      case EventCategory::AllReduce: return "AllReduce";
+      case EventCategory::AllGather: return "AllGather";
+      case EventCategory::ReduceScatter: return "ReduceScatter";
+      case EventCategory::All2All: return "All2All";
+      case EventCategory::Memcpy: return "Memcpy";
+      case EventCategory::Other: return "Other";
+    }
+    panic("toString: unknown EventCategory");
+}
+
+} // namespace madmax

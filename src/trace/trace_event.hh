@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Execution-trace data structures (§IV-A): "a detailed record
+ * capturing the sequence and duration of both compute and
+ * communication events (i.e., streams) on each device."
+ *
+ * A per-device iteration is a DAG of TraceEvents partitioned into a
+ * compute stream and a communication stream. Events within a stream
+ * execute in issue order; cross-stream edges come from data
+ * dependencies. The scheduler (core/overlap_simulator) turns the DAG
+ * into a Timeline with start/finish times and overlap accounting.
+ */
+
+#ifndef MADMAX_TRACE_TRACE_EVENT_HH
+#define MADMAX_TRACE_TRACE_EVENT_HH
+
+#include <string>
+#include <vector>
+
+namespace madmax
+{
+
+/** Which per-device stream an event occupies. */
+enum class StreamKind
+{
+    Compute,
+    Communication,
+};
+
+/** Cost category for the Fig. 20-style execution breakdowns. */
+enum class EventCategory
+{
+    EmbeddingLookup,
+    Gemm,            ///< Dense compute (MLP / attention / FFN).
+    AllReduce,
+    AllGather,
+    ReduceScatter,
+    All2All,
+    Memcpy,          ///< Host-device transfers (fleet model only).
+    Other,
+};
+
+std::string toString(StreamKind kind);
+std::string toString(EventCategory cat);
+
+/** One block on a stream. */
+struct TraceEvent
+{
+    int id = -1;
+    std::string name;
+    StreamKind stream = StreamKind::Compute;
+    EventCategory category = EventCategory::Other;
+    double duration = 0.0;     ///< Seconds.
+    std::vector<int> deps;     ///< Event ids that must finish first.
+
+    /**
+     * Non-blocking communication (e.g. DDP gradient AllReduce) is off
+     * every compute event's dependency list; only the iteration-end
+     * barrier waits for it.
+     */
+    bool blocking = true;
+
+    int layerIdx = -1;         ///< Originating layer (-1 for barriers).
+    bool backward = false;     ///< Phase tag for reporting.
+};
+
+/** An event with its scheduled interval. */
+struct ScheduledEvent
+{
+    TraceEvent event;
+    double start = 0.0;
+    double finish = 0.0;
+};
+
+/**
+ * A fully scheduled per-device iteration: every event with start and
+ * finish times, plus the aggregate accounting the reports need.
+ */
+struct Timeline
+{
+    std::vector<ScheduledEvent> events;
+
+    double makespan = 0.0;       ///< End-to-end iteration seconds.
+    double computeBusy = 0.0;    ///< Sum of compute durations.
+    double commBusy = 0.0;       ///< Sum of communication durations.
+    double exposedComm = 0.0;    ///< Comm time with idle compute stream.
+
+    /** Comm time hidden behind concurrent compute. */
+    double overlappedComm() const { return commBusy - exposedComm; }
+
+    /** Fraction of communication hidden behind compute, in [0, 1]. */
+    double overlapFraction() const
+    {
+        return commBusy > 0.0 ? overlappedComm() / commBusy : 0.0;
+    }
+
+    /** Serialized execution time (no overlap): compute + comm. */
+    double serialized() const { return computeBusy + commBusy; }
+};
+
+} // namespace madmax
+
+#endif // MADMAX_TRACE_TRACE_EVENT_HH

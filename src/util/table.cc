@@ -1,0 +1,90 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("AsciiTable requires at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("AsciiTable row width mismatch");
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+AsciiTable::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const Row &row : rows_) {
+        if (row.separator)
+            continue;
+        for (size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto print_rule = [&]() {
+        os << '+';
+        for (size_t w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c]
+               << std::string(widths[c] - cells[c].size() + 1, ' ') << '|';
+        }
+        os << '\n';
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const Row &row : rows_) {
+        if (row.separator)
+            print_rule();
+        else
+            print_cells(row.cells);
+    }
+    print_rule();
+}
+
+std::string
+AsciiTable::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+asciiBar(double value, double max_value, int width)
+{
+    if (max_value <= 0.0 || value < 0.0)
+        return {};
+    int n = static_cast<int>(value / max_value * width + 0.5);
+    n = std::clamp(n, 0, width);
+    return std::string(static_cast<size_t>(n), '#');
+}
+
+} // namespace madmax

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ASCII table printer used by the bench harnesses to regenerate the
+ * paper's tables and figure series in a terminal-friendly layout.
+ */
+
+#ifndef MADMAX_UTIL_TABLE_HH
+#define MADMAX_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace madmax
+{
+
+/**
+ * Accumulates rows of strings and renders them with aligned columns.
+ * The first added row is treated as the header.
+ */
+class AsciiTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+    size_t numRows() const { return rows_.size(); }
+    size_t numColumns() const { return headers_.size(); }
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+/**
+ * Render a one-line horizontal bar of width proportional to
+ * value/max_value (used for figure-style bench output).
+ */
+std::string asciiBar(double value, double max_value, int width = 40);
+
+} // namespace madmax
+
+#endif // MADMAX_UTIL_TABLE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit helpers for the quantities MAD-Max juggles: bytes, bandwidths,
+ * FLOPs and times. All internal computation is done in SI base units
+ * (bytes, bytes/second, FLOP/second, seconds); these helpers exist so
+ * that configuration code reads like the datasheets it transcribes
+ * (e.g. Table III/IV of the paper).
+ *
+ * Capacities use binary prefixes (a "40 GB" HBM stack is 40 GiB);
+ * bandwidths and FLOP rates use decimal prefixes, matching vendor
+ * datasheets.
+ */
+
+#ifndef MADMAX_UTIL_UNITS_HH
+#define MADMAX_UTIL_UNITS_HH
+
+namespace madmax::units
+{
+
+// --- Capacity (binary, bytes) -------------------------------------------
+constexpr double KiB = 1024.0;
+constexpr double MiB = 1024.0 * KiB;
+constexpr double GiB = 1024.0 * MiB;
+constexpr double TiB = 1024.0 * GiB;
+
+/** Capacity literal helpers: gib(40) == 40 GiB in bytes. */
+constexpr double kib(double v) { return v * KiB; }
+constexpr double mib(double v) { return v * MiB; }
+constexpr double gib(double v) { return v * GiB; }
+constexpr double tib(double v) { return v * TiB; }
+
+// --- Decimal sizes (bytes) ----------------------------------------------
+constexpr double KB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+constexpr double TB = 1e12;
+
+constexpr double kb(double v) { return v * KB; }
+constexpr double mb(double v) { return v * MB; }
+constexpr double gb(double v) { return v * GB; }
+constexpr double tb(double v) { return v * TB; }
+
+// --- Bandwidth (bytes/second, decimal) ----------------------------------
+constexpr double kbps(double v) { return v * 1e3 / 8.0; }
+constexpr double mbps(double v) { return v * 1e6 / 8.0; }
+constexpr double gbps(double v) { return v * 1e9 / 8.0; }
+constexpr double tbps(double v) { return v * 1e12 / 8.0; }
+
+constexpr double kBps(double v) { return v * 1e3; }
+constexpr double mBps(double v) { return v * 1e6; }
+constexpr double gBps(double v) { return v * 1e9; }
+constexpr double tBps(double v) { return v * 1e12; }
+constexpr double pBps(double v) { return v * 1e15; }
+
+// --- Compute (FLOP/second, decimal) --------------------------------------
+constexpr double gflops(double v) { return v * 1e9; }
+constexpr double tflops(double v) { return v * 1e12; }
+constexpr double pflops(double v) { return v * 1e15; }
+
+// --- Time (seconds) -------------------------------------------------------
+constexpr double usec(double v) { return v * 1e-6; }
+constexpr double msec(double v) { return v * 1e-3; }
+constexpr double sec(double v) { return v; }
+constexpr double minutes(double v) { return v * 60.0; }
+constexpr double hours(double v) { return v * 3600.0; }
+constexpr double days(double v) { return v * 86400.0; }
+
+constexpr double toMsec(double seconds) { return seconds * 1e3; }
+constexpr double toUsec(double seconds) { return seconds * 1e6; }
+constexpr double toHours(double seconds) { return seconds / 3600.0; }
+constexpr double toDays(double seconds) { return seconds / 86400.0; }
+
+// --- Counts ----------------------------------------------------------------
+constexpr double kilo(double v) { return v * 1e3; }
+constexpr double million(double v) { return v * 1e6; }
+constexpr double billion(double v) { return v * 1e9; }
+constexpr double trillion(double v) { return v * 1e12; }
+
+} // namespace madmax::units
+
+#endif // MADMAX_UTIL_UNITS_HH

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "config/config_loader.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+TEST(ConfigLoader, ParseStrategyNotation)
+{
+    EXPECT_EQ(parseStrategy("(TP, DDP)"),
+              (HierStrategy{Strategy::TP, Strategy::DDP}));
+    EXPECT_EQ(parseStrategy("(FSDP)"), HierStrategy{Strategy::FSDP});
+    EXPECT_EQ(parseStrategy("mp"), HierStrategy{Strategy::MP});
+    EXPECT_EQ(parseStrategy("( ddp , tp )"),
+              (HierStrategy{Strategy::DDP, Strategy::TP}));
+    EXPECT_THROW(parseStrategy("(XYZ)"), ConfigError);
+    EXPECT_THROW(parseStrategy(""), ConfigError);
+}
+
+TEST(ConfigLoader, ZooModelByName)
+{
+    JsonValue j = JsonValue::parse(R"json({"type":"zoo","name":"dlrm-a"})json");
+    ModelDesc m = loadModel(j);
+    EXPECT_EQ(m.name, "DLRM-A");
+    EXPECT_EQ(m.globalBatchSize, 65536);
+
+    JsonValue g = JsonValue::parse(R"json({"type":"zoo","name":"GPT-3"})json");
+    EXPECT_EQ(loadModel(g).name, "GPT-3");
+
+    JsonValue bad = JsonValue::parse(R"json({"type":"zoo","name":"nope"})json");
+    EXPECT_THROW(loadModel(bad), ConfigError);
+}
+
+TEST(ConfigLoader, CustomDlrmFromJson)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "type": "dlrm",
+        "name": "my-dlrm",
+        "global_batch": 8192,
+        "embedding": {"tables": 100, "rows_per_table": 1000000,
+                      "dim": 64, "pooling": 10},
+        "bottom_mlp": [256, 512, 64],
+        "top_mlp": [512, 1024, 1]
+    })json");
+    ModelDesc m = loadModel(j);
+    EXPECT_EQ(m.name, "my-dlrm");
+    EXPECT_TRUE(m.isRecommendation);
+    EXPECT_EQ(m.graph.numLayers(), 4); // emb, bottom, interact, top.
+    EXPECT_NEAR(m.graph.totals().paramCount, 100.0 * 1000000 * 64,
+                1e6); // Embedding dominates.
+    EXPECT_EQ(m.graph.layer(2).kind(), LayerKind::Interaction);
+}
+
+TEST(ConfigLoader, CustomDlrmWithTransformerAndMoe)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "type": "dlrm",
+        "global_batch": 8192,
+        "embedding": {"tables": 10, "rows_per_table": 1000,
+                      "dim": 64, "pooling": 2},
+        "bottom_mlp": [64, 64],
+        "transformer": {"layers": 2, "hidden": 128, "heads": 4,
+                        "seq": 16, "ffn": 512},
+        "moe": {"experts": 8, "active": 2, "ffn": 256},
+        "top_mlp": [128, 1]
+    })json");
+    ModelDesc m = loadModel(j);
+    EXPECT_TRUE(m.graph.hasClass(LayerClass::Transformer));
+    EXPECT_TRUE(m.graph.hasClass(LayerClass::MoE));
+    EXPECT_TRUE(m.graph.hasClass(LayerClass::SparseEmbedding));
+}
+
+TEST(ConfigLoader, CustomLlmFromJson)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "type": "llm",
+        "name": "tiny-llm",
+        "global_batch": 64,
+        "context": 1024,
+        "vocab": 32000,
+        "hidden": 1024,
+        "layers": 4,
+        "heads": 16,
+        "ffn": 4096,
+        "ffn_matrices": 3,
+        "kv_heads": 4,
+        "embedding_tie_factor": 2
+    })json");
+    ModelDesc m = loadModel(j);
+    EXPECT_EQ(m.contextLength, 1024);
+    EXPECT_FALSE(m.isRecommendation);
+    // 1 embedding + 4 x (attn + ffn).
+    EXPECT_EQ(m.graph.numLayers(), 9);
+    EXPECT_EQ(m.computeDtype, DataType::BF16);
+}
+
+TEST(ConfigLoader, LlmMoeVariant)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "type": "llm", "global_batch": 64, "context": 128,
+        "vocab": 1000, "hidden": 256, "layers": 2, "heads": 4,
+        "ffn": 1024, "moe": {"experts": 4, "active": 1}
+    })json");
+    ModelDesc m = loadModel(j);
+    EXPECT_TRUE(m.graph.hasClass(LayerClass::MoE));
+    EXPECT_FALSE(m.graph.hasClass(LayerClass::Transformer) &&
+                 m.graph.layersOfClass(LayerClass::Transformer).empty());
+}
+
+TEST(ConfigLoader, UnknownModelTypeIsFatal)
+{
+    JsonValue j = JsonValue::parse(R"json({"type":"cnn"})json");
+    EXPECT_THROW(loadModel(j), ConfigError);
+}
+
+TEST(ConfigLoader, ClusterFromJson)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "name": "test-cluster",
+        "device": {"name": "A100", "peak_tflops_16": 312,
+                   "peak_tflops_tf32": 156, "hbm_gib": 40,
+                   "hbm_gbps": 1600, "intra_node_gbps": 300,
+                   "inter_node_gbps": 25},
+        "devices_per_node": 8,
+        "num_nodes": 16,
+        "inter_fabric": "roce",
+        "compute_utilization": 0.7
+    })json");
+    ClusterSpec c = loadCluster(j);
+    EXPECT_EQ(c.numDevices(), 128);
+    EXPECT_EQ(c.interFabric, FabricKind::RoCE);
+    EXPECT_DOUBLE_EQ(c.device.peakFlopsTensor16, 312e12);
+    EXPECT_DOUBLE_EQ(c.device.hbmBandwidth, 1600e9);
+    EXPECT_DOUBLE_EQ(c.util.compute, 0.7);
+    // Unspecified utilizations take defaults.
+    EXPECT_DOUBLE_EQ(c.util.hbm, 0.80);
+}
+
+TEST(ConfigLoader, ClusterRoundTripsThroughJson)
+{
+    ClusterSpec original = hw_zoo::dlrmTrainingSystem();
+    JsonValue j = toJson(original);
+    ClusterSpec back = loadCluster(j);
+    EXPECT_EQ(back.name, original.name);
+    EXPECT_EQ(back.numDevices(), original.numDevices());
+    EXPECT_NEAR(back.device.peakFlopsTensor16,
+                original.device.peakFlopsTensor16, 1e6);
+    EXPECT_NEAR(back.device.hbmCapacity, original.device.hbmCapacity,
+                1e6);
+    EXPECT_EQ(back.interFabric, original.interFabric);
+    EXPECT_DOUBLE_EQ(back.util.interLink, original.util.interLink);
+}
+
+TEST(ConfigLoader, TaskFromJson)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "task": "pre-training",
+        "strategies": {
+            "embedding": "(MP)",
+            "base_dense": "(TP, DDP)",
+            "transformer": "(FSDP)"
+        },
+        "fsdp_prefetch": true
+    })json");
+    TaskConfig cfg = loadTask(j);
+    EXPECT_EQ(cfg.task.kind, TaskKind::PreTraining);
+    EXPECT_EQ(cfg.plan.strategyFor(LayerClass::BaseDense),
+              (HierStrategy{Strategy::TP, Strategy::DDP}));
+    EXPECT_EQ(cfg.plan.strategyFor(LayerClass::SparseEmbedding),
+              HierStrategy{Strategy::MP});
+    EXPECT_TRUE(cfg.plan.fsdpPrefetch);
+}
+
+TEST(ConfigLoader, TaskDefaultsToFsdpBaseline)
+{
+    JsonValue j = JsonValue::parse(R"json({"task": "inference"})json");
+    TaskConfig cfg = loadTask(j);
+    EXPECT_EQ(cfg.task.kind, TaskKind::Inference);
+    EXPECT_EQ(cfg.plan.strategyFor(LayerClass::Transformer),
+              HierStrategy{Strategy::FSDP});
+}
+
+TEST(ConfigLoader, FineTuneScopes)
+{
+    JsonValue dense = JsonValue::parse(
+        R"json({"task": "fine-tuning", "finetune_scope": "dense"})json");
+    EXPECT_EQ(loadTask(dense).task.ftScope, FineTuneScope::DenseOnly);
+    JsonValue emb = JsonValue::parse(
+        R"json({"task": "fine-tuning", "finetune_scope": "embedding"})json");
+    EXPECT_EQ(loadTask(emb).task.ftScope, FineTuneScope::EmbeddingOnly);
+    JsonValue bad = JsonValue::parse(R"json({"task": "dreaming"})json");
+    EXPECT_THROW(loadTask(bad), ConfigError);
+}
+
+TEST(ConfigLoader, TaskRoundTrip)
+{
+    TaskConfig cfg;
+    cfg.task = TaskSpec::fineTuning(FineTuneScope::EmbeddingOnly);
+    cfg.plan.set(LayerClass::BaseDense,
+                 HierStrategy{Strategy::DDP, Strategy::FSDP});
+    cfg.plan.fsdpPrefetch = true;
+    TaskConfig back = loadTask(toJson(cfg));
+    EXPECT_EQ(back.task.kind, TaskKind::FineTuning);
+    EXPECT_EQ(back.task.ftScope, FineTuneScope::EmbeddingOnly);
+    EXPECT_EQ(back.plan.strategyFor(LayerClass::BaseDense),
+              (HierStrategy{Strategy::DDP, Strategy::FSDP}));
+    EXPECT_TRUE(back.plan.fsdpPrefetch);
+}
+
+TEST(ConfigLoader, ShippedConfigsLoad)
+{
+    // The configs/ directory ships working examples; paths are
+    // relative to the repository root (ctest runs from build/).
+    ModelDesc m = loadModelFile(std::string(MADMAX_CONFIG_DIR) +
+                                "/model_dlrm_a.json");
+    EXPECT_EQ(m.name, "DLRM-A");
+    ClusterSpec c = loadClusterFile(std::string(MADMAX_CONFIG_DIR) +
+                                    "/system_zionex.json");
+    EXPECT_EQ(c.numDevices(), 128);
+    TaskConfig t = loadTaskFile(std::string(MADMAX_CONFIG_DIR) +
+                                "/task_pretrain_optimal.json");
+    EXPECT_EQ(t.task.kind, TaskKind::PreTraining);
+}
+
+} // namespace madmax

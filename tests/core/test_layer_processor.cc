@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/layer_processor.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/units.hh"
+
+namespace madmax
+{
+
+using namespace units;
+
+namespace
+{
+
+ModelDesc
+tinyModel()
+{
+    ModelDesc m;
+    m.name = "tiny";
+    m.globalBatchSize = 128 * 64; // 64 samples per device on ZionEX.
+    m.contextLength = 1;
+    m.computeDtype = DataType::TF32;
+    m.graph.addLayer(std::make_unique<EmbeddingBagLayer>(
+        "EMB", 100, 1000, 64, 8.0));
+    m.graph.addLayer(std::make_unique<MlpLayer>(
+        "MLP", LayerClass::BaseDense,
+        std::vector<long>{1024, 2048, 1024}));
+    return m;
+}
+
+} // namespace
+
+TEST(LayerProcessor, ComputeBlockFormula)
+{
+    // §IV-B: t = FLOPs / (peak x utilization).
+    ModelDesc m = tinyModel();
+    ClusterSpec c = hw_zoo::dlrmTrainingSystem();
+    LayerProcessor proc(c, m);
+
+    const Layer &mlp = m.graph.layer(1);
+    double device_flops = mlp.forwardFlopsPerSample() * 64.0;
+    double expected =
+        device_flops / (c.device.peakFlopsTf32 * c.util.compute);
+    EXPECT_NEAR(proc.forwardTime(mlp), expected, 1e-12);
+    EXPECT_DOUBLE_EQ(proc.deviceForwardFlops(mlp), device_flops);
+}
+
+TEST(LayerProcessor, EmbeddingBagFormula)
+{
+    // §IV-B: t = lookup bytes / (HBM BW x utilization).
+    ModelDesc m = tinyModel();
+    ClusterSpec c = hw_zoo::dlrmTrainingSystem();
+    LayerProcessor proc(c, m);
+
+    const Layer &emb = m.graph.layer(0);
+    double bytes = emb.lookupBytesPerSample() * 64.0;
+    double expected = bytes / (c.device.hbmBandwidth * c.util.hbm);
+    EXPECT_NEAR(proc.forwardTime(emb), expected, 1e-15);
+    EXPECT_EQ(proc.categoryOf(emb), EventCategory::EmbeddingLookup);
+    EXPECT_EQ(proc.categoryOf(m.graph.layer(1)), EventCategory::Gemm);
+}
+
+TEST(LayerProcessor, BackwardMultipliers)
+{
+    ModelDesc m = tinyModel();
+    ClusterSpec c = hw_zoo::dlrmTrainingSystem();
+    LayerProcessor proc(c, m);
+    const Layer &mlp = m.graph.layer(1);
+    const Layer &emb = m.graph.layer(0);
+
+    double fwd = proc.forwardTime(mlp);
+    // Trainable dense: 2x forward.
+    EXPECT_NEAR(proc.backwardTime(mlp, TaskSpec::preTraining()),
+                2.0 * fwd, 1e-15);
+    // Frozen dense (embedding-only fine-tune): input grads only.
+    EXPECT_NEAR(proc.backwardTime(
+                    mlp, TaskSpec::fineTuning(FineTuneScope::EmbeddingOnly)),
+                fwd, 1e-15);
+    // Inference: none.
+    EXPECT_DOUBLE_EQ(proc.backwardTime(mlp, TaskSpec::inference()), 0.0);
+
+    // Trainable tables re-touch looked-up rows; frozen tables do no
+    // backward work.
+    EXPECT_NEAR(proc.backwardTime(emb, TaskSpec::preTraining()),
+                proc.forwardTime(emb), 1e-15);
+    EXPECT_DOUBLE_EQ(
+        proc.backwardTime(emb,
+                          TaskSpec::fineTuning(FineTuneScope::DenseOnly)),
+        0.0);
+}
+
+TEST(LayerProcessor, DtypeSelectsPeak)
+{
+    // LayerProcessor holds a reference to its ModelDesc, so distinct
+    // dtypes need distinct descriptions.
+    ModelDesc m_tf32 = tinyModel();
+    ModelDesc m_bf16 = tinyModel();
+    m_bf16.computeDtype = DataType::BF16;
+    ClusterSpec c = hw_zoo::dlrmTrainingSystem();
+    LayerProcessor tf32(c, m_tf32);
+    LayerProcessor bf16(c, m_bf16);
+    // BF16 peak is 2x TF32 on A100: half the time.
+    EXPECT_NEAR(bf16.forwardTime(m_bf16.graph.layer(1)) /
+                    tf32.forwardTime(m_tf32.graph.layer(1)),
+                0.5, 1e-9);
+}
+
+TEST(LayerProcessor, SmUtilizationModelDeratesSmallBatches)
+{
+    ModelDesc m = tinyModel();
+    ClusterSpec c = hw_zoo::dlrmTrainingSystem();
+    // Knee far above this layer's work: strong derating.
+    LayerProcessor small(c, m, SmUtilizationModel(0.7, 1e15));
+    LayerProcessor fixed(c, m);
+    EXPECT_GT(small.forwardTime(m.graph.layer(1)),
+              fixed.forwardTime(m.graph.layer(1)));
+
+    // Knee far below: approaches the fixed-utilization time.
+    LayerProcessor big(c, m, SmUtilizationModel(0.7, 1.0));
+    EXPECT_NEAR(big.forwardTime(m.graph.layer(1)) /
+                    fixed.forwardTime(m.graph.layer(1)),
+                1.0, 1e-3);
+}
+
+TEST(LayerProcessor, WorkScalesWithBatchAndInverselyWithDevices)
+{
+    ModelDesc m = tinyModel();
+    ClusterSpec c = hw_zoo::dlrmTrainingSystem();
+    LayerProcessor base(c, m);
+    double t1 = base.forwardTime(m.graph.layer(1));
+
+    ModelDesc doubled = m;
+    doubled.globalBatchSize *= 2;
+    LayerProcessor bigger(c, doubled);
+    EXPECT_NEAR(bigger.forwardTime(doubled.graph.layer(1)) / t1, 2.0,
+                1e-9);
+
+    ClusterSpec half = c.withNumNodes(8);
+    LayerProcessor fewer(half, m);
+    EXPECT_NEAR(fewer.forwardTime(m.graph.layer(1)) / t1, 2.0, 1e-9);
+}
+
+} // namespace madmax

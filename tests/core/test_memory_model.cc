@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "core/memory_model.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace madmax
+{
+
+using namespace units;
+
+TEST(MemoryModel, RejectsBadReserve)
+{
+    EXPECT_THROW(MemoryModel(MemoryModelOptions{1.0, true}), ConfigError);
+    EXPECT_THROW(MemoryModel(MemoryModelOptions{-0.1, true}),
+                 ConfigError);
+}
+
+TEST(MemoryModel, UsableCapacityAppliesReserve)
+{
+    MemoryModel m(MemoryModelOptions{0.30, true});
+    MemoryFootprint fp = m.evaluate(
+        model_zoo::dlrmA(), TaskSpec::preTraining(),
+        ParallelPlan::fsdpBaseline(), hw_zoo::dlrmTrainingSystem());
+    EXPECT_NEAR(fp.usableCapacity, gib(40) * 0.70, 1.0);
+}
+
+TEST(MemoryModel, DlrmShardedTablesDominate)
+{
+    // 793B fp32 params over 128 devices ~ 24.8 GB each.
+    MemoryModel m;
+    MemoryFootprint fp = m.evaluate(
+        model_zoo::dlrmA(), TaskSpec::preTraining(),
+        ParallelPlan::fsdpBaseline(), hw_zoo::dlrmTrainingSystem());
+    EXPECT_NEAR(fp.paramBytes / gb(1), 24.8, 0.6);
+    EXPECT_TRUE(fp.fits());
+}
+
+TEST(MemoryModel, DlrmDdpDenseOverflows40GB)
+{
+    // Insight 1 / Fig. 11: replicating dense params + grads +
+    // optimizer states on top of the table shards exceeds usable HBM.
+    MemoryModel m;
+    ParallelPlan ddp;
+    ddp.set(LayerClass::BaseDense, HierStrategy{Strategy::DDP});
+    MemoryFootprint fp =
+        m.evaluate(model_zoo::dlrmA(), TaskSpec::preTraining(), ddp,
+                   hw_zoo::dlrmTrainingSystem());
+    EXPECT_FALSE(fp.fits());
+    // The same plan fits for inference (Insight 5): params only.
+    MemoryFootprint inf =
+        m.evaluate(model_zoo::dlrmA(), TaskSpec::inference(), ddp,
+                   hw_zoo::dlrmTrainingSystem());
+    EXPECT_TRUE(inf.fits());
+}
+
+TEST(MemoryModel, TpShardingRestoresFit)
+{
+    MemoryModel m;
+    ParallelPlan tp_ddp;
+    tp_ddp.set(LayerClass::BaseDense,
+               HierStrategy{Strategy::TP, Strategy::DDP});
+    MemoryFootprint fp =
+        m.evaluate(model_zoo::dlrmA(), TaskSpec::preTraining(), tp_ddp,
+                   hw_zoo::dlrmTrainingSystem());
+    EXPECT_TRUE(fp.fits());
+}
+
+TEST(MemoryModel, Gpt3IntraNodeShardingInsufficient)
+{
+    // Insight 2: (TP, DDP) on GPT-3 OOMs — 1/8 of 175B params plus
+    // optimizer state cannot fit in 80 GB.
+    MemoryModel m;
+    ParallelPlan plan = ParallelPlan::fsdpBaseline();
+    plan.set(LayerClass::Transformer,
+             HierStrategy{Strategy::TP, Strategy::DDP});
+    MemoryFootprint fp =
+        m.evaluate(model_zoo::gpt3(), TaskSpec::preTraining(), plan,
+                   hw_zoo::llmTrainingSystem());
+    EXPECT_FALSE(fp.fits());
+
+    // Global FSDP fits comfortably.
+    MemoryFootprint fsdp = m.evaluate(
+        model_zoo::gpt3(), TaskSpec::preTraining(),
+        ParallelPlan::fsdpBaseline(), hw_zoo::llmTrainingSystem());
+    EXPECT_TRUE(fsdp.fits());
+}
+
+TEST(MemoryModel, MixedPrecisionAddsMasterWeights)
+{
+    // bf16 params get an fp32 master copy in the optimizer.
+    MemoryModel m;
+    ModelDesc llm = model_zoo::llama65b();
+    MemoryFootprint train = m.evaluate(
+        llm, TaskSpec::preTraining(), ParallelPlan::fsdpBaseline(),
+        hw_zoo::llmTrainingSystem());
+    // Optimizer (8 + 4 master) dwarfs bf16 params (2) at equal
+    // sharding.
+    EXPECT_GT(train.optimizerBytes, 5.0 * train.paramBytes);
+}
+
+TEST(MemoryModel, FsdpTransientIsLargestGatheredLayer)
+{
+    MemoryModel m;
+    ModelDesc llm = model_zoo::llama65b();
+    MemoryFootprint fp = m.evaluate(
+        llm, TaskSpec::preTraining(), ParallelPlan::fsdpBaseline(),
+        hw_zoo::llmTrainingSystem());
+    // Largest layer: SwiGLU FFN, 3 x 8192 x 22016 bf16 params.
+    double largest = 3.0 * 8192 * 22016 * 2.0;
+    EXPECT_NEAR(fp.transientBytes, largest, largest * 0.01);
+}
+
+TEST(MemoryModel, ActivationCheckpointingShrinksFootprint)
+{
+    MemoryModelOptions full;
+    full.checkpointActivations = false;
+    MemoryModelOptions ckpt;
+    ckpt.checkpointActivations = true;
+    ModelDesc llm = model_zoo::gpt3();
+    MemoryFootprint f_full = MemoryModel(full).evaluate(
+        llm, TaskSpec::preTraining(), ParallelPlan::fsdpBaseline(),
+        hw_zoo::llmTrainingSystem());
+    MemoryFootprint f_ckpt = MemoryModel(ckpt).evaluate(
+        llm, TaskSpec::preTraining(), ParallelPlan::fsdpBaseline(),
+        hw_zoo::llmTrainingSystem());
+    EXPECT_GT(f_full.activationBytes, 3.0 * f_ckpt.activationBytes);
+}
+
+TEST(MemoryModel, InferenceUsesSmallWorkingSet)
+{
+    MemoryModel m;
+    MemoryFootprint train = m.evaluate(
+        model_zoo::dlrmA(), TaskSpec::preTraining(),
+        ParallelPlan::fsdpBaseline(), hw_zoo::dlrmTrainingSystem());
+    MemoryFootprint inf = m.evaluate(
+        model_zoo::dlrmA(), TaskSpec::inference(),
+        ParallelPlan::fsdpBaseline(), hw_zoo::dlrmTrainingSystem());
+    EXPECT_LT(inf.activationBytes, train.activationBytes);
+    EXPECT_DOUBLE_EQ(inf.gradBytes, 0.0);
+    EXPECT_DOUBLE_EQ(inf.optimizerBytes, 0.0);
+}
+
+TEST(MemoryModel, MoreCapacityUnlocksPlans)
+{
+    // Fig. 19 mechanism: scaling HBM capacity turns OOM plans valid.
+    MemoryModel m;
+    ParallelPlan ddp;
+    ddp.set(LayerClass::BaseDense, HierStrategy{Strategy::DDP});
+    ClusterSpec base = hw_zoo::dlrmTrainingSystem();
+    EXPECT_FALSE(m.evaluate(model_zoo::dlrmA(), TaskSpec::preTraining(),
+                            ddp, base)
+                     .fits());
+    EXPECT_TRUE(m.evaluate(model_zoo::dlrmA(), TaskSpec::preTraining(),
+                           ddp, base.withHbmCapacityScale(10.0))
+                    .fits());
+}
+
+TEST(MemoryModel, FootprintTotalSumsComponents)
+{
+    MemoryModel m;
+    MemoryFootprint fp = m.evaluate(
+        model_zoo::dlrmA(), TaskSpec::preTraining(),
+        ParallelPlan::fsdpBaseline(), hw_zoo::dlrmTrainingSystem());
+    EXPECT_NEAR(fp.total(),
+                fp.paramBytes + fp.gradBytes + fp.optimizerBytes +
+                    fp.activationBytes + fp.transientBytes,
+                1.0);
+}
+
+} // namespace madmax

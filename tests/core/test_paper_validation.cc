@@ -1,0 +1,269 @@
+/**
+ * @file
+ * End-to-end validation against the paper's published numbers
+ * (Table I and the numbered Insights of §VI). Tolerances are looser
+ * than unit-test tolerances: the paper's own model achieved 84.7-99.2%
+ * accuracy against measurements, and our substrate re-derives every
+ * constant from first principles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hh"
+#include "core/strategy_explorer.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "parallel/sharding.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+ParallelPlan
+dlrmOptimalPlan()
+{
+    // Fig. 11's throughput-optimal ((TP, DDP), (MP)).
+    ParallelPlan p;
+    p.set(LayerClass::SparseEmbedding, HierStrategy{Strategy::MP});
+    p.set(LayerClass::BaseDense,
+          HierStrategy{Strategy::TP, Strategy::DDP});
+    return p;
+}
+
+} // namespace
+
+// Table I row 1-3: DLRM-A on the 128-GPU ZionEX system.
+TEST(PaperValidation, TableI_DlrmA)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    PerfReport r = model.evaluate(model_zoo::dlrmA(),
+                                  TaskSpec::preTraining(),
+                                  dlrmOptimalPlan());
+    ASSERT_TRUE(r.valid);
+
+    // Serialized iteration time: 67.40 ms measured, 65.30 ms paper
+    // model. Accept within 15% of the measurement.
+    EXPECT_NEAR(r.serializedTime * 1e3, 67.40, 67.40 * 0.15);
+
+    // % communication exposed: 82.37% measured, 75.46% paper model.
+    EXPECT_NEAR(r.exposedFraction(), 0.8237, 0.10);
+
+    // Throughput: 1.2 MQPS measured, 1.21 paper model.
+    EXPECT_NEAR(r.throughput() / 1e6, 1.2, 1.2 * 0.10);
+}
+
+// Table I row 4: DLRM-B. Table II's aggregate characteristics
+// under-determine DLRM-B's real bottleneck (its published 3.4 MQPS
+// implies per-iteration costs far above what 60M FLOPs/sample and
+// 49.2 KB of lookups produce on this hardware), so we only check the
+// direction our model can claim: at least the measured throughput.
+TEST(PaperValidation, TableI_DlrmB_LowerBound)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    PerfReport r = model.evaluate(model_zoo::dlrmB(),
+                                  TaskSpec::preTraining(),
+                                  dlrmOptimalPlan());
+    ASSERT_TRUE(r.valid);
+    EXPECT_GE(r.throughput() / 1e6, 3.0);
+}
+
+// Table I rows 5-6: LLaMA-65/70B on 2048 A100-80GB.
+TEST(PaperValidation, TableI_LlamaDaysToTrain)
+{
+    // Production LLaMA training ran the optimized (prefetching) FSDP
+    // implementation (Fig. 9).
+    PerfModel model(hw_zoo::llmTrainingSystem());
+    ParallelPlan plan = ParallelPlan::fsdpBaseline();
+    plan.fsdpPrefetch = true;
+    PerfReport r = model.evaluate(model_zoo::llama65b(),
+                                  TaskSpec::preTraining(), plan);
+    ASSERT_TRUE(r.valid);
+
+    // Days to train 1.4T tokens: 20.83 measured, 19.21 paper model.
+    double days = 1.4e12 / r.tokensPerSecond() / 86400.0;
+    EXPECT_NEAR(days, 20.83, 20.83 * 0.15);
+
+    // Aggregate GPU-hours for 306k steps: 1,022,361 measured,
+    // 863,397 paper model.
+    double gpu_hours = 306000.0 * r.iterationTime / 3600.0 * 2048.0;
+    EXPECT_NEAR(gpu_hours, 1022361.0, 1022361.0 * 0.25);
+}
+
+// Fig. 9: optimized FSDP with prefetching reaches ~93% predicted
+// communication overlap on LLaMA pre-training (98% in production).
+TEST(PaperValidation, Fig9_FsdpPrefetchOverlap)
+{
+    PerfModel model(hw_zoo::llmTrainingSystem());
+    ParallelPlan prefetch = ParallelPlan::fsdpBaseline();
+    prefetch.fsdpPrefetch = true;
+    PerfReport r = model.evaluate(model_zoo::llama65b(),
+                                  TaskSpec::preTraining(), prefetch);
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.overlapFraction(), 0.80);
+
+    ParallelPlan plain = ParallelPlan::fsdpBaseline();
+    plain.fsdpPrefetch = false;
+    PerfReport r0 = model.evaluate(model_zoo::llama65b(),
+                                   TaskSpec::preTraining(), plain);
+    EXPECT_GT(r.overlapFraction(), r0.overlapFraction());
+}
+
+// Insight 1: DLRM dense-layer strategies span a wide throughput
+// range; (TP, DDP) wins and plain DDP OOMs.
+TEST(PaperValidation, Insight1_DlrmStrategySpread)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    StrategyExplorer explorer(model);
+    ExplorationResult best =
+        explorer.best(model_zoo::dlrmA(), TaskSpec::preTraining());
+    // The optimum shards dense layers within the node and replicates
+    // across nodes — (TP, DDP) in the paper; (FSDP, DDP) ranks within
+    // 1% under our collective model and may win the tie.
+    HierStrategy dense = best.plan.strategyFor(LayerClass::BaseDense);
+    EXPECT_TRUE(dense.intra == Strategy::TP ||
+                dense.intra == Strategy::FSDP)
+        << dense.toString();
+    EXPECT_EQ(dense.inter, Strategy::DDP) << dense.toString();
+
+    PerfReport baseline =
+        explorer.baseline(model_zoo::dlrmA(), TaskSpec::preTraining());
+    double speedup = best.report.throughput() / baseline.throughput();
+    // Paper: 1.14x over FSDP. Accept 1.05-1.45.
+    EXPECT_GT(speedup, 1.05);
+    EXPECT_LT(speedup, 1.45);
+
+    // Global TP communicates partial sums for the whole batch over
+    // the slow fabric: a large slowdown (paper: 0.19x).
+    ParallelPlan tp_global;
+    tp_global.set(LayerClass::BaseDense, HierStrategy{Strategy::TP});
+    PerfReport worst = model.evaluate(model_zoo::dlrmA(),
+                                      TaskSpec::preTraining(), tp_global);
+    ASSERT_TRUE(worst.valid);
+    EXPECT_LT(worst.throughput() / baseline.throughput(), 0.5);
+
+    // Plain DDP on dense layers OOMs (gray bar in Fig. 11).
+    ParallelPlan ddp;
+    ddp.set(LayerClass::BaseDense, HierStrategy{Strategy::DDP});
+    EXPECT_FALSE(model
+                     .evaluate(model_zoo::dlrmA(),
+                               TaskSpec::preTraining(), ddp)
+                     .valid);
+}
+
+// Insight 2: GPT-3 word embeddings are replicable, but intra-node
+// sharding of transformer layers is insufficient (OOM), keeping FSDP
+// competitive.
+TEST(PaperValidation, Insight2_Gpt3MemoryConstraints)
+{
+    PerfModel model(hw_zoo::llmTrainingSystem());
+    ParallelPlan tp_ddp = ParallelPlan::fsdpBaseline();
+    tp_ddp.set(LayerClass::Transformer,
+               HierStrategy{Strategy::TP, Strategy::DDP});
+    EXPECT_FALSE(model
+                     .evaluate(model_zoo::gpt3(), TaskSpec::preTraining(),
+                               tp_ddp)
+                     .valid);
+
+    // Word-embedding DDP replication is viable.
+    ParallelPlan emb_ddp = ParallelPlan::fsdpBaseline();
+    emb_ddp.set(LayerClass::DenseEmbedding, HierStrategy{Strategy::DDP});
+    EXPECT_TRUE(model
+                    .evaluate(model_zoo::gpt3(), TaskSpec::preTraining(),
+                              emb_ddp)
+                    .valid);
+}
+
+// Insight 3: hierarchical strategy order matters. For GPT-3,
+// inter-node TP moves giant activations over the slow fabric.
+TEST(PaperValidation, Insight3_OrderingMatters)
+{
+    PerfModel model(hw_zoo::llmTrainingSystem());
+    PerfReport fsdp = model.evaluate(model_zoo::gpt3(),
+                                     TaskSpec::preTraining(),
+                                     ParallelPlan::fsdpBaseline());
+    ParallelPlan ddp_tp = ParallelPlan::fsdpBaseline();
+    ddp_tp.set(LayerClass::Transformer,
+               HierStrategy{Strategy::DDP, Strategy::TP});
+    PerfReport slow = model.evaluate(model_zoo::gpt3(),
+                                     TaskSpec::preTraining(), ddp_tp);
+    ASSERT_TRUE(slow.valid);
+    // Paper: 0.18x. Accept any slowdown below 0.5x.
+    EXPECT_LT(slow.throughput() / fsdp.throughput(), 0.5);
+
+    // Memory footprints differ by order (16 nodes x 8 devices).
+    ClusterSpec zion = hw_zoo::dlrmTrainingSystem();
+    ShardingInfo tp_ddp_sh =
+        shardingFor(HierStrategy{Strategy::TP, Strategy::DDP}, zion);
+    ShardingInfo ddp_tp_sh =
+        shardingFor(HierStrategy{Strategy::DDP, Strategy::TP}, zion);
+    EXPECT_LT(ddp_tp_sh.paramFraction, tp_ddp_sh.paramFraction);
+}
+
+// Insight 8: H100 beats A100, and the SuperPOD's inter-node fabric
+// upgrade gives a further large win for All2All-bound DLRM training
+// (paper: 1.82x H100 -> SuperPOD).
+TEST(PaperValidation, Insight8_Gpu_Generations)
+{
+    TaskSpec task = TaskSpec::preTraining();
+    ModelDesc m = model_zoo::dlrmA();
+
+    PerfModel model_a100(hw_zoo::dlrmTrainingSystem());
+    PerfModel model_h100(hw_zoo::h100System());
+    PerfModel model_pod(hw_zoo::h100SuperPodSystem());
+
+    double t_a100 =
+        StrategyExplorer(model_a100).best(m, task).report.throughput();
+    double t_h100 =
+        StrategyExplorer(model_h100).best(m, task).report.throughput();
+    double t_pod =
+        StrategyExplorer(model_pod).best(m, task).report.throughput();
+
+    EXPECT_GT(t_h100, t_a100);
+    // SuperPOD fabric accelerates the blocking All2All directly.
+    double pod_gain = t_pod / t_h100;
+    EXPECT_GT(pod_gain, 1.3);
+    EXPECT_LT(pod_gain, 2.6);
+}
+
+// Insight 10: improving all hardware axes concurrently by 10x yields
+// super-linear gains relative to the best single-axis improvement.
+TEST(PaperValidation, Insight10_JointScalingBeatsIndividual)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    StrategyExplorer explorer(model);
+    TaskSpec task = TaskSpec::preTraining();
+    ModelDesc m = model_zoo::dlrmA();
+    double base = explorer.best(m, task).report.throughput();
+
+    double best_single = 0.0;
+    for (auto factory :
+         {&ClusterSpec::withComputeScale, &ClusterSpec::withHbmCapacityScale,
+          &ClusterSpec::withHbmBandwidthScale,
+          &ClusterSpec::withIntraBandwidthScale,
+          &ClusterSpec::withInterBandwidthScale}) {
+        ClusterSpec scaled =
+            (hw_zoo::dlrmTrainingSystem().*factory)(10.0);
+        PerfModel pm(scaled);
+        double t = StrategyExplorer(pm).best(m, task).report.throughput();
+        best_single = std::max(best_single, t / base);
+    }
+
+    ClusterSpec all = hw_zoo::dlrmTrainingSystem()
+                          .withComputeScale(10.0)
+                          .withHbmCapacityScale(10.0)
+                          .withHbmBandwidthScale(10.0)
+                          .withIntraBandwidthScale(10.0)
+                          .withInterBandwidthScale(10.0);
+    PerfModel pm_all(all);
+    double t_all =
+        StrategyExplorer(pm_all).best(m, task).report.throughput() / base;
+
+    // Single-axis: sub-linear (< 10x). Joint: dramatically better
+    // than any single axis.
+    EXPECT_LT(best_single, 10.0);
+    EXPECT_GT(t_all, best_single * 1.5);
+}
+
+} // namespace madmax

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+PerfReport
+sampleReport()
+{
+    PerfReport r;
+    r.modelName = "DLRM-A";
+    r.clusterName = "ZionEX";
+    r.taskName = "pre-training";
+    r.valid = true;
+    r.iterationTime = 0.054;
+    r.serializedTime = 0.072;
+    r.computeTime = 0.027;
+    r.commTime = 0.045;
+    r.exposedCommTime = 0.036;
+    r.globalBatchSize = 65536;
+    r.contextLength = 1;
+    r.memory.paramBytes = 24.0 * (1ull << 30);
+    r.memory.usableCapacity = 28.0 * (1ull << 30);
+    return r;
+}
+
+} // namespace
+
+TEST(PerfReport, ThroughputAndTokens)
+{
+    PerfReport r = sampleReport();
+    EXPECT_NEAR(r.throughput(), 65536.0 / 0.054, 1e-6);
+    EXPECT_NEAR(r.tokensPerSecond(), r.throughput(), 1e-9);
+    r.contextLength = 2048;
+    EXPECT_NEAR(r.tokensPerSecond(), r.throughput() * 2048, 1e-3);
+}
+
+TEST(PerfReport, InvalidReportsZeroThroughput)
+{
+    PerfReport r = sampleReport();
+    r.valid = false;
+    EXPECT_DOUBLE_EQ(r.throughput(), 0.0);
+    EXPECT_DOUBLE_EQ(r.deviceHoursPerSamples(1e9, 128), 0.0);
+}
+
+TEST(PerfReport, OverlapAndExposureFractions)
+{
+    PerfReport r = sampleReport();
+    EXPECT_NEAR(r.exposedFraction(), 0.8, 1e-12);
+    EXPECT_NEAR(r.overlapFraction(), 0.2, 1e-12);
+    r.commTime = 0.0;
+    r.exposedCommTime = 0.0;
+    EXPECT_DOUBLE_EQ(r.exposedFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(r.overlapFraction(), 0.0);
+}
+
+TEST(PerfReport, SummaryMentionsKeyNumbers)
+{
+    PerfReport r = sampleReport();
+    std::string s = r.summary();
+    EXPECT_NE(s.find("DLRM-A"), std::string::npos);
+    EXPECT_NE(s.find("ZionEX"), std::string::npos);
+    EXPECT_NE(s.find("54.000 ms"), std::string::npos);
+    EXPECT_NE(s.find("80.00% of comm"), std::string::npos);
+}
+
+TEST(PerfReport, InvalidSummaryShowsOom)
+{
+    PerfReport r = sampleReport();
+    r.valid = false;
+    r.memory.paramBytes = 50.0 * (1ull << 30);
+    std::string s = r.summary();
+    EXPECT_NE(s.find("INVALID (OOM)"), std::string::npos);
+}
+
+} // namespace madmax

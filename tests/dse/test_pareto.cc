@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "dse/pareto.hh"
+
+namespace madmax
+{
+
+TEST(Pareto, Dominates)
+{
+    ParetoPoint cheap_fast{1.0, 10.0, 0};
+    ParetoPoint costly_slow{2.0, 5.0, 1};
+    ParetoPoint equal{1.0, 10.0, 2};
+    EXPECT_TRUE(dominates(cheap_fast, costly_slow));
+    EXPECT_FALSE(dominates(costly_slow, cheap_fast));
+    EXPECT_FALSE(dominates(cheap_fast, equal)); // Ties don't dominate.
+}
+
+TEST(Pareto, FrontierExtraction)
+{
+    std::vector<ParetoPoint> pts = {
+        {1.0, 1.0, 0},  // On frontier (cheapest).
+        {2.0, 3.0, 1},  // On frontier.
+        {3.0, 2.0, 2},  // Dominated by point 1.
+        {4.0, 5.0, 3},  // On frontier.
+        {4.0, 4.0, 4},  // Dominated by point 3.
+    };
+    std::vector<size_t> frontier = paretoFrontier(pts);
+    EXPECT_EQ(frontier, (std::vector<size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, FrontierIsSortedByCost)
+{
+    std::vector<ParetoPoint> pts = {
+        {5.0, 50.0, 0},
+        {1.0, 10.0, 1},
+        {3.0, 30.0, 2},
+    };
+    std::vector<size_t> frontier = paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(Pareto, SinglePointAndEmpty)
+{
+    EXPECT_TRUE(paretoFrontier({}).empty());
+    EXPECT_EQ(paretoFrontier({{1.0, 1.0, 0}}),
+              (std::vector<size_t>{0}));
+}
+
+TEST(Pareto, EqualCostKeepsBestValue)
+{
+    std::vector<ParetoPoint> pts = {
+        {1.0, 5.0, 0},
+        {1.0, 9.0, 1},
+    };
+    std::vector<size_t> frontier = paretoFrontier(pts);
+    EXPECT_EQ(frontier, (std::vector<size_t>{1}));
+}
+
+TEST(Pareto, AllDominatedByOne)
+{
+    std::vector<ParetoPoint> pts = {
+        {1.0, 100.0, 0},
+        {2.0, 50.0, 1},
+        {3.0, 20.0, 2},
+        {4.0, 99.0, 3},
+    };
+    EXPECT_EQ(paretoFrontier(pts), (std::vector<size_t>{0}));
+}
+
+} // namespace madmax

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "hw/cluster.hh"
+#include "hw/hw_zoo.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+ClusterSpec
+testCluster()
+{
+    return hw_zoo::dlrmTrainingSystem();
+}
+
+} // namespace
+
+TEST(ClusterSpec, DeviceCounts)
+{
+    ClusterSpec c = testCluster();
+    EXPECT_EQ(c.devicesPerNode, 8);
+    EXPECT_EQ(c.numNodes, 16);
+    EXPECT_EQ(c.numDevices(), 128);
+}
+
+TEST(ClusterSpec, EffectiveBandwidthsApplyUtilization)
+{
+    ClusterSpec c = testCluster();
+    EXPECT_DOUBLE_EQ(c.effIntraBandwidth(),
+                     c.device.intraNodeBandwidth * c.util.intraLink);
+    EXPECT_DOUBLE_EQ(c.effInterBandwidth(),
+                     c.device.interNodeBandwidth * c.util.interLink);
+}
+
+TEST(ClusterSpec, Aggregates)
+{
+    ClusterSpec c = testCluster();
+    EXPECT_DOUBLE_EQ(c.aggregateHbmCapacity(),
+                     c.device.hbmCapacity * 128);
+    EXPECT_DOUBLE_EQ(c.aggregateHbmBandwidth(),
+                     c.device.hbmBandwidth * 128);
+    EXPECT_DOUBLE_EQ(c.aggregatePeakFlops(DataType::TF32),
+                     c.device.peakFlopsTf32 * 128);
+}
+
+TEST(ClusterSpec, ValidateRejectsNonsense)
+{
+    ClusterSpec c = testCluster();
+    c.numNodes = 0;
+    EXPECT_THROW(c.validate(), ConfigError);
+
+    c = testCluster();
+    c.devicesPerNode = -1;
+    EXPECT_THROW(c.validate(), ConfigError);
+
+    c = testCluster();
+    c.device.hbmCapacity = 0.0;
+    EXPECT_THROW(c.validate(), ConfigError);
+
+    c = testCluster();
+    c.util.compute = 1.5;
+    EXPECT_THROW(c.validate(), ConfigError);
+
+    c = testCluster();
+    c.util.interLink = 0.0;
+    EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(ClusterSpec, ScaledVariantsAreIndependentCopies)
+{
+    ClusterSpec base = testCluster();
+    ClusterSpec boosted = base.withComputeScale(10.0);
+    EXPECT_DOUBLE_EQ(boosted.device.peakFlopsTf32,
+                     base.device.peakFlopsTf32 * 10.0);
+    EXPECT_DOUBLE_EQ(boosted.device.peakFlopsTensor16,
+                     base.device.peakFlopsTensor16 * 10.0);
+    // Other capabilities untouched.
+    EXPECT_DOUBLE_EQ(boosted.device.hbmCapacity, base.device.hbmCapacity);
+
+    ClusterSpec cap = base.withHbmCapacityScale(2.0);
+    EXPECT_DOUBLE_EQ(cap.device.hbmCapacity,
+                     base.device.hbmCapacity * 2.0);
+    EXPECT_DOUBLE_EQ(cap.device.hbmBandwidth, base.device.hbmBandwidth);
+
+    ClusterSpec bw = base.withHbmBandwidthScale(3.0);
+    EXPECT_DOUBLE_EQ(bw.device.hbmBandwidth,
+                     base.device.hbmBandwidth * 3.0);
+
+    ClusterSpec intra = base.withIntraBandwidthScale(4.0);
+    EXPECT_DOUBLE_EQ(intra.device.intraNodeBandwidth,
+                     base.device.intraNodeBandwidth * 4.0);
+
+    ClusterSpec inter = base.withInterBandwidthScale(5.0);
+    EXPECT_DOUBLE_EQ(inter.device.interNodeBandwidth,
+                     base.device.interNodeBandwidth * 5.0);
+
+    ClusterSpec nodes = base.withNumNodes(1);
+    EXPECT_EQ(nodes.numNodes, 1);
+    EXPECT_EQ(nodes.numDevices(), 8);
+}
+
+TEST(FabricKind, Names)
+{
+    EXPECT_EQ(toString(FabricKind::NVLink), "NVLink");
+    EXPECT_EQ(toString(FabricKind::RoCE), "RoCE");
+    EXPECT_EQ(toString(FabricKind::InfiniBand), "InfiniBand");
+}
+
+} // namespace madmax

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "hw/device.hh"
+#include "hw/hw_zoo.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace madmax
+{
+
+TEST(DataType, ElementSizes)
+{
+    EXPECT_DOUBLE_EQ(bytesOf(DataType::FP32), 4.0);
+    EXPECT_DOUBLE_EQ(bytesOf(DataType::TF32), 4.0);
+    EXPECT_DOUBLE_EQ(bytesOf(DataType::FP16), 2.0);
+    EXPECT_DOUBLE_EQ(bytesOf(DataType::BF16), 2.0);
+}
+
+TEST(DataType, Names)
+{
+    EXPECT_EQ(toString(DataType::FP32), "fp32");
+    EXPECT_EQ(toString(DataType::TF32), "tf32");
+    EXPECT_EQ(toString(DataType::FP16), "fp16");
+    EXPECT_EQ(toString(DataType::BF16), "bf16");
+}
+
+TEST(DeviceSpec, PeakFlopsByDtype)
+{
+    DeviceSpec a100 = hw_zoo::a100_40();
+    EXPECT_DOUBLE_EQ(a100.peakFlops(DataType::BF16), units::tflops(312));
+    EXPECT_DOUBLE_EQ(a100.peakFlops(DataType::FP16), units::tflops(312));
+    EXPECT_DOUBLE_EQ(a100.peakFlops(DataType::TF32), units::tflops(156));
+    EXPECT_DOUBLE_EQ(a100.peakFlops(DataType::FP32), units::tflops(19.5));
+}
+
+TEST(DeviceSpec, Tf32FallsBackToFp32OnVolta)
+{
+    DeviceSpec v100 = hw_zoo::v100_16();
+    // No TF32 tensor cores on Volta: fp32 vector rate applies.
+    EXPECT_DOUBLE_EQ(v100.peakFlops(DataType::TF32),
+                     units::tflops(15.7));
+    // fp16 tensor cores exist.
+    EXPECT_DOUBLE_EQ(v100.peakFlops(DataType::FP16),
+                     units::tflops(125));
+}
+
+TEST(DeviceSpec, MissingRatesAreFatal)
+{
+    DeviceSpec empty;
+    empty.name = "no-flops";
+    EXPECT_THROW(empty.peakFlops(DataType::FP32), ConfigError);
+    EXPECT_THROW(empty.peakFlops(DataType::BF16), ConfigError);
+}
+
+} // namespace madmax

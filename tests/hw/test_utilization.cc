@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "hw/utilization.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+TEST(SmUtilizationModel, SaturatingShape)
+{
+    SmUtilizationModel m(0.8, 1e12);
+    // Half saturation at the knee.
+    EXPECT_NEAR(m.utilization(1e12), 0.4, 1e-12);
+    // Approaches the ceiling for big work.
+    EXPECT_NEAR(m.utilization(1e15), 0.8, 1e-3);
+    // Small work underutilizes.
+    EXPECT_LT(m.utilization(1e10), 0.01);
+}
+
+TEST(SmUtilizationModel, MonotonicInWork)
+{
+    SmUtilizationModel m(0.7, 5e11);
+    double prev = 0.0;
+    for (double f = 1e9; f < 1e15; f *= 10.0) {
+        double u = m.utilization(f);
+        EXPECT_GT(u, prev);
+        EXPECT_LE(u, 0.7);
+        prev = u;
+    }
+}
+
+TEST(SmUtilizationModel, DegenerateWorkIsFullyEfficient)
+{
+    SmUtilizationModel m(0.7, 5e11);
+    EXPECT_DOUBLE_EQ(m.utilization(0.0), 0.7);
+    EXPECT_DOUBLE_EQ(m.utilization(-1.0), 0.7);
+}
+
+TEST(SmUtilizationModel, RejectsBadParameters)
+{
+    EXPECT_THROW(SmUtilizationModel(0.0, 1e12), ConfigError);
+    EXPECT_THROW(SmUtilizationModel(1.5, 1e12), ConfigError);
+    EXPECT_THROW(SmUtilizationModel(0.7, 0.0), ConfigError);
+    EXPECT_THROW(SmUtilizationModel(0.7, -1.0), ConfigError);
+}
+
+} // namespace madmax

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "model/layer.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+TEST(MlpLayer, ParamsAndFlops)
+{
+    MlpLayer mlp("m", LayerClass::BaseDense, {4, 8, 2});
+    // 4x8 + 8 biases + 8x2 + 2 biases = 58.
+    EXPECT_DOUBLE_EQ(mlp.paramCount(), 58.0);
+    // 2*(4*8 + 8*2) = 96 FLOPs per sample.
+    EXPECT_DOUBLE_EQ(mlp.forwardFlopsPerSample(), 96.0);
+    // Output: 2 elements.
+    EXPECT_DOUBLE_EQ(mlp.outputBytesPerSample(4.0), 8.0);
+    // Retained: 8 + 2 elements.
+    EXPECT_DOUBLE_EQ(mlp.activationMemoryBytesPerSample(4.0), 40.0);
+    // Naive TP reduces at every boundary.
+    EXPECT_DOUBLE_EQ(mlp.tpCommBytesPerSample(4.0), 40.0);
+}
+
+TEST(MlpLayer, TokensPerSampleScalesPositionWork)
+{
+    MlpLayer head("head", LayerClass::BaseDense, {4, 2}, 10.0);
+    EXPECT_DOUBLE_EQ(head.forwardFlopsPerSample(), 2.0 * 4 * 2 * 10);
+    EXPECT_DOUBLE_EQ(head.outputBytesPerSample(2.0), 2 * 10 * 2.0);
+    // Params do not scale with positions.
+    EXPECT_DOUBLE_EQ(head.paramCount(), 10.0);
+}
+
+TEST(MlpLayer, RejectsBadGeometry)
+{
+    EXPECT_THROW(MlpLayer("m", LayerClass::BaseDense, {4}), ConfigError);
+    EXPECT_THROW(MlpLayer("m", LayerClass::BaseDense, {4, 0}),
+                 ConfigError);
+    EXPECT_THROW(MlpLayer("m", LayerClass::BaseDense, {4, 2}, 0.0),
+                 ConfigError);
+}
+
+TEST(EmbeddingBagLayer, LookupMath)
+{
+    EmbeddingBagLayer emb("e", 10, 1000, 64, 4.0);
+    EXPECT_DOUBLE_EQ(emb.paramCount(), 10.0 * 1000 * 64);
+    // Lookups: 10 tables x 4 rows x 64 elems x 4 B.
+    EXPECT_DOUBLE_EQ(emb.lookupBytesPerSample(), 10 * 4 * 64 * 4.0);
+    // Pooled output: 10 tables x 64 elems.
+    EXPECT_DOUBLE_EQ(emb.outputBytesPerSample(4.0), 10 * 64 * 4.0);
+    // Pooling adds.
+    EXPECT_DOUBLE_EQ(emb.forwardFlopsPerSample(), 10 * 4 * 64.0);
+    EXPECT_EQ(emb.layerClass(), LayerClass::SparseEmbedding);
+}
+
+TEST(EmbeddingBagLayer, FractionalPoolingAllowed)
+{
+    // Sparse optional features can average under one lookup per table.
+    EmbeddingBagLayer emb("e", 100, 1000, 64, 0.5);
+    EXPECT_DOUBLE_EQ(emb.lookupBytesPerSample(), 100 * 0.5 * 64 * 4.0);
+    EXPECT_THROW(EmbeddingBagLayer("e", 100, 1000, 64, 0.0), ConfigError);
+}
+
+TEST(TokenEmbeddingLayer, TieFactor)
+{
+    TokenEmbeddingLayer tied("t", 50000, 128, 2048.0, 1);
+    EXPECT_DOUBLE_EQ(tied.paramCount(), 50000.0 * 128);
+    TokenEmbeddingLayer untied("t", 50000, 128, 2048.0, 2);
+    EXPECT_DOUBLE_EQ(untied.paramCount(), 2.0 * 50000 * 128);
+    EXPECT_THROW(TokenEmbeddingLayer("t", 50000, 128, 2048.0, 3),
+                 ConfigError);
+    // One row per token.
+    EXPECT_DOUBLE_EQ(tied.lookupBytesPerSample(), 128 * 2048 * 4.0);
+    EXPECT_EQ(tied.layerClass(), LayerClass::DenseEmbedding);
+}
+
+TEST(AttentionLayer, ParamAndFlopFormulas)
+{
+    AttentionLayer attn("a", LayerClass::Transformer, 1024, 16, 512);
+    // 4 h^2 projections.
+    EXPECT_DOUBLE_EQ(attn.paramCount(), 4.0 * 1024 * 1024);
+    // 2*params*ctx + 2*ctx^2*h.
+    double expected = 2.0 * attn.paramCount() * 512 +
+        2.0 * 512 * 512 * 1024;
+    EXPECT_DOUBLE_EQ(attn.forwardFlopsPerSample(), expected);
+    EXPECT_DOUBLE_EQ(attn.outputBytesPerSample(2.0), 1024 * 512 * 2.0);
+    // Megatron-style TP only reduces the block output.
+    EXPECT_DOUBLE_EQ(attn.tpCommBytesPerSample(2.0),
+                     attn.outputBytesPerSample(2.0));
+}
+
+TEST(AttentionLayer, GqaShrinksKvProjections)
+{
+    AttentionLayer mha("a", LayerClass::Transformer, 8192, 64, 4096);
+    AttentionLayer gqa("a", LayerClass::Transformer, 8192, 64, 4096, 8);
+    EXPECT_LT(gqa.paramCount(), mha.paramCount());
+    // Q + O projections unchanged: 2h^2; KV shrink by 8x.
+    double expected = 2.0 * 8192 * 8192 + 2.0 * 8192 * (8192 / 64 * 8);
+    EXPECT_DOUBLE_EQ(gqa.paramCount(), expected);
+}
+
+TEST(AttentionLayer, RejectsIndivisibleHeads)
+{
+    EXPECT_THROW(
+        AttentionLayer("a", LayerClass::Transformer, 100, 3, 128),
+        ConfigError);
+}
+
+TEST(FeedForwardLayer, SwigluUsesThreeMatrices)
+{
+    FeedForwardLayer gelu("f", LayerClass::Transformer, 1024, 4096, 512);
+    FeedForwardLayer swiglu("f", LayerClass::Transformer, 1024, 4096, 512,
+                            3);
+    EXPECT_DOUBLE_EQ(gelu.paramCount(), 2.0 * 1024 * 4096);
+    EXPECT_DOUBLE_EQ(swiglu.paramCount(), 3.0 * 1024 * 4096);
+    EXPECT_DOUBLE_EQ(gelu.forwardFlopsPerSample(),
+                     2.0 * gelu.paramCount() * 512);
+    EXPECT_THROW(
+        FeedForwardLayer("f", LayerClass::Transformer, 1024, 4096, 512, 4),
+        ConfigError);
+}
+
+TEST(MoeFeedForwardLayer, CapacityVsComputeScaling)
+{
+    // The MoE property (§II-A): capacity scales with all experts,
+    // FLOPs only with the active ones.
+    FeedForwardLayer dense("f", LayerClass::Transformer, 1024, 4096, 512);
+    MoeFeedForwardLayer moe("m", LayerClass::MoE, 1024, 4096, 512, 16, 2);
+    EXPECT_DOUBLE_EQ(moe.paramCount(), 16.0 * dense.paramCount());
+    EXPECT_DOUBLE_EQ(moe.forwardFlopsPerSample(),
+                     2.0 * dense.forwardFlopsPerSample());
+    // Each token visits 2 experts in each direction.
+    EXPECT_DOUBLE_EQ(moe.routedBytesPerSample(2.0),
+                     2.0 * 1024 * 512 * 2.0);
+}
+
+TEST(MoeFeedForwardLayer, RejectsBadExpertCounts)
+{
+    EXPECT_THROW(
+        MoeFeedForwardLayer("m", LayerClass::MoE, 8, 8, 1, 4, 5),
+        ConfigError);
+    EXPECT_THROW(
+        MoeFeedForwardLayer("m", LayerClass::MoE, 8, 8, 1, 0, 0),
+        ConfigError);
+}
+
+TEST(InteractionLayer, PairwiseDotProducts)
+{
+    InteractionLayer inter("i", 100, 64, 512);
+    EXPECT_DOUBLE_EQ(inter.paramCount(), 0.0);
+    EXPECT_DOUBLE_EQ(inter.forwardFlopsPerSample(), 100.0 * 100 * 64);
+    EXPECT_DOUBLE_EQ(inter.outputBytesPerSample(4.0), 512 * 4.0);
+}
+
+TEST(Layer, KindAndClassNames)
+{
+    EXPECT_EQ(toString(LayerKind::EmbeddingBag), "EMB");
+    EXPECT_EQ(toString(LayerKind::Attention), "ATTN");
+    EXPECT_EQ(toString(LayerClass::BaseDense), "base-dense");
+    EXPECT_EQ(toString(LayerClass::SparseEmbedding), "sparse-embedding");
+}
+
+TEST(Layer, CloneIsDeep)
+{
+    MlpLayer mlp("m", LayerClass::BaseDense, {4, 8, 2});
+    auto copy = mlp.clone();
+    EXPECT_EQ(copy->name(), "m");
+    EXPECT_DOUBLE_EQ(copy->paramCount(), mlp.paramCount());
+    EXPECT_EQ(copy->kind(), LayerKind::Mlp);
+}
+
+} // namespace madmax

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "hw/hw_zoo.hh"
+#include "parallel/sharding.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+ClusterSpec
+cluster16x8()
+{
+    return hw_zoo::dlrmTrainingSystem(); // 16 nodes x 8 devices.
+}
+
+} // namespace
+
+TEST(Sharding, GlobalStrategies)
+{
+    ClusterSpec c = cluster16x8();
+
+    ShardingInfo ddp = shardingFor(HierStrategy{Strategy::DDP}, c);
+    EXPECT_DOUBLE_EQ(ddp.paramFraction, 1.0);
+    EXPECT_EQ(ddp.dataParallelWays, 128);
+    EXPECT_DOUBLE_EQ(ddp.transientParamFraction, 0.0);
+
+    ShardingInfo fsdp = shardingFor(HierStrategy{Strategy::FSDP}, c);
+    EXPECT_DOUBLE_EQ(fsdp.paramFraction, 1.0 / 128);
+    EXPECT_EQ(fsdp.dataParallelWays, 128);
+    // FSDP transiently materializes the gathered layer.
+    EXPECT_NEAR(fsdp.transientParamFraction, 1.0 - 1.0 / 128, 1e-12);
+
+    ShardingInfo tp = shardingFor(HierStrategy{Strategy::TP}, c);
+    EXPECT_DOUBLE_EQ(tp.paramFraction, 1.0 / 128);
+    EXPECT_EQ(tp.dataParallelWays, 1);
+
+    ShardingInfo mp = shardingFor(HierStrategy{Strategy::MP}, c);
+    EXPECT_DOUBLE_EQ(mp.paramFraction, 1.0 / 128);
+    EXPECT_EQ(mp.dataParallelWays, 1);
+}
+
+TEST(Sharding, HierarchicalOrderMatters)
+{
+    // Insight 3: (TP, DDP) shards by devices-per-node, (DDP, TP)
+    // shards by node count — different footprints on a 16x8 system.
+    ClusterSpec c = cluster16x8();
+
+    ShardingInfo tp_ddp =
+        shardingFor(HierStrategy{Strategy::TP, Strategy::DDP}, c);
+    EXPECT_DOUBLE_EQ(tp_ddp.paramFraction, 1.0 / 8);
+    EXPECT_EQ(tp_ddp.dataParallelWays, 16);
+
+    ShardingInfo ddp_tp =
+        shardingFor(HierStrategy{Strategy::DDP, Strategy::TP}, c);
+    EXPECT_DOUBLE_EQ(ddp_tp.paramFraction, 1.0 / 16);
+    EXPECT_EQ(ddp_tp.dataParallelWays, 8);
+
+    // With 16 nodes of 8 GPUs, (DDP, TP) achieves the lower
+    // per-device footprint (the paper's example).
+    EXPECT_LT(ddp_tp.paramFraction, tp_ddp.paramFraction);
+}
+
+TEST(Sharding, FsdpCombinations)
+{
+    ClusterSpec c = cluster16x8();
+
+    // (FSDP, FSDP) collapses to global FSDP.
+    ShardingInfo both =
+        shardingFor(HierStrategy{Strategy::FSDP, Strategy::FSDP}, c);
+    EXPECT_DOUBLE_EQ(both.paramFraction, 1.0 / 128);
+    EXPECT_EQ(both.dataParallelWays, 128);
+
+    // (FSDP, DDP): shard within node, replicate across nodes.
+    ShardingInfo fd =
+        shardingFor(HierStrategy{Strategy::FSDP, Strategy::DDP}, c);
+    EXPECT_DOUBLE_EQ(fd.paramFraction, 1.0 / 8);
+    EXPECT_EQ(fd.dataParallelWays, 128);
+    // Transient: gathers up to full residency (non-FSDP level
+    // replicates).
+    EXPECT_NEAR(fd.transientParamFraction, 1.0 - 1.0 / 8, 1e-12);
+
+    // (TP, FSDP): TP shards 1/8, FSDP shards the rest across nodes.
+    ShardingInfo tf =
+        shardingFor(HierStrategy{Strategy::TP, Strategy::FSDP}, c);
+    EXPECT_DOUBLE_EQ(tf.paramFraction, 1.0 / 128);
+    EXPECT_EQ(tf.dataParallelWays, 16);
+    // Transient gathers back to the TP residency of 1/8.
+    EXPECT_NEAR(tf.transientParamFraction, 1.0 / 8 - 1.0 / 128, 1e-12);
+}
+
+TEST(Sharding, MpCombinations)
+{
+    ClusterSpec c = cluster16x8();
+    ShardingInfo mp_ddp =
+        shardingFor(HierStrategy{Strategy::MP, Strategy::DDP}, c);
+    // Tables sharded 8 ways in-node, replicated across nodes.
+    EXPECT_DOUBLE_EQ(mp_ddp.paramFraction, 1.0 / 8);
+    EXPECT_EQ(mp_ddp.dataParallelWays, 16);
+}
+
+TEST(Sharding, ParamFractionTimesDevicesAtLeastOne)
+{
+    // No strategy stores less than one full copy cluster-wide.
+    ClusterSpec c = cluster16x8();
+    for (Strategy intra :
+         {Strategy::DDP, Strategy::FSDP, Strategy::TP, Strategy::MP}) {
+        for (Strategy inter :
+             {Strategy::None, Strategy::DDP, Strategy::FSDP, Strategy::TP,
+              Strategy::MP}) {
+            ShardingInfo info =
+                shardingFor(HierStrategy{intra, inter}, c);
+            EXPECT_GE(info.paramFraction * c.numDevices(), 1.0 - 1e-12)
+                << HierStrategy{intra, inter}.toString();
+            EXPECT_GE(info.dataParallelWays, 1);
+            EXPECT_LE(info.dataParallelWays, c.numDevices());
+        }
+    }
+}
+
+TEST(Sharding, MissingIntraIsFatal)
+{
+    ClusterSpec c = cluster16x8();
+    EXPECT_THROW(shardingFor(HierStrategy{Strategy::None}, c),
+                 ConfigError);
+}
+
+} // namespace madmax

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "parallel/strategy.hh"
+
+namespace madmax
+{
+
+TEST(Strategy, Predicates)
+{
+    EXPECT_TRUE(shardsParams(Strategy::FSDP));
+    EXPECT_TRUE(shardsParams(Strategy::TP));
+    EXPECT_TRUE(shardsParams(Strategy::MP));
+    EXPECT_FALSE(shardsParams(Strategy::DDP));
+    EXPECT_FALSE(shardsParams(Strategy::None));
+
+    EXPECT_TRUE(splitsData(Strategy::DDP));
+    EXPECT_TRUE(splitsData(Strategy::FSDP));
+    EXPECT_FALSE(splitsData(Strategy::TP));
+    EXPECT_FALSE(splitsData(Strategy::MP));
+}
+
+TEST(HierStrategy, PaperNotation)
+{
+    EXPECT_EQ(HierStrategy{Strategy::FSDP}.toString(), "(FSDP)");
+    EXPECT_EQ((HierStrategy{Strategy::TP, Strategy::DDP}).toString(),
+              "(TP, DDP)");
+    EXPECT_EQ((HierStrategy{Strategy::MP, Strategy::DDP}).toString(),
+              "(MP, DDP)");
+}
+
+TEST(HierStrategy, GlobalDetectionAndEquality)
+{
+    HierStrategy global{Strategy::TP};
+    EXPECT_TRUE(global.isGlobal());
+    HierStrategy hier{Strategy::TP, Strategy::DDP};
+    EXPECT_FALSE(hier.isGlobal());
+    EXPECT_EQ(global, (HierStrategy{Strategy::TP, Strategy::None}));
+    EXPECT_NE(global, hier);
+}
+
+TEST(ParallelPlan, DefaultsFollowPaperAssumptions)
+{
+    ParallelPlan empty;
+    // Sparse embeddings default to sharding (Insight 1).
+    EXPECT_EQ(empty.strategyFor(LayerClass::SparseEmbedding),
+              HierStrategy{Strategy::MP});
+    // Everything else defaults to the FSDP baseline.
+    EXPECT_EQ(empty.strategyFor(LayerClass::Transformer),
+              HierStrategy{Strategy::FSDP});
+}
+
+TEST(ParallelPlan, SetOverridesAndChains)
+{
+    ParallelPlan p;
+    p.set(LayerClass::BaseDense, HierStrategy{Strategy::TP, Strategy::DDP})
+        .set(LayerClass::Transformer, HierStrategy{Strategy::DDP});
+    EXPECT_EQ(p.strategyFor(LayerClass::BaseDense),
+              (HierStrategy{Strategy::TP, Strategy::DDP}));
+    EXPECT_EQ(p.strategyFor(LayerClass::Transformer),
+              HierStrategy{Strategy::DDP});
+}
+
+TEST(ParallelPlan, FsdpBaselineCoversAllClasses)
+{
+    ParallelPlan p = ParallelPlan::fsdpBaseline();
+    EXPECT_EQ(p.strategyFor(LayerClass::SparseEmbedding),
+              HierStrategy{Strategy::MP});
+    for (LayerClass cls :
+         {LayerClass::DenseEmbedding, LayerClass::BaseDense,
+          LayerClass::Transformer}) {
+        EXPECT_EQ(p.strategyFor(cls), HierStrategy{Strategy::FSDP});
+    }
+    // MoE banks pair FSDP recipes with expert parallelism.
+    EXPECT_EQ(p.strategyFor(LayerClass::MoE), HierStrategy{Strategy::MP});
+    // Prefetching is the Fig. 9 optimization, not the baseline.
+    EXPECT_FALSE(p.fsdpPrefetch);
+}
+
+TEST(ParallelPlan, ToStringListsClasses)
+{
+    ParallelPlan p;
+    p.set(LayerClass::BaseDense,
+          HierStrategy{Strategy::TP, Strategy::DDP});
+    std::string s = p.toString();
+    EXPECT_NE(s.find("base-dense=(TP, DDP)"), std::string::npos);
+    EXPECT_EQ(ParallelPlan{}.toString(), "(defaults)");
+}
+
+} // namespace madmax

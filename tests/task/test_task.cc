@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "task/task.hh"
+
+namespace madmax
+{
+
+TEST(TaskSpec, PreTrainingTrainsEverything)
+{
+    TaskSpec t = TaskSpec::preTraining();
+    EXPECT_TRUE(t.needsBackward());
+    EXPECT_TRUE(t.retainsActivations());
+    for (LayerClass cls :
+         {LayerClass::SparseEmbedding, LayerClass::DenseEmbedding,
+          LayerClass::BaseDense, LayerClass::Transformer, LayerClass::MoE})
+        EXPECT_TRUE(t.isTrainable(cls));
+    EXPECT_DOUBLE_EQ(t.backwardFlopsMultiplier(LayerClass::BaseDense),
+                     2.0);
+}
+
+TEST(TaskSpec, InferenceIsForwardOnly)
+{
+    TaskSpec t = TaskSpec::inference();
+    EXPECT_FALSE(t.needsBackward());
+    EXPECT_FALSE(t.retainsActivations());
+    EXPECT_FALSE(t.isTrainable(LayerClass::BaseDense));
+    EXPECT_DOUBLE_EQ(t.backwardFlopsMultiplier(LayerClass::BaseDense),
+                     0.0);
+    EXPECT_DOUBLE_EQ(t.gradBytesPerParam(LayerClass::BaseDense), 0.0);
+    EXPECT_DOUBLE_EQ(t.optimizerBytesPerParam(LayerClass::Transformer),
+                     0.0);
+}
+
+TEST(TaskSpec, FineTuningDenseOnlyFreezesEmbeddings)
+{
+    TaskSpec t = TaskSpec::fineTuning(FineTuneScope::DenseOnly);
+    EXPECT_TRUE(t.needsBackward());
+    EXPECT_TRUE(t.isTrainable(LayerClass::BaseDense));
+    EXPECT_TRUE(t.isTrainable(LayerClass::Transformer));
+    EXPECT_TRUE(t.isTrainable(LayerClass::MoE));
+    EXPECT_FALSE(t.isTrainable(LayerClass::SparseEmbedding));
+    EXPECT_FALSE(t.isTrainable(LayerClass::DenseEmbedding));
+}
+
+TEST(TaskSpec, FineTuningEmbeddingOnlyFreezesDense)
+{
+    TaskSpec t = TaskSpec::fineTuning(FineTuneScope::EmbeddingOnly);
+    EXPECT_TRUE(t.isTrainable(LayerClass::SparseEmbedding));
+    EXPECT_TRUE(t.isTrainable(LayerClass::DenseEmbedding));
+    EXPECT_FALSE(t.isTrainable(LayerClass::BaseDense));
+    EXPECT_FALSE(t.isTrainable(LayerClass::Transformer));
+    // Frozen dense layers still propagate input gradients (~1x),
+    // skipping the costly weight-gradient work (Insight 5).
+    EXPECT_DOUBLE_EQ(t.backwardFlopsMultiplier(LayerClass::BaseDense),
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        t.backwardFlopsMultiplier(LayerClass::SparseEmbedding), 2.0);
+}
+
+TEST(TaskSpec, GradientAndOptimizerResidency)
+{
+    TaskSpec t = TaskSpec::preTraining();
+    // Dense layers: fp32 grads + Adam m/v.
+    EXPECT_DOUBLE_EQ(t.gradBytesPerParam(LayerClass::BaseDense), 4.0);
+    EXPECT_DOUBLE_EQ(t.optimizerBytesPerParam(LayerClass::BaseDense),
+                     8.0);
+    // Sparse tables: row-sparse grads, row-wise adagrad.
+    EXPECT_DOUBLE_EQ(t.gradBytesPerParam(LayerClass::SparseEmbedding),
+                     0.0);
+    EXPECT_NEAR(t.optimizerBytesPerParam(LayerClass::SparseEmbedding),
+                0.1, 1e-12);
+
+    TaskSpec ft = TaskSpec::fineTuning(FineTuneScope::DenseOnly);
+    EXPECT_DOUBLE_EQ(ft.gradBytesPerParam(LayerClass::SparseEmbedding),
+                     0.0);
+    EXPECT_DOUBLE_EQ(
+        ft.optimizerBytesPerParam(LayerClass::SparseEmbedding), 0.0);
+}
+
+TEST(TaskSpec, Names)
+{
+    EXPECT_EQ(TaskSpec::preTraining().toString(), "pre-training");
+    EXPECT_EQ(TaskSpec::inference().toString(), "inference");
+    EXPECT_EQ(TaskSpec::fineTuning(FineTuneScope::EmbeddingOnly)
+                  .toString(),
+              "fine-tuning (embedding-only)");
+    EXPECT_EQ(toString(TaskKind::PreTraining), "pre-training");
+    EXPECT_EQ(toString(FineTuneScope::DenseOnly), "dense-only");
+}
+
+} // namespace madmax

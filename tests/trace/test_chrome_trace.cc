@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "config/json.hh"
+#include "trace/chrome_trace.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+Timeline
+tinyTimeline()
+{
+    Timeline tl;
+    TraceEvent compute;
+    compute.id = 0;
+    compute.name = "EMB";
+    compute.stream = StreamKind::Compute;
+    compute.category = EventCategory::EmbeddingLookup;
+    compute.duration = 2e-3;
+    tl.events.push_back(ScheduledEvent{compute, 0.0, 2e-3});
+
+    TraceEvent comm;
+    comm.id = 1;
+    comm.name = "EMB_A2A \"x\"";
+    comm.stream = StreamKind::Communication;
+    comm.category = EventCategory::All2All;
+    comm.duration = 3e-3;
+    comm.blocking = true;
+    comm.deps = {0};
+    tl.events.push_back(ScheduledEvent{comm, 2e-3, 5e-3});
+
+    tl.makespan = 5e-3;
+    tl.computeBusy = 2e-3;
+    tl.commBusy = 3e-3;
+    tl.exposedComm = 3e-3;
+    return tl;
+}
+
+} // namespace
+
+TEST(ChromeTrace, ProducesValidJson)
+{
+    std::string json = chromeTraceJson(tinyTimeline());
+    // Must parse with our own JSON reader.
+    JsonValue doc = JsonValue::parse(json);
+    ASSERT_TRUE(doc.has("traceEvents"));
+    const auto &events = doc.at("traceEvents").asArray();
+    ASSERT_EQ(events.size(), 2u);
+
+    const JsonValue &first = events[0];
+    EXPECT_EQ(first.at("name").asString(), "EMB");
+    EXPECT_EQ(first.at("ph").asString(), "X");
+    EXPECT_EQ(first.at("tid").asLong(), 0);      // Compute lane.
+    EXPECT_DOUBLE_EQ(first.at("ts").asDouble(), 0.0);
+    EXPECT_NEAR(first.at("dur").asDouble(), 2000.0, 1e-6); // us.
+
+    const JsonValue &second = events[1];
+    EXPECT_EQ(second.at("tid").asLong(), 1);     // Comm lane.
+    EXPECT_EQ(second.at("name").asString(), "EMB_A2A \"x\"");
+    EXPECT_EQ(second.at("args").at("blocking").asBool(), true);
+}
+
+TEST(ChromeTrace, SkipsZeroDurationEvents)
+{
+    Timeline tl = tinyTimeline();
+    TraceEvent barrier;
+    barrier.id = 2;
+    barrier.name = "iter_end";
+    barrier.duration = 0.0;
+    tl.events.push_back(ScheduledEvent{barrier, 5e-3, 5e-3});
+
+    JsonValue doc = JsonValue::parse(chromeTraceJson(tl));
+    EXPECT_EQ(doc.at("traceEvents").size(), 2u);
+}
+
+TEST(AsciiStreams, RendersTwoLanes)
+{
+    std::string s = asciiStreams(tinyTimeline(), 40);
+    EXPECT_NE(s.find("compute |"), std::string::npos);
+    EXPECT_NE(s.find("comm    |"), std::string::npos);
+    // Blocking comm renders as '=' fill somewhere in the comm lane.
+    EXPECT_NE(s.find('='), std::string::npos);
+}
+
+TEST(AsciiStreams, EmptyTimelineRendersNothing)
+{
+    Timeline tl;
+    EXPECT_TRUE(asciiStreams(tl).empty());
+}
+
+} // namespace madmax

@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "trace/trace_event.hh"
+
+namespace madmax
+{
+
+TEST(TraceEvent, Names)
+{
+    EXPECT_EQ(toString(StreamKind::Compute), "compute");
+    EXPECT_EQ(toString(StreamKind::Communication), "communication");
+    EXPECT_EQ(toString(EventCategory::EmbeddingLookup), "EmbLookup");
+    EXPECT_EQ(toString(EventCategory::Gemm), "GEMM");
+    EXPECT_EQ(toString(EventCategory::All2All), "All2All");
+    EXPECT_EQ(toString(EventCategory::Memcpy), "Memcpy");
+}
+
+TEST(Timeline, DerivedMetrics)
+{
+    Timeline tl;
+    tl.makespan = 10.0;
+    tl.computeBusy = 6.0;
+    tl.commBusy = 8.0;
+    tl.exposedComm = 2.0;
+    EXPECT_DOUBLE_EQ(tl.overlappedComm(), 6.0);
+    EXPECT_DOUBLE_EQ(tl.overlapFraction(), 0.75);
+    EXPECT_DOUBLE_EQ(tl.serialized(), 14.0);
+}
+
+TEST(Timeline, ZeroCommHasZeroOverlapFraction)
+{
+    Timeline tl;
+    tl.computeBusy = 5.0;
+    EXPECT_DOUBLE_EQ(tl.overlapFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(tl.serialized(), 5.0);
+}
+
+} // namespace madmax

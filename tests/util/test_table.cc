@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace madmax
+{
+
+TEST(AsciiTable, RendersAlignedColumns)
+{
+    AsciiTable t({"model", "params"});
+    t.addRow({"DLRM-A", "793B"});
+    t.addRow({"GPT-3", "175B"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("| model "), std::string::npos);
+    EXPECT_NE(s.find("| DLRM-A "), std::string::npos);
+    EXPECT_NE(s.find("| 793B "), std::string::npos);
+    // Every line has the same width.
+    size_t first_len = s.find('\n');
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t next = s.find('\n', pos);
+        if (next == std::string::npos)
+            break;
+        EXPECT_EQ(next - pos, first_len);
+        pos = next + 1;
+    }
+}
+
+TEST(AsciiTable, RejectsMismatchedRow)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), ConfigError);
+    EXPECT_THROW(AsciiTable({}), ConfigError);
+}
+
+TEST(AsciiTable, SeparatorRows)
+{
+    AsciiTable t({"x"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    EXPECT_EQ(t.numRows(), 3u);
+    std::string s = t.toString();
+    int rules = 0;
+    size_t pos = 0;
+    while ((pos = s.find("+-", pos)) != std::string::npos) {
+        ++rules;
+        pos = s.find('\n', pos);
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(AsciiBar, ProportionalWidth)
+{
+    EXPECT_EQ(asciiBar(1.0, 1.0, 10), "##########");
+    EXPECT_EQ(asciiBar(0.5, 1.0, 10), "#####");
+    EXPECT_EQ(asciiBar(0.0, 1.0, 10), "");
+    EXPECT_EQ(asciiBar(2.0, 1.0, 10), "##########"); // Clamped.
+    EXPECT_EQ(asciiBar(1.0, 0.0, 10), "");           // Degenerate max.
+}
+
+} // namespace madmax

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+using namespace madmax::units;
+
+TEST(Units, BinaryCapacities)
+{
+    EXPECT_DOUBLE_EQ(kib(1), 1024.0);
+    EXPECT_DOUBLE_EQ(mib(1), 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(gib(40), 40.0 * 1024.0 * 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(tib(2), 2.0 * GiB * 1024.0);
+}
+
+TEST(Units, DecimalSizes)
+{
+    EXPECT_DOUBLE_EQ(kb(1), 1e3);
+    EXPECT_DOUBLE_EQ(mb(22.61), 22.61e6);
+    EXPECT_DOUBLE_EQ(gb(1.5), 1.5e9);
+    EXPECT_DOUBLE_EQ(tb(3.2), 3.2e12);
+}
+
+TEST(Units, BitBandwidthConvertsToBytes)
+{
+    // 200 Gbps NIC = 25 GB/s.
+    EXPECT_DOUBLE_EQ(gbps(200), 25e9);
+    // Table III: 25.6 Tbps aggregate = 3.2 TB/s.
+    EXPECT_DOUBLE_EQ(tbps(25.6), 3.2e12);
+    EXPECT_DOUBLE_EQ(mbps(8), 1e6);
+}
+
+TEST(Units, ByteBandwidth)
+{
+    EXPECT_DOUBLE_EQ(gBps(600), 600e9);
+    EXPECT_DOUBLE_EQ(tBps(1.6), 1.6e12);
+    EXPECT_DOUBLE_EQ(pBps(3.96), 3.96e15);
+}
+
+TEST(Units, Flops)
+{
+    EXPECT_DOUBLE_EQ(tflops(312), 312e12);
+    EXPECT_DOUBLE_EQ(pflops(20), 20e15);
+    EXPECT_DOUBLE_EQ(gflops(1), 1e9);
+}
+
+TEST(Units, TimeConversionsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(msec(65.3), 0.0653);
+    EXPECT_DOUBLE_EQ(toMsec(msec(65.3)), 65.3);
+    EXPECT_DOUBLE_EQ(hours(2), 7200.0);
+    EXPECT_DOUBLE_EQ(toHours(hours(2)), 2.0);
+    EXPECT_DOUBLE_EQ(days(21), 21.0 * 86400.0);
+    EXPECT_DOUBLE_EQ(toDays(days(21)), 21.0);
+    EXPECT_DOUBLE_EQ(usec(5), 5e-6);
+    EXPECT_DOUBLE_EQ(minutes(3), 180.0);
+}
+
+TEST(Units, Counts)
+{
+    EXPECT_DOUBLE_EQ(billion(793), 793e9);
+    EXPECT_DOUBLE_EQ(trillion(1.8), 1.8e12);
+    EXPECT_DOUBLE_EQ(million(638), 638e6);
+    EXPECT_DOUBLE_EQ(kilo(64), 64e3);
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * MAD-Max command-line driver. Wraps the library behind the JSON
+ * interface of §IV-A:
+ *
+ *   madmax evaluate --model m.json --system s.json --task t.json
+ *       [--trace out.json] [--json]
+ *   madmax explore  --model m.json --system s.json --task t.json
+ *       [--top N] [--no-memory-limit] [--json]
+ *   madmax describe --model m.json
+ *
+ * Exit codes: 0 success, 1 usage/configuration error, 2 evaluated
+ * but the plan does not fit device memory.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/config_loader.hh"
+#include "core/strategy_explorer.hh"
+#include "trace/chrome_trace.hh"
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+#include "util/table.hh"
+
+using namespace madmax;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage:\n"
+        "  madmax evaluate --model M.json --system S.json --task T.json\n"
+        "                  [--trace OUT.json] [--json]\n"
+        "  madmax explore  --model M.json --system S.json --task T.json\n"
+        "                  [--top N] [--no-memory-limit] [--json]\n"
+        "  madmax describe --model M.json\n";
+    return 1;
+}
+
+/** Parse --key value pairs and boolean --flags. */
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv, int start)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = start; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected argument: " + arg);
+        std::string key = arg.substr(2);
+        if (key == "json" || key == "no-memory-limit") {
+            flags[key] = "true";
+        } else {
+            if (i + 1 >= argc)
+                fatal("missing value for --" + key);
+            flags[key] = argv[++i];
+        }
+    }
+    return flags;
+}
+
+const std::string &
+require(const std::map<std::string, std::string> &flags,
+        const std::string &key)
+{
+    auto it = flags.find(key);
+    if (it == flags.end())
+        fatal("missing required flag --" + key);
+    return it->second;
+}
+
+JsonValue
+reportJson(const PerfReport &r)
+{
+    JsonValue out;
+    out.set("model", r.modelName);
+    out.set("cluster", r.clusterName);
+    out.set("task", r.taskName);
+    out.set("plan", r.plan.toString());
+    out.set("valid", r.valid);
+    out.set("memory_bytes_per_device", r.memory.total());
+    out.set("memory_usable_bytes", r.memory.usableCapacity);
+    if (r.valid) {
+        out.set("iteration_seconds", r.iterationTime);
+        out.set("serialized_seconds", r.serializedTime);
+        out.set("throughput_samples_per_sec", r.throughput());
+        out.set("tokens_per_sec", r.tokensPerSecond());
+        out.set("exposed_comm_seconds", r.exposedCommTime);
+        out.set("comm_overlap_fraction", r.overlapFraction());
+    }
+    return out;
+}
+
+int
+cmdEvaluate(const std::map<std::string, std::string> &flags)
+{
+    ModelDesc model = loadModelFile(require(flags, "model"));
+    ClusterSpec cluster = loadClusterFile(require(flags, "system"));
+    TaskConfig task = loadTaskFile(require(flags, "task"));
+
+    PerfModel madmax(cluster);
+    PerfReport report = madmax.evaluate(model, task.task, task.plan);
+
+    if (flags.count("trace") && report.valid) {
+        std::ofstream out(flags.at("trace"));
+        if (!out)
+            fatal("cannot write trace file: " + flags.at("trace"));
+        writeChromeTrace(report.timeline, out);
+    }
+    if (flags.count("json"))
+        std::cout << reportJson(report).dump(2) << "\n";
+    else
+        std::cout << report.summary();
+    return report.valid ? 0 : 2;
+}
+
+int
+cmdExplore(const std::map<std::string, std::string> &flags)
+{
+    ModelDesc model = loadModelFile(require(flags, "model"));
+    ClusterSpec cluster = loadClusterFile(require(flags, "system"));
+    TaskConfig task = loadTaskFile(require(flags, "task"));
+    size_t top = flags.count("top")
+        ? static_cast<size_t>(std::stoul(flags.at("top")))
+        : 5;
+
+    PerfModel madmax(cluster);
+    StrategyExplorer explorer(madmax);
+    ExplorerOptions opts;
+    opts.ignoreMemory = flags.count("no-memory-limit") > 0;
+    std::vector<ExplorationResult> results =
+        explorer.explore(model, task.task, opts);
+
+    if (flags.count("json")) {
+        JsonValue arr;
+        size_t shown = 0;
+        for (const ExplorationResult &r : results) {
+            if (shown++ >= top)
+                break;
+            arr.append(reportJson(r.report));
+        }
+        std::cout << arr.dump(2) << "\n";
+        return 0;
+    }
+
+    AsciiTable table({"rank", "plan", "throughput", "mem/device",
+                      "verdict"});
+    size_t shown = 0;
+    for (const ExplorationResult &r : results) {
+        if (shown >= top)
+            break;
+        ++shown;
+        table.addRow({std::to_string(shown), r.plan.toString(),
+                      r.report.valid
+                          ? formatCount(r.report.throughput()) + "/s"
+                          : "-",
+                      formatBytes(r.report.memory.total()),
+                      r.report.valid ? "ok" : "OOM"});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdDescribe(const std::map<std::string, std::string> &flags)
+{
+    ModelDesc model = loadModelFile(require(flags, "model"));
+    ModelTotals totals = model.graph.totals();
+
+    JsonValue layers;
+    for (int i = 0; i < model.graph.numLayers(); ++i) {
+        const Layer &layer = model.graph.layer(i);
+        JsonValue entry;
+        entry.set("name", layer.name());
+        entry.set("kind", toString(layer.kind()));
+        entry.set("class", toString(layer.layerClass()));
+        entry.set("params", layer.paramCount());
+        entry.set("forward_flops_per_sample",
+                  layer.forwardFlopsPerSample());
+        layers.append(std::move(entry));
+    }
+    JsonValue out;
+    out.set("name", model.name);
+    out.set("global_batch", model.globalBatchSize);
+    out.set("context_length", model.contextLength);
+    out.set("total_params", totals.paramCount);
+    out.set("forward_flops_per_token", model.forwardFlopsPerToken());
+    out.set("lookup_bytes_per_sample", totals.lookupBytesPerSample);
+    out.set("num_layers", static_cast<long>(model.graph.numLayers()));
+    out.set("layers", std::move(layers));
+    std::cout << out.dump(2) << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    try {
+        auto flags = parseFlags(argc, argv, 2);
+        if (cmd == "evaluate")
+            return cmdEvaluate(flags);
+        if (cmd == "explore")
+            return cmdExplore(flags);
+        if (cmd == "describe")
+            return cmdDescribe(flags);
+        std::cerr << "unknown command: " << cmd << "\n";
+        return usage();
+    } catch (const ConfigError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
