@@ -54,7 +54,11 @@ struct HierStrategy
     constexpr HierStrategy(Strategy i, Strategy o) : intra(i), inter(o) {}
 
     bool isGlobal() const { return inter == Strategy::None; }
-    bool operator==(const HierStrategy &) const = default;
+    bool operator==(const HierStrategy &o) const
+    {
+        return intra == o.intra && inter == o.inter;
+    }
+    bool operator!=(const HierStrategy &o) const { return !(*this == o); }
 
     /** "(TP, DDP)" / "(FSDP)" per paper notation. */
     std::string toString() const;
