@@ -15,14 +15,29 @@
 using namespace madmax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReporter reporter("fig04_fleet_characterization", argc,
+                                  argv);
     bench::banner("Fig. 4: fleet-wide communication characterization",
                   "14~32% of GPU cycles are exposed communication; "
                   "DLRM ~50% comm overlapped vs LLM >65%; DLRM All2All-"
                   "heavy vs LLM AllReduce-heavy");
 
-    FleetReport report = FleetSimulator::representativeFleet().run();
+    EvalEngineOptions eo;
+    eo.jobs = reporter.jobs();
+    EvalEngine engine(eo);
+    bench::WallTimer timer;
+    FleetReport report =
+        FleetSimulator::representativeFleet().run(&engine);
+    reporter.record("fleet_run_seconds", timer.seconds(), "s");
+    reporter.record("fleet_evaluations",
+                    static_cast<double>(report.stats.evaluations),
+                    "count");
+    reporter.record("overall_compute_fraction", report.overall.compute,
+                    "fraction");
+    reporter.record("overall_exposed_comm_fraction",
+                    report.overall.exposedComm, "fraction");
 
     std::cout << "\n(a) observable GPU-cycle categories\n";
     AsciiTable cycles({"workload", "compute", "exposed comm",

@@ -18,11 +18,18 @@
 using namespace madmax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReporter reporter("fig10_pretraining_throughput", argc,
+                                  argv);
     bench::banner("Fig. 10: pre-training throughput vs FSDP baseline",
                   "avg +65.9% from layer-type strategy tuning; up to "
                   "2.24x constrained, 2.43x unconstrained");
+
+    EvalEngineOptions eo;
+    eo.jobs = reporter.jobs();
+    EvalEngine engine(eo);
+    bench::WallTimer total_timer;
 
     for (TaskSpec task :
          {TaskSpec::preTraining(), TaskSpec::inference()}) {
@@ -38,7 +45,7 @@ main()
                 ? hw_zoo::dlrmTrainingSystem()
                 : hw_zoo::llmTrainingSystem();
             PerfModel madmax(cluster);
-            StrategyExplorer explorer(madmax);
+            StrategyExplorer explorer(madmax, &engine);
 
             PerfReport baseline = explorer.baseline(model, task);
             ExplorationResult best = explorer.best(model, task);
@@ -54,6 +61,9 @@ main()
             speedups.push_back(speedup);
             max_speedup = std::max(max_speedup, speedup);
             max_unconstrained = std::max(max_unconstrained, speedup_u);
+            reporter.record(model.name + " " + task.toString() +
+                                " speedup",
+                            speedup, "x");
 
             // Compact per-class plan: only classes the model has.
             std::string plan;
@@ -88,5 +98,6 @@ main()
                 max_speedup, max_unconstrained);
         }
     }
+    reporter.record("fig10_total_seconds", total_timer.seconds(), "s");
     return 0;
 }

@@ -31,7 +31,8 @@ main()
 
     AsciiTable table({"(dense), (emb) strategy", "vs FSDP", "bar",
                       "mem/device"});
-    for (const ExplorationResult &r : explorer.explore(model, task)) {
+    for (const ExplorationResult &r :
+         explorer.explore(model, task).results) {
         if (r.plan.strategyFor(LayerClass::SparseEmbedding) !=
             HierStrategy{Strategy::MP}) {
             continue; // Fig. 11 keeps tables in vanilla sharding.

@@ -41,7 +41,7 @@ main()
         std::map<std::string, double> best_tp;
         for (const ModelDesc &model : variants) {
             std::vector<ExplorationResult> results =
-                explorer.explore(model, task);
+                explorer.explore(model, task).results;
             std::vector<ParetoPoint> pts;
             for (size_t i = 0; i < results.size(); ++i) {
                 if (!results[i].report.valid)

@@ -18,8 +18,9 @@
 using namespace madmax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReporter reporter("fig19_future_scaling", argc, argv);
     bench::banner("Fig. 19: 10x hardware-capability scaling study",
                   "DLRM non-network single axes cap at ~1.64x train / "
                   "2.12x inference; GPT-3 favors compute; all-axes "
@@ -46,11 +47,18 @@ main()
                      hw_zoo::llmTrainingSystem(),
                      TaskSpec::inference()});
 
+    EvalEngineOptions eo;
+    eo.jobs = reporter.jobs();
+    EvalEngine engine(eo);
+
     for (const Case &c : cases) {
         std::cout << "\n" << c.label << " (speedup at 10x):\n";
         PerfModel model(c.cluster);
-        std::vector<ScalingResult> results =
-            hardwareScalingStudy(model, c.model, c.task, 10.0);
+        bench::WallTimer timer;
+        std::vector<ScalingResult> results = hardwareScalingStudy(
+            model, c.model, c.task, 10.0, allHwAxes(), &engine);
+        reporter.record(std::string("scaling_study_seconds_") + c.label,
+                        timer.seconds(), "s");
 
         AsciiTable table({"scaled capability", "speedup", "bar"});
         double best_single = 0.0, all_axes = 0.0;
@@ -58,6 +66,9 @@ main()
             table.addRow({toString(r.axis),
                           strfmt("%.2fx", r.speedup),
                           asciiBar(r.speedup, 12.0, 36)});
+            reporter.record(std::string(c.label) + " " +
+                                toString(r.axis),
+                            r.speedup, "x");
             if (r.axis == HwAxis::All)
                 all_axes = r.speedup;
             else

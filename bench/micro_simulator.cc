@@ -68,13 +68,33 @@ BM_ExploreDlrmStrategySpace(benchmark::State &state)
     PerfModel madmax(hw_zoo::dlrmTrainingSystem(), slimOptions());
     StrategyExplorer explorer(madmax);
     for (auto _ : state) {
-        auto results =
+        auto exploration =
             explorer.explore(model, TaskSpec::preTraining());
-        benchmark::DoNotOptimize(results.size());
+        benchmark::DoNotOptimize(exploration.results.size());
     }
     state.SetItemsProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_ExploreDlrmStrategySpace);
+
+void
+BM_ExploreDlrmStrategySpaceUncached(benchmark::State &state)
+{
+    // Same sweep through a non-memoizing engine: the raw evaluation
+    // cost the EvalEngine cache saves on repeated searches.
+    ModelDesc model = model_zoo::dlrmA();
+    PerfModel madmax(hw_zoo::dlrmTrainingSystem(), slimOptions());
+    EvalEngineOptions eo;
+    eo.memoize = false;
+    EvalEngine engine(eo);
+    StrategyExplorer explorer(madmax, &engine);
+    for (auto _ : state) {
+        auto exploration =
+            explorer.explore(model, TaskSpec::preTraining());
+        benchmark::DoNotOptimize(exploration.results.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ExploreDlrmStrategySpaceUncached);
 
 void
 BM_CollectiveModel(benchmark::State &state)

@@ -30,7 +30,8 @@ main()
 
     AsciiTable table({"dense strategy", "emb strategy", "throughput",
                       "vs FSDP", "mem/device", "verdict"});
-    for (const ExplorationResult &r : explorer.explore(model, task)) {
+    for (const ExplorationResult &r :
+         explorer.explore(model, task).results) {
         HierStrategy dense = r.plan.strategyFor(LayerClass::BaseDense);
         HierStrategy emb =
             r.plan.strategyFor(LayerClass::SparseEmbedding);

@@ -21,8 +21,8 @@ PerfModel::withCluster(ClusterSpec cluster) const
 }
 
 PerfReport
-PerfModel::evaluate(const ModelDesc &desc, const TaskSpec &task,
-                    const ParallelPlan &plan) const
+PerfModel::verdict(const ModelDesc &desc, const TaskSpec &task,
+                   const ParallelPlan &plan) const
 {
     PerfReport report;
     report.modelName = desc.name;
@@ -34,6 +34,14 @@ PerfModel::evaluate(const ModelDesc &desc, const TaskSpec &task,
 
     report.memory = memoryModel_.evaluate(desc, task, plan, cluster_);
     report.valid = report.memory.fits() || options_.ignoreMemory;
+    return report;
+}
+
+PerfReport
+PerfModel::evaluate(const ModelDesc &desc, const TaskSpec &task,
+                    const ParallelPlan &plan) const
+{
+    PerfReport report = verdict(desc, task, plan);
     if (!report.memory.fits() && !options_.ignoreMemory)
         return report;
 

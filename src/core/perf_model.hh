@@ -70,6 +70,17 @@ class PerfModel
     PerfReport evaluate(const ModelDesc &desc, const TaskSpec &task,
                         const ParallelPlan &plan) const;
 
+    /**
+     * Memory-only evaluation: fills the identity fields and the
+     * per-device memory verdict without building streams or running
+     * the overlap simulator. For a plan that does not fit (and with
+     * ignoreMemory unset) the result is identical to evaluate() —
+     * this is the cheap feasibility pre-pass the EvalEngine uses to
+     * prune OOM plans before they reach the thread pool.
+     */
+    PerfReport verdict(const ModelDesc &desc, const TaskSpec &task,
+                       const ParallelPlan &plan) const;
+
     const ClusterSpec &cluster() const { return cluster_; }
     const PerfModelOptions &options() const { return options_; }
 

@@ -7,20 +7,21 @@
 namespace madmax
 {
 
-namespace
+StrategyExplorer::StrategyExplorer(const PerfModel &model,
+                                   EvalEngine *engine)
+    : model_(model), shared_(engine)
 {
-thread_local long search_evaluations = 0;
-} // namespace
-
-StrategyExplorer::StrategyExplorer(const PerfModel &model)
-    : model_(model)
-{
+    // The private fallback engine is built eagerly (it is cheap: one
+    // thread means no pool) so the const search methods stay safe to
+    // call concurrently, matching PerfModel's thread-safety contract.
+    if (!shared_)
+        owned_ = std::make_unique<EvalEngine>();
 }
 
-long
-StrategyExplorer::lastSearchEvaluations()
+EvalEngine &
+StrategyExplorer::engine() const
 {
-    return search_evaluations;
+    return shared_ ? *shared_ : *owned_;
 }
 
 std::vector<LayerClass>
@@ -78,13 +79,12 @@ StrategyExplorer::candidates(LayerClass cls)
     panic("candidates: unknown LayerClass");
 }
 
-std::vector<ExplorationResult>
+Exploration
 StrategyExplorer::explore(const ModelDesc &desc, const TaskSpec &task,
                           const ExplorerOptions &options) const
 {
     // Gather the classes present, in a stable order.
     std::vector<LayerClass> classes = classesOf(desc);
-    search_evaluations = 0;
 
     // Cartesian product over per-class candidates. Plans inherit the
     // production default of prefetch-enabled FSDP so the explorer
@@ -131,23 +131,40 @@ StrategyExplorer::explore(const ModelDesc &desc, const TaskSpec &task,
         model = &unconstrained;
     }
 
-    std::vector<ExplorationResult> results;
-    results.reserve(plans.size());
-    for (const ParallelPlan &plan : plans) {
-        ++search_evaluations;
-        PerfReport r = model->evaluate(desc, task, plan);
-        if (!r.valid && !options.keepInvalid)
-            continue;
-        results.push_back(ExplorationResult{plan, std::move(r)});
+    std::vector<PlanRequest> requests;
+    requests.reserve(plans.size());
+    for (ParallelPlan &plan : plans) {
+        PlanRequest req;
+        req.model = model;
+        req.desc = &desc;
+        req.task = &task;
+        req.plan = std::move(plan);
+        requests.push_back(std::move(req));
     }
 
-    std::sort(results.begin(), results.end(),
-              [](const ExplorationResult &a, const ExplorationResult &b) {
-                  if (a.report.valid != b.report.valid)
-                      return a.report.valid;
-                  return a.report.throughput() > b.report.throughput();
-              });
-    return results;
+    Exploration out;
+    std::vector<PerfReport> reports =
+        engine().evaluateAll(requests, &out.stats);
+
+    out.results.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (!reports[i].valid && !options.keepInvalid)
+            continue;
+        out.results.push_back(
+            ExplorationResult{std::move(requests[i].plan),
+                              std::move(reports[i]), EvalStats{}});
+    }
+
+    // stable_sort keeps enumeration order on throughput ties, so the
+    // ranking is bytewise-identical for any thread count.
+    std::stable_sort(
+        out.results.begin(), out.results.end(),
+        [](const ExplorationResult &a, const ExplorationResult &b) {
+            if (a.report.valid != b.report.valid)
+                return a.report.valid;
+            return a.report.throughput() > b.report.throughput();
+        });
+    return out;
 }
 
 ExplorationResult
@@ -157,28 +174,42 @@ StrategyExplorer::bestByCoordinateDescent(
 {
     // Start from the baseline (prefetch-enabled) and greedily sweep
     // one layer class at a time until no single-class change helps.
+    // Each class sweep is evaluated as one engine batch: within a
+    // sweep every trial varies only that class, so batching matches
+    // the sequential greedy adoption exactly (argmax == last adopted).
+    EvalStats stats;
     ParallelPlan plan = ParallelPlan::fsdpBaseline();
     plan.fsdpPrefetch = true;
-    ++search_evaluations;
-    PerfReport best = model.evaluate(desc, task, plan);
+    PerfReport best =
+        engine().evaluateOne(model, desc, task, plan, &stats);
 
     bool improved = true;
     int rounds = 0;
     while (improved && rounds++ < 8) {
         improved = false;
         for (LayerClass cls : classes) {
+            std::vector<PlanRequest> trials;
             for (HierStrategy hs : candidates(cls)) {
                 if (plan.strategyFor(cls) == hs)
                     continue;
-                ParallelPlan trial = plan;
-                trial.set(cls, hs);
-                ++search_evaluations;
-                PerfReport r = model.evaluate(desc, task, trial);
-                if (r.valid &&
+                PlanRequest req;
+                req.model = &model;
+                req.desc = &desc;
+                req.task = &task;
+                req.plan = plan;
+                req.plan.set(cls, hs);
+                trials.push_back(std::move(req));
+            }
+            EvalStats batch_stats;
+            std::vector<PerfReport> reports =
+                engine().evaluateAll(trials, &batch_stats);
+            stats += batch_stats;
+            for (size_t i = 0; i < trials.size(); ++i) {
+                if (reports[i].valid &&
                     (!best.valid ||
-                     r.throughput() > best.throughput())) {
-                    plan = std::move(trial);
-                    best = std::move(r);
+                     reports[i].throughput() > best.throughput())) {
+                    plan = trials[i].plan;
+                    best = std::move(reports[i]);
                     improved = true;
                 }
             }
@@ -188,7 +219,7 @@ StrategyExplorer::bestByCoordinateDescent(
         fatal("StrategyExplorer: no valid plan fits device memory "
               "for '" + desc.name + "'");
     }
-    return ExplorationResult{plan, std::move(best)};
+    return ExplorationResult{plan, std::move(best), stats};
 }
 
 ExplorationResult
@@ -196,7 +227,6 @@ StrategyExplorer::best(const ModelDesc &desc, const TaskSpec &task,
                        const ExplorerOptions &options) const
 {
     if (options.algorithm == SearchAlgorithm::CoordinateDescent) {
-        search_evaluations = 0;
         const PerfModel *model = &model_;
         PerfModel unconstrained = model_.withCluster(model_.cluster());
         if (options.ignoreMemory) {
@@ -208,10 +238,12 @@ StrategyExplorer::best(const ModelDesc &desc, const TaskSpec &task,
         return bestByCoordinateDescent(desc, task, *model,
                                        classesOf(desc));
     }
-    std::vector<ExplorationResult> all = explore(desc, task, options);
-    for (ExplorationResult &r : all) {
-        if (r.report.valid)
+    Exploration all = explore(desc, task, options);
+    for (ExplorationResult &r : all.results) {
+        if (r.report.valid) {
+            r.stats = all.stats;
             return std::move(r);
+        }
     }
     fatal("StrategyExplorer: no valid plan fits device memory for '" +
           desc.name + "'");
@@ -221,7 +253,8 @@ PerfReport
 StrategyExplorer::baseline(const ModelDesc &desc,
                            const TaskSpec &task) const
 {
-    return model_.evaluate(desc, task, ParallelPlan::fsdpBaseline());
+    return engine().evaluateOne(model_, desc, task,
+                                ParallelPlan::fsdpBaseline());
 }
 
 } // namespace madmax

@@ -4,23 +4,40 @@
  * valid hierarchical parallelization strategies per layer class,
  * evaluates each full plan through the performance model, and ranks
  * by throughput — the engine behind Figs. 10-18.
+ *
+ * All evaluations flow through an EvalEngine (src/engine/), which
+ * parallelizes, memoizes, and prunes them; result ordering is
+ * deterministic regardless of thread count.
  */
 
 #ifndef MADMAX_CORE_STRATEGY_EXPLORER_HH
 #define MADMAX_CORE_STRATEGY_EXPLORER_HH
 
+#include <memory>
 #include <vector>
 
-#include "core/perf_model.hh"
+#include "engine/eval_engine.hh"
 
 namespace madmax
 {
 
-/** One explored point. */
+/** One explored point. stats is only populated on best()'s winner
+ *  (the whole-search cost); explore() reports stats batch-wide. */
 struct ExplorationResult
 {
     ParallelPlan plan;
     PerfReport report;
+    EvalStats stats;
+};
+
+/** A ranked exploration of the full plan space. */
+struct Exploration
+{
+    /** Sorted by descending throughput, invalid plans last. */
+    std::vector<ExplorationResult> results;
+
+    /** Search cost of this call (evaluations, cache hits, pruned). */
+    EvalStats stats;
 };
 
 /** Search algorithm for the strategy space. */
@@ -62,7 +79,15 @@ struct ExplorerOptions
 class StrategyExplorer
 {
   public:
-    explicit StrategyExplorer(const PerfModel &model);
+    /**
+     * @param model  The bound performance model.
+     * @param engine Shared evaluation engine; pass one to pool
+     *        threads and share the memo cache with other call sites
+     *        (DSE sweeps, fleet, CLI). When null, the explorer owns
+     *        a private serial engine (memoizing, one thread).
+     */
+    explicit StrategyExplorer(const PerfModel &model,
+                              EvalEngine *engine = nullptr);
 
     /** Candidate strategies for one layer class. */
     static std::vector<HierStrategy> candidates(LayerClass cls);
@@ -70,18 +95,19 @@ class StrategyExplorer
     /**
      * Evaluate the cartesian product of candidates over the classes
      * present in @p desc. Results are sorted by descending
-     * throughput, invalid plans last.
+     * throughput, invalid plans last; ordering is identical for any
+     * engine thread count.
      */
-    std::vector<ExplorationResult>
-    explore(const ModelDesc &desc, const TaskSpec &task,
-            const ExplorerOptions &options = {}) const;
+    Exploration explore(const ModelDesc &desc, const TaskSpec &task,
+                        const ExplorerOptions &options = {}) const;
 
     /**
      * The throughput-optimal valid plan, via the configured search
      * algorithm. Coordinate descent evaluates O(classes x candidates)
      * plans per round instead of the full product; it can stop in a
      * local optimum but matches exhaustive search on every workload
-     * in this suite (see tests).
+     * in this suite (see tests). The result's stats field carries the
+     * whole search's cost.
      *
      * @throws ConfigError if no plan fits in memory.
      */
@@ -91,10 +117,6 @@ class StrategyExplorer
     /** Baseline FSDP report for speedup normalization. */
     PerfReport baseline(const ModelDesc &desc, const TaskSpec &task) const;
 
-    /** Number of evaluate() calls issued by the last best()/explore()
-     *  on this thread (search-cost instrumentation). */
-    static long lastSearchEvaluations();
-
   private:
     ExplorationResult bestByCoordinateDescent(
         const ModelDesc &desc, const TaskSpec &task,
@@ -103,7 +125,12 @@ class StrategyExplorer
 
     std::vector<LayerClass> classesOf(const ModelDesc &desc) const;
 
+    /** The shared engine, or the private serial fallback. */
+    EvalEngine &engine() const;
+
     const PerfModel &model_;
+    EvalEngine *shared_;                ///< Borrowed; may be null.
+    std::unique_ptr<EvalEngine> owned_; ///< Serial fallback.
 };
 
 } // namespace madmax

@@ -55,9 +55,9 @@ scaleAxis(const ClusterSpec &cluster, HwAxis axis, double factor)
 std::vector<ScalingResult>
 hardwareScalingStudy(const PerfModel &base_model, const ModelDesc &desc,
                      const TaskSpec &task, double factor,
-                     const std::vector<HwAxis> &axes)
+                     const std::vector<HwAxis> &axes, EvalEngine *engine)
 {
-    StrategyExplorer base_explorer(base_model);
+    StrategyExplorer base_explorer(base_model, engine);
     ExplorationResult base_best = base_explorer.best(desc, task);
     double base_throughput = base_best.report.throughput();
 
@@ -66,7 +66,7 @@ hardwareScalingStudy(const PerfModel &base_model, const ModelDesc &desc,
     for (HwAxis axis : axes) {
         PerfModel scaled = base_model.withCluster(
             scaleAxis(base_model.cluster(), axis, factor));
-        StrategyExplorer explorer(scaled);
+        StrategyExplorer explorer(scaled, engine);
         ScalingResult r;
         r.axis = axis;
         r.factor = factor;

@@ -50,11 +50,20 @@ struct ScalingResult
  * For each axis, scale the cluster by @p factor, explore strategies,
  * and report best-plan throughput relative to the unscaled cluster's
  * best plan.
+ *
+ * @param engine Optional shared EvalEngine: every per-axis search
+ *        runs through it, pooling worker threads, and repeated calls
+ *        with the same factor/axes are memoized. (Axes do not share
+ *        cache entries with each other — a scaled cluster is a
+ *        different fingerprint, even on axes like HbmCapacity that
+ *        rarely change the timing.) Null runs a private serial
+ *        engine per explorer.
  */
 std::vector<ScalingResult>
 hardwareScalingStudy(const PerfModel &base_model, const ModelDesc &desc,
                      const TaskSpec &task, double factor,
-                     const std::vector<HwAxis> &axes = allHwAxes());
+                     const std::vector<HwAxis> &axes = allHwAxes(),
+                     EvalEngine *engine = nullptr);
 
 /**
  * Aggregate device-hours normalized to A100 peak FLOPS (Fig. 16's

@@ -1,0 +1,341 @@
+#include "engine/eval_engine.hh"
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+#include "util/thread_pool.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/** All layer classes, in canonical key order. */
+constexpr LayerClass kAllClasses[] = {
+    LayerClass::SparseEmbedding, LayerClass::DenseEmbedding,
+    LayerClass::BaseDense, LayerClass::Transformer, LayerClass::MoE};
+
+void
+appendDouble(std::string &out, double v)
+{
+    // %.17g round-trips doubles exactly: two clusters that differ in
+    // the 17th digit of a bandwidth must not share cache entries.
+    out += strfmt("%.17g,", v);
+}
+
+void
+appendCluster(std::string &out, const ClusterSpec &c)
+{
+    out += c.name;
+    out += ',';
+    out += std::to_string(c.devicesPerNode) + ',' +
+        std::to_string(c.numNodes) + ',';
+    out += std::to_string(static_cast<int>(c.intraFabric)) + ',' +
+        std::to_string(static_cast<int>(c.interFabric)) + ',';
+    appendDouble(out, c.util.compute);
+    appendDouble(out, c.util.hbm);
+    appendDouble(out, c.util.intraLink);
+    appendDouble(out, c.util.interLink);
+    const DeviceSpec &d = c.device;
+    out += d.name;
+    out += ',';
+    appendDouble(out, d.peakFlopsTensor16);
+    appendDouble(out, d.peakFlopsTf32);
+    appendDouble(out, d.peakFlopsFp32);
+    appendDouble(out, d.hbmCapacity);
+    appendDouble(out, d.hbmBandwidth);
+    appendDouble(out, d.intraNodeBandwidth);
+    appendDouble(out, d.interNodeBandwidth);
+}
+
+void
+appendOptions(std::string &out, const PerfModelOptions &o)
+{
+    out += o.ignoreMemory ? '1' : '0';
+    out += o.backgroundCommChannel ? '1' : '0';
+    out += o.keepTimeline ? '1' : '0';
+    out += std::to_string(static_cast<int>(o.allReduceAlgorithm));
+    out += ',';
+    appendDouble(out, o.latency.intraAlpha);
+    appendDouble(out, o.latency.interAlpha);
+    appendDouble(out, o.memory.reserveFraction);
+    out += o.memory.checkpointActivations ? '1' : '0';
+    if (o.smModel) {
+        appendDouble(out, o.smModel->maxUtil());
+        appendDouble(out, o.smModel->halfSaturationFlops());
+    } else {
+        out += "-,";
+    }
+}
+
+void
+appendModel(std::string &out, const ModelDesc &m)
+{
+    out += m.name;
+    out += ',';
+    out += std::to_string(m.globalBatchSize) + ',' +
+        std::to_string(m.contextLength) + ',';
+    out += std::to_string(static_cast<int>(m.computeDtype)) + ',' +
+        std::to_string(static_cast<int>(m.paramDtype)) + ',';
+    out += m.isRecommendation ? '1' : '0';
+    out += std::to_string(m.graph.numLayers()) + ',';
+    // Same-name models can differ per layer (custom JSON configs that
+    // redistribute width); fold every layer's class and cost into an
+    // FNV-1a digest so such models never share a cache entry.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    auto mixDouble = [&](double v) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    };
+    // Every per-layer, per-sample quantity the performance and memory
+    // models read: compute, lookup traffic, output/TP communication
+    // volume, and retained activations. Layers that trade width for
+    // depth can match on params + FLOPs alone, so those two are not
+    // enough.
+    const double dtype_bytes = m.activationBytes();
+    for (int i = 0; i < m.graph.numLayers(); ++i) {
+        const Layer &layer = m.graph.layer(i);
+        mix(static_cast<uint64_t>(layer.kind()));
+        mix(static_cast<uint64_t>(layer.layerClass()));
+        mixDouble(layer.paramCount());
+        mixDouble(layer.forwardFlopsPerSample());
+        mixDouble(layer.lookupBytesPerSample());
+        mixDouble(layer.outputBytesPerSample(dtype_bytes));
+        mixDouble(layer.tpCommBytesPerSample(dtype_bytes));
+        mixDouble(layer.activationMemoryBytesPerSample(dtype_bytes));
+    }
+    out += strfmt("%016llx", static_cast<unsigned long long>(h));
+}
+
+} // namespace
+
+EvalEngine::EvalEngine(EvalEngineOptions options)
+    : options_(options)
+{
+    if (options_.jobs < 0)
+        fatal("EvalEngine: jobs must be >= 0");
+    if (options_.jobs == 0)
+        options_.jobs = ThreadPool::defaultConcurrency();
+    if (options_.jobs > 1)
+        pool_ = std::make_unique<ThreadPool>(options_.jobs);
+}
+
+EvalEngine::~EvalEngine() = default;
+
+int
+EvalEngine::jobs() const
+{
+    return options_.jobs;
+}
+
+std::string
+EvalEngine::cacheKey(const PlanRequest &request)
+{
+    if (!request.model || !request.desc || !request.task)
+        fatal("EvalEngine: PlanRequest with null model/desc/task");
+    std::string key;
+    key.reserve(256);
+    appendCluster(key, request.model->cluster());
+    key += '|';
+    appendOptions(key, request.model->options());
+    key += '|';
+    appendModel(key, *request.desc);
+    key += '|';
+    key += request.task->toString();
+    key += '|';
+    // Canonical plan: only classes the model has contribute to the
+    // report, so only they contribute to the key. strategyFor folds
+    // per-class defaults in, making explicit-default and absent
+    // entries collide (deliberately).
+    for (LayerClass cls : kAllClasses) {
+        if (!request.desc->graph.hasClass(cls))
+            continue;
+        key += request.plan.strategyFor(cls).toString();
+    }
+    key += request.plan.fsdpPrefetch ? "+p" : "-p";
+    return key;
+}
+
+std::shared_ptr<const PerfReport>
+EvalEngine::cacheGet(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end())
+        return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    return it->second.report;
+}
+
+void
+EvalEngine::cachePut(const std::string &key, PerfReport report)
+{
+    // Cached copies drop the scheduled Timeline (the one
+    // heavyweight report member — ~100 KB for a GPT-3 plan); see the
+    // class comment. Consumers that need timelines (trace export)
+    // evaluate through PerfModel directly.
+    report.timeline = Timeline{};
+    auto stored = std::make_shared<const PerfReport>(std::move(report));
+
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        // Another thread raced us to the same point; keep theirs (the
+        // reports are identical by construction).
+        return;
+    }
+    lru_.push_front(key);
+    cache_.emplace(key, CacheEntry{std::move(stored), lru_.begin()});
+    while (cache_.size() > options_.cacheCapacity) {
+        cache_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+size_t
+EvalEngine::cacheSize() const
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return cache_.size();
+}
+
+void
+EvalEngine::clearCache()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    cache_.clear();
+    lru_.clear();
+}
+
+std::vector<PerfReport>
+EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
+                        EvalStats *stats)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    EvalStats local;
+    std::vector<PerfReport> results(requests.size());
+
+    // Serial pre-pass: resolve each request to a cache hit, a pruned
+    // OOM verdict, or a slot in the parallel batch. Duplicate keys
+    // within the batch collapse onto one evaluation.
+    struct Pending
+    {
+        size_t firstIdx;          ///< Owns the evaluation.
+        std::vector<size_t> dups; ///< Served from firstIdx's report.
+        std::string key;
+    };
+    std::vector<Pending> pending;
+    std::unordered_map<std::string, size_t> keyToPending;
+    std::vector<std::string> keys(requests.size());
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+        const PlanRequest &req = requests[i];
+        if (!req.model || !req.desc || !req.task)
+            fatal("EvalEngine: PlanRequest with null model/desc/task");
+        if (options_.memoize) {
+            keys[i] = cacheKey(req);
+            if (auto hit = cacheGet(keys[i])) {
+                ++local.cacheHits;
+                results[i] = *hit;
+                results[i].plan = req.plan;
+                continue;
+            }
+            auto it = keyToPending.find(keys[i]);
+            if (it != keyToPending.end()) {
+                ++local.cacheHits;
+                pending[it->second].dups.push_back(i);
+                continue;
+            }
+        }
+        if (options_.pruneInfeasible &&
+            !req.model->options().ignoreMemory) {
+            PerfReport v = req.model->verdict(*req.desc, *req.task,
+                                              req.plan);
+            if (!v.valid) {
+                ++local.pruned;
+                // Cache the verdict-only report: later duplicates
+                // (same batch or later calls) hit cacheGet above.
+                if (options_.memoize)
+                    cachePut(keys[i], v);
+                results[i] = std::move(v);
+                continue;
+            }
+            // Feasible: fall through to a full evaluation. (The
+            // footprint is recomputed there; MemoryModel is a
+            // per-layer sum, noise next to stream building.)
+        }
+        ++local.evaluations;
+        if (options_.memoize)
+            keyToPending.emplace(keys[i], pending.size());
+        pending.push_back(Pending{i, {}, keys[i]});
+    }
+
+    auto evaluateAt = [&](size_t p) {
+        const PlanRequest &req = requests[pending[p].firstIdx];
+        results[pending[p].firstIdx] =
+            req.model->evaluate(*req.desc, *req.task, req.plan);
+    };
+    if (pool_ && pending.size() > 1) {
+        pool_->parallelFor(pending.size(), evaluateAt);
+    } else {
+        for (size_t p = 0; p < pending.size(); ++p)
+            evaluateAt(p);
+    }
+
+    for (const Pending &p : pending) {
+        if (options_.memoize) {
+            // The cache stores reports timeline-stripped; park the
+            // (potentially ~100 KB) timeline in a local so the copy
+            // passed to cachePut never duplicates it.
+            Timeline parked;
+            std::swap(results[p.firstIdx].timeline, parked);
+            cachePut(p.key, results[p.firstIdx]);
+            std::swap(results[p.firstIdx].timeline, parked);
+        }
+        for (size_t dup : p.dups) {
+            results[dup] = results[p.firstIdx];
+            results[dup].plan = requests[dup].plan;
+        }
+    }
+
+    local.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    if (stats)
+        *stats = local;
+    return results;
+}
+
+PerfReport
+EvalEngine::evaluateOne(const PerfModel &model, const ModelDesc &desc,
+                        const TaskSpec &task, const ParallelPlan &plan,
+                        EvalStats *stats)
+{
+    std::vector<PlanRequest> reqs(1);
+    reqs[0].model = &model;
+    reqs[0].desc = &desc;
+    reqs[0].task = &task;
+    reqs[0].plan = plan;
+    EvalStats local;
+    std::vector<PerfReport> out = evaluateAll(reqs, &local);
+    if (stats)
+        *stats += local;
+    return std::move(out[0]);
+}
+
+} // namespace madmax

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Parallel plan-evaluation engine. Every consumer of the performance
+ * model — the strategy explorer, the DSE sweeps, the fleet simulator
+ * — funnels its (model, task, plan, cluster) points through
+ * EvalEngine::evaluateAll, which adds three things on top of raw
+ * PerfModel::evaluate calls:
+ *
+ *  1. a fixed-size work-stealing thread pool (--jobs N) that fans the
+ *     batch out across cores;
+ *  2. a memoization cache keyed by a canonical fingerprint of the
+ *     point, shared across call sites (e.g. best() after explore()
+ *     re-reads every report for free);
+ *  3. a memory-feasibility pre-pass that prices MemoryModel alone and
+ *     resolves OOM plans without building streams or running the
+ *     overlap simulator.
+ *
+ * Results are returned in request order, so callers are deterministic
+ * regardless of thread count.
+ */
+
+#ifndef MADMAX_ENGINE_EVAL_ENGINE_HH
+#define MADMAX_ENGINE_EVAL_ENGINE_HH
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/perf_model.hh"
+
+namespace madmax
+{
+
+class ThreadPool;
+
+/**
+ * Per-call search-cost instrumentation. Replaces the old static
+ * thread-local StrategyExplorer::lastSearchEvaluations() counter:
+ * stats are now a value threaded through ExplorationResult /
+ * Exploration and the CLI, so they compose across threads and nested
+ * calls instead of being clobbered by them.
+ */
+struct EvalStats
+{
+    long evaluations = 0; ///< Full PerfModel::evaluate calls executed.
+    long cacheHits = 0;   ///< Requests served from the memo cache.
+    long pruned = 0;      ///< OOM plans resolved by the memory pre-pass.
+    double wallSeconds = 0.0; ///< Wall-clock time inside the engine.
+
+    /** Total points requested (evaluations + cacheHits + pruned). */
+    long requests() const { return evaluations + cacheHits + pruned; }
+
+    EvalStats &operator+=(const EvalStats &o)
+    {
+        evaluations += o.evaluations;
+        cacheHits += o.cacheHits;
+        pruned += o.pruned;
+        wallSeconds += o.wallSeconds;
+        return *this;
+    }
+};
+
+/**
+ * One point to evaluate. The pointed-to model/desc/task must outlive
+ * the evaluateAll call; requests in one batch may reference different
+ * models (the fleet evaluates jobs on per-job clusters this way).
+ */
+struct PlanRequest
+{
+    const PerfModel *model = nullptr;
+    const ModelDesc *desc = nullptr;
+    const TaskSpec *task = nullptr;
+    ParallelPlan plan;
+};
+
+/** Engine construction knobs. */
+struct EvalEngineOptions
+{
+    /** Worker threads; 1 = serial on the caller, 0 = one per core. */
+    int jobs = 1;
+
+    /** Memoize reports across evaluateAll calls. */
+    bool memoize = true;
+
+    /**
+     * Resolve OOM plans with the memory-model pre-pass instead of a
+     * full evaluate() (no effect on results — evaluate() returns the
+     * identical verdict-only report — but OOM plans never occupy a
+     * pool slot or a stream build).
+     */
+    bool pruneInfeasible = true;
+
+    /** Cache entry cap; oldest entries are evicted beyond it. */
+    size_t cacheCapacity = 1 << 13;
+};
+
+/**
+ * Thread-pooled, memoizing batch evaluator. Thread-safe: concurrent
+ * evaluateAll calls share the cache under a mutex and the pool's
+ * work-stealing scheduler interleaves their batches.
+ */
+class EvalEngine
+{
+  public:
+    explicit EvalEngine(EvalEngineOptions options = {});
+    ~EvalEngine();
+
+    EvalEngine(const EvalEngine &) = delete;
+    EvalEngine &operator=(const EvalEngine &) = delete;
+
+    /** Effective parallelism (1 when running serial). */
+    int jobs() const;
+
+    const EvalEngineOptions &options() const { return options_; }
+
+    /**
+     * Evaluate a batch. result[i] always corresponds to requests[i];
+     * evaluation order across the pool is unspecified but the returned
+     * reports are bitwise-identical to a serial run. @p stats, when
+     * given, is overwritten with this call's counters.
+     *
+     * Memory note: cached copies are stored *without* their scheduled
+     * Timeline, so a request served from the cache (a later call, or
+     * a duplicate of an earlier call's point) carries an empty
+     * timeline even when the model keeps them. Callers that consume
+     * timelines (trace export, stream plots) evaluate through
+     * PerfModel directly.
+     */
+    std::vector<PerfReport>
+    evaluateAll(const std::vector<PlanRequest> &requests,
+                EvalStats *stats = nullptr);
+
+    /** Single-point convenience wrapper over evaluateAll. @p stats,
+     *  when given, is *accumulated* into (callers tally loops). */
+    PerfReport evaluateOne(const PerfModel &model, const ModelDesc &desc,
+                           const TaskSpec &task, const ParallelPlan &plan,
+                           EvalStats *stats = nullptr);
+
+    /**
+     * Canonical memoization key. Two requests collide exactly when
+     * the performance model is guaranteed to produce the same report:
+     * same cluster + perf-model options fingerprint, same model
+     * identity, same task, and plans that agree on every layer class
+     * the model actually has (strategies for absent classes are
+     * irrelevant and canonicalized away).
+     */
+    static std::string cacheKey(const PlanRequest &request);
+
+    size_t cacheSize() const;
+    void clearCache();
+
+  private:
+    struct CacheEntry
+    {
+        std::shared_ptr<const PerfReport> report;
+        std::list<std::string>::iterator lruIt;
+    };
+
+    std::shared_ptr<const PerfReport> cacheGet(const std::string &key);
+
+    /** Stores a copy of @p report with its Timeline stripped. */
+    void cachePut(const std::string &key, PerfReport report);
+
+    EvalEngineOptions options_;
+    std::unique_ptr<ThreadPool> pool_; ///< Null when jobs == 1.
+
+    mutable std::mutex cacheMutex_;
+    std::unordered_map<std::string, CacheEntry> cache_;
+    std::list<std::string> lru_; ///< Front = most recently used.
+};
+
+} // namespace madmax
+
+#endif // MADMAX_ENGINE_EVAL_ENGINE_HH

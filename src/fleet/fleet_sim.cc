@@ -16,10 +16,39 @@ FleetSimulator::addJob(FleetJob job)
 }
 
 FleetReport
-FleetSimulator::run() const
+FleetSimulator::run(EvalEngine *engine) const
 {
     if (jobs_.empty())
         fatal("FleetSimulator: no jobs added");
+
+    std::unique_ptr<EvalEngine> owned;
+    if (!engine) {
+        owned = std::make_unique<EvalEngine>();
+        engine = owned.get();
+    }
+
+    // One cluster-bound model per job (timelines are not needed for
+    // the aggregate views), evaluated as a single engine batch.
+    std::vector<PerfModel> models;
+    models.reserve(jobs_.size());
+    std::vector<PlanRequest> requests;
+    requests.reserve(jobs_.size());
+    for (const FleetJob &job : jobs_) {
+        PerfModelOptions opts;
+        opts.keepTimeline = false;
+        models.emplace_back(job.cluster, opts);
+    }
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        PlanRequest req;
+        req.model = &models[i];
+        req.desc = &jobs_[i].model;
+        req.task = &jobs_[i].task;
+        req.plan = jobs_[i].plan;
+        requests.push_back(std::move(req));
+    }
+    EvalStats stats;
+    std::vector<PerfReport> reports = engine->evaluateAll(requests,
+                                                          &stats);
 
     struct Acc
     {
@@ -35,11 +64,9 @@ FleetSimulator::run() const
     std::map<std::string, Acc> by_family;
     Acc overall;
 
-    for (const FleetJob &job : jobs_) {
-        PerfModelOptions opts;
-        opts.keepTimeline = false;
-        PerfModel model(job.cluster, opts);
-        PerfReport r = model.evaluate(job.model, job.task, job.plan);
+    for (size_t job_idx = 0; job_idx < jobs_.size(); ++job_idx) {
+        const FleetJob &job = jobs_[job_idx];
+        const PerfReport &r = reports[job_idx];
         if (!r.valid) {
             warn("fleet job '" + job.model.name +
                  "' does not fit memory; skipping");
@@ -100,6 +127,7 @@ FleetSimulator::run() const
     };
 
     FleetReport report;
+    report.stats = stats;
     report.overall = to_breakdown(overall);
     for (const auto &[family, acc] : by_family) {
         report.byFamily[family] = to_breakdown(acc);

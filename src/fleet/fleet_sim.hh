@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "core/perf_model.hh"
+#include "engine/eval_engine.hh"
 
 namespace madmax
 {
@@ -59,6 +59,9 @@ struct FleetReport
     /** Collective seconds share by family (normalized per family). */
     std::map<std::string, std::map<EventCategory, double>>
         collectiveMixByFamily;
+
+    /** Evaluation cost of the run (per-job model evaluations). */
+    EvalStats stats;
 };
 
 /** Runs a set of jobs through the performance model and aggregates. */
@@ -71,8 +74,14 @@ class FleetSimulator
 
     size_t numJobs() const { return jobs_.size(); }
 
-    /** Evaluate all jobs and aggregate per family and overall. */
-    FleetReport run() const;
+    /**
+     * Evaluate all jobs and aggregate per family and overall. All
+     * per-job evaluations go through @p engine as one batch (each job
+     * on its own cluster-bound model); null uses a private serial
+     * engine. Aggregation runs in job order either way, so the report
+     * is identical for any thread count.
+     */
+    FleetReport run(EvalEngine *engine = nullptr) const;
 
     /**
      * A representative fleet: DLRM-A/B (+ a transformer variant) on

@@ -1,0 +1,170 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+
+namespace madmax
+{
+
+int
+ThreadPool::defaultConcurrency()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = threads > 0 ? threads : defaultConcurrency();
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        threads_.emplace_back(
+            [this, i] { workerLoop(static_cast<size_t>(i)); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    waitIdle();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    size_t target;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        target = nextWorker_++ % workers_.size();
+        ++queued_;
+        ++inflight_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->deque.push_back(std::move(fn));
+    }
+    work_.notify_one();
+}
+
+bool
+ThreadPool::tryTake(size_t self, std::function<void()> &out)
+{
+    // Own deque first, newest task (LIFO keeps the working set warm) …
+    {
+        Worker &w = *workers_[self];
+        std::lock_guard<std::mutex> lock(w.mutex);
+        if (!w.deque.empty()) {
+            out = std::move(w.deque.back());
+            w.deque.pop_back();
+            return true;
+        }
+    }
+    // … then steal the oldest task from a sibling (FIFO minimizes
+    // contention with the victim's LIFO end).
+    for (size_t i = 1; i < workers_.size(); ++i) {
+        Worker &w = *workers_[(self + i) % workers_.size()];
+        std::lock_guard<std::mutex> lock(w.mutex);
+        if (!w.deque.empty()) {
+            out = std::move(w.deque.front());
+            w.deque.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (tryTake(self, task)) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --queued_;
+            }
+            try {
+                task();
+            } catch (...) {
+                // parallelFor records exceptions in its batch state;
+                // bare submit() tasks must not tear down the pool.
+            }
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--inflight_ == 0)
+                idle_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_.wait(lock, [this] { return stop_ || queued_ > 0; });
+        if (stop_ && queued_ == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1) {
+        fn(0);
+        return;
+    }
+
+    struct BatchState
+    {
+        std::atomic<size_t> next{0};
+        std::mutex mutex;
+        std::condition_variable done;
+        size_t live = 0;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<BatchState>();
+
+    // One driver task per worker; each drains the shared index. This
+    // gives dynamic load balancing without per-iteration task cost,
+    // and the deque scheduler balances the drivers themselves.
+    size_t drivers = std::min(n, workers_.size());
+    state->live = drivers;
+    for (size_t d = 0; d < drivers; ++d) {
+        submit([state, n, &fn] {
+            size_t i;
+            while ((i = state->next.fetch_add(1)) < n) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state->mutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                    // Let remaining iterations run: partial results
+                    // are discarded by the rethrow below anyway, and
+                    // skipping them would need another flag check.
+                }
+            }
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (--state->live == 0)
+                state->done.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] { return state->live == 0; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace madmax

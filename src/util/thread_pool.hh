@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fixed-size work-stealing thread pool. Each worker owns a deque:
+ * the owner pushes/pops at the back (LIFO, cache-friendly) while idle
+ * workers steal from the front (FIFO, oldest task first). Submitted
+ * tasks are distributed round-robin, so a burst lands spread across
+ * the workers and stealing only pays for imbalance.
+ *
+ * This is the substrate of the EvalEngine (src/engine/); it is
+ * deliberately dependency-free and blocking-wait based — evaluation
+ * tasks run for micro- to milliseconds, so lock-free deques would buy
+ * nothing over a mutex per deque.
+ */
+
+#ifndef MADMAX_UTIL_THREAD_POOL_HH
+#define MADMAX_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace madmax
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 selects defaultConcurrency().
+     *        A pool always has at least one worker — callers that
+     *        want strictly serial execution should not construct a
+     *        pool at all.
+     */
+    explicit ThreadPool(int threads = 0);
+
+    /** Joins all workers; pending tasks are drained first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int defaultConcurrency();
+
+    /** Enqueue one task. Exceptions it throws are swallowed after
+     *  being recorded; use parallelFor for propagating work. */
+    void submit(std::function<void()> fn);
+
+    /** Block until every submitted task has finished. */
+    void waitIdle();
+
+    /**
+     * Run fn(0..n-1), distributing iterations dynamically across the
+     * pool, and block until all complete. Iterations may run in any
+     * order and on any thread (including none of them on the caller).
+     * The first exception thrown by any iteration is rethrown here
+     * after the batch drains.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> deque;
+    };
+
+    void workerLoop(size_t self);
+    bool tryTake(size_t self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;             ///< Guards queued_/inflight_/stop_.
+    std::condition_variable work_; ///< Signaled when a task is queued.
+    std::condition_variable idle_; ///< Signaled when inflight_ hits 0.
+    size_t queued_ = 0;            ///< Tasks enqueued, not yet taken.
+    size_t inflight_ = 0;          ///< Tasks enqueued or running.
+    bool stop_ = false;
+    size_t nextWorker_ = 0;        ///< Round-robin submit cursor.
+};
+
+} // namespace madmax
+
+#endif // MADMAX_UTIL_THREAD_POOL_HH

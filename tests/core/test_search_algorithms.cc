@@ -22,13 +22,13 @@ TEST(CoordinateDescent, MatchesExhaustiveOnDlrmA)
 
     ExplorationResult exhaustive =
         explorer.best(model_zoo::dlrmA(), TaskSpec::preTraining());
-    long exhaustive_evals = StrategyExplorer::lastSearchEvaluations();
+    long exhaustive_evals = exhaustive.stats.requests();
 
     ExplorerOptions cd;
     cd.algorithm = SearchAlgorithm::CoordinateDescent;
     ExplorationResult greedy =
         explorer.best(model_zoo::dlrmA(), TaskSpec::preTraining(), cd);
-    long greedy_evals = StrategyExplorer::lastSearchEvaluations();
+    long greedy_evals = greedy.stats.requests();
 
     // Same optimum on this workload, found with fewer evaluations
     // than the full product would eventually need on larger spaces.
@@ -68,13 +68,13 @@ TEST(CoordinateDescent, FewerEvaluationsOnLargeSpaces)
     StrategyExplorer explorer(model);
     ModelDesc m = model_zoo::llmMoe();
 
-    explorer.best(m, TaskSpec::preTraining());
-    long exhaustive_evals = StrategyExplorer::lastSearchEvaluations();
+    long exhaustive_evals =
+        explorer.best(m, TaskSpec::preTraining()).stats.requests();
 
     ExplorerOptions cd;
     cd.algorithm = SearchAlgorithm::CoordinateDescent;
-    explorer.best(m, TaskSpec::preTraining(), cd);
-    long greedy_evals = StrategyExplorer::lastSearchEvaluations();
+    long greedy_evals =
+        explorer.best(m, TaskSpec::preTraining(), cd).stats.requests();
 
     EXPECT_LT(greedy_evals, exhaustive_evals / 2);
 }
@@ -124,7 +124,8 @@ TEST_P(PerfModelProperties, InvariantsHoldAcrossStrategySpace)
     PerfModel model(cluster, opts);
     StrategyExplorer explorer(model);
 
-    for (const ExplorationResult &r : explorer.explore(m, task)) {
+    for (const ExplorationResult &r :
+         explorer.explore(m, task).results) {
         const PerfReport &rep = r.report;
         if (!rep.valid) {
             EXPECT_FALSE(rep.memory.fits()) << r.plan.toString();

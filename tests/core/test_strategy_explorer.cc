@@ -41,7 +41,7 @@ TEST(StrategyExplorer, ExploreCoversCartesianProduct)
     StrategyExplorer explorer(model);
     // DLRM-A has SparseEmbedding (2 candidates) x BaseDense (8).
     auto results = explorer.explore(model_zoo::dlrmA(),
-                                    TaskSpec::preTraining());
+                                    TaskSpec::preTraining()).results;
     EXPECT_EQ(results.size(), 16u);
 
     // All plans distinct.
@@ -56,7 +56,7 @@ TEST(StrategyExplorer, ResultsSortedValidFirstByThroughput)
     PerfModel model(hw_zoo::dlrmTrainingSystem());
     StrategyExplorer explorer(model);
     auto results = explorer.explore(model_zoo::dlrmA(),
-                                    TaskSpec::preTraining());
+                                    TaskSpec::preTraining()).results;
     bool seen_invalid = false;
     double prev = 1e300;
     for (const auto &r : results) {
@@ -112,9 +112,10 @@ TEST(StrategyExplorer, KeepInvalidToggle)
     ExplorerOptions drop;
     drop.keepInvalid = false;
     auto with = explorer.explore(model_zoo::dlrmA(),
-                                 TaskSpec::preTraining(), keep);
+                                 TaskSpec::preTraining(), keep).results;
     auto without = explorer.explore(model_zoo::dlrmA(),
-                                    TaskSpec::preTraining(), drop);
+                                    TaskSpec::preTraining(), drop)
+                       .results;
     EXPECT_GT(with.size(), without.size());
     for (const auto &r : without)
         EXPECT_TRUE(r.report.valid);
@@ -144,9 +145,10 @@ TEST(StrategyExplorer, PrefetchVariantsExplored)
     ExplorerOptions opts;
     opts.explorePrefetch = true;
     auto with = explorer.explore(model_zoo::llama65b(),
-                                 TaskSpec::preTraining(), opts);
+                                 TaskSpec::preTraining(), opts).results;
     auto without = explorer.explore(model_zoo::llama65b(),
-                                    TaskSpec::preTraining());
+                                    TaskSpec::preTraining())
+                       .results;
     EXPECT_GT(with.size(), without.size());
     bool any_prefetch = false;
     for (const auto &r : with)
@@ -162,9 +164,9 @@ TEST(StrategyExplorer, TaskChangesOptimum)
     PerfModel model(hw_zoo::dlrmTrainingSystem());
     StrategyExplorer explorer(model);
     auto pre = explorer.explore(model_zoo::dlrmA(),
-                                TaskSpec::preTraining());
+                                TaskSpec::preTraining()).results;
     auto inf = explorer.explore(model_zoo::dlrmA(),
-                                TaskSpec::inference());
+                                TaskSpec::inference()).results;
     int pre_valid = 0, inf_valid = 0;
     for (const auto &r : pre)
         pre_valid += r.report.valid;

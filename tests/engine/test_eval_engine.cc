@@ -1,0 +1,306 @@
+/**
+ * @file
+ * EvalEngine tests: determinism across thread counts, memoization
+ * correctness (cached report == fresh report), feasibility-pruning
+ * accounting, canonical cache keys, and mixed multi-model batches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/strategy_explorer.hh"
+#include "engine/eval_engine.hh"
+#include "fleet/fleet_sim.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/** Field-by-field equality on everything the benches consume. */
+void
+expectReportsEqual(const PerfReport &a, const PerfReport &b)
+{
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.modelName, b.modelName);
+    EXPECT_EQ(a.taskName, b.taskName);
+    EXPECT_EQ(a.plan.toString(), b.plan.toString());
+    EXPECT_DOUBLE_EQ(a.iterationTime, b.iterationTime);
+    EXPECT_DOUBLE_EQ(a.serializedTime, b.serializedTime);
+    EXPECT_DOUBLE_EQ(a.computeTime, b.computeTime);
+    EXPECT_DOUBLE_EQ(a.commTime, b.commTime);
+    EXPECT_DOUBLE_EQ(a.exposedCommTime, b.exposedCommTime);
+    EXPECT_DOUBLE_EQ(a.memory.total(), b.memory.total());
+    EXPECT_EQ(a.serializedBreakdown.size(), b.serializedBreakdown.size());
+}
+
+} // namespace
+
+TEST(EvalEngine, ExploreDeterministicAcrossThreadCounts)
+{
+    // The acceptance property: explore() with 1 thread and N threads
+    // yields identical ranked results, bit for bit.
+    PerfModel model(hw_zoo::llmTrainingSystem());
+    ModelDesc gpt3 = model_zoo::gpt3();
+
+    EvalEngineOptions serial_opts;
+    serial_opts.jobs = 1;
+    EvalEngine serial(serial_opts);
+
+    EvalEngineOptions pooled_opts;
+    pooled_opts.jobs = 4;
+    EvalEngine pooled(pooled_opts);
+
+    ExplorerOptions opts;
+    opts.explorePrefetch = true;
+    Exploration a = StrategyExplorer(model, &serial)
+                        .explore(gpt3, TaskSpec::preTraining(), opts);
+    Exploration b = StrategyExplorer(model, &pooled)
+                        .explore(gpt3, TaskSpec::preTraining(), opts);
+
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].plan.toString(),
+                  b.results[i].plan.toString())
+            << "rank " << i;
+        EXPECT_DOUBLE_EQ(a.results[i].report.throughput(),
+                         b.results[i].report.throughput())
+            << "rank " << i;
+    }
+    EXPECT_EQ(a.stats.requests(), b.stats.requests());
+    EXPECT_EQ(a.stats.pruned, b.stats.pruned);
+}
+
+TEST(EvalEngine, MemoizedReportEqualsFreshReport)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    ModelDesc dlrm = model_zoo::dlrmA();
+    TaskSpec task = TaskSpec::preTraining();
+    ParallelPlan plan;
+    plan.set(LayerClass::BaseDense,
+             HierStrategy{Strategy::TP, Strategy::DDP});
+
+    EvalEngine engine;
+    EvalStats first, second;
+    PerfReport fresh = engine.evaluateOne(model, dlrm, task, plan,
+                                          &first);
+    PerfReport cached = engine.evaluateOne(model, dlrm, task, plan,
+                                           &second);
+
+    EXPECT_EQ(first.evaluations, 1);
+    EXPECT_EQ(first.cacheHits, 0);
+    EXPECT_EQ(second.evaluations, 0);
+    EXPECT_EQ(second.cacheHits, 1);
+    expectReportsEqual(fresh, cached);
+
+    // And both match a direct, engine-free evaluation.
+    expectReportsEqual(fresh, model.evaluate(dlrm, task, plan));
+}
+
+TEST(EvalEngine, PruningCountsOomPlans)
+{
+    // Every invalid result in a keepInvalid exploration must have
+    // been resolved by the memory pre-pass, not a full evaluation.
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    EvalEngine engine;
+    StrategyExplorer explorer(model, &engine);
+    Exploration ex =
+        explorer.explore(model_zoo::dlrmA(), TaskSpec::preTraining());
+
+    long invalid = 0;
+    for (const ExplorationResult &r : ex.results)
+        invalid += r.report.valid ? 0 : 1;
+    ASSERT_GT(invalid, 0) << "fixture needs at least one OOM plan";
+    EXPECT_EQ(ex.stats.pruned, invalid);
+    EXPECT_EQ(ex.stats.evaluations,
+              static_cast<long>(ex.results.size()) - invalid);
+    EXPECT_EQ(ex.stats.cacheHits, 0);
+    EXPECT_GT(ex.stats.wallSeconds, 0.0);
+}
+
+TEST(EvalEngine, PruningDisabledMatchesPrunedResults)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    EvalEngineOptions no_prune;
+    no_prune.pruneInfeasible = false;
+    EvalEngine a;
+    EvalEngine b(no_prune);
+    Exploration pruned = StrategyExplorer(model, &a).explore(
+        model_zoo::dlrmA(), TaskSpec::preTraining());
+    Exploration full = StrategyExplorer(model, &b).explore(
+        model_zoo::dlrmA(), TaskSpec::preTraining());
+
+    ASSERT_EQ(pruned.results.size(), full.results.size());
+    for (size_t i = 0; i < pruned.results.size(); ++i) {
+        expectReportsEqual(pruned.results[i].report,
+                           full.results[i].report);
+    }
+    EXPECT_EQ(full.stats.pruned, 0);
+    EXPECT_EQ(full.stats.evaluations, pruned.stats.requests());
+}
+
+TEST(EvalEngine, CanonicalKeyIgnoresAbsentClasses)
+{
+    // GPT-3 has no sparse embeddings: two plans differing only in the
+    // SparseEmbedding strategy are the same point and must collide.
+    PerfModel model(hw_zoo::llmTrainingSystem());
+    ModelDesc gpt3 = model_zoo::gpt3();
+    TaskSpec task = TaskSpec::preTraining();
+
+    ParallelPlan a = ParallelPlan::fsdpBaseline();
+    ParallelPlan b = ParallelPlan::fsdpBaseline();
+    b.set(LayerClass::SparseEmbedding,
+          HierStrategy{Strategy::MP, Strategy::DDP});
+
+    EvalEngine engine;
+    EvalStats stats;
+    engine.evaluateOne(model, gpt3, task, a, &stats);
+    PerfReport hit = engine.evaluateOne(model, gpt3, task, b, &stats);
+    EXPECT_EQ(stats.evaluations, 1);
+    EXPECT_EQ(stats.cacheHits, 1);
+    // The served report carries the *requested* plan, not the cached
+    // insertion's plan.
+    EXPECT_EQ(hit.plan.toString(), b.toString());
+}
+
+TEST(EvalEngine, DistinguishesModelsTasksAndClusters)
+{
+    ModelDesc gpt3 = model_zoo::gpt3();
+    ModelDesc llama = model_zoo::llama65b();
+    PerfModel llm(hw_zoo::llmTrainingSystem());
+    PerfModel scaled(
+        hw_zoo::llmTrainingSystem().withComputeScale(2.0));
+    ParallelPlan plan = ParallelPlan::fsdpBaseline();
+    TaskSpec pre = TaskSpec::preTraining();
+    TaskSpec inf = TaskSpec::inference();
+
+    EvalEngine engine;
+    EvalStats stats;
+    engine.evaluateOne(llm, gpt3, pre, plan, &stats);
+    engine.evaluateOne(llm, llama, pre, plan, &stats);   // New model.
+    engine.evaluateOne(llm, gpt3, inf, plan, &stats);    // New task.
+    engine.evaluateOne(scaled, gpt3, pre, plan, &stats); // New cluster.
+    EXPECT_EQ(stats.evaluations, 4);
+    EXPECT_EQ(stats.cacheHits, 0);
+}
+
+TEST(EvalEngine, MixedBatchMatchesDirectEvaluation)
+{
+    // Fleet-style batch: different models on different clusters in
+    // one evaluateAll call.
+    PerfModel dlrm_model(hw_zoo::dlrmTrainingSystem());
+    PerfModel llm_model(hw_zoo::llmTrainingSystem());
+    ModelDesc dlrm = model_zoo::dlrmA();
+    ModelDesc gpt3 = model_zoo::gpt3();
+    TaskSpec task = TaskSpec::preTraining();
+    ParallelPlan dlrm_plan;
+    dlrm_plan.set(LayerClass::BaseDense,
+                  HierStrategy{Strategy::TP, Strategy::DDP});
+    ParallelPlan llm_plan = ParallelPlan::fsdpBaseline();
+
+    std::vector<PlanRequest> reqs(2);
+    reqs[0].model = &dlrm_model;
+    reqs[0].desc = &dlrm;
+    reqs[0].task = &task;
+    reqs[0].plan = dlrm_plan;
+    reqs[1].model = &llm_model;
+    reqs[1].desc = &gpt3;
+    reqs[1].task = &task;
+    reqs[1].plan = llm_plan;
+
+    EvalEngineOptions eo;
+    eo.jobs = 2;
+    EvalEngine engine(eo);
+    std::vector<PerfReport> out = engine.evaluateAll(reqs);
+    ASSERT_EQ(out.size(), 2u);
+    expectReportsEqual(out[0],
+                       dlrm_model.evaluate(dlrm, task, dlrm_plan));
+    expectReportsEqual(out[1],
+                       llm_model.evaluate(gpt3, task, llm_plan));
+}
+
+TEST(EvalEngine, DuplicateRequestsInOneBatchCollapse)
+{
+    PerfModel model(hw_zoo::llmTrainingSystem());
+    ModelDesc gpt3 = model_zoo::gpt3();
+    TaskSpec task = TaskSpec::preTraining();
+
+    std::vector<PlanRequest> reqs(3);
+    for (PlanRequest &r : reqs) {
+        r.model = &model;
+        r.desc = &gpt3;
+        r.task = &task;
+        r.plan = ParallelPlan::fsdpBaseline();
+    }
+    EvalEngine engine;
+    EvalStats stats;
+    std::vector<PerfReport> out = engine.evaluateAll(reqs, &stats);
+    EXPECT_EQ(stats.evaluations, 1);
+    EXPECT_EQ(stats.cacheHits, 2);
+    expectReportsEqual(out[0], out[1]);
+    expectReportsEqual(out[0], out[2]);
+}
+
+TEST(EvalEngine, CacheCapacityEvicts)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    ModelDesc dlrm = model_zoo::dlrmA();
+    TaskSpec task = TaskSpec::preTraining();
+
+    EvalEngineOptions eo;
+    eo.cacheCapacity = 2;
+    EvalEngine engine(eo);
+    for (HierStrategy hs :
+         StrategyExplorer::candidates(LayerClass::BaseDense)) {
+        ParallelPlan p;
+        p.set(LayerClass::BaseDense, hs);
+        engine.evaluateOne(model, dlrm, task, p);
+    }
+    EXPECT_LE(engine.cacheSize(), 2u);
+}
+
+TEST(EvalEngine, FleetRunDeterministicAcrossThreadCounts)
+{
+    EvalEngineOptions pooled_opts;
+    pooled_opts.jobs = 4;
+    EvalEngine serial;
+    EvalEngine pooled(pooled_opts);
+    FleetSimulator fleet = FleetSimulator::representativeFleet();
+    FleetReport a = fleet.run(&serial);
+    FleetReport b = fleet.run(&pooled);
+
+    EXPECT_DOUBLE_EQ(a.overall.compute, b.overall.compute);
+    EXPECT_DOUBLE_EQ(a.overall.exposedComm, b.overall.exposedComm);
+    EXPECT_DOUBLE_EQ(a.overall.idle, b.overall.idle);
+    ASSERT_EQ(a.byFamily.size(), b.byFamily.size());
+    for (const auto &[family, breakdown] : a.byFamily) {
+        EXPECT_DOUBLE_EQ(breakdown.compute,
+                         b.byFamily.at(family).compute)
+            << family;
+    }
+}
+
+TEST(EvalEngine, BestStatsCoverWholeSearch)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    EvalEngine engine;
+    StrategyExplorer explorer(model, &engine);
+    ExplorationResult best =
+        explorer.best(model_zoo::dlrmA(), TaskSpec::preTraining());
+    // DLRM-A spans 2 x 8 = 16 plans; best() explores them all.
+    EXPECT_EQ(best.stats.requests(), 16);
+    EXPECT_GT(best.stats.pruned, 0);
+    EXPECT_GT(best.stats.wallSeconds, 0.0);
+}
+
+TEST(EvalEngine, RejectsNegativeJobs)
+{
+    EvalEngineOptions eo;
+    eo.jobs = -1;
+    EXPECT_THROW(EvalEngine{eo}, ConfigError);
+}
+
+} // namespace madmax

@@ -39,7 +39,8 @@ usage()
         "  madmax evaluate --model M.json --system S.json --task T.json\n"
         "                  [--trace OUT.json] [--json]\n"
         "  madmax explore  --model M.json --system S.json --task T.json\n"
-        "                  [--top N] [--no-memory-limit] [--json]\n"
+        "                  [--top N] [--jobs N] [--no-memory-limit]\n"
+        "                  [--json]\n"
         "  madmax describe --model M.json\n";
     return 1;
 }
@@ -120,6 +121,17 @@ cmdEvaluate(const std::map<std::string, std::string> &flags)
     return report.valid ? 0 : 2;
 }
 
+JsonValue
+statsJson(const EvalStats &stats)
+{
+    JsonValue out;
+    out.set("evaluations", stats.evaluations);
+    out.set("cache_hits", stats.cacheHits);
+    out.set("pruned", stats.pruned);
+    out.set("wall_seconds", stats.wallSeconds);
+    return out;
+}
+
 int
 cmdExplore(const std::map<std::string, std::string> &flags)
 {
@@ -130,29 +142,42 @@ cmdExplore(const std::map<std::string, std::string> &flags)
         ? static_cast<size_t>(std::stoul(flags.at("top")))
         : 5;
 
+    EvalEngineOptions engine_opts;
+    if (flags.count("jobs")) {
+        try {
+            engine_opts.jobs = std::stoi(flags.at("jobs"));
+        } catch (const std::exception &) {
+            fatal("--jobs needs an integer, got '" + flags.at("jobs") +
+                  "'");
+        }
+    }
+    EvalEngine engine(engine_opts);
+
     PerfModel madmax(cluster);
-    StrategyExplorer explorer(madmax);
+    StrategyExplorer explorer(madmax, &engine);
     ExplorerOptions opts;
     opts.ignoreMemory = flags.count("no-memory-limit") > 0;
-    std::vector<ExplorationResult> results =
-        explorer.explore(model, task.task, opts);
+    Exploration exploration = explorer.explore(model, task.task, opts);
 
     if (flags.count("json")) {
         JsonValue arr;
         size_t shown = 0;
-        for (const ExplorationResult &r : results) {
+        for (const ExplorationResult &r : exploration.results) {
             if (shown++ >= top)
                 break;
             arr.append(reportJson(r.report));
         }
-        std::cout << arr.dump(2) << "\n";
+        JsonValue out;
+        out.set("results", std::move(arr));
+        out.set("search", statsJson(exploration.stats));
+        std::cout << out.dump(2) << "\n";
         return 0;
     }
 
     AsciiTable table({"rank", "plan", "throughput", "mem/device",
                       "verdict"});
     size_t shown = 0;
-    for (const ExplorationResult &r : results) {
+    for (const ExplorationResult &r : exploration.results) {
         if (shown >= top)
             break;
         ++shown;
@@ -164,6 +189,12 @@ cmdExplore(const std::map<std::string, std::string> &flags)
                       r.report.valid ? "ok" : "OOM"});
     }
     table.print(std::cout);
+    const EvalStats &s = exploration.stats;
+    std::cout << strfmt(
+        "search: %ld evaluations, %ld cache hits, %ld pruned, %s "
+        "(%d jobs)\n",
+        s.evaluations, s.cacheHits, s.pruned,
+        formatTime(s.wallSeconds).c_str(), engine.jobs());
     return 0;
 }
 
