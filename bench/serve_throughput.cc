@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Closed-loop client throughput bench for the serving layer: starts
+ * an in-process `madmax serve` stack (EvalService + HttpServer on a
+ * free loopback port), then drives it with closed-loop clients (each
+ * client issues its next request only after the previous response
+ * lands — the standard interactive-user model).
+ *
+ * Three phases:
+ *   cold    one request against an empty memo cache (startup +
+ *           full-evaluation latency a CLI user pays on every single
+ *           invocation);
+ *   cached  C clients hammering one (model, system, task) triple —
+ *           every request after the first is a shared-cache hit, the
+ *           resident-service case the paper's >100x-vs-profiling
+ *           speedup needs to reach many users;
+ *   mixed   clients rotating through distinct parallelization plans —
+ *           each new plan is a full evaluation, re-creating the
+ *           design-space-exploration traffic mix.
+ *
+ * Usage: serve_throughput [--jobs N] [--json BENCH_serve_throughput.json]
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "config/config_loader.hh"
+#include "hw/hw_zoo.hh"
+#include "serve/http_server.hh"
+#include "serve/service.hh"
+#include "util/strfmt.hh"
+
+using namespace madmax;
+using namespace madmax::bench;
+
+namespace
+{
+
+constexpr int kClients = 4;
+constexpr int kCachedRequests = 50; ///< Per client, cached phase.
+constexpr int kMixedRequests = 16;  ///< Per client, mixed phase.
+
+/** Minimal closed-loop HTTP client: one request per connection. */
+std::string
+httpPost(int port, const std::string &path, const std::string &body)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    std::string raw = "POST " + path + " HTTP/1.1\r\n"
+        "Host: localhost\r\nContent-Type: application/json\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
+        body;
+    size_t off = 0;
+    while (off < raw.size()) {
+        ssize_t n = ::send(fd, raw.data() + off, raw.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+    std::string resp;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        resp.append(chunk, static_cast<size_t>(n));
+    ::close(fd);
+    return resp;
+}
+
+bool
+isOk(const std::string &response)
+{
+    return response.rfind("HTTP/1.1 200", 0) == 0;
+}
+
+/** An evaluate body for the DLRM-A / ZionEX triple with the given
+ *  base-dense strategy (distinct strategies -> distinct cache keys). */
+std::string
+evaluateBody(const std::string &base_dense)
+{
+    JsonValue model;
+    model.set("type", "zoo");
+    model.set("name", "DLRM-A");
+
+    JsonValue strategies;
+    strategies.set("sparse_embedding", "(MP)");
+    strategies.set("base_dense", base_dense);
+    JsonValue task;
+    task.set("task", "pre-training");
+    task.set("strategies", std::move(strategies));
+
+    JsonValue body;
+    body.set("model", std::move(model));
+    body.set("system", toJson(hw_zoo::dlrmTrainingSystem()));
+    body.set("task", std::move(task));
+    return body.dump(2);
+}
+
+/** Run @p requests_per_client closed-loop requests on each of
+ *  kClients threads; returns achieved requests/second. */
+double
+closedLoop(int port, const std::vector<std::string> &bodies,
+           int requests_per_client, std::atomic<long> &failures)
+{
+    WallTimer timer;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int r = 0; r < requests_per_client; ++r) {
+                const std::string &body =
+                    bodies[(c + r) % bodies.size()];
+                if (!isOk(httpPost(port, "/v1/evaluate", body)))
+                    ++failures;
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    double seconds = timer.seconds();
+    return kClients * requests_per_client / seconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchReporter reporter("serve_throughput", argc, argv);
+    banner("serve throughput — closed-loop clients vs. a resident "
+           "evaluation service",
+           "interactive DSE only pays off if many users share one "
+           "warm model (§IV, >100x vs. profiling)");
+
+    ServiceOptions sopts;
+    sopts.jobs = reporter.jobs();
+    EvalService service(sopts);
+    HttpServerOptions hopts;
+    hopts.port = 0;
+    hopts.workers = kClients;
+    HttpServer server(
+        [&service](const HttpRequest &r) { return service.handle(r); },
+        hopts);
+    service.setTransportStatsProvider(
+        [&server] { return server.stats(); });
+    server.start();
+    std::atomic<long> failures{0};
+
+    // Phase 1: cold request — what every CLI invocation pays.
+    std::string triple = evaluateBody("(TP, DDP)");
+    WallTimer cold;
+    if (!isOk(httpPost(server.port(), "/v1/evaluate", triple)))
+        ++failures;
+    double cold_seconds = cold.seconds();
+    std::cout << strfmt("cold request (cache miss): %s\n",
+                        formatTime(cold_seconds).c_str());
+    reporter.record("cold_latency", cold_seconds, "seconds");
+
+    // Phase 2: the resident-service case — one hot triple.
+    double cached_rps = closedLoop(server.port(), {triple},
+                                   kCachedRequests, failures);
+    std::cout << strfmt(
+        "cached: %d clients x %d reqs -> %.0f req/s (%s/req)\n",
+        kClients, kCachedRequests, cached_rps,
+        formatTime(kClients / cached_rps).c_str());
+    reporter.record("cached_rps", cached_rps, "requests/s");
+    reporter.record("cached_latency", kClients / cached_rps,
+                    "seconds");
+
+    // Phase 3: DSE-style traffic — rotating distinct plans.
+    std::vector<std::string> mixed;
+    for (const char *plan : {"(DDP)", "(FSDP)", "(TP, DDP)",
+                             "(FSDP, DDP)", "(TP, FSDP)", "(MP)",
+                             "(DDP, FSDP)", "(TP)"})
+        mixed.push_back(evaluateBody(plan));
+    double mixed_rps = closedLoop(server.port(), mixed, kMixedRequests,
+                                  failures);
+    std::cout << strfmt(
+        "mixed plans: %d clients x %d reqs over %zu plans -> %.0f "
+        "req/s\n",
+        kClients, kMixedRequests, mixed.size(), mixed_rps);
+    reporter.record("mixed_rps", mixed_rps, "requests/s");
+
+    EngineCounters counters = service.engine().counters();
+    std::cout << strfmt(
+        "engine: %ld evaluations, %ld cache hits, %ld pruned\n",
+        counters.lifetime.evaluations, counters.lifetime.cacheHits,
+        counters.lifetime.pruned);
+    reporter.record("evaluations",
+                    static_cast<double>(counters.lifetime.evaluations),
+                    "count");
+    reporter.record("cache_hits",
+                    static_cast<double>(counters.lifetime.cacheHits),
+                    "count");
+    server.stop();
+
+    if (failures.load() != 0) {
+        std::cerr << "error: " << failures.load()
+                  << " requests failed\n";
+        return 1;
+    }
+    std::cout << "all requests succeeded; responses served from one "
+                 "shared engine\n";
+    return 0;
+}

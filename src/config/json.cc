@@ -85,6 +85,22 @@ class Parser
         return false;
     }
 
+    /**
+     * Depth cap shared by parseObject/parseArray: parsing recurses
+     * per nesting level, and the serving layer feeds network input
+     * to this parser — an unbounded '[[[[...' body must be a
+     * ConfigError, not a stack overflow that kills the resident
+     * process. 200 levels is far beyond any real config and well
+     * within any thread's stack.
+     */
+    void
+    enterContainer()
+    {
+        if (depth_ >= 200)
+            fail("nesting deeper than 200 levels");
+        ++depth_;
+    }
+
     JsonValue
     parseValue()
     {
@@ -112,10 +128,12 @@ class Parser
     JsonValue
     parseObject()
     {
+        enterContainer();
         expect('{');
         JsonValue::Object obj;
         if (peek() == '}') {
             ++pos_;
+            --depth_;
             return JsonValue(std::move(obj));
         }
         while (true) {
@@ -131,6 +149,7 @@ class Parser
             }
             if (c == '}') {
                 ++pos_;
+                --depth_;
                 return JsonValue(std::move(obj));
             }
             fail("expected ',' or '}' in object");
@@ -140,10 +159,12 @@ class Parser
     JsonValue
     parseArray()
     {
+        enterContainer();
         expect('[');
         JsonValue::Array arr;
         if (peek() == ']') {
             ++pos_;
+            --depth_;
             return JsonValue(std::move(arr));
         }
         while (true) {
@@ -155,6 +176,7 @@ class Parser
             }
             if (c == ']') {
                 ++pos_;
+                --depth_;
                 return JsonValue(std::move(arr));
             }
             fail("expected ',' or ']' in array");
@@ -256,6 +278,7 @@ class Parser
 
     const std::string &text_;
     size_t pos_ = 0;
+    int depth_ = 0; ///< Current container nesting (capped at 200).
 };
 
 std::string

@@ -7,7 +7,10 @@
  *
  * Supported: null, booleans, finite doubles, strings (with the common
  * escapes), arrays, objects. Not supported: comments, NaN/Inf,
- * \u escapes beyond Latin-1.
+ * \u escapes beyond Latin-1. Container nesting is capped at 200
+ * levels (a ConfigError beyond that): parsing recurses per level,
+ * and the serving layer feeds network input to this parser, so a
+ * hostile '[[[[...' document must not overflow the stack.
  */
 
 #ifndef MADMAX_CONFIG_JSON_HH

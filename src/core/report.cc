@@ -76,4 +76,26 @@ PerfReport::summary() const
     return out;
 }
 
+JsonValue
+toJson(const PerfReport &r)
+{
+    JsonValue out;
+    out.set("model", r.modelName);
+    out.set("cluster", r.clusterName);
+    out.set("task", r.taskName);
+    out.set("plan", r.plan.toString());
+    out.set("valid", r.valid);
+    out.set("memory_bytes_per_device", r.memory.total());
+    out.set("memory_usable_bytes", r.memory.usableCapacity);
+    if (r.valid) {
+        out.set("iteration_seconds", r.iterationTime);
+        out.set("serialized_seconds", r.serializedTime);
+        out.set("throughput_samples_per_sec", r.throughput());
+        out.set("tokens_per_sec", r.tokensPerSecond());
+        out.set("exposed_comm_seconds", r.exposedCommTime);
+        out.set("comm_overlap_fraction", r.overlapFraction());
+    }
+    return out;
+}
+
 } // namespace madmax

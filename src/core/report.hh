@@ -12,6 +12,7 @@
 #include <map>
 #include <string>
 
+#include "config/json.hh"
 #include "core/memory_model.hh"
 #include "hw/cluster.hh"
 #include "parallel/strategy.hh"
@@ -79,6 +80,17 @@ struct PerfReport
     /** Render a human-readable multi-line summary. */
     std::string summary() const;
 };
+
+/**
+ * Machine-readable report rendering — the one JSON schema every
+ * MAD-Max surface emits: `madmax_cli evaluate/explore --format json`
+ * and the serving API's `/v1/evaluate` / `/v1/explore` responses all
+ * serialize through here, so their outputs are byte-identical for the
+ * same inputs (JsonValue keeps object keys sorted, making dumps
+ * deterministic). Timing fields are present only when the plan fits
+ * in memory (`valid`).
+ */
+JsonValue toJson(const PerfReport &report);
 
 } // namespace madmax
 

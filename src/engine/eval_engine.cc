@@ -200,9 +200,11 @@ EvalEngine::cachePut(const std::string &key, PerfReport report)
     }
     lru_.push_front(key);
     cache_.emplace(key, CacheEntry{std::move(stored), lru_.begin()});
+    ++insertions_;
     while (cache_.size() > options_.cacheCapacity) {
         cache_.erase(lru_.back());
         lru_.pop_back();
+        ++evictions_;
     }
 }
 
@@ -217,8 +219,25 @@ void
 EvalEngine::clearCache()
 {
     std::lock_guard<std::mutex> lock(cacheMutex_);
+    // Count cleared entries as evictions so the documented
+    // EngineCounters invariant (entries == insertions - evictions)
+    // survives an explicit clear.
+    evictions_ += static_cast<long>(cache_.size());
     cache_.clear();
     lru_.clear();
+}
+
+EngineCounters
+EvalEngine::counters() const
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    EngineCounters c;
+    c.lifetime = lifetime_;
+    c.cacheEntries = cache_.size();
+    c.cacheCapacity = options_.cacheCapacity;
+    c.cacheInsertions = insertions_;
+    c.cacheEvictions = evictions_;
+    return c;
 }
 
 std::vector<PerfReport>
@@ -316,9 +335,24 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        lifetime_ += local;
+    }
     if (stats)
         *stats = local;
     return results;
+}
+
+JsonValue
+toJson(const EvalStats &stats)
+{
+    JsonValue out;
+    out.set("evaluations", stats.evaluations);
+    out.set("cache_hits", stats.cacheHits);
+    out.set("pruned", stats.pruned);
+    out.set("wall_seconds", stats.wallSeconds);
+    return out;
 }
 
 PerfReport

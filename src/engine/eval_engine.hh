@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "config/json.hh"
 #include "core/perf_model.hh"
 
 namespace madmax
@@ -61,6 +62,30 @@ struct EvalStats
         wallSeconds += o.wallSeconds;
         return *this;
     }
+};
+
+/**
+ * Search-cost JSON rendering shared by the CLI's `"search"` object
+ * and the serving API (`/v1/explore`, `/v1/stats`), keeping their
+ * schemas in lockstep.
+ */
+JsonValue toJson(const EvalStats &stats);
+
+/**
+ * Cumulative engine-lifetime observability counters, the backing data
+ * of the serving API's `GET /v1/stats`. `lifetime` sums the EvalStats
+ * of every evaluateAll call since construction; the cache fields
+ * describe the memo cache's current occupancy and its total insert /
+ * evict traffic (entries == insertions - evictions, always <=
+ * capacity).
+ */
+struct EngineCounters
+{
+    EvalStats lifetime;
+    size_t cacheEntries = 0;
+    size_t cacheCapacity = 0;
+    long cacheInsertions = 0;
+    long cacheEvictions = 0;
 };
 
 /**
@@ -152,6 +177,10 @@ class EvalEngine
     size_t cacheSize() const;
     void clearCache();
 
+    /** Snapshot of the lifetime stats and cache counters (thread-safe;
+     *  the serving layer polls this for `GET /v1/stats`). */
+    EngineCounters counters() const;
+
   private:
     struct CacheEntry
     {
@@ -170,6 +199,14 @@ class EvalEngine
     mutable std::mutex cacheMutex_;
     std::unordered_map<std::string, CacheEntry> cache_;
     std::list<std::string> lru_; ///< Front = most recently used.
+
+    /// Lifetime accounting (guarded by cacheMutex_): every
+    /// evaluateAll's EvalStats folded together, plus total cache
+    /// insert/evict traffic. clearCache resets neither — they count
+    /// work done, not work retained.
+    EvalStats lifetime_;
+    long insertions_ = 0;
+    long evictions_ = 0;
 };
 
 } // namespace madmax

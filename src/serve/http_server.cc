@@ -1,0 +1,552 @@
+#include "serve/http_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "config/json.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+using Deadline = std::chrono::steady_clock::time_point;
+
+bool
+expired(Deadline deadline)
+{
+    return std::chrono::steady_clock::now() >= deadline;
+}
+
+std::string
+lowered(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Serialize a response with the framing headers the server owns. */
+std::string
+renderResponse(const HttpResponse &resp)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+        statusReason(resp.status) + "\r\n";
+    out += "Content-Type: " + resp.contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(resp.body.size()) +
+        "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += resp.body;
+    return out;
+}
+
+/** send() the whole buffer; MSG_NOSIGNAL so a dead client yields an
+ *  error instead of SIGPIPE. */
+void
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return; // Client went away; nothing useful to do.
+        off += static_cast<size_t>(n);
+    }
+}
+
+/**
+ * @param drain When the request was rejected before its body was
+ *        fully read, half-close and discard what the client is still
+ *        sending (bounded by the socket timeout) — close() with
+ *        unread data pending triggers a TCP RST that can destroy the
+ *        in-flight error response before the client reads it.
+ */
+void
+respondAndClose(int fd, const HttpResponse &resp, bool drain = false,
+                Deadline deadline = Deadline::max())
+{
+    sendAll(fd, renderResponse(resp));
+    if (drain) {
+        ::shutdown(fd, SHUT_WR);
+        char sink[4096];
+        size_t discarded = 0;
+        while (discarded < (size_t{4} << 20) && !expired(deadline)) {
+            ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+            if (n <= 0)
+                break;
+            discarded += static_cast<size_t>(n);
+        }
+    }
+    ::close(fd);
+}
+
+/**
+ * Receive until a blank line ends the header block — CRLFCRLF, or
+ * bare LFLF for sloppy clients (checked together per chunk; waiting
+ * for CRLF alone would stall LF-only clients until the socket
+ * timeout). On success @p bodyStart is one past the terminator and
+ * the header block's length is returned; npos on overflow/error/EOF.
+ */
+size_t
+recvHeaderBlock(int fd, std::string &buf, size_t cap,
+                size_t &bodyStart, Deadline deadline)
+{
+    char chunk[4096];
+    while (true) {
+        size_t pos = buf.find("\r\n\r\n");
+        if (pos != std::string::npos) {
+            bodyStart = pos + 4;
+            return pos;
+        }
+        pos = buf.find("\n\n");
+        if (pos != std::string::npos) {
+            bodyStart = pos + 2;
+            return pos;
+        }
+        if (buf.size() > cap || expired(deadline))
+            return std::string::npos;
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return std::string::npos;
+        buf.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+} // namespace
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+    }
+}
+
+HttpResponse
+errorResponse(int status, const std::string &code,
+              const std::string &message)
+{
+    JsonValue err;
+    err.set("code", code);
+    err.set("message", message);
+    JsonValue doc;
+    doc.set("error", std::move(err));
+    HttpResponse resp;
+    resp.status = status;
+    resp.body = doc.dump(2) + "\n";
+    return resp;
+}
+
+HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(options)
+{
+    if (!handler_)
+        fatal("HttpServer: null handler");
+    if (options_.port < 0 || options_.port > 65535)
+        fatal("HttpServer: port must be in [0, 65535]");
+    if (options_.workers < 1)
+        fatal("HttpServer: workers must be >= 1");
+    if (options_.queueDepth < 1)
+        fatal("HttpServer: queueDepth must be >= 1");
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::start()
+{
+    if (running_.load())
+        fatal("HttpServer: already started");
+    stopping_.store(false);
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("HttpServer: socket(): " +
+              std::string(std::strerror(errno)));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        std::string err = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("HttpServer: cannot bind 127.0.0.1:" +
+              std::to_string(options_.port) + ": " + err);
+    }
+    if (::listen(listenFd_, 128) != 0) {
+        std::string err = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("HttpServer: listen(): " + err);
+    }
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+
+    running_.store(true);
+    acceptor_ = std::thread(&HttpServer::acceptLoop, this);
+    for (int i = 0; i < options_.workers; ++i)
+        workers_.emplace_back(&HttpServer::workerLoop, this);
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.load())
+        return;
+    {
+        // The store must happen under mutex_: a worker that just
+        // evaluated its wait predicate (stopping_ still false, queue
+        // empty) holds the lock until wait() atomically blocks, so
+        // locking here guarantees notify_all below cannot fire in
+        // that window and be lost (the classic lost-wakeup hang).
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_.store(true);
+    }
+    // Unblock the acceptor: shutdown() makes a blocked accept() return
+    // on Linux; close() alone would not.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+
+    // Workers drain and *serve* everything already admitted before
+    // exiting (their wait predicate only releases them when the queue
+    // is empty): accepted connections are part of the contract, only
+    // un-accepted ones are refused (by the closed listen socket).
+    queueCv_.notify_all();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    workers_.clear();
+    running_.store(false);
+}
+
+HttpServerStats
+HttpServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load())
+                break;
+            // EINTR / ECONNABORTED are instant-retry; resource
+            // exhaustion (EMFILE/ENFILE/ENOMEM) persists until
+            // connections finish, so back off instead of spinning
+            // this thread at 100% CPU hammering accept().
+            if (errno != EINTR && errno != ECONNABORTED)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            continue;
+        }
+        timeval tv{};
+        tv.tv_sec = options_.recvTimeoutSeconds;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+        bool full = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.accepted;
+            if (queue_.size() >= options_.queueDepth) {
+                full = true;
+                ++stats_.rejectedQueueFull;
+            } else {
+                queue_.push_back(fd);
+            }
+        }
+        if (full) {
+            // Shed load at admission: the bounded queue is the
+            // backpressure mechanism (never buffer unboundedly).
+            // Drain what the client already sent first — without it,
+            // close() with unread bytes pending RSTs the 503 away.
+            // Non-blocking only: the acceptor must not stall on a
+            // slow sender; on loopback the whole request has almost
+            // always landed by the time accept() returns.
+            char sink[4096];
+            while (::recv(fd, sink, sizeof(sink), MSG_DONTWAIT) > 0) {
+            }
+            respondAndClose(fd, errorResponse(
+                                    503, "overloaded",
+                                    "request queue is full, retry"));
+        } else {
+            queueCv_.notify_one();
+        }
+    }
+}
+
+void
+HttpServer::workerLoop()
+{
+    while (true) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueCv_.wait(lock, [this] {
+                return stopping_.load() || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained.
+            fd = queue_.front();
+            queue_.pop_front();
+        }
+        handleConnection(fd);
+    }
+}
+
+void
+HttpServer::handleConnection(int fd)
+{
+    Deadline deadline = std::chrono::steady_clock::now() +
+        std::chrono::seconds(options_.requestDeadlineSeconds);
+    std::string buf;
+    size_t bodyStart = 0;
+    size_t headerEnd = recvHeaderBlock(fd, buf,
+                                       options_.maxHeaderBytes,
+                                       bodyStart, deadline);
+    if (headerEnd == std::string::npos) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.badRequests;
+        }
+        // Distinguish an oversized preamble from a hung-up/garbled
+        // client; the latter may not be able to read a response at
+        // all, but sending one is harmless.
+        respondAndClose(fd,
+                        errorResponse(
+                            buf.size() > options_.maxHeaderBytes ? 431
+                                                                 : 400,
+                            "bad_request",
+                            "malformed or oversized request header"),
+                        /*drain=*/true, deadline);
+        return;
+    }
+
+    HttpRequest req;
+    {
+        std::string head = buf.substr(0, headerEnd);
+        std::vector<std::string> lines;
+        size_t start = 0;
+        while (start <= head.size()) {
+            size_t nl = head.find('\n', start);
+            if (nl == std::string::npos) {
+                lines.push_back(head.substr(start));
+                break;
+            }
+            lines.push_back(head.substr(start, nl - start));
+            start = nl + 1;
+        }
+        for (std::string &line : lines)
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+
+        // Request line: METHOD SP TARGET SP HTTP/1.x
+        size_t sp1 = lines.empty() ? std::string::npos
+                                   : lines[0].find(' ');
+        size_t sp2 = sp1 == std::string::npos
+            ? std::string::npos
+            : lines[0].find(' ', sp1 + 1);
+        if (sp2 == std::string::npos ||
+            lines[0].compare(sp2 + 1, 7, "HTTP/1.") != 0) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.badRequests;
+            }
+            respondAndClose(fd,
+                            errorResponse(400, "bad_request",
+                                          "malformed request line"),
+                            /*drain=*/true, deadline);
+            return;
+        }
+        req.method = lines[0].substr(0, sp1);
+        req.target = lines[0].substr(sp1 + 1, sp2 - sp1 - 1);
+        req.version = lines[0].substr(sp2 + 1);
+        size_t q = req.target.find('?');
+        if (q != std::string::npos)
+            req.target.resize(q);
+
+        bool duplicateContentLength = false;
+        for (size_t i = 1; i < lines.size(); ++i) {
+            if (lines[i].empty())
+                continue;
+            size_t colon = lines[i].find(':');
+            if (colon == std::string::npos)
+                continue; // Ignore malformed header lines.
+            std::string key =
+                lowered(trimmed(lines[i].substr(0, colon)));
+            // Repeated Content-Length is the classic
+            // request-smuggling precondition (RFC 7230 §3.3.2): two
+            // hops disagreeing on framing. Reject rather than
+            // last-wins.
+            if (key == "content-length" && req.headers.count(key))
+                duplicateContentLength = true;
+            req.headers[key] = trimmed(lines[i].substr(colon + 1));
+        }
+        if (duplicateContentLength) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.badRequests;
+            }
+            respondAndClose(fd,
+                            errorResponse(400, "bad_request",
+                                          "repeated Content-Length "
+                                          "header"),
+                            /*drain=*/true, deadline);
+            return;
+        }
+    }
+
+    // Only Content-Length framing is implemented. A chunked body must
+    // be refused explicitly: treating it as zero-length would hand
+    // the handler an empty body and leave the chunk bytes unread in
+    // the socket (RST-ing the response away on close).
+    auto te = req.headers.find("transfer-encoding");
+    if (te != req.headers.end() && lowered(te->second) != "identity") {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.badRequests;
+        }
+        respondAndClose(fd,
+                        errorResponse(501, "not_implemented",
+                                      "Transfer-Encoding is not "
+                                      "supported; send a "
+                                      "Content-Length body"),
+                        /*drain=*/true, deadline);
+        return;
+    }
+
+    size_t contentLength = 0;
+    auto cl = req.headers.find("content-length");
+    if (cl != req.headers.end()) {
+        // Digits only, fully consumed: "12abc" must be rejected, not
+        // truncated into a misframed 12-byte body.
+        bool ok = !cl->second.empty() &&
+            cl->second.find_first_not_of("0123456789") ==
+                std::string::npos;
+        if (ok) {
+            try {
+                contentLength = std::stoul(cl->second);
+            } catch (const std::exception &) {
+                ok = false; // Overflow.
+            }
+        }
+        if (!ok) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.badRequests;
+            }
+            respondAndClose(fd,
+                            errorResponse(400, "bad_request",
+                                          "invalid Content-Length"),
+                            /*drain=*/true, deadline);
+            return;
+        }
+    }
+    if (contentLength > options_.maxBodyBytes) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.badRequests;
+        }
+        respondAndClose(
+            fd,
+            errorResponse(413, "payload_too_large",
+                          "request body exceeds " +
+                              std::to_string(options_.maxBodyBytes) +
+                              " bytes"),
+            /*drain=*/true, deadline);
+        return;
+    }
+
+    // curl sends "Expect: 100-continue" for larger bodies and stalls
+    // until the server blesses it; every real evaluate request (three
+    // inlined config objects) crosses that threshold.
+    auto expect = req.headers.find("expect");
+    if (expect != req.headers.end() &&
+        lowered(expect->second) == "100-continue")
+        sendAll(fd, "HTTP/1.1 100 Continue\r\n\r\n");
+
+    req.body = buf.substr(bodyStart);
+    char chunk[4096];
+    while (req.body.size() < contentLength) {
+        bool dead = expired(deadline); // Trickling past the deadline.
+        ssize_t n =
+            dead ? -1 : ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            // Trickling or truncated: count it (else accepted !=
+            // served + badRequests + rejectedQueueFull and the gap
+            // has no explaining counter), close, free the worker.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.badRequests;
+            }
+            ::close(fd);
+            return;
+        }
+        req.body.append(chunk, static_cast<size_t>(n));
+    }
+    req.body.resize(contentLength);
+
+    HttpResponse resp;
+    try {
+        resp = handler_(req);
+    } catch (const ConfigError &e) {
+        resp = errorResponse(400, "bad_request", e.what());
+    } catch (const std::exception &e) {
+        resp = errorResponse(500, "internal", e.what());
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.served;
+    }
+    respondAndClose(fd, resp);
+}
+
+} // namespace madmax

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Minimal embedded HTTP/1.1 server over POSIX sockets — the transport
+ * under `madmax serve`. Deliberately dependency-free, like the JSON
+ * parser it fronts: one acceptor thread feeds accepted connections
+ * into a bounded queue drained by a fixed set of worker threads, each
+ * of which parses one request, runs the registered handler, writes
+ * the response, and closes the connection (every response carries
+ * `Connection: close`; the service is request-per-connection by
+ * design — evaluations dominate connection setup by orders of
+ * magnitude).
+ *
+ * Admission control: when the queue is full the acceptor answers 503
+ * immediately instead of letting requests pile up — the bounded queue
+ * *is* the backpressure mechanism. Transport-level rejections (parse
+ * failure 400, oversized body 413, oversized headers 431, queue-full
+ * 503) are produced here; application routing (404/405) lives in
+ * RequestRouter.
+ */
+
+#ifndef MADMAX_SERVE_HTTP_SERVER_HH
+#define MADMAX_SERVE_HTTP_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace madmax
+{
+
+/** One parsed request. Header names are lower-cased on parse. */
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", ... (upper-case).
+    std::string target;  ///< Path only; any "?query" is stripped.
+    std::string version; ///< "HTTP/1.1".
+    std::map<std::string, std::string> headers;
+    std::string body;
+};
+
+/** One response. The server adds Content-Length and Connection. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest &)>;
+
+/**
+ * The API's uniform error shape, used by every rejection path
+ * (transport, router, and service alike):
+ *
+ *   {"error": {"code": "<machine-readable>", "message": "<human>"}}
+ */
+HttpResponse errorResponse(int status, const std::string &code,
+                           const std::string &message);
+
+/** Canonical reason phrase for the status codes the server emits. */
+const char *statusReason(int status);
+
+/** Server construction knobs. */
+struct HttpServerOptions
+{
+    /** TCP port to bind on loopback; 0 picks a free port (see
+     *  HttpServer::port for the bound one). */
+    int port = 8080;
+
+    /** Worker threads draining the connection queue. */
+    int workers = 4;
+
+    /** Bounded admission queue depth; connections beyond it are
+     *  answered 503 by the acceptor. */
+    size_t queueDepth = 64;
+
+    /** Request-body cap; larger Content-Lengths are answered 413. */
+    size_t maxBodyBytes = 1 << 20;
+
+    /** Request-line + header cap; larger preambles are answered 431. */
+    size_t maxHeaderBytes = 16 << 10;
+
+    /** Per-recv() socket timeout, seconds (covers dead clients). */
+    int recvTimeoutSeconds = 10;
+
+    /** Whole-request wall-clock deadline, seconds. SO_RCVTIMEO alone
+     *  only bounds a single recv(): a client trickling one byte per
+     *  timeout window could otherwise pin a worker (and eventually
+     *  the whole pool) indefinitely. */
+    int requestDeadlineSeconds = 30;
+};
+
+/** Transport-level counters. `madmax serve` wires them into
+ *  `GET /v1/stats` via EvalService::setTransportStatsProvider —
+ *  transport rejections (400/413/431/503) never reach the service
+ *  handler, so they are only observable here. */
+struct HttpServerStats
+{
+    long accepted = 0;        ///< Connections taken off accept().
+    long served = 0;          ///< Requests answered by the handler.
+    long rejectedQueueFull = 0; ///< 503s from the bounded queue.
+    long badRequests = 0;     ///< Transport 400/413/431 rejections.
+};
+
+/**
+ * The listening server. start() binds and spawns threads; stop()
+ * (idempotent, also run by the destructor) unblocks the acceptor,
+ * drains queued connections, and joins every thread. The handler is
+ * called concurrently from multiple workers and must be thread-safe.
+ * Handler exceptions are mapped to JSON errors: ConfigError -> 400,
+ * anything else -> 500.
+ */
+class HttpServer
+{
+  public:
+    HttpServer(HttpHandler handler, HttpServerOptions options = {});
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind 127.0.0.1:port, listen, spawn acceptor + workers.
+     *  @throws ConfigError if the socket cannot be bound. */
+    void start();
+
+    /** Shut down and join; safe to call twice or before start(). */
+    void stop();
+
+    /** Actually-bound port (resolves port 0), valid after start(). */
+    int port() const { return port_; }
+
+    bool running() const { return running_.load(); }
+
+    HttpServerStats stats() const;
+
+  private:
+    void acceptLoop();
+    void workerLoop();
+    void handleConnection(int fd);
+
+    HttpHandler handler_;
+    HttpServerOptions options_;
+
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mutex_; ///< Guards queue_ and stats_.
+    std::condition_variable queueCv_;
+    std::deque<int> queue_; ///< Accepted fds awaiting a worker.
+    HttpServerStats stats_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_SERVE_HTTP_SERVER_HH

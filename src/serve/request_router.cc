@@ -1,0 +1,41 @@
+#include "serve/request_router.hh"
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+void
+RequestRouter::add(const std::string &method, const std::string &path,
+                   HttpHandler handler)
+{
+    if (!handler)
+        fatal("RequestRouter: null handler for " + method + " " + path);
+    routes_[path][method] = std::move(handler);
+}
+
+HttpResponse
+RequestRouter::route(const HttpRequest &request) const
+{
+    auto byPath = routes_.find(request.target);
+    if (byPath == routes_.end())
+        return errorResponse(404, "not_found",
+                             "no such endpoint: " + request.target);
+    auto byMethod = byPath->second.find(request.method);
+    if (byMethod == byPath->second.end()) {
+        std::string allowed;
+        for (const auto &[method, handler] : byPath->second) {
+            (void)handler;
+            if (!allowed.empty())
+                allowed += ", ";
+            allowed += method;
+        }
+        return errorResponse(405, "method_not_allowed",
+                             request.method + " not supported on " +
+                                 request.target + " (use " + allowed +
+                                 ")");
+    }
+    return byMethod->second(request);
+}
+
+} // namespace madmax

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Method + path dispatch for the serving API. Kept separate from the
+ * transport (HttpServer) and the application (EvalService) so each is
+ * testable alone: the router maps an HttpRequest to a registered
+ * handler and owns the 404 (unknown path) / 405 (known path, wrong
+ * method, with an Allow-style hint) error responses.
+ */
+
+#ifndef MADMAX_SERVE_REQUEST_ROUTER_HH
+#define MADMAX_SERVE_REQUEST_ROUTER_HH
+
+#include <map>
+#include <string>
+
+#include "serve/http_server.hh"
+
+namespace madmax
+{
+
+/** Exact-match (method, path) routing table. */
+class RequestRouter
+{
+  public:
+    /** Register @p handler for @p method + @p path (exact match). */
+    void add(const std::string &method, const std::string &path,
+             HttpHandler handler);
+
+    /**
+     * Dispatch one request: the registered handler's response, 404
+     * for an unknown path, 405 (naming the allowed methods) for a
+     * known path with the wrong method. Never throws on its own;
+     * handler exceptions propagate to the caller (HttpServer maps
+     * them to 400/500).
+     */
+    HttpResponse route(const HttpRequest &request) const;
+
+  private:
+    /// path -> method -> handler.
+    std::map<std::string, std::map<std::string, HttpHandler>> routes_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_SERVE_REQUEST_ROUTER_HH

@@ -1,0 +1,209 @@
+#include "serve/service.hh"
+
+#include "config/config_loader.hh"
+#include "core/strategy_explorer.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/** Parse + shape-check a request body that must carry the config
+ *  triple. @throws ConfigError (-> 400) on malformed input. */
+JsonValue
+parseTripleBody(const HttpRequest &request)
+{
+    JsonValue body = JsonValue::parse(request.body);
+    if (!body.isObject())
+        fatal("request body must be a JSON object with \"model\", "
+              "\"system\", and \"task\" members");
+    for (const char *key : {"model", "system", "task"})
+        if (!body.has(key))
+            fatal(std::string("request body missing \"") + key +
+                  "\" member");
+    return body;
+}
+
+HttpResponse
+jsonResponse(const JsonValue &doc)
+{
+    HttpResponse resp;
+    // dump(2) + "\n" is exactly what the CLI prints with
+    // --format json; keeping the framing identical here is what makes
+    // responses byte-comparable against `madmax_cli evaluate`.
+    resp.body = doc.dump(2) + "\n";
+    return resp;
+}
+
+} // namespace
+
+EvalService::EvalService(ServiceOptions options)
+    : engine_([&options] {
+          EvalEngineOptions eo;
+          eo.jobs = options.jobs;
+          eo.cacheCapacity = options.cacheCapacity;
+          return eo;
+      }()),
+      start_(std::chrono::steady_clock::now())
+{
+    router_.add("POST", "/v1/evaluate", [this](const HttpRequest &r) {
+        return handleEvaluate(r);
+    });
+    router_.add("POST", "/v1/explore", [this](const HttpRequest &r) {
+        return handleExplore(r);
+    });
+    router_.add("GET", "/v1/health", [this](const HttpRequest &r) {
+        return handleHealth(r);
+    });
+    router_.add("GET", "/v1/stats", [this](const HttpRequest &r) {
+        return handleStats(r);
+    });
+}
+
+HttpResponse
+EvalService::handle(const HttpRequest &request)
+{
+    HttpResponse resp;
+    try {
+        resp = router_.route(request);
+    } catch (const ConfigError &e) {
+        resp = errorResponse(400, "bad_request", e.what());
+    } catch (const std::exception &e) {
+        resp = errorResponse(500, "internal", e.what());
+    }
+    if (resp.status >= 400)
+        ++errorCount_;
+    return resp;
+}
+
+HttpResponse
+EvalService::handleEvaluate(const HttpRequest &request)
+{
+    ++evaluateCount_;
+    JsonValue body = parseTripleBody(request);
+    ModelDesc model = loadModel(body.at("model"));
+    ClusterSpec cluster = loadCluster(body.at("system"));
+    TaskConfig task = loadTask(body.at("task"));
+
+    PerfModel perf(cluster);
+    PerfReport report =
+        engine_.evaluateOne(perf, model, task.task, task.plan);
+    return jsonResponse(toJson(report));
+}
+
+HttpResponse
+EvalService::handleExplore(const HttpRequest &request)
+{
+    ++exploreCount_;
+    JsonValue body = parseTripleBody(request);
+    ModelDesc model = loadModel(body.at("model"));
+    ClusterSpec cluster = loadCluster(body.at("system"));
+    TaskConfig task = loadTask(body.at("task"));
+
+    // The !(in-range) form also rejects NaN; an unchecked cast of an
+    // out-of-range double to size_t is undefined behavior.
+    double topRaw = body.numberOr("top", 5);
+    if (!(topRaw >= 0 && topRaw <= static_cast<double>(1L << 30)))
+        fatal("\"top\" must be in [0, 2^30]");
+    size_t top = static_cast<size_t>(topRaw);
+
+    PerfModel perf(cluster);
+    StrategyExplorer explorer(perf, &engine_);
+    ExplorerOptions opts;
+    opts.ignoreMemory = body.boolOr("no_memory_limit", false);
+    Exploration exploration =
+        explorer.explore(model, task.task, opts);
+
+    // Mirrors madmax_cli's cmdExplore --format json output, including
+    // the quirk that zero shown results serialize as null.
+    JsonValue arr;
+    size_t shown = 0;
+    for (const ExplorationResult &r : exploration.results) {
+        if (shown++ >= top)
+            break;
+        arr.append(toJson(r.report));
+    }
+    JsonValue out;
+    out.set("results", std::move(arr));
+    out.set("search", toJson(exploration.stats));
+    return jsonResponse(out);
+}
+
+HttpResponse
+EvalService::handleHealth(const HttpRequest &request)
+{
+    ++healthCount_;
+    (void)request;
+    JsonValue out;
+    out.set("status", "ok");
+    out.set("jobs", engine_.jobs());
+    out.set("uptime_seconds",
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+    return jsonResponse(out);
+}
+
+HttpResponse
+EvalService::handleStats(const HttpRequest &request)
+{
+    ++statsCount_;
+    (void)request;
+    EngineCounters c = engine_.counters();
+
+    JsonValue cache;
+    cache.set("capacity", static_cast<long>(c.cacheCapacity));
+    cache.set("entries", static_cast<long>(c.cacheEntries));
+    cache.set("insertions", c.cacheInsertions);
+    cache.set("evictions", c.cacheEvictions);
+
+    JsonValue eng;
+    eng.set("jobs", engine_.jobs());
+    eng.set("lifetime", toJson(c.lifetime));
+    eng.set("cache", std::move(cache));
+
+    ServiceStats s = stats();
+    JsonValue requests;
+    requests.set("evaluate", s.evaluate);
+    requests.set("explore", s.explore);
+    requests.set("health", s.health);
+    requests.set("stats", s.stats);
+    JsonValue server;
+    server.set("requests", std::move(requests));
+    server.set("requests_total", s.total());
+    server.set("errors", s.errors);
+
+    JsonValue out;
+    out.set("engine", std::move(eng));
+    out.set("server", std::move(server));
+    if (transportStats_) {
+        HttpServerStats t = transportStats_();
+        JsonValue transport;
+        transport.set("accepted", t.accepted);
+        transport.set("served", t.served);
+        transport.set("rejected_queue_full", t.rejectedQueueFull);
+        transport.set("bad_requests", t.badRequests);
+        out.set("transport", std::move(transport));
+    }
+    out.set("uptime_seconds",
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+    return jsonResponse(out);
+}
+
+ServiceStats
+EvalService::stats() const
+{
+    ServiceStats s;
+    s.evaluate = evaluateCount_.load();
+    s.explore = exploreCount_.load();
+    s.health = healthCount_.load();
+    s.stats = statsCount_.load();
+    s.errors = errorCount_.load();
+    return s;
+}
+
+} // namespace madmax

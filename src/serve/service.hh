@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The MAD-Max evaluation service: the application logic behind
+ * `madmax serve`. One EvalService owns one process-lifetime
+ * EvalEngine, so the memo cache and thread pool are shared across
+ * every request the server ever answers — repeat evaluations of a
+ * popular (model, system, task) triple are cache hits instead of
+ * full stream builds, which is what amortizes the >100x-over-
+ * profiling speedup across many interactive users.
+ *
+ * Endpoints (full reference with examples: docs/serving.md):
+ *
+ *   POST /v1/evaluate  body {"model": ..., "system": ..., "task": ...}
+ *                      -> the exact JSON `madmax_cli evaluate
+ *                      --format json` prints for the same triple,
+ *                      byte for byte.
+ *   POST /v1/explore   same body plus optional "top" (default 5) and
+ *                      "no_memory_limit" -> the same schema as
+ *                      `madmax_cli explore --format json` (not byte-
+ *                      identical: search.wall_seconds is measured).
+ *   GET  /v1/health    liveness: status, uptime, engine parallelism.
+ *   GET  /v1/stats     engine lifetime counters + memo-cache
+ *                      occupancy + per-endpoint request counts.
+ *
+ * Errors use the uniform {"error": {code, message}} shape: 400 for
+ * malformed JSON / missing fields / bad configs, 404/405 from the
+ * router, 500 for internal failures.
+ */
+
+#ifndef MADMAX_SERVE_SERVICE_HH
+#define MADMAX_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+
+#include "engine/eval_engine.hh"
+#include "serve/request_router.hh"
+
+namespace madmax
+{
+
+/** Service construction knobs. */
+struct ServiceOptions
+{
+    /** Engine worker threads; 0 = one per core (the serving default —
+     *  unlike the CLI, a resident service wants the whole machine). */
+    int jobs = 0;
+
+    /** Memo-cache entry cap, forwarded to EvalEngineOptions. */
+    size_t cacheCapacity = size_t{1} << 13;
+};
+
+/** Per-endpoint request accounting, reported by `GET /v1/stats`. */
+struct ServiceStats
+{
+    long evaluate = 0;
+    long explore = 0;
+    long health = 0;
+    long stats = 0;
+    long errors = 0; ///< Responses with status >= 400 (any endpoint).
+
+    long total() const { return evaluate + explore + health + stats; }
+};
+
+class EvalService
+{
+  public:
+    explicit EvalService(ServiceOptions options = {});
+
+    EvalService(const EvalService &) = delete;
+    EvalService &operator=(const EvalService &) = delete;
+
+    /**
+     * Dispatch one request through the routing table. Never throws:
+     * ConfigError becomes a 400 response, anything else a 500.
+     * Thread-safe; this is the HttpHandler `madmax serve` installs.
+     */
+    HttpResponse handle(const HttpRequest &request);
+
+    /** The shared process-lifetime engine (tests inspect its cache). */
+    EvalEngine &engine() { return engine_; }
+
+    ServiceStats stats() const;
+
+    /**
+     * Wire the transport's counters into `GET /v1/stats` (as the
+     * response's "transport" object). Set after constructing the
+     * HttpServer — the server wraps the service, so the service
+     * cannot reach it at construction time. Transport rejections
+     * (400/413/431/503) never reach handle(), so without this they
+     * are invisible to the observability endpoint. Not thread-safe:
+     * call before start().
+     */
+    void
+    setTransportStatsProvider(std::function<HttpServerStats()> provider)
+    {
+        transportStats_ = std::move(provider);
+    }
+
+  private:
+    HttpResponse handleEvaluate(const HttpRequest &request);
+    HttpResponse handleExplore(const HttpRequest &request);
+    HttpResponse handleHealth(const HttpRequest &request);
+    HttpResponse handleStats(const HttpRequest &request);
+
+    EvalEngine engine_;
+    RequestRouter router_;
+    std::function<HttpServerStats()> transportStats_;
+    std::chrono::steady_clock::time_point start_;
+
+    std::atomic<long> evaluateCount_{0};
+    std::atomic<long> exploreCount_{0};
+    std::atomic<long> healthCount_{0};
+    std::atomic<long> statsCount_{0};
+    std::atomic<long> errorCount_{0};
+};
+
+} // namespace madmax
+
+#endif // MADMAX_SERVE_SERVICE_HH

@@ -138,4 +138,23 @@ TEST(Json, ParseFileMissingIsFatal)
                  ConfigError);
 }
 
+TEST(Json, NestingBeyondTheCapIsFatalNotAStackOverflow)
+{
+    // The serving layer feeds network input to this parser: a deeply
+    // nested body must raise ConfigError, not recurse until SIGSEGV.
+    std::string deep(100000, '[');
+    EXPECT_THROW(JsonValue::parse(deep), ConfigError);
+    deep = std::string(100000, '[') + std::string(100000, ']');
+    EXPECT_THROW(JsonValue::parse(deep), ConfigError);
+
+    // Exactly 200 levels (the documented cap) still parses; 201
+    // does not.
+    std::string ok = std::string(200, '[') + "1" +
+        std::string(200, ']');
+    EXPECT_EQ(JsonValue::parse(ok).size(), 1u);
+    std::string over = std::string(201, '[') + "1" +
+        std::string(201, ']');
+    EXPECT_THROW(JsonValue::parse(over), ConfigError);
+}
+
 } // namespace madmax

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared helpers for the serving-layer tests: a minimal blocking HTTP
+ * client over raw POSIX sockets (the tests must not depend on the
+ * very server code they are checking) and loaders for the shipped
+ * configs/ triple.
+ */
+
+#ifndef MADMAX_TESTS_SERVE_SERVE_TEST_UTIL_HH
+#define MADMAX_TESTS_SERVE_SERVE_TEST_UTIL_HH
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "config/json.hh"
+
+namespace madmax::serve_test
+{
+
+/** Connect to 127.0.0.1:@p port, send @p raw, read to EOF. */
+inline std::string
+httpExchange(int port, const std::string &raw)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    size_t off = 0;
+    while (off < raw.size()) {
+        ssize_t n = ::send(fd, raw.data() + off, raw.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+    std::string resp;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        resp.append(chunk, static_cast<size_t>(n));
+    ::close(fd);
+    return resp;
+}
+
+/** Render a POST with a body (CRLF framing, explicit Content-Length). */
+inline std::string
+postRequest(const std::string &path, const std::string &body)
+{
+    return "POST " + path + " HTTP/1.1\r\nHost: localhost\r\n"
+        "Content-Type: application/json\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+inline std::string
+getRequest(const std::string &path)
+{
+    return "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+}
+
+/** Status code of a raw HTTP response (0 if unparsable). */
+inline int
+statusOf(const std::string &response)
+{
+    if (response.rfind("HTTP/1.1 ", 0) != 0 || response.size() < 12)
+        return 0;
+    return std::stoi(response.substr(9, 3));
+}
+
+/** Body of a raw HTTP response (everything after the blank line). */
+inline std::string
+bodyOf(const std::string &response)
+{
+    size_t pos = response.find("\r\n\r\n");
+    return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** The shipped configs/ triple as a /v1/evaluate request body. */
+inline std::string
+shippedTripleBody()
+{
+    const std::string dir = MADMAX_CONFIG_DIR;
+    JsonValue body;
+    body.set("model",
+             JsonValue::parseFile(dir + "/model_dlrm_a.json"));
+    body.set("system",
+             JsonValue::parseFile(dir + "/system_zionex.json"));
+    body.set("task",
+             JsonValue::parseFile(dir + "/task_pretrain_optimal.json"));
+    return body.dump(2);
+}
+
+} // namespace madmax::serve_test
+
+#endif // MADMAX_TESTS_SERVE_SERVE_TEST_UTIL_HH

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * EvalService tests: the /v1 API contract. Byte-identity of
+ * POST /v1/evaluate with `madmax_cli evaluate --format json` (both
+ * render through toJson(PerfReport)), shared-memo-cache accounting
+ * across repeated requests (visible in GET /v1/stats), request
+ * parsing error paths, /v1/explore's CLI-shaped output, and
+ * concurrent clients over a real socket receiving identical bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "config/config_loader.hh"
+#include "serve/http_server.hh"
+#include "serve/service.hh"
+#include "serve_test_util.hh"
+
+namespace madmax
+{
+
+using namespace serve_test;
+
+namespace
+{
+
+HttpRequest
+post(const std::string &path, const std::string &body)
+{
+    HttpRequest req;
+    req.method = "POST";
+    req.target = path;
+    req.version = "HTTP/1.1";
+    req.body = body;
+    return req;
+}
+
+HttpRequest
+get(const std::string &path)
+{
+    HttpRequest req;
+    req.method = "GET";
+    req.target = path;
+    req.version = "HTTP/1.1";
+    return req;
+}
+
+/** What `madmax_cli evaluate --format json` prints for the shipped
+ *  configs/ triple (the CLI renders through the same toJson). */
+std::string
+expectedEvaluateBody()
+{
+    const std::string dir = MADMAX_CONFIG_DIR;
+    ModelDesc model = loadModelFile(dir + "/model_dlrm_a.json");
+    ClusterSpec cluster = loadClusterFile(dir + "/system_zionex.json");
+    TaskConfig task =
+        loadTaskFile(dir + "/task_pretrain_optimal.json");
+    PerfModel perf(cluster);
+    PerfReport report = perf.evaluate(model, task.task, task.plan);
+    return toJson(report).dump(2) + "\n";
+}
+
+} // namespace
+
+TEST(EvalService, EvaluateMatchesCliJsonByteForByte)
+{
+    EvalService service;
+    HttpResponse resp =
+        service.handle(post("/v1/evaluate", shippedTripleBody()));
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, expectedEvaluateBody());
+}
+
+TEST(EvalService, RepeatedEvaluateIsServedFromTheSharedCache)
+{
+    EvalService service;
+    std::string body = shippedTripleBody();
+
+    HttpResponse first = service.handle(post("/v1/evaluate", body));
+    HttpResponse second = service.handle(post("/v1/evaluate", body));
+    ASSERT_EQ(first.status, 200);
+    EXPECT_EQ(first.body, second.body);
+
+    // One full evaluation, one memo hit — and /v1/stats says so.
+    EngineCounters c = service.engine().counters();
+    EXPECT_EQ(c.lifetime.evaluations, 1);
+    EXPECT_EQ(c.lifetime.cacheHits, 1);
+    EXPECT_EQ(c.cacheEntries, 1u);
+
+    HttpResponse stats = service.handle(get("/v1/stats"));
+    ASSERT_EQ(stats.status, 200);
+    JsonValue doc = JsonValue::parse(stats.body);
+    EXPECT_EQ(doc.at("engine").at("lifetime").at("cache_hits").asLong(),
+              1);
+    EXPECT_EQ(
+        doc.at("engine").at("lifetime").at("evaluations").asLong(), 1);
+    EXPECT_EQ(doc.at("engine").at("cache").at("entries").asLong(), 1);
+    EXPECT_EQ(
+        doc.at("server").at("requests").at("evaluate").asLong(), 2);
+}
+
+TEST(EvalService, MalformedJsonIs400)
+{
+    EvalService service;
+    HttpResponse resp =
+        service.handle(post("/v1/evaluate", "this is not json"));
+    EXPECT_EQ(resp.status, 400);
+    JsonValue doc = JsonValue::parse(resp.body);
+    EXPECT_EQ(doc.at("error").at("code").asString(), "bad_request");
+    EXPECT_EQ(service.stats().errors, 1);
+}
+
+TEST(EvalService, DeeplyNestedBodyIs400NotACrash)
+{
+    // A 400 KB '[[[[...' body fits the transport's 1 MiB cap but
+    // would overflow the stack without the parser's nesting limit —
+    // one request must not be able to kill the resident service.
+    EvalService service;
+    HttpResponse resp = service.handle(
+        post("/v1/evaluate", std::string(400000, '[')));
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("nesting"), std::string::npos);
+}
+
+TEST(EvalService, NonObjectBodyIs400)
+{
+    EvalService service;
+    HttpResponse resp = service.handle(post("/v1/evaluate", "[1, 2]"));
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("JSON object"), std::string::npos);
+}
+
+TEST(EvalService, MissingMemberIs400NamingTheMember)
+{
+    EvalService service;
+    JsonValue body = JsonValue::parse(shippedTripleBody());
+    JsonValue::Object partial;
+    partial["model"] = body.at("model");
+    partial["system"] = body.at("system");
+    HttpResponse resp = service.handle(
+        post("/v1/evaluate", JsonValue(partial).dump(2)));
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("\\\"task\\\""), std::string::npos);
+}
+
+TEST(EvalService, InvalidConfigContentsAre400)
+{
+    EvalService service;
+    HttpResponse resp = service.handle(post(
+        "/v1/evaluate",
+        R"({"model": {"type": "nonsense"}, "system": {}, "task": {}})"));
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_EQ(JsonValue::parse(resp.body)
+                  .at("error")
+                  .at("code")
+                  .asString(),
+              "bad_request");
+}
+
+TEST(EvalService, UnknownEndpointAndMethodAreCounted)
+{
+    EvalService service;
+    EXPECT_EQ(service.handle(get("/v2/evaluate")).status, 404);
+    EXPECT_EQ(service.handle(get("/v1/evaluate")).status, 405);
+    EXPECT_EQ(service.stats().errors, 2);
+}
+
+TEST(EvalService, ExploreMirrorsTheCliSchema)
+{
+    EvalService service;
+    JsonValue body = JsonValue::parse(shippedTripleBody());
+    body.set("top", 3);
+    HttpResponse resp =
+        service.handle(post("/v1/explore", body.dump(2)));
+    ASSERT_EQ(resp.status, 200);
+
+    JsonValue doc = JsonValue::parse(resp.body);
+    ASSERT_TRUE(doc.at("results").isArray());
+    EXPECT_EQ(doc.at("results").size(), 3u);
+    const JsonValue &search = doc.at("search");
+    EXPECT_GT(search.at("evaluations").asLong(), 0);
+    EXPECT_GE(search.at("pruned").asLong(), 0);
+
+    // Rank 1 must be the best throughput and carry the full
+    // per-report schema the CLI emits.
+    const JsonValue &top = doc.at("results").at(size_t{0});
+    EXPECT_TRUE(top.at("valid").asBool());
+    EXPECT_GE(top.at("throughput_samples_per_sec").asDouble(),
+              doc.at("results")
+                  .at(size_t{1})
+                  .at("throughput_samples_per_sec")
+                  .asDouble());
+}
+
+TEST(EvalService, ExploreRejectsOutOfRangeTop)
+{
+    EvalService service;
+    JsonValue body = JsonValue::parse(shippedTripleBody());
+    body.set("top", -1);
+    EXPECT_EQ(service.handle(post("/v1/explore", body.dump(2))).status,
+              400);
+    // Beyond-size_t doubles must be rejected, not cast (UB).
+    body.set("top", 1e300);
+    EXPECT_EQ(service.handle(post("/v1/explore", body.dump(2))).status,
+              400);
+}
+
+TEST(EvalService, HealthReportsOkAndJobs)
+{
+    EvalService service;
+    HttpResponse resp = service.handle(get("/v1/health"));
+    ASSERT_EQ(resp.status, 200);
+    JsonValue doc = JsonValue::parse(resp.body);
+    EXPECT_EQ(doc.at("status").asString(), "ok");
+    EXPECT_GE(doc.at("jobs").asLong(), 1);
+    EXPECT_GE(doc.at("uptime_seconds").asDouble(), 0.0);
+}
+
+TEST(EvalService, ConcurrentClientsReceiveIdenticalBytes)
+{
+    // End to end over real sockets: many clients, one shared engine;
+    // every response must be the same bytes (first computed, the rest
+    // memo hits).
+    EvalService service;
+    HttpServerOptions opts;
+    opts.port = 0;
+    opts.workers = 4;
+    HttpServer server(
+        [&service](const HttpRequest &r) { return service.handle(r); },
+        opts);
+    service.setTransportStatsProvider(
+        [&server] { return server.stats(); });
+    server.start();
+
+    std::string requestBody = shippedTripleBody();
+    std::string expected = expectedEvaluateBody();
+
+    // Warm the cache serially: two cold concurrent requests may both
+    // miss and both evaluate (cross-call dedup only exists through
+    // the cache), which would make the accounting below racy.
+    ASSERT_EQ(bodyOf(httpExchange(server.port(),
+                              postRequest("/v1/evaluate",
+                                          requestBody))),
+              expected);
+
+    constexpr int kClients = 6;
+    constexpr int kRequests = 4;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&] {
+            for (int r = 0; r < kRequests; ++r) {
+                std::string resp = httpExchange(
+                    server.port(),
+                    postRequest("/v1/evaluate", requestBody));
+                if (statusOf(resp) == 200 && bodyOf(resp) == expected)
+                    ++ok;
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    server.stop();
+
+    EXPECT_EQ(ok.load(), kClients * kRequests);
+    // The triple is one cache entry: exactly one full evaluation ever
+    // ran (the warmup), every concurrent request was a shared hit.
+    EngineCounters counters = service.engine().counters();
+    EXPECT_EQ(counters.lifetime.evaluations, 1);
+    EXPECT_EQ(counters.lifetime.cacheHits,
+              long{kClients * kRequests});
+
+    // With a provider wired, /v1/stats also exposes the transport's
+    // counters (rejections never reach the service, so they are only
+    // visible through this object).
+    JsonValue stats = JsonValue::parse(
+        service.handle(get("/v1/stats")).body);
+    EXPECT_GE(stats.at("transport").at("served").asLong(),
+              long{kClients * kRequests} + 1);
+    EXPECT_EQ(stats.at("transport").at("rejected_queue_full").asLong(),
+              0);
+}
+
+} // namespace madmax

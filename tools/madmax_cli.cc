@@ -4,23 +4,32 @@
  * interface of §IV-A:
  *
  *   madmax evaluate --model m.json --system s.json --task t.json
- *       [--trace out.json] [--json]
+ *       [--trace out.json] [--format json|text]
  *   madmax explore  --model m.json --system s.json --task t.json
- *       [--top N] [--no-memory-limit] [--json]
+ *       [--top N] [--jobs N] [--no-memory-limit] [--format json|text]
  *   madmax describe --model m.json
+ *   madmax serve    [--port N] [--jobs N]
  *
- * Exit codes: 0 success, 1 usage/configuration error, 2 evaluated
- * but the plan does not fit device memory.
+ * Exit codes: 0 success, 1 usage/configuration error (including
+ * unknown flags), 2 evaluated but the plan does not fit device
+ * memory. `serve` exits 0 on SIGINT/SIGTERM after a clean shutdown.
+ * Full reference: docs/cli.md.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "config/config_loader.hh"
 #include "core/strategy_explorer.hh"
+#include "serve/service.hh"
 #include "trace/chrome_trace.hh"
 #include "util/logging.hh"
 #include "util/strfmt.hh"
@@ -37,17 +46,32 @@ usage()
     std::cerr <<
         "usage:\n"
         "  madmax evaluate --model M.json --system S.json --task T.json\n"
-        "                  [--trace OUT.json] [--json]\n"
+        "                  [--trace OUT.json] [--format json|text]\n"
         "  madmax explore  --model M.json --system S.json --task T.json\n"
         "                  [--top N] [--jobs N] [--no-memory-limit]\n"
-        "                  [--json]\n"
-        "  madmax describe --model M.json\n";
+        "                  [--format json|text]\n"
+        "  madmax describe --model M.json\n"
+        "  madmax serve    [--port N] [--jobs N]\n"
+        "see docs/cli.md for the full flag and exit-code reference\n";
     return 1;
 }
 
-/** Parse --key value pairs and boolean --flags. */
+/** The flags one subcommand accepts: value flags take an argument,
+ *  boolean flags do not. Anything else is rejected. */
+struct FlagSpec
+{
+    std::set<std::string> value;
+    std::set<std::string> boolean;
+};
+
+/**
+ * Parse --key value pairs and boolean --flags, rejecting anything the
+ * subcommand does not accept — a typo like --modle must fail loudly
+ * (exit 1), not silently evaluate defaults.
+ */
 std::map<std::string, std::string>
-parseFlags(int argc, char **argv, int start)
+parseFlags(int argc, char **argv, int start, const std::string &cmd,
+           const FlagSpec &spec)
 {
     std::map<std::string, std::string> flags;
     for (int i = start; i < argc; ++i) {
@@ -55,12 +79,21 @@ parseFlags(int argc, char **argv, int start)
         if (arg.rfind("--", 0) != 0)
             fatal("unexpected argument: " + arg);
         std::string key = arg.substr(2);
-        if (key == "json" || key == "no-memory-limit") {
+        if (spec.boolean.count(key)) {
             flags[key] = "true";
-        } else {
+        } else if (spec.value.count(key)) {
             if (i + 1 >= argc)
                 fatal("missing value for --" + key);
             flags[key] = argv[++i];
+        } else {
+            std::string known;
+            for (const std::string &k : spec.value)
+                known += " --" + k;
+            for (const std::string &k : spec.boolean)
+                known += " --" + k;
+            fatal("unknown flag --" + key + " for '" + cmd +
+                  "' (supported:" + known +
+                  "; run madmax without arguments for usage)");
         }
     }
     return flags;
@@ -76,26 +109,45 @@ require(const std::map<std::string, std::string> &flags,
     return it->second;
 }
 
-JsonValue
-reportJson(const PerfReport &r)
+/** Parse an integer flag with a range check; fatal (exit 1) on junk
+ *  like `--top x` instead of an uncaught std::stoul abort. */
+long
+intFlag(const std::map<std::string, std::string> &flags,
+        const std::string &key, long fallback, long min, long max)
 {
-    JsonValue out;
-    out.set("model", r.modelName);
-    out.set("cluster", r.clusterName);
-    out.set("task", r.taskName);
-    out.set("plan", r.plan.toString());
-    out.set("valid", r.valid);
-    out.set("memory_bytes_per_device", r.memory.total());
-    out.set("memory_usable_bytes", r.memory.usableCapacity);
-    if (r.valid) {
-        out.set("iteration_seconds", r.iterationTime);
-        out.set("serialized_seconds", r.serializedTime);
-        out.set("throughput_samples_per_sec", r.throughput());
-        out.set("tokens_per_sec", r.tokensPerSecond());
-        out.set("exposed_comm_seconds", r.exposedCommTime);
-        out.set("comm_overlap_fraction", r.overlapFraction());
+    auto it = flags.find(key);
+    if (it == flags.end())
+        return fallback;
+    long v = 0;
+    try {
+        size_t consumed = 0;
+        v = std::stol(it->second, &consumed);
+        if (consumed != it->second.size())
+            throw std::invalid_argument(it->second);
+    } catch (const std::exception &) {
+        fatal("--" + key + " needs an integer, got '" + it->second +
+              "'");
     }
-    return out;
+    if (v < min || v > max)
+        fatal("--" + key + " must be in [" + std::to_string(min) +
+              ", " + std::to_string(max) + "], got " + it->second);
+    return v;
+}
+
+/** Resolve --format json|text (and the legacy --json alias). */
+bool
+wantJson(const std::map<std::string, std::string> &flags)
+{
+    auto it = flags.find("format");
+    if (it != flags.end()) {
+        if (it->second == "json")
+            return true;
+        if (it->second == "text")
+            return false;
+        fatal("--format must be 'json' or 'text', got '" + it->second +
+              "'");
+    }
+    return flags.count("json") > 0;
 }
 
 int
@@ -114,22 +166,11 @@ cmdEvaluate(const std::map<std::string, std::string> &flags)
             fatal("cannot write trace file: " + flags.at("trace"));
         writeChromeTrace(report.timeline, out);
     }
-    if (flags.count("json"))
-        std::cout << reportJson(report).dump(2) << "\n";
+    if (wantJson(flags))
+        std::cout << toJson(report).dump(2) << "\n";
     else
         std::cout << report.summary();
     return report.valid ? 0 : 2;
-}
-
-JsonValue
-statsJson(const EvalStats &stats)
-{
-    JsonValue out;
-    out.set("evaluations", stats.evaluations);
-    out.set("cache_hits", stats.cacheHits);
-    out.set("pruned", stats.pruned);
-    out.set("wall_seconds", stats.wallSeconds);
-    return out;
 }
 
 int
@@ -138,19 +179,12 @@ cmdExplore(const std::map<std::string, std::string> &flags)
     ModelDesc model = loadModelFile(require(flags, "model"));
     ClusterSpec cluster = loadClusterFile(require(flags, "system"));
     TaskConfig task = loadTaskFile(require(flags, "task"));
-    size_t top = flags.count("top")
-        ? static_cast<size_t>(std::stoul(flags.at("top")))
-        : 5;
+    size_t top = static_cast<size_t>(
+        intFlag(flags, "top", 5, 0, 1L << 30));
 
     EvalEngineOptions engine_opts;
-    if (flags.count("jobs")) {
-        try {
-            engine_opts.jobs = std::stoi(flags.at("jobs"));
-        } catch (const std::exception &) {
-            fatal("--jobs needs an integer, got '" + flags.at("jobs") +
-                  "'");
-        }
-    }
+    engine_opts.jobs =
+        static_cast<int>(intFlag(flags, "jobs", 1, 0, 4096));
     EvalEngine engine(engine_opts);
 
     PerfModel madmax(cluster);
@@ -159,17 +193,17 @@ cmdExplore(const std::map<std::string, std::string> &flags)
     opts.ignoreMemory = flags.count("no-memory-limit") > 0;
     Exploration exploration = explorer.explore(model, task.task, opts);
 
-    if (flags.count("json")) {
+    if (wantJson(flags)) {
         JsonValue arr;
         size_t shown = 0;
         for (const ExplorationResult &r : exploration.results) {
             if (shown++ >= top)
                 break;
-            arr.append(reportJson(r.report));
+            arr.append(toJson(r.report));
         }
         JsonValue out;
         out.set("results", std::move(arr));
-        out.set("search", statsJson(exploration.stats));
+        out.set("search", toJson(exploration.stats));
         std::cout << out.dump(2) << "\n";
         return 0;
     }
@@ -229,6 +263,48 @@ cmdDescribe(const std::map<std::string, std::string> &flags)
     return 0;
 }
 
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void
+onShutdownSignal(int)
+{
+    g_shutdown.store(true);
+}
+
+int
+cmdServe(const std::map<std::string, std::string> &flags)
+{
+    ServiceOptions sopts;
+    sopts.jobs = static_cast<int>(intFlag(flags, "jobs", 0, 0, 4096));
+    EvalService service(sopts);
+
+    HttpServerOptions hopts;
+    hopts.port =
+        static_cast<int>(intFlag(flags, "port", 8080, 0, 65535));
+    HttpServer server(
+        [&service](const HttpRequest &r) { return service.handle(r); },
+        hopts);
+    service.setTransportStatsProvider(
+        [&server] { return server.stats(); });
+
+    std::signal(SIGINT, onShutdownSignal);
+    std::signal(SIGTERM, onShutdownSignal);
+
+    server.start();
+    std::cerr << "madmax serve: listening on http://127.0.0.1:"
+              << server.port() << " ("
+              << service.engine().jobs() << " jobs)\n"
+              << "endpoints: POST /v1/evaluate, POST /v1/explore, "
+                 "GET /v1/health, GET /v1/stats — see docs/serving.md\n";
+
+    while (!g_shutdown.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::cerr << "madmax serve: shutting down\n";
+    server.stop();
+    return 0;
+}
+
 } // namespace
 
 int
@@ -238,13 +314,26 @@ main(int argc, char **argv)
         return usage();
     std::string cmd = argv[1];
     try {
-        auto flags = parseFlags(argc, argv, 2);
-        if (cmd == "evaluate")
-            return cmdEvaluate(flags);
-        if (cmd == "explore")
-            return cmdExplore(flags);
-        if (cmd == "describe")
-            return cmdDescribe(flags);
+        FlagSpec spec;
+        if (cmd == "evaluate") {
+            spec.value = {"model", "system", "task", "trace", "format"};
+            spec.boolean = {"json"};
+            return cmdEvaluate(parseFlags(argc, argv, 2, cmd, spec));
+        }
+        if (cmd == "explore") {
+            spec.value = {"model", "system", "task", "top", "jobs",
+                          "format"};
+            spec.boolean = {"json", "no-memory-limit"};
+            return cmdExplore(parseFlags(argc, argv, 2, cmd, spec));
+        }
+        if (cmd == "describe") {
+            spec.value = {"model"};
+            return cmdDescribe(parseFlags(argc, argv, 2, cmd, spec));
+        }
+        if (cmd == "serve") {
+            spec.value = {"port", "jobs"};
+            return cmdServe(parseFlags(argc, argv, 2, cmd, spec));
+        }
         std::cerr << "unknown command: " << cmd << "\n";
         return usage();
     } catch (const ConfigError &e) {
