@@ -1,0 +1,191 @@
+#include "core/eval_context.hh"
+
+#include <cstring>
+
+#include "core/layer_processor.hh"
+#include "core/overlap_simulator.hh"
+#include "core/stream_builder.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+EventCategory
+commCategoryOf(Collective kind)
+{
+    switch (kind) {
+      case Collective::AllReduce: return EventCategory::AllReduce;
+      case Collective::AllGather: return EventCategory::AllGather;
+      case Collective::ReduceScatter: return EventCategory::ReduceScatter;
+      case Collective::All2All: return EventCategory::All2All;
+      case Collective::Broadcast: return EventCategory::Other;
+    }
+    panic("commCategoryOf: unknown Collective");
+}
+
+EvalContext::EvalContext(const PerfModel &model, const ModelDesc &desc,
+                         const TaskSpec &task)
+    : model_(&model), desc_(&desc), task_(&task),
+      taskName_(task.toString()),
+      collectives_(model.cluster(), model.options().latency,
+                   model.options().allReduceAlgorithm)
+{
+    // LayerProcessor validates the cluster and the model once; every
+    // plan evaluated through this context reuses that validation.
+    LayerProcessor processor(cluster(), desc, options().smModel);
+
+    const int num_layers = desc.graph.numLayers();
+    costs_.resize(static_cast<size_t>(num_layers));
+    for (int i = 0; i < num_layers; ++i) {
+        const Layer &layer = desc.graph.layer(i);
+        LayerCosts &lc = costs_[static_cast<size_t>(i)];
+        lc.fwdTime = processor.forwardTime(layer);
+        lc.bwdTime = processor.backwardTime(layer, task);
+        lc.category = processor.categoryOf(layer);
+        lc.fwdName = &layer.name();
+        lc.bwdName = layer.name() + "'";
+    }
+}
+
+size_t
+EvalContext::encode(HierStrategy hs)
+{
+    return static_cast<size_t>(hs.intra) * 5 +
+        static_cast<size_t>(hs.inter);
+}
+
+double
+EvalContext::collectiveTime(Collective kind, CommScope scope,
+                            double bytes) const
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(bytes), "double is 64-bit");
+    std::memcpy(&bits, &bytes, sizeof(bits));
+    auto key = std::make_tuple(static_cast<int>(kind),
+                               static_cast<int>(scope), bits);
+    auto it = collectiveTable_.find(key);
+    if (it != collectiveTable_.end())
+        return it->second;
+    double t = collectives_.time(kind, scope, bytes);
+    collectiveTable_.emplace(key, t);
+    return t;
+}
+
+size_t
+EvalContext::collectiveTableSize() const
+{
+    std::lock_guard<std::mutex> lock(buildMutex_);
+    return collectiveTable_.size();
+}
+
+void
+EvalContext::buildStrategyTable(size_t slot, HierStrategy hs) const
+{
+    std::lock_guard<std::mutex> lock(buildMutex_);
+    StrategyTable &table = strategies_[slot];
+    if (table.ready.load(std::memory_order_acquire))
+        return; // Another thread built it while we waited.
+
+    // One planner pass covers every layer: a plan that maps all
+    // classes to @p hs makes strategyFor(cls) == hs for each layer, so
+    // planLayer yields exactly what any real plan assigning @p hs to
+    // that layer's class would get.
+    ParallelPlan uniform;
+    for (LayerClass cls : {LayerClass::SparseEmbedding,
+                           LayerClass::DenseEmbedding,
+                           LayerClass::BaseDense, LayerClass::Transformer,
+                           LayerClass::MoE}) {
+        uniform.set(cls, hs);
+    }
+    CommPlanner planner(*desc_, *task_, uniform, cluster());
+
+    const int num_layers = desc_->graph.numLayers();
+    std::vector<std::vector<ResolvedCommOp>> per_layer(
+        static_cast<size_t>(num_layers));
+    for (int i = 0; i < num_layers; ++i) {
+        std::vector<ResolvedCommOp> resolved;
+        for (CommOp &op : planner.planLayer(i)) {
+            double dur = collectiveTime(op.kind, op.scope, op.bytes);
+            if (dur <= 0.0)
+                continue;
+            resolved.push_back(ResolvedCommOp{
+                op.phase, op.position, op.kind, commCategoryOf(op.kind),
+                op.blocking, dur, std::move(op.tag)});
+        }
+        per_layer[static_cast<size_t>(i)] = std::move(resolved);
+    }
+    table.perLayer = std::move(per_layer);
+    table.ready.store(true, std::memory_order_release);
+}
+
+const std::vector<ResolvedCommOp> &
+EvalContext::plannedOps(int idx, HierStrategy hs) const
+{
+    const size_t slot = encode(hs);
+    const StrategyTable &table = strategies_[slot];
+    if (!table.ready.load(std::memory_order_acquire))
+        buildStrategyTable(slot, hs);
+    return table.perLayer[static_cast<size_t>(idx)];
+}
+
+PerfReport
+EvalContext::verdict(const ParallelPlan &plan) const
+{
+    return model_->verdict(*desc_, *task_, plan, taskName_);
+}
+
+PerfReport
+EvalContext::evaluate(const ParallelPlan &plan) const
+{
+    PerfReport report = verdict(plan);
+    if (!report.memory.fits() && !options().ignoreMemory)
+        return report;
+
+    StreamBuilder builder(*this, plan);
+    EventGraph graph = builder.buildGraph();
+    OverlapSimulator simulator(options().backgroundCommChannel);
+    FlatSchedule sched = simulator.scheduleGraph(graph);
+
+    report.iterationTime = sched.makespan;
+    report.serializedTime = sched.computeBusy + sched.commBusy;
+    report.computeTime = sched.computeBusy;
+    report.commTime = sched.commBusy;
+    report.exposedCommTime = sched.exposedComm;
+
+    const size_t n = graph.nodes.size();
+    for (size_t i = 0; i < n; ++i) {
+        const EventNode &node = graph.nodes[i];
+        if (node.duration <= 0.0)
+            continue;
+        report.serializedBreakdown[node.category] += node.duration;
+    }
+    // Exposed time per communication category, from the same sweep
+    // that produced the aggregate (sched.rawOverlap) — the second
+    // O(comm x compute) pass this loop used to be is gone.
+    for (size_t i = 0; i < n; ++i) {
+        const EventNode &node = graph.nodes[i];
+        if (node.stream != StreamKind::Communication ||
+            sched.finish[i] <= sched.start[i]) {
+            continue;
+        }
+        report.exposedBreakdown[node.category] +=
+            (sched.finish[i] - sched.start[i]) - sched.rawOverlap[i];
+    }
+
+    if (options().keepTimeline) {
+        Timeline tl;
+        tl.events.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            tl.events.push_back(ScheduledEvent{
+                graph.materialize(i), sched.start[i], sched.finish[i]});
+        }
+        tl.makespan = sched.makespan;
+        tl.computeBusy = sched.computeBusy;
+        tl.commBusy = sched.commBusy;
+        tl.exposedComm = sched.exposedComm;
+        report.timeline = std::move(tl);
+    }
+    return report;
+}
+
+} // namespace madmax

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Shared evaluation context: everything about a (cluster, model, task)
+ * triple that is invariant across parallelization plans, computed once
+ * and reused for every plan of a sweep.
+ *
+ * A design-space sweep (`madmax explore`, `/v1/explore`, the DSE and
+ * fleet studies) evaluates hundreds to thousands of plans against one
+ * triple. Before this context existed, every PerfModel::evaluate call
+ * re-validated the cluster and model, rebuilt LayerProcessor /
+ * CollectiveModel / CommPlanner, and re-derived per-layer compute
+ * times and collective timings that do not depend on the plan at all.
+ * EvalContext hoists all of that out of the per-plan hot path:
+ *
+ *  - specs are validated once (LayerProcessor / CommPlanner
+ *    construction), not once per plan;
+ *  - per-layer forward/backward compute times, breakdown categories,
+ *    and the backward trace labels ("layer'") are precomputed;
+ *  - the collective calls each layer needs under a given
+ *    HierStrategy — including their modeled durations — are resolved
+ *    once per (layer, strategy) and shared by every plan that maps
+ *    the layer's class to that strategy, with a memoized
+ *    collective-time table keyed on (kind, scope, bytes) deduplicating
+ *    the underlying CollectiveModel::time calls;
+ *  - trace-event names are owned here (stable storage), so the flat
+ *    event graph only carries pointers and plans that do not retain a
+ *    Timeline never copy a string.
+ *
+ * Thread safety: evaluate()/verdict()/plannedOps() are safe to call
+ * concurrently. Per-strategy tables are built lazily under a mutex on
+ * first use (a plan touches at most one strategy per layer class) and
+ * are immutable once published.
+ *
+ * Lifetime: the context borrows the PerfModel, ModelDesc, and
+ * TaskSpec it was built from; all three must outlive it. The
+ * EvalEngine builds one context per (model, desc, task) group of a
+ * batch; PerfModel::evaluate builds a throwaway one per call.
+ */
+
+#ifndef MADMAX_CORE_EVAL_CONTEXT_HH
+#define MADMAX_CORE_EVAL_CONTEXT_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "collective/collective.hh"
+#include "core/perf_model.hh"
+#include "parallel/comm_planner.hh"
+#include "trace/trace_event.hh"
+
+namespace madmax
+{
+
+/** Breakdown category for a collective's trace events. */
+EventCategory commCategoryOf(Collective kind);
+
+/**
+ * One collective call of one layer with its cost already resolved
+ * against the cluster — a CommOp whose CollectiveModel::time lookup
+ * has been paid. Ops that model to a non-positive duration are
+ * dropped at resolution time (the stream builder never emitted events
+ * for them).
+ */
+struct ResolvedCommOp
+{
+    Phase phase = Phase::Forward;
+    CommPosition position = CommPosition::Post;
+    Collective kind = Collective::AllReduce;
+    EventCategory category = EventCategory::Other;
+    bool blocking = true;
+    double duration = 0.0; ///< Seconds; > 0 by construction.
+    std::string tag;       ///< Trace label (stable storage for graphs).
+};
+
+class EvalContext
+{
+  public:
+    /**
+     * Precompute the plan-invariant state for @p model x @p desc x
+     * @p task. Validates both specs (the only validation any plan
+     * evaluated through this context will ever pay).
+     */
+    EvalContext(const PerfModel &model, const ModelDesc &desc,
+                const TaskSpec &task);
+
+    EvalContext(const EvalContext &) = delete;
+    EvalContext &operator=(const EvalContext &) = delete;
+
+    const PerfModel &model() const { return *model_; }
+    const ModelDesc &desc() const { return *desc_; }
+    const TaskSpec &task() const { return *task_; }
+    const ClusterSpec &cluster() const { return model_->cluster(); }
+    const PerfModelOptions &options() const { return model_->options(); }
+
+    /** task().toString(), computed once. */
+    const std::string &taskName() const { return taskName_; }
+
+    /**
+     * Evaluate one plan. Produces a report bit-identical to
+     * PerfModel::evaluate(desc, task, plan) on the bound model.
+     */
+    PerfReport evaluate(const ParallelPlan &plan) const;
+
+    /** Memory-only evaluation, identical to PerfModel::verdict. */
+    PerfReport verdict(const ParallelPlan &plan) const;
+
+    /** Plan-invariant per-layer costs and trace labels. */
+    struct LayerCosts
+    {
+        double fwdTime = 0.0; ///< Forward compute seconds per device.
+        double bwdTime = 0.0; ///< Backward compute seconds (0 inference).
+        EventCategory category = EventCategory::Other;
+        const std::string *fwdName = nullptr; ///< &layer.name().
+        std::string bwdName; ///< layer.name() + "'" (backward label).
+    };
+
+    const LayerCosts &layerCosts(int idx) const
+    {
+        return costs_[static_cast<size_t>(idx)];
+    }
+
+    /**
+     * The resolved collectives layer @p idx needs when its class runs
+     * under @p hs. Built lazily per strategy pair (one CommPlanner
+     * pass over the whole graph, shared by all layers), then served
+     * lock-free. The returned vector and its tag strings are stable
+     * for the context's lifetime.
+     */
+    const std::vector<ResolvedCommOp> &plannedOps(int idx,
+                                                  HierStrategy hs) const;
+
+    /** Distinct (kind, scope, bytes) collective timings memoized so
+     *  far (observability / tests). */
+    size_t collectiveTableSize() const;
+
+  private:
+    /** Per-layer resolved ops for one (intra, inter) strategy pair. */
+    struct StrategyTable
+    {
+        std::atomic<bool> ready{false};
+        std::vector<std::vector<ResolvedCommOp>> perLayer;
+    };
+
+    static size_t encode(HierStrategy hs);
+
+    void buildStrategyTable(size_t slot, HierStrategy hs) const;
+
+    /** Memoized CollectiveModel::time (only called while holding
+     *  buildMutex_). */
+    double collectiveTime(Collective kind, CommScope scope,
+                          double bytes) const;
+
+    const PerfModel *model_;
+    const ModelDesc *desc_;
+    const TaskSpec *task_;
+    std::string taskName_;
+    CollectiveModel collectives_;
+    std::vector<LayerCosts> costs_;
+
+    /** Indexed by encode(hs); Strategy has 5 values per level. */
+    mutable std::array<StrategyTable, 25> strategies_;
+    mutable std::mutex buildMutex_;
+    mutable std::map<std::tuple<int, int, uint64_t>, double>
+        collectiveTable_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_CORE_EVAL_CONTEXT_HH

@@ -1,0 +1,67 @@
+#include "core/interval_sweep.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace madmax
+{
+
+std::vector<Interval>
+mergeIntervals(std::vector<Interval> in)
+{
+    if (in.empty())
+        return in;
+    std::sort(in.begin(), in.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.lo < b.lo;
+              });
+    std::vector<Interval> out;
+    out.push_back(in.front());
+    for (size_t i = 1; i < in.size(); ++i) {
+        if (in[i].lo <= out.back().hi)
+            out.back().hi = std::max(out.back().hi, in[i].hi);
+        else
+            out.push_back(in[i]);
+    }
+    return out;
+}
+
+std::vector<double>
+coveredLengths(const std::vector<Interval> &cover,
+               const std::vector<Interval> &queries)
+{
+    std::vector<double> out(queries.size(), 0.0);
+    if (cover.empty() || queries.empty())
+        return out;
+
+    // Visit queries in ascending lo so the cover cursor never backs
+    // up (stable on ties to keep the visit order deterministic; the
+    // per-query sums are order-independent across queries anyway).
+    std::vector<size_t> order(queries.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&queries](size_t a, size_t b) {
+                         return queries[a].lo < queries[b].lo;
+                     });
+
+    size_t base = 0;
+    for (size_t qi : order) {
+        const Interval &q = queries[qi];
+        if (q.hi <= q.lo)
+            continue;
+        while (base < cover.size() && cover[base].hi <= q.lo)
+            ++base;
+        double covered = 0.0;
+        for (size_t j = base;
+             j < cover.size() && cover[j].lo < q.hi; ++j) {
+            double a = std::max(q.lo, cover[j].lo);
+            double b = std::min(q.hi, cover[j].hi);
+            if (b > a)
+                covered += b - a;
+        }
+        out[qi] = covered;
+    }
+    return out;
+}
+
+} // namespace madmax

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared interval arithmetic for exposed-communication accounting.
+ *
+ * Both historical call sites — OverlapSimulator::schedule's aggregate
+ * exposed-comm figure and PerfModel's per-category exposed breakdown —
+ * used to re-derive comm-vs-compute overlaps with an O(comm x compute)
+ * double loop each. They now share one linear sweep: comm intervals
+ * are visited in ascending-start order and a cursor into the disjoint,
+ * sorted compute-busy interval list only ever moves forward.
+ *
+ * Bitwise contract: for each query interval the intersection lengths
+ * are accumulated in ascending cover order, exactly as the old
+ * per-event loops did, so every produced double is bit-identical to
+ * the quadratic implementation it replaces.
+ */
+
+#ifndef MADMAX_CORE_INTERVAL_SWEEP_HH
+#define MADMAX_CORE_INTERVAL_SWEEP_HH
+
+#include <vector>
+
+namespace madmax
+{
+
+/** Half-open interval [lo, hi) on the time axis. */
+struct Interval
+{
+    double lo;
+    double hi;
+};
+
+/** Merge overlapping intervals; input need not be sorted. */
+std::vector<Interval> mergeIntervals(std::vector<Interval> in);
+
+/**
+ * Covered length of each query interval under @p cover.
+ *
+ * @param cover   Disjoint intervals sorted by ascending lo (e.g. the
+ *                compute-busy intervals of a sequential stream, merged
+ *                or not).
+ * @param queries Arbitrary intervals; empty/inverted ones cover 0.
+ * @return out[i] = total length of queries[i] intersected with the
+ *         cover set, intersection terms added in ascending cover
+ *         order.
+ *
+ * Complexity: O(Q log Q) for the ascending-start visit order plus a
+ * forward-only cover cursor — linear in practice, where the old
+ * per-query scan over the full cover list was O(Q x C) always.
+ */
+std::vector<double> coveredLengths(const std::vector<Interval> &cover,
+                                   const std::vector<Interval> &queries);
+
+} // namespace madmax
+
+#endif // MADMAX_CORE_INTERVAL_SWEEP_HH

@@ -3,67 +3,22 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/interval_sweep.hh"
 #include "util/logging.hh"
 #include "util/strfmt.hh"
 
 namespace madmax
 {
 
-namespace
+FlatSchedule
+OverlapSimulator::scheduleGraph(const EventGraph &graph) const
 {
+    const size_t n = graph.nodes.size();
+    FlatSchedule sched;
+    sched.start.resize(n);
+    sched.finish.resize(n);
+    sched.rawOverlap.assign(n, 0.0);
 
-/** Closed interval [lo, hi) on the time axis. */
-struct Interval
-{
-    double lo;
-    double hi;
-};
-
-/** Merge overlapping intervals; input need not be sorted. */
-std::vector<Interval>
-mergeIntervals(std::vector<Interval> in)
-{
-    if (in.empty())
-        return in;
-    std::sort(in.begin(), in.end(),
-              [](const Interval &a, const Interval &b) {
-                  return a.lo < b.lo;
-              });
-    std::vector<Interval> out;
-    out.push_back(in.front());
-    for (size_t i = 1; i < in.size(); ++i) {
-        if (in[i].lo <= out.back().hi)
-            out.back().hi = std::max(out.back().hi, in[i].hi);
-        else
-            out.push_back(in[i]);
-    }
-    return out;
-}
-
-/** Length of [lo, hi) covered by the merged interval set. */
-double
-coveredLength(const std::vector<Interval> &merged, double lo, double hi)
-{
-    double covered = 0.0;
-    for (const Interval &iv : merged) {
-        double a = std::max(lo, iv.lo);
-        double b = std::min(hi, iv.hi);
-        if (b > a)
-            covered += b - a;
-    }
-    return covered;
-}
-
-} // namespace
-
-Timeline
-OverlapSimulator::schedule(const std::vector<TraceEvent> &events) const
-{
-    Timeline tl;
-    tl.events.reserve(events.size());
-
-    std::unordered_map<int, double> finish_by_id;
-    finish_by_id.reserve(events.size());
     double compute_cursor = 0.0;
     double comm_cursor = 0.0;
     // Non-blocking collectives (gradient AllReduce / ReduceScatter)
@@ -71,57 +26,123 @@ OverlapSimulator::schedule(const std::vector<TraceEvent> &events) const
     // not head-of-line block later blocking collectives.
     double background_cursor = 0.0;
 
+    for (size_t i = 0; i < n; ++i) {
+        const EventNode &node = graph.nodes[i];
+        double ready = 0.0;
+        const int32_t *deps = graph.depsOf(node);
+        for (uint32_t d = 0; d < node.depsCount; ++d)
+            ready = std::max(ready, sched.finish[deps[d]]);
+
+        bool background = backgroundChannel_ && !node.blocking &&
+            node.stream == StreamKind::Communication;
+        double &cursor = node.stream == StreamKind::Compute
+            ? compute_cursor
+            : (background ? background_cursor : comm_cursor);
+        double start = std::max(cursor, ready);
+        double finish = start + node.duration;
+        cursor = finish;
+        sched.start[i] = start;
+        sched.finish[i] = finish;
+        sched.makespan = std::max(sched.makespan, finish);
+
+        if (node.stream == StreamKind::Compute)
+            sched.computeBusy += node.duration;
+        else
+            sched.commBusy += node.duration;
+    }
+
+    // Exposed communication: comm busy time not covered by concurrent
+    // compute execution. The compute stream is sequential, so its
+    // busy intervals are disjoint and already in ascending order; one
+    // linear sweep (ascending comm starts, forward-only compute
+    // cursor) replaces the old per-event scan over every compute
+    // interval.
+    std::vector<Interval> compute_busy;
+    for (size_t i = 0; i < n; ++i) {
+        if (graph.nodes[i].stream == StreamKind::Compute &&
+            sched.finish[i] > sched.start[i]) {
+            compute_busy.push_back(
+                Interval{sched.start[i], sched.finish[i]});
+        }
+    }
+
+    std::vector<Interval> queries;
+    std::vector<size_t> query_node;
+    for (size_t i = 0; i < n; ++i) {
+        if (graph.nodes[i].stream != StreamKind::Communication ||
+            sched.finish[i] <= sched.start[i]) {
+            continue;
+        }
+        queries.push_back(Interval{sched.start[i], sched.finish[i]});
+        query_node.push_back(i);
+    }
+
+    // Two historical accountings, both preserved bit-for-bit: the
+    // aggregate used merged compute intervals, the per-category
+    // breakdown (consuming rawOverlap downstream) used the raw
+    // per-event ones. See FlatSchedule::rawOverlap.
+    std::vector<double> merged_cov =
+        coveredLengths(mergeIntervals(compute_busy), queries);
+    std::vector<double> raw_cov = coveredLengths(compute_busy, queries);
+
+    for (size_t q = 0; q < queries.size(); ++q) {
+        sched.exposedComm +=
+            (queries[q].hi - queries[q].lo) - merged_cov[q];
+        sched.rawOverlap[query_node[q]] = raw_cov[q];
+    }
+    return sched;
+}
+
+Timeline
+OverlapSimulator::schedule(const std::vector<TraceEvent> &events) const
+{
+    // Convert to the flat form, validating the id contract the
+    // graph-building hot path guarantees by construction.
+    EventGraph graph;
+    graph.nodes.reserve(events.size());
+    std::unordered_map<int, int32_t> index_by_id;
+    index_by_id.reserve(events.size());
+
     for (const TraceEvent &ev : events) {
-        if (finish_by_id.count(ev.id))
+        if (index_by_id.count(ev.id))
             panic(strfmt("OverlapSimulator: duplicate event id %d", ev.id));
 
-        double ready = 0.0;
+        EventNode node;
+        node.name = &ev.name;
+        node.stream = ev.stream;
+        node.category = ev.category;
+        node.blocking = ev.blocking;
+        node.backward = ev.backward;
+        node.layerIdx = ev.layerIdx;
+        node.duration = ev.duration;
+        node.depsBegin = static_cast<uint32_t>(graph.deps.size());
+        node.depsCount = static_cast<uint32_t>(ev.deps.size());
         for (int dep : ev.deps) {
-            auto it = finish_by_id.find(dep);
-            if (it == finish_by_id.end()) {
+            auto it = index_by_id.find(dep);
+            if (it == index_by_id.end()) {
                 panic(strfmt("OverlapSimulator: event %d depends on "
                              "unscheduled event %d",
                              ev.id, dep));
             }
-            ready = std::max(ready, it->second);
+            graph.deps.push_back(it->second);
         }
-
-        bool background = backgroundChannel_ && !ev.blocking &&
-            ev.stream == StreamKind::Communication;
-        double &cursor = ev.stream == StreamKind::Compute
-            ? compute_cursor
-            : (background ? background_cursor : comm_cursor);
-        double start = std::max(cursor, ready);
-        double finish = start + ev.duration;
-        cursor = finish;
-        finish_by_id.emplace(ev.id, finish);
-        tl.events.push_back(ScheduledEvent{ev, start, finish});
-        tl.makespan = std::max(tl.makespan, finish);
-
-        if (ev.stream == StreamKind::Compute)
-            tl.computeBusy += ev.duration;
-        else
-            tl.commBusy += ev.duration;
+        index_by_id.emplace(ev.id,
+                            static_cast<int32_t>(graph.nodes.size()));
+        graph.nodes.push_back(node);
     }
 
-    // Exposed communication: comm busy time not covered by concurrent
-    // compute execution.
-    std::vector<Interval> compute_busy;
-    for (const ScheduledEvent &se : tl.events) {
-        if (se.event.stream == StreamKind::Compute &&
-            se.finish > se.start) {
-            compute_busy.push_back(Interval{se.start, se.finish});
-        }
+    FlatSchedule sched = scheduleGraph(graph);
+
+    Timeline tl;
+    tl.events.reserve(events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        tl.events.push_back(
+            ScheduledEvent{events[i], sched.start[i], sched.finish[i]});
     }
-    std::vector<Interval> merged = mergeIntervals(std::move(compute_busy));
-    for (const ScheduledEvent &se : tl.events) {
-        if (se.event.stream != StreamKind::Communication ||
-            se.finish <= se.start) {
-            continue;
-        }
-        double overlap = coveredLength(merged, se.start, se.finish);
-        tl.exposedComm += (se.finish - se.start) - overlap;
-    }
+    tl.makespan = sched.makespan;
+    tl.computeBusy = sched.computeBusy;
+    tl.commBusy = sched.commBusy;
+    tl.exposedComm = sched.exposedComm;
     return tl;
 }
 

@@ -6,6 +6,20 @@
  * dependencies allow ("GPU kernels are launched whenever data
  * dependencies are resolved"). Events on different streams with no
  * dependency between them overlap freely.
+ *
+ * Two entry points share one implementation:
+ *
+ *  - scheduleGraph(EventGraph) is the hot path: dense event ids index
+ *    flat start/finish vectors (no hash map), dependencies come from
+ *    the graph's shared arena, and exposed-communication accounting
+ *    is a linear interval sweep (core/interval_sweep.hh) instead of
+ *    the old O(comm x compute) double loop. The per-event
+ *    raw-interval overlaps are returned so PerfModel's per-category
+ *    exposed breakdown reuses this sweep instead of re-running its
+ *    own quadratic pass.
+ *  - schedule(vector<TraceEvent>) is the self-contained form (tests,
+ *    trace tooling): it validates ids, converts to a flat graph, and
+ *    returns a fully materialized Timeline.
  */
 
 #ifndef MADMAX_CORE_OVERLAP_SIMULATOR_HH
@@ -13,10 +27,41 @@
 
 #include <vector>
 
+#include "trace/event_graph.hh"
 #include "trace/trace_event.hh"
 
 namespace madmax
 {
+
+/**
+ * A scheduled flat graph: per-node start/finish times plus the
+ * aggregate accounting, with no per-event allocation or string copy.
+ */
+struct FlatSchedule
+{
+    std::vector<double> start;  ///< Indexed by node id.
+    std::vector<double> finish; ///< Indexed by node id.
+
+    /**
+     * Per communication node: seconds of its interval covered by the
+     * *unmerged* compute-busy intervals, in ascending interval order —
+     * the exact quantity PerfModel's per-category exposed breakdown
+     * historically computed per event. 0 for compute nodes and
+     * zero-length events.
+     *
+     * (The aggregate exposedComm below follows the other historical
+     * accounting — coverage under *merged* compute intervals. The two
+     * differ in final-ulp rounding when a comm event spans the seam of
+     * two back-to-back compute intervals, so both are kept to stay
+     * bit-identical with the reports the quadratic passes produced.)
+     */
+    std::vector<double> rawOverlap;
+
+    double makespan = 0.0;
+    double computeBusy = 0.0;
+    double commBusy = 0.0;
+    double exposedComm = 0.0;
+};
 
 /**
  * Schedules a per-device event DAG onto a compute stream and a
@@ -41,9 +86,17 @@ class OverlapSimulator
     {}
 
     /**
+     * Schedule a flat graph (hot path). Node indices are trusted to
+     * satisfy the issue-order contract — StreamBuilder::buildGraph
+     * guarantees it by construction.
+     */
+    FlatSchedule scheduleGraph(const EventGraph &graph) const;
+
+    /**
      * Schedule @p events and return the Timeline with per-event
      * start/finish times, makespan, and exposed-communication
-     * accounting.
+     * accounting. Ids may be arbitrary (they are remapped internally)
+     * and are validated: duplicates and forward dependencies panic.
      */
     Timeline schedule(const std::vector<TraceEvent> &events) const;
 

@@ -1,8 +1,6 @@
 #include "core/perf_model.hh"
 
-#include "core/layer_processor.hh"
-#include "core/overlap_simulator.hh"
-#include "core/stream_builder.hh"
+#include "core/eval_context.hh"
 
 namespace madmax
 {
@@ -24,10 +22,18 @@ PerfReport
 PerfModel::verdict(const ModelDesc &desc, const TaskSpec &task,
                    const ParallelPlan &plan) const
 {
+    return verdict(desc, task, plan, task.toString());
+}
+
+PerfReport
+PerfModel::verdict(const ModelDesc &desc, const TaskSpec &task,
+                   const ParallelPlan &plan,
+                   const std::string &task_name) const
+{
     PerfReport report;
     report.modelName = desc.name;
     report.clusterName = cluster_.name;
-    report.taskName = task.toString();
+    report.taskName = task_name;
     report.plan = plan;
     report.globalBatchSize = desc.globalBatchSize;
     report.contextLength = desc.contextLength;
@@ -41,62 +47,11 @@ PerfReport
 PerfModel::evaluate(const ModelDesc &desc, const TaskSpec &task,
                     const ParallelPlan &plan) const
 {
-    PerfReport report = verdict(desc, task, plan);
-    if (!report.memory.fits() && !options_.ignoreMemory)
-        return report;
-
-    LayerProcessor processor(cluster_, desc, options_.smModel);
-    CollectiveModel collectives(cluster_, options_.latency,
-                                options_.allReduceAlgorithm);
-    StreamBuilder builder(desc, task, plan, cluster_, processor,
-                          collectives);
-    OverlapSimulator simulator(options_.backgroundCommChannel);
-    Timeline timeline = simulator.schedule(builder.build());
-
-    report.iterationTime = timeline.makespan;
-    report.serializedTime = timeline.serialized();
-    report.computeTime = timeline.computeBusy;
-    report.commTime = timeline.commBusy;
-    report.exposedCommTime = timeline.exposedComm;
-
-    for (const ScheduledEvent &se : timeline.events) {
-        if (se.event.duration <= 0.0)
-            continue;
-        report.serializedBreakdown[se.event.category] +=
-            se.event.duration;
-    }
-    // Exposed time per communication category: re-run the interval
-    // accounting per event against compute busy intervals.
-    {
-        std::vector<std::pair<double, double>> compute;
-        for (const ScheduledEvent &se : timeline.events) {
-            if (se.event.stream == StreamKind::Compute &&
-                se.finish > se.start) {
-                compute.emplace_back(se.start, se.finish);
-            }
-        }
-        // Compute stream is sequential, so intervals are disjoint and
-        // already ordered by start.
-        for (const ScheduledEvent &se : timeline.events) {
-            if (se.event.stream != StreamKind::Communication ||
-                se.finish <= se.start) {
-                continue;
-            }
-            double overlap = 0.0;
-            for (const auto &[lo, hi] : compute) {
-                double a = se.start > lo ? se.start : lo;
-                double b = se.finish < hi ? se.finish : hi;
-                if (b > a)
-                    overlap += b - a;
-            }
-            report.exposedBreakdown[se.event.category] +=
-                (se.finish - se.start) - overlap;
-        }
-    }
-
-    if (options_.keepTimeline)
-        report.timeline = std::move(timeline);
-    return report;
+    // One-off evaluation: build a throwaway context. Sweeps amortize
+    // this across hundreds of plans by building the context once (see
+    // EvalEngine::evaluateAll's per-group contexts).
+    EvalContext context(*this, desc, task);
+    return context.evaluate(plan);
 }
 
 } // namespace madmax

@@ -54,6 +54,13 @@ struct PerfModelOptions
 /**
  * An immutable performance model bound to one cluster. Thread-safe
  * for concurrent evaluate() calls.
+ *
+ * evaluate() prices a single point and internally builds a throwaway
+ * EvalContext (core/eval_context.hh). Sweeps evaluating many plans
+ * against one (model, task) should go through EvalEngine::evaluateAll
+ * or hold an EvalContext directly: the plan-invariant work
+ * (validation, per-layer compute times, resolved collectives) is then
+ * paid once instead of per plan.
  */
 class PerfModel
 {
@@ -80,6 +87,16 @@ class PerfModel
      */
     PerfReport verdict(const ModelDesc &desc, const TaskSpec &task,
                        const ParallelPlan &plan) const;
+
+    /**
+     * verdict() with the task's display name precomputed — the
+     * EvalContext hot path calls this with its cached task.toString()
+     * so sweeps do not re-render the name per plan. @p task_name must
+     * equal task.toString().
+     */
+    PerfReport verdict(const ModelDesc &desc, const TaskSpec &task,
+                       const ParallelPlan &plan,
+                       const std::string &task_name) const;
 
     const ClusterSpec &cluster() const { return cluster_; }
     const PerfModelOptions &options() const { return options_; }

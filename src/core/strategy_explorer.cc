@@ -1,6 +1,7 @@
 #include "core/strategy_explorer.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/logging.hh"
 
@@ -122,13 +123,16 @@ StrategyExplorer::explore(const ModelDesc &desc, const TaskSpec &task,
         }
     }
 
+    // The unconstrained variant is only materialized on the
+    // ignoreMemory path: it costs a full cluster copy + re-validation,
+    // which the common constrained sweep must not pay.
     const PerfModel *model = &model_;
-    PerfModel unconstrained = model_.withCluster(model_.cluster());
+    std::optional<PerfModel> unconstrained;
     if (options.ignoreMemory) {
         PerfModelOptions o = model_.options();
         o.ignoreMemory = true;
-        unconstrained = PerfModel(model_.cluster(), o);
-        model = &unconstrained;
+        unconstrained.emplace(model_.cluster(), o);
+        model = &*unconstrained;
     }
 
     std::vector<PlanRequest> requests;
@@ -228,12 +232,12 @@ StrategyExplorer::best(const ModelDesc &desc, const TaskSpec &task,
 {
     if (options.algorithm == SearchAlgorithm::CoordinateDescent) {
         const PerfModel *model = &model_;
-        PerfModel unconstrained = model_.withCluster(model_.cluster());
+        std::optional<PerfModel> unconstrained;
         if (options.ignoreMemory) {
             PerfModelOptions o = model_.options();
             o.ignoreMemory = true;
-            unconstrained = PerfModel(model_.cluster(), o);
-            model = &unconstrained;
+            unconstrained.emplace(model_.cluster(), o);
+            model = &*unconstrained;
         }
         return bestByCoordinateDescent(desc, task, *model,
                                        classesOf(desc));

@@ -1,44 +1,116 @@
 #include "core/stream_builder.hh"
 
+#include "parallel/comm_planner.hh"
 #include "util/logging.hh"
 
 namespace madmax
 {
+
+namespace
+{
+
+const std::string kIterEndName = "iter_end";
+
+} // namespace
+
+StreamBuilder::StreamBuilder(const EvalContext &context,
+                             const ParallelPlan &plan)
+    : desc_(context.desc()),
+      needsBackward_(context.task().needsBackward()),
+      fsdpPrefetch_(plan.fsdpPrefetch)
+{
+    // Resolve each class's strategy once; layers index the result.
+    const LayerClass all_classes[] = {
+        LayerClass::SparseEmbedding, LayerClass::DenseEmbedding,
+        LayerClass::BaseDense, LayerClass::Transformer, LayerClass::MoE};
+    HierStrategy by_class[5];
+    for (LayerClass cls : all_classes)
+        by_class[static_cast<size_t>(cls)] = plan.strategyFor(cls);
+
+    const int num_layers = desc_.graph.numLayers();
+    layers_.resize(static_cast<size_t>(num_layers));
+    for (int i = 0; i < num_layers; ++i) {
+        const EvalContext::LayerCosts &lc = context.layerCosts(i);
+        const LayerClass cls = desc_.graph.layer(i).layerClass();
+        LayerView &lv = layers_[static_cast<size_t>(i)];
+        lv.fwdTime = lc.fwdTime;
+        lv.bwdTime = lc.bwdTime;
+        lv.category = lc.category;
+        lv.fwdName = lc.fwdName;
+        lv.bwdName = &lc.bwdName;
+        lv.ops =
+            &context.plannedOps(i, by_class[static_cast<size_t>(cls)]);
+    }
+}
 
 StreamBuilder::StreamBuilder(const ModelDesc &desc, const TaskSpec &task,
                              const ParallelPlan &plan,
                              const ClusterSpec &cluster,
                              const LayerProcessor &processor,
                              const CollectiveModel &collectives)
-    : desc_(desc), task_(task), plan_(plan), cluster_(cluster),
-      processor_(processor), collectives_(collectives),
-      planner_(desc_, task_, plan_, cluster_)
+    : desc_(desc), needsBackward_(task.needsBackward()),
+      fsdpPrefetch_(plan.fsdpPrefetch)
 {
-}
+    CommPlanner planner(desc, task, plan, cluster);
+    const int num_layers = desc.graph.numLayers();
 
-EventCategory
-StreamBuilder::categoryOf(Collective kind)
-{
-    switch (kind) {
-      case Collective::AllReduce: return EventCategory::AllReduce;
-      case Collective::AllGather: return EventCategory::AllGather;
-      case Collective::ReduceScatter: return EventCategory::ReduceScatter;
-      case Collective::All2All: return EventCategory::All2All;
-      case Collective::Broadcast: return EventCategory::Other;
+    ownedBwdNames_.resize(static_cast<size_t>(num_layers));
+    ownedOps_.resize(static_cast<size_t>(num_layers));
+    for (int i = 0; i < num_layers; ++i) {
+        const Layer &layer = desc.graph.layer(i);
+        ownedBwdNames_[static_cast<size_t>(i)] = layer.name() + "'";
+        std::vector<ResolvedCommOp> resolved;
+        for (CommOp &op : planner.planLayer(i)) {
+            double dur = collectives.time(op.kind, op.scope, op.bytes);
+            if (dur <= 0.0)
+                continue;
+            resolved.push_back(ResolvedCommOp{
+                op.phase, op.position, op.kind, commCategoryOf(op.kind),
+                op.blocking, dur, std::move(op.tag)});
+        }
+        ownedOps_[static_cast<size_t>(i)] = std::move(resolved);
     }
-    panic("categoryOf: unknown Collective");
+
+    // Views are taken in a second pass: the backing vectors are fully
+    // sized above, so element addresses are stable from here on.
+    layers_.resize(static_cast<size_t>(num_layers));
+    for (int i = 0; i < num_layers; ++i) {
+        const size_t s = static_cast<size_t>(i);
+        const Layer &layer = desc.graph.layer(i);
+        LayerView &lv = layers_[s];
+        lv.fwdTime = processor.forwardTime(layer);
+        lv.bwdTime = processor.backwardTime(layer, task);
+        lv.category = processor.categoryOf(layer);
+        lv.fwdName = &layer.name();
+        lv.bwdName = &ownedBwdNames_[s];
+        lv.ops = &ownedOps_[s];
+    }
 }
 
-int
-StreamBuilder::addEvent(BuildState &st, TraceEvent ev) const
+int32_t
+StreamBuilder::addEvent(BuildState &st, const std::string *name,
+                        StreamKind stream, EventCategory category,
+                        double duration, const std::vector<int32_t> &deps,
+                        bool blocking, int layer_idx, bool backward) const
 {
-    ev.id = st.nextId++;
-    st.events.push_back(std::move(ev));
-    return st.events.back().id;
+    EventNode node;
+    node.name = name;
+    node.stream = stream;
+    node.category = category;
+    node.blocking = blocking;
+    node.backward = backward;
+    node.layerIdx = layer_idx;
+    node.duration = duration;
+    node.depsBegin = static_cast<uint32_t>(st.graph.deps.size());
+    node.depsCount = static_cast<uint32_t>(deps.size());
+    st.graph.deps.insert(st.graph.deps.end(), deps.begin(), deps.end());
+    st.graph.nodes.push_back(node);
+    return static_cast<int32_t>(st.graph.nodes.size()) - 1;
 }
 
-std::vector<int>
-StreamBuilder::paramGatherDeps(const BuildState &st) const
+void
+StreamBuilder::paramGatherDeps(const BuildState &st,
+                               std::vector<int32_t> &deps) const
 {
     // Parameter AllGathers have no data dependency; what limits them
     // is issue time. Without prefetching the gather is issued when the
@@ -46,32 +118,28 @@ StreamBuilder::paramGatherDeps(const BuildState &st) const
     // finishes); with prefetching it is issued one layer earlier and
     // can hide behind the preceding layer's compute (Fig. 9).
     const size_t n = st.computeEvents.size();
-    if (plan_.fsdpPrefetch) {
+    if (fsdpPrefetch_) {
         if (n >= 2)
-            return {st.computeEvents[n - 2]};
-        return {};
+            deps.push_back(st.computeEvents[n - 2]);
+        return;
     }
     if (n >= 1)
-        return {st.computeEvents[n - 1]};
-    return {};
+        deps.push_back(st.computeEvents[n - 1]);
 }
 
 void
 StreamBuilder::buildForwardLayer(BuildState &st, int idx) const
 {
-    const Layer &layer = desc_.graph.layer(idx);
-    std::vector<CommOp> ops = planner_.planLayer(idx);
+    const LayerView &lv = layers_[static_cast<size_t>(idx)];
 
-    std::vector<int> pre_ids;
-    for (const CommOp &op : ops) {
+    std::vector<int32_t> pre_ids;
+    for (const ResolvedCommOp &op : *lv.ops) {
         if (op.phase != Phase::Forward || op.position != CommPosition::Pre)
             continue;
-        double dur = collectives_.time(op.kind, op.scope, op.bytes);
-        if (dur <= 0.0)
-            continue;
-        std::vector<int> deps;
+        std::vector<int32_t> &deps = st.scratchDeps;
+        deps.clear();
         if (op.kind == Collective::AllGather) {
-            deps = paramGatherDeps(st);
+            paramGatherDeps(st, deps);
         } else {
             // Data-dependent pre-comm (e.g. MoE dispatch).
             for (int d : desc_.graph.deps(idx)) {
@@ -79,34 +147,34 @@ StreamBuilder::buildForwardLayer(BuildState &st, int idx) const
                     deps.push_back(st.fwdOutput[static_cast<size_t>(d)]);
             }
         }
-        pre_ids.push_back(addEvent(st, TraceEvent{
-            -1, op.tag, StreamKind::Communication, categoryOf(op.kind),
-            dur, std::move(deps), op.blocking, idx, false}));
+        pre_ids.push_back(addEvent(st, &op.tag,
+                                   StreamKind::Communication,
+                                   op.category, op.duration, deps,
+                                   op.blocking, idx, false));
     }
 
     // The layer's compute block.
-    std::vector<int> cdeps = pre_ids;
+    std::vector<int32_t> &cdeps = st.scratchDeps;
+    cdeps = pre_ids;
     for (int d : desc_.graph.deps(idx)) {
         if (st.fwdOutput[static_cast<size_t>(d)] >= 0)
             cdeps.push_back(st.fwdOutput[static_cast<size_t>(d)]);
     }
-    int cid = addEvent(st, TraceEvent{
-        -1, layer.name(), StreamKind::Compute,
-        processor_.categoryOf(layer), processor_.forwardTime(layer),
-        std::move(cdeps), true, idx, false});
+    int32_t cid = addEvent(st, lv.fwdName, StreamKind::Compute,
+                           lv.category, lv.fwdTime, cdeps, true, idx,
+                           false);
     st.computeEvents.push_back(cid);
 
     // Post comms; blocking ones become the layer's visible output.
-    int out = cid;
-    for (const CommOp &op : ops) {
+    int32_t out = cid;
+    for (const ResolvedCommOp &op : *lv.ops) {
         if (op.phase != Phase::Forward || op.position != CommPosition::Post)
             continue;
-        double dur = collectives_.time(op.kind, op.scope, op.bytes);
-        if (dur <= 0.0)
-            continue;
-        int eid = addEvent(st, TraceEvent{
-            -1, op.tag, StreamKind::Communication, categoryOf(op.kind),
-            dur, {out}, op.blocking, idx, false});
+        std::vector<int32_t> &deps = st.scratchDeps;
+        deps.assign(1, out);
+        int32_t eid = addEvent(st, &op.tag, StreamKind::Communication,
+                               op.category, op.duration, deps,
+                               op.blocking, idx, false);
         if (op.blocking)
             out = eid;
     }
@@ -116,12 +184,11 @@ StreamBuilder::buildForwardLayer(BuildState &st, int idx) const
 void
 StreamBuilder::buildBackwardLayer(BuildState &st, int idx) const
 {
-    const Layer &layer = desc_.graph.layer(idx);
-    std::vector<CommOp> ops = planner_.planLayer(idx);
+    const LayerView &lv = layers_[static_cast<size_t>(idx)];
 
     // Incoming gradients: the backward outputs of this layer's
     // consumers (or the end of forward for the final layer).
-    std::vector<int> grad_deps;
+    std::vector<int32_t> grad_deps;
     for (int c : desc_.graph.consumers(idx)) {
         if (st.bwdOutput[static_cast<size_t>(c)] >= 0)
             grad_deps.push_back(st.bwdOutput[static_cast<size_t>(c)]);
@@ -131,52 +198,52 @@ StreamBuilder::buildBackwardLayer(BuildState &st, int idx) const
         grad_deps.push_back(st.fwdOutput[static_cast<size_t>(idx)]);
     }
 
-    std::vector<int> pre_ids;
-    for (const CommOp &op : ops) {
+    std::vector<int32_t> pre_ids;
+    for (const ResolvedCommOp &op : *lv.ops) {
         if (op.phase != Phase::Backward ||
             op.position != CommPosition::Pre) {
             continue;
         }
-        double dur = collectives_.time(op.kind, op.scope, op.bytes);
-        if (dur <= 0.0)
-            continue;
-        std::vector<int> deps = op.kind == Collective::AllGather
-            ? paramGatherDeps(st)
-            : grad_deps;
-        pre_ids.push_back(addEvent(st, TraceEvent{
-            -1, op.tag, StreamKind::Communication, categoryOf(op.kind),
-            dur, std::move(deps), op.blocking, idx, true}));
+        std::vector<int32_t> &deps = st.scratchDeps;
+        if (op.kind == Collective::AllGather) {
+            deps.clear();
+            paramGatherDeps(st, deps);
+        } else {
+            deps = grad_deps;
+        }
+        pre_ids.push_back(addEvent(st, &op.tag,
+                                   StreamKind::Communication,
+                                   op.category, op.duration, deps,
+                                   op.blocking, idx, true));
     }
 
-    double bdur = processor_.backwardTime(layer, task_);
-    std::vector<int> cdeps = grad_deps;
+    std::vector<int32_t> &cdeps = st.scratchDeps;
+    cdeps = grad_deps;
     cdeps.insert(cdeps.end(), pre_ids.begin(), pre_ids.end());
-    int cid = addEvent(st, TraceEvent{
-        -1, layer.name() + "'", StreamKind::Compute,
-        processor_.categoryOf(layer), bdur, std::move(cdeps), true, idx,
-        true});
+    int32_t cid = addEvent(st, lv.bwdName, StreamKind::Compute,
+                           lv.category, lv.bwdTime, cdeps, true, idx,
+                           true);
     st.computeEvents.push_back(cid);
 
-    int out = cid;
-    for (const CommOp &op : ops) {
+    int32_t out = cid;
+    for (const ResolvedCommOp &op : *lv.ops) {
         if (op.phase != Phase::Backward ||
             op.position != CommPosition::Post) {
             continue;
         }
-        double dur = collectives_.time(op.kind, op.scope, op.bytes);
-        if (dur <= 0.0)
-            continue;
-        int eid = addEvent(st, TraceEvent{
-            -1, op.tag, StreamKind::Communication, categoryOf(op.kind),
-            dur, {out}, op.blocking, idx, true});
+        std::vector<int32_t> &deps = st.scratchDeps;
+        deps.assign(1, out);
+        int32_t eid = addEvent(st, &op.tag, StreamKind::Communication,
+                               op.category, op.duration, deps,
+                               op.blocking, idx, true);
         if (op.blocking)
             out = eid;
     }
     st.bwdOutput[static_cast<size_t>(idx)] = out;
 }
 
-std::vector<TraceEvent>
-StreamBuilder::build() const
+EventGraph
+StreamBuilder::buildGraph() const
 {
     const int num_layers = desc_.graph.numLayers();
     BuildState st;
@@ -185,22 +252,32 @@ StreamBuilder::build() const
 
     for (int i = 0; i < num_layers; ++i)
         buildForwardLayer(st, i);
-    if (task_.needsBackward()) {
+    if (needsBackward_) {
         for (int i = num_layers - 1; i >= 0; --i)
             buildBackwardLayer(st, i);
     }
 
     // Iteration-end barrier: waits for everything, including
     // non-blocking gradient collectives.
-    std::vector<int> all_ids;
-    all_ids.reserve(st.events.size());
-    for (const TraceEvent &ev : st.events)
-        all_ids.push_back(ev.id);
-    addEvent(st, TraceEvent{
-        -1, "iter_end", StreamKind::Compute, EventCategory::Other, 0.0,
-        std::move(all_ids), true, -1, task_.needsBackward()});
+    std::vector<int32_t> all_ids(st.graph.nodes.size());
+    for (size_t i = 0; i < all_ids.size(); ++i)
+        all_ids[i] = static_cast<int32_t>(i);
+    addEvent(st, &kIterEndName, StreamKind::Compute,
+             EventCategory::Other, 0.0, all_ids, true, -1,
+             needsBackward_);
 
-    return std::move(st.events);
+    return std::move(st.graph);
+}
+
+std::vector<TraceEvent>
+StreamBuilder::build() const
+{
+    EventGraph graph = buildGraph();
+    std::vector<TraceEvent> events;
+    events.reserve(graph.nodes.size());
+    for (size_t i = 0; i < graph.nodes.size(); ++i)
+        events.push_back(graph.materialize(i));
+    return events;
 }
 
 } // namespace madmax

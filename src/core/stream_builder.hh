@@ -13,16 +13,28 @@
  *    ReduceScatter) only gate the iteration-end barrier;
  *  - FSDP AllGathers optionally prefetch one layer ahead (Fig. 9),
  *    letting them hide behind the preceding layer's compute.
+ *
+ * The builder consumes pre-resolved per-layer costs: either borrowed
+ * from a shared EvalContext (the sweep hot path — per-layer compute
+ * times and per-strategy collective ops are computed once per
+ * (cluster, model, task) and reused across every plan) or computed
+ * locally from a LayerProcessor/CollectiveModel pair (the
+ * self-contained form tests and one-off callers use). Both paths
+ * produce the same flat EventGraph; buildGraph() allocates no
+ * per-event strings — names are borrowed pointers, materialized only
+ * when a caller keeps the Timeline.
  */
 
 #ifndef MADMAX_CORE_STREAM_BUILDER_HH
 #define MADMAX_CORE_STREAM_BUILDER_HH
 
+#include <string>
 #include <vector>
 
 #include "collective/collective.hh"
+#include "core/eval_context.hh"
 #include "core/layer_processor.hh"
-#include "parallel/comm_planner.hh"
+#include "trace/event_graph.hh"
 #include "trace/trace_event.hh"
 
 namespace madmax
@@ -30,48 +42,79 @@ namespace madmax
 
 /**
  * Builds the per-device event DAG for one iteration of (model, task,
- * plan) on a cluster. The produced vector is in issue order and ready
- * for OverlapSimulator::schedule().
+ * plan) on a cluster. The produced graph is in issue order and ready
+ * for OverlapSimulator::scheduleGraph().
  */
 class StreamBuilder
 {
   public:
+    /**
+     * Hot path: borrow the plan-invariant tables from @p context
+     * (which must outlive this builder) and bind them to @p plan.
+     */
+    StreamBuilder(const EvalContext &context, const ParallelPlan &plan);
+
+    /**
+     * Self-contained form: resolve per-layer costs and collectives
+     * locally from the given components (validated by the
+     * LayerProcessor the caller built). @p desc must outlive the
+     * builder; the other arguments are only read during construction.
+     */
     StreamBuilder(const ModelDesc &desc, const TaskSpec &task,
                   const ParallelPlan &plan, const ClusterSpec &cluster,
                   const LayerProcessor &processor,
                   const CollectiveModel &collectives);
 
-    /** Build the iteration's event list. */
+    /** Build the iteration's flat event graph. */
+    EventGraph buildGraph() const;
+
+    /** buildGraph() materialized into standalone TraceEvents (names
+     *  and dependency lists copied out) for trace tooling and tests. */
     std::vector<TraceEvent> build() const;
 
   private:
-    struct BuildState
+    /** Per-layer view over either the context's tables or the locally
+     *  resolved ones. */
+    struct LayerView
     {
-        std::vector<TraceEvent> events;
-        std::vector<int> fwdOutput;      ///< Layer -> fwd output event.
-        std::vector<int> bwdOutput;      ///< Layer -> bwd output event.
-        std::vector<int> computeEvents;  ///< Compute events, issue order.
-        int nextId = 0;
+        double fwdTime = 0.0;
+        double bwdTime = 0.0;
+        EventCategory category = EventCategory::Other;
+        const std::string *fwdName = nullptr;
+        const std::string *bwdName = nullptr;
+        const std::vector<ResolvedCommOp> *ops = nullptr;
     };
 
-    /** Map a collective kind to its breakdown category. */
-    static EventCategory categoryOf(Collective kind);
+    struct BuildState
+    {
+        EventGraph graph;
+        std::vector<int32_t> fwdOutput;     ///< Layer -> fwd output event.
+        std::vector<int32_t> bwdOutput;     ///< Layer -> bwd output event.
+        std::vector<int32_t> computeEvents; ///< Compute events, issue order.
+        std::vector<int32_t> scratchDeps;   ///< Reused dep assembly buffer.
+    };
 
-    int addEvent(BuildState &st, TraceEvent ev) const;
+    int32_t addEvent(BuildState &st, const std::string *name,
+                     StreamKind stream, EventCategory category,
+                     double duration, const std::vector<int32_t> &deps,
+                     bool blocking, int layer_idx, bool backward) const;
 
     /** Dependency for an FSDP AllGather under (non-)prefetch. */
-    std::vector<int> paramGatherDeps(const BuildState &st) const;
+    void paramGatherDeps(const BuildState &st,
+                         std::vector<int32_t> &deps) const;
 
     void buildForwardLayer(BuildState &st, int idx) const;
     void buildBackwardLayer(BuildState &st, int idx) const;
 
     const ModelDesc &desc_;
-    TaskSpec task_;
-    ParallelPlan plan_;
-    ClusterSpec cluster_;
-    const LayerProcessor &processor_;
-    CollectiveModel collectives_;
-    CommPlanner planner_;
+    bool needsBackward_;
+    bool fsdpPrefetch_;
+    std::vector<LayerView> layers_;
+
+    /// Backing storage for the self-contained form (unused when the
+    /// views borrow from an EvalContext).
+    std::vector<std::string> ownedBwdNames_;
+    std::vector<std::vector<ResolvedCommOp>> ownedOps_;
 };
 
 } // namespace madmax

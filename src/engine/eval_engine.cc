@@ -3,9 +3,12 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 
+#include "core/eval_context.hh"
 #include "util/logging.hh"
 #include "util/strfmt.hh"
 #include "util/thread_pool.hh"
@@ -121,6 +124,47 @@ appendModel(std::string &out, const ModelDesc &m)
     out += strfmt("%016llx", static_cast<unsigned long long>(h));
 }
 
+/**
+ * The (cluster, options, model, task) portion of the canonical key —
+ * identical for every request of one batch group, so evaluateAll
+ * computes it once per group instead of re-serializing the cluster
+ * and model graph for every plan.
+ */
+std::string
+keyPrefix(const PerfModel &model, const ModelDesc &desc,
+          const TaskSpec &task)
+{
+    std::string key;
+    key.reserve(256);
+    appendCluster(key, model.cluster());
+    key += '|';
+    appendOptions(key, model.options());
+    key += '|';
+    appendModel(key, desc);
+    key += '|';
+    key += task.toString();
+    key += '|';
+    return key;
+}
+
+/** The per-plan portion of the canonical key (see cacheKey). */
+std::string
+keySuffix(const ModelDesc &desc, const ParallelPlan &plan)
+{
+    // Canonical plan: only classes the model has contribute to the
+    // report, so only they contribute to the key. strategyFor folds
+    // per-class defaults in, making explicit-default and absent
+    // entries collide (deliberately).
+    std::string key;
+    for (LayerClass cls : kAllClasses) {
+        if (!desc.graph.hasClass(cls))
+            continue;
+        key += plan.strategyFor(cls).toString();
+    }
+    key += plan.fsdpPrefetch ? "+p" : "-p";
+    return key;
+}
+
 } // namespace
 
 EvalEngine::EvalEngine(EvalEngineOptions options)
@@ -147,27 +191,8 @@ EvalEngine::cacheKey(const PlanRequest &request)
 {
     if (!request.model || !request.desc || !request.task)
         fatal("EvalEngine: PlanRequest with null model/desc/task");
-    std::string key;
-    key.reserve(256);
-    appendCluster(key, request.model->cluster());
-    key += '|';
-    appendOptions(key, request.model->options());
-    key += '|';
-    appendModel(key, *request.desc);
-    key += '|';
-    key += request.task->toString();
-    key += '|';
-    // Canonical plan: only classes the model has contribute to the
-    // report, so only they contribute to the key. strategyFor folds
-    // per-class defaults in, making explicit-default and absent
-    // entries collide (deliberately).
-    for (LayerClass cls : kAllClasses) {
-        if (!request.desc->graph.hasClass(cls))
-            continue;
-        key += request.plan.strategyFor(cls).toString();
-    }
-    key += request.plan.fsdpPrefetch ? "+p" : "-p";
-    return key;
+    return keyPrefix(*request.model, *request.desc, *request.task) +
+        keySuffix(*request.desc, request.plan);
 }
 
 std::shared_ptr<const PerfReport>
@@ -248,6 +273,52 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
     EvalStats local;
     std::vector<PerfReport> results(requests.size());
 
+    // Group requests by their (model, desc, task) triple: one
+    // EvalContext (validation, per-layer compute times, resolved
+    // collectives) and one canonical key prefix serve every plan of a
+    // group — a sweep's hundreds of plans share a single context
+    // construction instead of paying it per evaluation.
+    struct Group
+    {
+        const PerfModel *model;
+        const ModelDesc *desc;
+        const TaskSpec *task;
+        std::string prefix;               ///< Built on first key need.
+        bool prefixBuilt = false;
+        std::shared_ptr<EvalContext> ctx; ///< Built on first evaluation.
+    };
+    struct TripleHash
+    {
+        size_t operator()(const std::tuple<const void *, const void *,
+                                           const void *> &t) const
+        {
+            auto mix = [](size_t h, const void *p) {
+                return h * 1099511628211ull ^
+                    reinterpret_cast<size_t>(p);
+            };
+            size_t h = 1469598103934665603ull;
+            h = mix(h, std::get<0>(t));
+            h = mix(h, std::get<1>(t));
+            return mix(h, std::get<2>(t));
+        }
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::tuple<const void *, const void *,
+                                  const void *>,
+                       size_t, TripleHash>
+        groupIndex;
+    auto groupOf = [&](const PlanRequest &req) -> Group & {
+        auto key = std::make_tuple(
+            static_cast<const void *>(req.model),
+            static_cast<const void *>(req.desc),
+            static_cast<const void *>(req.task));
+        auto [it, inserted] = groupIndex.emplace(key, groups.size());
+        if (inserted)
+            groups.push_back(Group{req.model, req.desc, req.task, {},
+                                   false, nullptr});
+        return groups[it->second];
+    };
+
     // Serial pre-pass: resolve each request to a cache hit, a pruned
     // OOM verdict, or a slot in the parallel batch. Duplicate keys
     // within the batch collapse onto one evaluation.
@@ -256,6 +327,7 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
         size_t firstIdx;          ///< Owns the evaluation.
         std::vector<size_t> dups; ///< Served from firstIdx's report.
         std::string key;
+        std::shared_ptr<EvalContext> ctx; ///< The group's context.
     };
     std::vector<Pending> pending;
     std::unordered_map<std::string, size_t> keyToPending;
@@ -265,8 +337,14 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
         const PlanRequest &req = requests[i];
         if (!req.model || !req.desc || !req.task)
             fatal("EvalEngine: PlanRequest with null model/desc/task");
+        Group &group = groupOf(req);
         if (options_.memoize) {
-            keys[i] = cacheKey(req);
+            if (!group.prefixBuilt) {
+                group.prefix =
+                    keyPrefix(*req.model, *req.desc, *req.task);
+                group.prefixBuilt = true;
+            }
+            keys[i] = group.prefix + keySuffix(*req.desc, req.plan);
             if (auto hit = cacheGet(keys[i])) {
                 ++local.cacheHits;
                 results[i] = *hit;
@@ -300,13 +378,17 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
         ++local.evaluations;
         if (options_.memoize)
             keyToPending.emplace(keys[i], pending.size());
-        pending.push_back(Pending{i, {}, keys[i]});
+        if (!group.ctx) {
+            group.ctx = std::make_shared<EvalContext>(
+                *req.model, *req.desc, *req.task);
+        }
+        pending.push_back(Pending{i, {}, keys[i], group.ctx});
     }
 
     auto evaluateAt = [&](size_t p) {
         const PlanRequest &req = requests[pending[p].firstIdx];
         results[pending[p].firstIdx] =
-            req.model->evaluate(*req.desc, *req.task, req.plan);
+            pending[p].ctx->evaluate(req.plan);
     };
     if (pool_ && pending.size() > 1) {
         pool_->parallelFor(pending.size(), evaluateAt);

@@ -13,7 +13,12 @@
  *     re-reads every report for free);
  *  3. a memory-feasibility pre-pass that prices MemoryModel alone and
  *     resolves OOM plans without building streams or running the
- *     overlap simulator.
+ *     overlap simulator;
+ *  4. per-(model, desc, task) batch grouping: each group of a batch
+ *     shares one EvalContext (validation, per-layer compute times,
+ *     resolved collectives — see core/eval_context.hh) and one
+ *     canonical-key prefix, so a sweep's hundreds of plans pay the
+ *     plan-invariant work once instead of per evaluation.
  *
  * Results are returned in request order, so callers are deterministic
  * regardless of thread count.

@@ -6,7 +6,11 @@
  * every request the server ever answers — repeat evaluations of a
  * popular (model, system, task) triple are cache hits instead of
  * full stream builds, which is what amortizes the >100x-over-
- * profiling speedup across many interactive users.
+ * profiling speedup across many interactive users. Cache misses ride
+ * the engine's context grouping (core/eval_context.hh): an explore
+ * request's whole plan sweep shares one EvalContext built from the
+ * request's parsed triple, so per-plan cost is the marginal stream
+ * build + schedule, not re-validation of the cluster and model.
  *
  * Endpoints (full reference with examples: docs/serving.md):
  *

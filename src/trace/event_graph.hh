@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Flat event-graph representation of a per-device iteration — the
+ * hot-path counterpart of the TraceEvent DAG in trace_event.hh.
+ *
+ * A sweep evaluating thousands of plans spends most of its time
+ * building and scheduling event graphs, so the hot structures are
+ * laid out flat:
+ *
+ *  - event ids are dense: node i's id is its index, so the scheduler
+ *    keeps finish times in a plain vector instead of a hash map;
+ *  - every node's dependency list lives in one shared arena
+ *    (EventGraph::deps) addressed by (depsBegin, depsCount) instead
+ *    of a per-event heap-allocated vector;
+ *  - nodes carry a *pointer* to their name (stable storage owned by
+ *    the EvalContext / model description); the string itself is only
+ *    copied when a caller materializes TraceEvents for a retained
+ *    Timeline (PerfModelOptions::keepTimeline).
+ *
+ * Input contract (same as the TraceEvent form): nodes are in issue
+ * order per stream and every dependency index is smaller than the
+ * depending node's index — guaranteed by construction in
+ * StreamBuilder.
+ */
+
+#ifndef MADMAX_TRACE_EVENT_GRAPH_HH
+#define MADMAX_TRACE_EVENT_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.hh"
+
+namespace madmax
+{
+
+/** One event in the flat graph; its id is its index in the graph. */
+struct EventNode
+{
+    /** Trace label, borrowed from stable storage (layer names in the
+     *  ModelDesc, collective tags in the EvalContext). Never null. */
+    const std::string *name = nullptr;
+
+    StreamKind stream = StreamKind::Compute;
+    EventCategory category = EventCategory::Other;
+    bool blocking = true;
+    bool backward = false;
+    int layerIdx = -1;
+    double duration = 0.0;
+
+    uint32_t depsBegin = 0; ///< Offset into EventGraph::deps.
+    uint32_t depsCount = 0;
+};
+
+/** A per-device iteration DAG in flat form. */
+struct EventGraph
+{
+    std::vector<EventNode> nodes; ///< Issue order; id == index.
+    std::vector<int32_t> deps;    ///< Shared dependency arena.
+
+    const int32_t *depsOf(const EventNode &node) const
+    {
+        return deps.data() + node.depsBegin;
+    }
+
+    /**
+     * Materialize node @p idx as a standalone TraceEvent (name and
+     * dependency list copied out) — the slow, allocating form used
+     * only when a Timeline must be retained.
+     */
+    TraceEvent materialize(size_t idx) const
+    {
+        const EventNode &node = nodes[idx];
+        TraceEvent ev;
+        ev.id = static_cast<int>(idx);
+        ev.name = *node.name;
+        ev.stream = node.stream;
+        ev.category = node.category;
+        ev.duration = node.duration;
+        ev.deps.assign(depsOf(node), depsOf(node) + node.depsCount);
+        ev.blocking = node.blocking;
+        ev.layerIdx = node.layerIdx;
+        ev.backward = node.backward;
+        return ev;
+    }
+};
+
+} // namespace madmax
+
+#endif // MADMAX_TRACE_EVENT_GRAPH_HH

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * EvalContext tests: the shared hot-path context must be a pure
+ * optimization — every report it produces is bit-identical to a
+ * fresh PerfModel::evaluate, across context reuse, lazily-built
+ * strategy tables, mixed-context engine batches, and both settings
+ * of keepTimeline (names are only materialized when timelines are
+ * retained).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/eval_context.hh"
+#include "engine/eval_engine.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/** Exact equality on every PerfReport field, timeline included. */
+void
+expectBitIdentical(const PerfReport &a, const PerfReport &b)
+{
+    EXPECT_EQ(a.modelName, b.modelName);
+    EXPECT_EQ(a.clusterName, b.clusterName);
+    EXPECT_EQ(a.taskName, b.taskName);
+    EXPECT_EQ(a.plan.toString(), b.plan.toString());
+    EXPECT_EQ(a.plan.fsdpPrefetch, b.plan.fsdpPrefetch);
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.memory.paramBytes, b.memory.paramBytes);
+    EXPECT_EQ(a.memory.gradBytes, b.memory.gradBytes);
+    EXPECT_EQ(a.memory.optimizerBytes, b.memory.optimizerBytes);
+    EXPECT_EQ(a.memory.activationBytes, b.memory.activationBytes);
+    EXPECT_EQ(a.memory.transientBytes, b.memory.transientBytes);
+    EXPECT_EQ(a.memory.usableCapacity, b.memory.usableCapacity);
+    EXPECT_EQ(a.iterationTime, b.iterationTime);
+    EXPECT_EQ(a.serializedTime, b.serializedTime);
+    EXPECT_EQ(a.computeTime, b.computeTime);
+    EXPECT_EQ(a.commTime, b.commTime);
+    EXPECT_EQ(a.exposedCommTime, b.exposedCommTime);
+    EXPECT_EQ(a.globalBatchSize, b.globalBatchSize);
+    EXPECT_EQ(a.contextLength, b.contextLength);
+    EXPECT_EQ(a.serializedBreakdown, b.serializedBreakdown);
+    EXPECT_EQ(a.exposedBreakdown, b.exposedBreakdown);
+
+    ASSERT_EQ(a.timeline.events.size(), b.timeline.events.size());
+    for (size_t i = 0; i < a.timeline.events.size(); ++i) {
+        const ScheduledEvent &x = a.timeline.events[i];
+        const ScheduledEvent &y = b.timeline.events[i];
+        EXPECT_EQ(x.event.id, y.event.id);
+        EXPECT_EQ(x.event.name, y.event.name) << "event " << i;
+        EXPECT_EQ(x.event.stream, y.event.stream);
+        EXPECT_EQ(x.event.category, y.event.category);
+        EXPECT_EQ(x.event.duration, y.event.duration);
+        EXPECT_EQ(x.event.deps, y.event.deps);
+        EXPECT_EQ(x.event.blocking, y.event.blocking);
+        EXPECT_EQ(x.event.layerIdx, y.event.layerIdx);
+        EXPECT_EQ(x.event.backward, y.event.backward);
+        EXPECT_EQ(x.start, y.start);
+        EXPECT_EQ(x.finish, y.finish);
+    }
+    EXPECT_EQ(a.timeline.makespan, b.timeline.makespan);
+    EXPECT_EQ(a.timeline.computeBusy, b.timeline.computeBusy);
+    EXPECT_EQ(a.timeline.commBusy, b.timeline.commBusy);
+    EXPECT_EQ(a.timeline.exposedComm, b.timeline.exposedComm);
+}
+
+std::vector<ParallelPlan>
+samplePlans()
+{
+    using S = Strategy;
+    std::vector<ParallelPlan> plans;
+
+    ParallelPlan baseline = ParallelPlan::fsdpBaseline();
+    plans.push_back(baseline);
+
+    ParallelPlan prefetch = baseline;
+    prefetch.fsdpPrefetch = true;
+    plans.push_back(prefetch);
+
+    ParallelPlan tp_ddp;
+    tp_ddp.set(LayerClass::Transformer, HierStrategy{S::TP, S::DDP});
+    tp_ddp.set(LayerClass::BaseDense, HierStrategy{S::TP, S::DDP});
+    tp_ddp.set(LayerClass::DenseEmbedding, HierStrategy{S::DDP});
+    plans.push_back(tp_ddp);
+
+    ParallelPlan mixed;
+    mixed.set(LayerClass::Transformer, HierStrategy{S::FSDP, S::DDP});
+    mixed.set(LayerClass::DenseEmbedding, HierStrategy{S::TP});
+    mixed.fsdpPrefetch = true;
+    plans.push_back(mixed);
+    return plans;
+}
+
+} // namespace
+
+TEST(EvalContext, ReusedContextMatchesFreshEvaluateBitwise)
+{
+    ModelDesc desc = model_zoo::gpt3();
+    PerfModel perf(hw_zoo::llmTrainingSystem());
+    TaskSpec task = TaskSpec::preTraining();
+
+    EvalContext context(perf, desc, task);
+    for (const ParallelPlan &plan : samplePlans()) {
+        PerfReport fresh = perf.evaluate(desc, task, plan);
+        PerfReport reused = context.evaluate(plan);
+        expectBitIdentical(reused, fresh);
+    }
+}
+
+TEST(EvalContext, VerdictMatchesPerfModelVerdict)
+{
+    ModelDesc desc = model_zoo::dlrmA();
+    PerfModel perf(hw_zoo::dlrmTrainingSystem());
+    TaskSpec task = TaskSpec::preTraining();
+
+    EvalContext context(perf, desc, task);
+    for (const ParallelPlan &plan : samplePlans()) {
+        expectBitIdentical(context.verdict(plan),
+                           perf.verdict(desc, task, plan));
+    }
+}
+
+TEST(EvalContext, InferenceContextBuildsForwardOnly)
+{
+    ModelDesc desc = model_zoo::gpt3();
+    PerfModel perf(hw_zoo::llmTrainingSystem());
+    TaskSpec task = TaskSpec::inference();
+
+    EvalContext context(perf, desc, task);
+    for (int i = 0; i < desc.graph.numLayers(); ++i)
+        EXPECT_EQ(context.layerCosts(i).bwdTime, 0.0);
+
+    PerfReport report = context.evaluate(ParallelPlan::fsdpBaseline());
+    expectBitIdentical(
+        report,
+        perf.evaluate(desc, task, ParallelPlan::fsdpBaseline()));
+    for (const ScheduledEvent &se : report.timeline.events) {
+        if (se.event.layerIdx >= 0) {
+            EXPECT_FALSE(se.event.backward);
+        }
+    }
+}
+
+TEST(EvalContext, PlannedOpsAreStableAndSharedAcrossCalls)
+{
+    ModelDesc desc = model_zoo::gpt3();
+    PerfModel perf(hw_zoo::llmTrainingSystem());
+    TaskSpec task = TaskSpec::preTraining();
+    EvalContext context(perf, desc, task);
+
+    HierStrategy fsdp{Strategy::FSDP};
+    const std::vector<ResolvedCommOp> &first =
+        context.plannedOps(0, fsdp);
+    const std::vector<ResolvedCommOp> &second =
+        context.plannedOps(0, fsdp);
+    EXPECT_EQ(&first, &second)
+        << "per-strategy tables must be built once and shared";
+
+    // FSDP on a trainable layer gathers forward + backward and
+    // reduce-scatters gradients.
+    ASSERT_FALSE(first.empty());
+    for (const ResolvedCommOp &op : first)
+        EXPECT_GT(op.duration, 0.0);
+
+    size_t memoized = context.collectiveTableSize();
+    EXPECT_GT(memoized, 0u);
+    context.plannedOps(1, fsdp);
+    EXPECT_EQ(context.collectiveTableSize(), memoized)
+        << "repeat lookups must not grow the memo table";
+}
+
+TEST(EvalContext, KeepTimelineControlsNameMaterialization)
+{
+    ModelDesc desc = model_zoo::dlrmA();
+    ClusterSpec cluster = hw_zoo::dlrmTrainingSystem();
+    TaskSpec task = TaskSpec::preTraining();
+
+    PerfModel keep(cluster);
+    EvalContext keepCtx(keep, desc, task);
+    PerfReport with = keepCtx.evaluate(ParallelPlan::fsdpBaseline());
+    ASSERT_FALSE(with.timeline.events.empty());
+    // Materialized names: layer labels on compute events, planner
+    // tags on collectives, and the closing barrier.
+    for (const ScheduledEvent &se : with.timeline.events)
+        EXPECT_FALSE(se.event.name.empty());
+    EXPECT_EQ(with.timeline.events.back().event.name, "iter_end");
+    bool saw_backward_label = false;
+    for (const ScheduledEvent &se : with.timeline.events) {
+        if (se.event.backward && se.event.stream == StreamKind::Compute &&
+            se.event.layerIdx >= 0) {
+            saw_backward_label = true;
+            EXPECT_EQ(se.event.name.back(), '\'');
+        }
+    }
+    EXPECT_TRUE(saw_backward_label);
+
+    PerfModelOptions opts;
+    opts.keepTimeline = false;
+    PerfModel drop(cluster, opts);
+    EvalContext dropCtx(drop, desc, task);
+    PerfReport without = dropCtx.evaluate(ParallelPlan::fsdpBaseline());
+    EXPECT_TRUE(without.timeline.events.empty());
+    // Timing fields are unaffected by timeline retention.
+    EXPECT_EQ(without.iterationTime, with.iterationTime);
+    EXPECT_EQ(without.exposedCommTime, with.exposedCommTime);
+}
+
+TEST(EvalContext, MixedContextEngineBatchMatchesDirectEvaluation)
+{
+    ModelDesc gpt = model_zoo::gpt3();
+    ModelDesc dlrm = model_zoo::dlrmA();
+    PerfModel llmPerf(hw_zoo::llmTrainingSystem());
+    PerfModel recPerf(hw_zoo::dlrmTrainingSystem());
+    TaskSpec pretrain = TaskSpec::preTraining();
+    TaskSpec inference = TaskSpec::inference();
+
+    // Interleave three (model, desc, task) groups in one batch.
+    std::vector<PlanRequest> requests;
+    for (const ParallelPlan &plan : samplePlans()) {
+        requests.push_back(PlanRequest{&llmPerf, &gpt, &pretrain, plan});
+        requests.push_back(PlanRequest{&recPerf, &dlrm, &pretrain, plan});
+        requests.push_back(PlanRequest{&llmPerf, &gpt, &inference, plan});
+    }
+
+    EvalEngineOptions eo;
+    eo.memoize = false; // Every request evaluates through its context.
+    eo.jobs = 4;        // Concurrent lazy strategy-table builds.
+    EvalEngine engine(eo);
+    EvalStats stats;
+    std::vector<PerfReport> reports = engine.evaluateAll(requests, &stats);
+
+    ASSERT_EQ(reports.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        const PlanRequest &req = requests[i];
+        PerfReport direct =
+            req.model->evaluate(*req.desc, *req.task, req.plan);
+        expectBitIdentical(reports[i], direct);
+    }
+}
+
+} // namespace madmax

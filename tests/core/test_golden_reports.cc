@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Golden snapshot tests: the full numeric content of every PerfReport
+ * an explore() sweep produces — rankings, timing fields, memory
+ * verdicts, breakdowns, and a digest of the scheduled Timeline — is
+ * compared byte-for-byte against checked-in golden files generated
+ * before the evaluation-hot-path overhaul (shared EvalContext, flat
+ * event graph, linear-sweep overlap accounting). Any change to these
+ * files means the optimization changed results, which it must not.
+ *
+ * The serve surface is covered too: the exact /v1/evaluate response
+ * body for the shipped configs/ triple is snapshotted.
+ *
+ * Regenerate (only when an *intentional* model change lands) with:
+ *   MADMAX_REGEN_GOLDEN=1 ./test_golden_reports
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/strategy_explorer.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "serve/service.hh"
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+std::string
+goldenDir()
+{
+    return std::string(MADMAX_CONFIG_DIR) + "/../tests/golden";
+}
+
+/** FNV-1a over the scheduled Timeline: every event's identity, DAG
+ *  shape, name, and scheduled interval, plus the aggregates. A report
+ *  whose timeline was stripped (cache-served duplicate) digests to the
+ *  empty-timeline value, which is itself part of the contract. */
+std::string
+timelineDigest(const Timeline &tl)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mixByte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    auto mixInt = [&](uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            mixByte(static_cast<unsigned char>((v >> (i * 8)) & 0xffu));
+    };
+    auto mixDouble = [&](double v) {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        mixInt(bits);
+    };
+    auto mixString = [&](const std::string &s) {
+        mixInt(s.size());
+        for (char c : s)
+            mixByte(static_cast<unsigned char>(c));
+    };
+    mixInt(tl.events.size());
+    for (const ScheduledEvent &se : tl.events) {
+        const TraceEvent &ev = se.event;
+        mixInt(static_cast<uint64_t>(ev.id));
+        mixString(ev.name);
+        mixInt(static_cast<uint64_t>(ev.stream));
+        mixInt(static_cast<uint64_t>(ev.category));
+        mixDouble(ev.duration);
+        mixInt(ev.deps.size());
+        for (int d : ev.deps)
+            mixInt(static_cast<uint64_t>(d));
+        mixInt(ev.blocking ? 1 : 0);
+        mixInt(static_cast<uint64_t>(ev.layerIdx));
+        mixInt(ev.backward ? 1 : 0);
+        mixDouble(se.start);
+        mixDouble(se.finish);
+    }
+    mixDouble(tl.makespan);
+    mixDouble(tl.computeBusy);
+    mixDouble(tl.commBusy);
+    mixDouble(tl.exposedComm);
+    return strfmt("%016llx", static_cast<unsigned long long>(h));
+}
+
+/** Every numeric field of one report, doubles rendered %.17g (exact
+ *  round trip), in a fixed line layout. */
+std::string
+dumpReport(const PerfReport &r)
+{
+    std::string out;
+    out += "model=" + r.modelName + " cluster=" + r.clusterName +
+        " task=" + r.taskName + "\n";
+    out += "plan=" + r.plan.toString() +
+        strfmt(" prefetch=%d valid=%d gbs=%ld ctx=%ld\n",
+               r.plan.fsdpPrefetch ? 1 : 0, r.valid ? 1 : 0,
+               r.globalBatchSize, r.contextLength);
+    out += strfmt("mem param=%.17g grad=%.17g opt=%.17g act=%.17g "
+                  "trans=%.17g usable=%.17g\n",
+                  r.memory.paramBytes, r.memory.gradBytes,
+                  r.memory.optimizerBytes, r.memory.activationBytes,
+                  r.memory.transientBytes, r.memory.usableCapacity);
+    out += strfmt("time iter=%.17g ser=%.17g comp=%.17g comm=%.17g "
+                  "exp=%.17g\n",
+                  r.iterationTime, r.serializedTime, r.computeTime,
+                  r.commTime, r.exposedCommTime);
+    out += "sbd";
+    for (const auto &[cat, sec] : r.serializedBreakdown)
+        out += strfmt(" %s=%.17g", toString(cat).c_str(), sec);
+    out += "\nebd";
+    for (const auto &[cat, sec] : r.exposedBreakdown)
+        out += strfmt(" %s=%.17g", toString(cat).c_str(), sec);
+    out += strfmt("\ntl n=%zu digest=%s\n", r.timeline.events.size(),
+                  timelineDigest(r.timeline).c_str());
+    return out;
+}
+
+/** One explore() sweep through a fresh engine, dumped rank by rank. */
+std::string
+dumpExploration(const ModelDesc &desc, const TaskSpec &task,
+                const ClusterSpec &cluster, const ExplorerOptions &opts,
+                int jobs)
+{
+    EvalEngineOptions eo;
+    eo.jobs = jobs;
+    EvalEngine engine(eo);
+    PerfModel perf(cluster);
+    StrategyExplorer explorer(perf, &engine);
+    Exploration ex = explorer.explore(desc, task, opts);
+
+    std::string out;
+    out += strfmt("results=%zu\n", ex.results.size());
+    for (size_t i = 0; i < ex.results.size(); ++i) {
+        out += strfmt("== rank %03zu ==\n", i);
+        out += dumpReport(ex.results[i].report);
+    }
+    return out;
+}
+
+/** Compare @p got against the checked-in golden file, or rewrite the
+ *  file when MADMAX_REGEN_GOLDEN is set. */
+void
+checkGolden(const std::string &file, const std::string &got)
+{
+    const std::string path = goldenDir() + "/" + file;
+    if (std::getenv("MADMAX_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << got;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with MADMAX_REGEN_GOLDEN=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    // EXPECT_EQ on multi-MB strings prints unusable diffs; locate the
+    // first differing line instead.
+    if (got == want.str()) {
+        SUCCEED();
+        return;
+    }
+    std::istringstream gotLines(got), wantLines(want.str());
+    std::string g, w;
+    int line = 1;
+    while (std::getline(gotLines, g) && std::getline(wantLines, w)) {
+        ASSERT_EQ(g, w) << file << ": first divergence at line " << line;
+        ++line;
+    }
+    FAIL() << file << ": dumps differ in length (" << got.size()
+           << " vs " << want.str().size() << " bytes)";
+}
+
+} // namespace
+
+TEST(GoldenReports, ExploreGpt3PretrainIsByteIdenticalAcrossJobs)
+{
+    ModelDesc desc = model_zoo::gpt3();
+    ClusterSpec cluster = hw_zoo::llmTrainingSystem();
+    ExplorerOptions opts;
+    opts.explorePrefetch = true;
+
+    std::string jobs1 = dumpExploration(desc, TaskSpec::preTraining(),
+                                        cluster, opts, 1);
+    std::string jobs4 = dumpExploration(desc, TaskSpec::preTraining(),
+                                        cluster, opts, 4);
+    EXPECT_EQ(jobs1, jobs4)
+        << "explore() must be bitwise thread-count independent";
+    checkGolden("explore_gpt3_pretrain.txt", jobs1);
+}
+
+TEST(GoldenReports, ExploreGpt3IgnoreMemory)
+{
+    ModelDesc desc = model_zoo::gpt3();
+    ClusterSpec cluster = hw_zoo::llmTrainingSystem();
+    ExplorerOptions opts;
+    opts.ignoreMemory = true;
+    checkGolden("explore_gpt3_nomem.txt",
+                dumpExploration(desc, TaskSpec::preTraining(), cluster,
+                                opts, 1));
+}
+
+TEST(GoldenReports, ExploreGpt3Inference)
+{
+    ModelDesc desc = model_zoo::gpt3();
+    ClusterSpec cluster = hw_zoo::llmTrainingSystem();
+    checkGolden("explore_gpt3_inference.txt",
+                dumpExploration(desc, TaskSpec::inference(), cluster,
+                                ExplorerOptions{}, 1));
+}
+
+TEST(GoldenReports, ExploreDlrmAPretrain)
+{
+    ModelDesc desc = model_zoo::dlrmA();
+    ClusterSpec cluster = hw_zoo::dlrmTrainingSystem();
+    ExplorerOptions opts;
+    opts.explorePrefetch = true;
+    checkGolden("explore_dlrm_a_pretrain.txt",
+                dumpExploration(desc, TaskSpec::preTraining(), cluster,
+                                opts, 1));
+}
+
+TEST(GoldenReports, ExploreDlrmAMoePretrain)
+{
+    ModelDesc desc = model_zoo::dlrmAMoe();
+    ClusterSpec cluster = hw_zoo::dlrmTrainingSystem();
+    checkGolden("explore_dlrm_a_moe_pretrain.txt",
+                dumpExploration(desc, TaskSpec::preTraining(), cluster,
+                                ExplorerOptions{}, 1));
+}
+
+TEST(GoldenReports, ServeEvaluateResponseBody)
+{
+    const std::string dir = MADMAX_CONFIG_DIR;
+    JsonValue body;
+    body.set("model", JsonValue::parseFile(dir + "/model_dlrm_a.json"));
+    body.set("system",
+             JsonValue::parseFile(dir + "/system_zionex.json"));
+    body.set("task",
+             JsonValue::parseFile(dir + "/task_pretrain_optimal.json"));
+
+    EvalService service;
+    HttpRequest req;
+    req.method = "POST";
+    req.target = "/v1/evaluate";
+    req.version = "HTTP/1.1";
+    req.body = body.dump(2);
+    HttpResponse resp = service.handle(req);
+    ASSERT_EQ(resp.status, 200);
+    checkGolden("serve_evaluate_dlrm_a.txt", resp.body);
+}
+
+} // namespace madmax

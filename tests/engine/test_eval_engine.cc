@@ -166,6 +166,40 @@ TEST(EvalEngine, CanonicalKeyIgnoresAbsentClasses)
     EXPECT_EQ(hit.plan.toString(), b.toString());
 }
 
+TEST(EvalEngine, CacheKeyIsGroupPrefixPlusPlanSuffix)
+{
+    // evaluateAll assembles keys as <group prefix> + <plan suffix>,
+    // computing the prefix once per (model, desc, task) batch group.
+    // Two requests of one group must therefore agree on everything up
+    // to and including the final '|'; only the plan suffix differs.
+    PerfModel model(hw_zoo::llmTrainingSystem());
+    ModelDesc gpt3 = model_zoo::gpt3();
+    TaskSpec task = TaskSpec::preTraining();
+
+    PlanRequest a{&model, &gpt3, &task, ParallelPlan::fsdpBaseline()};
+    ParallelPlan tp;
+    tp.set(LayerClass::Transformer,
+           HierStrategy{Strategy::TP, Strategy::DDP});
+    PlanRequest b{&model, &gpt3, &task, tp};
+
+    std::string ka = EvalEngine::cacheKey(a);
+    std::string kb = EvalEngine::cacheKey(b);
+    size_t cut_a = ka.rfind('|');
+    size_t cut_b = kb.rfind('|');
+    ASSERT_NE(cut_a, std::string::npos);
+    EXPECT_EQ(ka.substr(0, cut_a), kb.substr(0, cut_b))
+        << "same group, same prefix";
+    EXPECT_NE(ka.substr(cut_a), kb.substr(cut_b))
+        << "different plans, different suffix";
+
+    // A different task lands in a different group: the prefixes must
+    // already diverge.
+    TaskSpec inf = TaskSpec::inference();
+    PlanRequest c{&model, &gpt3, &inf, ParallelPlan::fsdpBaseline()};
+    std::string kc = EvalEngine::cacheKey(c);
+    EXPECT_NE(ka.substr(0, cut_a), kc.substr(0, kc.rfind('|')));
+}
+
 TEST(EvalEngine, DistinguishesModelsTasksAndClusters)
 {
     ModelDesc gpt3 = model_zoo::gpt3();
