@@ -5,13 +5,16 @@
  * and prints the corresponding rows/series; EXPERIMENTS.md records
  * paper-vs-measured for each.
  *
- * Benches accept two optional flags, parsed by BenchReporter:
- *   --json PATH  write this run's machine-readable timing/throughput
- *                records to PATH as a JSON document, replacing any
- *                previous contents (the perf trajectory's
- *                BENCH_*.json files);
- *   --jobs N     EvalEngine parallelism for benches that evaluate
- *                through the engine (0 = one thread per core).
+ * Benches accept three optional flags, parsed by BenchReporter:
+ *   --json PATH      write this run's machine-readable timing/
+ *                    throughput records to PATH as a JSON document,
+ *                    replacing any previous contents (the perf
+ *                    trajectory's BENCH_*.json files);
+ *   --jobs N         EvalEngine parallelism for benches that evaluate
+ *                    through the engine (0 = one thread per core);
+ *   --strategy NAME  dse search strategy for the ParetoEngine-backed
+ *                    figure benches (default "exhaustive", which
+ *                    reproduces the historical sweeps byte for byte).
  */
 
 #ifndef MADMAX_BENCH_BENCH_UTIL_HH
@@ -108,12 +111,15 @@ class BenchReporter
                     std::exit(1);
                 }
                 jobsSet_ = true;
+            } else if (arg == "--strategy" && i + 1 < argc) {
+                strategy_ = argv[++i];
             } else {
                 // Benches have no try/catch around main; exit with a
                 // usage error instead of an uncaught-exception abort.
                 std::cerr << "error: unknown or incomplete flag '"
                           << arg
-                          << "' (supported: --json PATH, --jobs N)\n";
+                          << "' (supported: --json PATH, --jobs N, "
+                             "--strategy NAME)\n";
                 std::exit(1);
             }
         }
@@ -146,6 +152,9 @@ class BenchReporter
 
     /** True if --jobs was given explicitly (vs. the default). */
     bool jobsSpecified() const { return jobsSet_; }
+
+    /** dse search strategy requested via --strategy. */
+    const std::string &strategy() const { return strategy_; }
 
     bool jsonEnabled() const { return !path_.empty(); }
 
@@ -193,6 +202,7 @@ class BenchReporter
   private:
     std::string name_;
     std::string path_;
+    std::string strategy_ = "exhaustive";
     int jobs_ = 1;
     bool jobsSet_ = false;
     bool written_ = false;

@@ -4,14 +4,22 @@
  * DLRM training on public-cloud instances. The default FSDP mapping
  * defines the baseline frontier (blue); MAD-Max-identified mappings
  * improve on it (green).
+ *
+ * Runs on the multi-objective ParetoEngine (src/dse/pareto_engine.hh)
+ * over the cloud hardware catalog. With the default --strategy
+ * exhaustive the table is byte-identical to the historical per-
+ * instance explorer sweep (tests/golden/fig01_pareto_frontier.txt);
+ * --strategy annealing|genetic|coordinate-descent regenerate it from
+ * a budgeted guided search instead.
  */
 
 #include <iostream>
+#include <map>
 #include <set>
 
 #include "bench_util.hh"
-#include "core/strategy_explorer.hh"
 #include "dse/pareto.hh"
+#include "dse/pareto_engine.hh"
 #include "dse/sweep.hh"
 #include "hw/hw_zoo.hh"
 #include "model/model_zoo.hh"
@@ -21,8 +29,9 @@
 using namespace madmax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReporter reporter("fig01_pareto_frontier", argc, argv);
     bench::banner("Fig. 1: resource-performance pareto frontier "
                   "(DLRM on cloud instances)",
                   "MAD-Max improves on the default-mapping frontier");
@@ -31,6 +40,19 @@ main()
     const TaskSpec task = TaskSpec::preTraining();
     const double samples = 1e9;
     const double a100_peak = hw_zoo::a100_40().peakFlopsTensor16;
+
+    EvalEngineOptions engine_opts;
+    engine_opts.jobs = reporter.jobs();
+    EvalEngine engine(engine_opts);
+    ParetoEngine pareto(cloudHardwareCatalog(16), &engine);
+    ParetoOptions opts;
+    opts.strategy = reporter.strategy();
+    bench::WallTimer timer;
+    ParetoFrontier frontier = pareto.explore(model, task, opts);
+
+    std::map<size_t, const ParetoCandidate *> best_by_hw;
+    for (const ParetoCandidate &c : frontier.bestPerHw)
+        best_by_hw[c.hwIndex] = &c;
 
     struct Point
     {
@@ -41,11 +63,9 @@ main()
     };
     std::vector<Point> pts;
 
-    for (const hw_zoo::CloudInstance &inst :
-         hw_zoo::cloudInstances(16)) {
-        PerfModel madmax(inst.cluster);
-        StrategyExplorer explorer(madmax);
-        PerfReport fsdp = explorer.baseline(model, task);
+    for (size_t hw = 0; hw < pareto.hardware().size(); ++hw) {
+        const HardwarePoint &inst = pareto.hardware()[hw];
+        const PerfReport &fsdp = frontier.baselines[hw].report;
         if (fsdp.valid) {
             pts.push_back(Point{
                 inst.name + " [FSDP]",
@@ -53,16 +73,17 @@ main()
                                    a100_peak),
                 samples / fsdp.throughput() / 3600.0, false});
         }
-        try {
-            ExplorationResult best = explorer.best(model, task);
+        auto it = best_by_hw.find(hw);
+        if (it != best_by_hw.end()) {
+            const PerfReport &best = it->second->report;
             pts.push_back(Point{
                 inst.name + " [MAD-Max]",
-                normalizedGpuHours(best.report, inst.cluster, samples,
+                normalizedGpuHours(best, inst.cluster, samples,
                                    a100_peak),
-                samples / best.report.throughput() / 3600.0, true});
-        } catch (const ConfigError &) {
-            // No plan fits this instance fleet; skip it.
+                samples / best.throughput() / 3600.0, true});
         }
+        // No valid plan on this instance fleet: skip it (matching the
+        // historical explorer sweep).
     }
 
     AsciiTable table({"configuration", "agg GPU-hrs/1B (A100-norm)",
@@ -89,5 +110,16 @@ main()
                       strfmt("%.2f", pts[i].elapsed), frontier_tag});
     }
     table.print(std::cout);
+
+    reporter.record("search_seconds", timer.seconds(), "s");
+    reporter.record("evaluations",
+                    static_cast<double>(frontier.stats.evaluations),
+                    "evals");
+    reporter.record("points_visited",
+                    static_cast<double>(frontier.candidates.size()),
+                    "count");
+    reporter.record("frontier_points",
+                    static_cast<double>(frontier.points.size()),
+                    "count");
     return 0;
 }

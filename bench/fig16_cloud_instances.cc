@@ -4,12 +4,20 @@
  * instances — elapsed time vs. A100-normalized aggregate GPU-hours
  * per 1B samples — for default FSDP and MAD-Max-optimized mappings.
  * Paper: up to 33% training-time and 21% compute-resource reduction.
+ *
+ * Runs on the ParetoEngine over the cloud hardware catalog; the
+ * default --strategy exhaustive reproduces the historical per-
+ * instance explorer sweep byte for byte, the guided strategies
+ * (--strategy annealing|genetic|coordinate-descent) regenerate the
+ * study from a budgeted search.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <map>
 
 #include "bench_util.hh"
-#include "core/strategy_explorer.hh"
+#include "dse/pareto_engine.hh"
 #include "dse/sweep.hh"
 #include "hw/hw_zoo.hh"
 #include "model/model_zoo.hh"
@@ -19,8 +27,9 @@
 using namespace madmax;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReporter reporter("fig16_cloud_instances", argc, argv);
     bench::banner("Fig. 16: cloud-instance deployment study (DLRM-A)",
                   "up to 33% training-time and 21% GPU-hour reduction "
                   "from joint instance + mapping choice");
@@ -30,25 +39,34 @@ main()
     const double samples = 1e9;
     const double a100_peak = hw_zoo::a100_40().peakFlopsTensor16;
 
+    EvalEngineOptions engine_opts;
+    engine_opts.jobs = reporter.jobs();
+    EvalEngine engine(engine_opts);
+    ParetoEngine pareto(cloudHardwareCatalog(16), &engine);
+    ParetoOptions opts;
+    opts.strategy = reporter.strategy();
+    ParetoFrontier frontier = pareto.explore(model, task, opts);
+
+    std::map<size_t, const ParetoCandidate *> best_by_hw;
+    for (const ParetoCandidate &c : frontier.bestPerHw)
+        best_by_hw[c.hwIndex] = &c;
+
     AsciiTable table({"instance", "GPUs", "mapping", "elapsed/1B",
                       "agg GPU-hrs/1B (norm)", "plan"});
     double best_time_fsdp = 1e300, best_time_tuned = 1e300;
     double best_hours_fsdp = 1e300, best_hours_tuned = 1e300;
 
-    for (const hw_zoo::CloudInstance &inst :
-         hw_zoo::cloudInstances(16)) {
-        PerfModel madmax(inst.cluster);
-        StrategyExplorer explorer(madmax);
-        PerfReport fsdp = explorer.baseline(model, task);
-        ExplorationResult best;
-        try {
-            best = explorer.best(model, task);
-        } catch (const ConfigError &) {
+    for (size_t hw = 0; hw < pareto.hardware().size(); ++hw) {
+        const HardwarePoint &inst = pareto.hardware()[hw];
+        const PerfReport &fsdp = frontier.baselines[hw].report;
+        auto it = best_by_hw.find(hw);
+        if (it == best_by_hw.end()) {
             table.addRow({inst.name,
                           std::to_string(inst.cluster.numDevices()),
                           "MAD-Max", "no plan fits", "-", "-"});
             continue;
         }
+        const ParetoCandidate &best = *it->second;
 
         if (fsdp.valid) {
             double t = samples / fsdp.throughput() / 3600.0;
@@ -83,5 +101,12 @@ main()
         "(paper: 33%% / 21%%)\n",
         (1.0 - best_time_tuned / best_time_fsdp) * 100.0,
         (1.0 - best_hours_tuned / best_hours_fsdp) * 100.0);
+
+    reporter.record("evaluations",
+                    static_cast<double>(frontier.stats.evaluations),
+                    "evals");
+    reporter.record("time_reduction",
+                    (1.0 - best_time_tuned / best_time_fsdp) * 100.0,
+                    "%");
     return 0;
 }

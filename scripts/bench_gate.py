@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json trajectory records.
+
+Compares a fresh bench run (--current-dir) against the committed
+baselines (--baseline-dir, the repository root) and fails on a >20%
+regression of any *throughput-rate* record (evals/s, requests/s, ...),
+with a warn-only annotation in the 10-20% band. Time- and count-valued
+records are reported for context but never gated: a single cold
+latency sample on a shared CI runner is too noisy to block a PR on,
+while closed-loop rates average thousands of operations.
+
+Exit codes: 0 clean (warnings allowed), 1 at least one record regressed
+beyond the fail threshold, 2 usage/input error (missing or malformed
+records — a bench that stopped emitting a gated record must not pass
+silently).
+
+Output is plain text plus GitHub workflow commands (::error::/
+::warning::) so regressions surface as PR annotations.
+
+The committed baselines are absolute rates from one machine, so they
+are only comparable to runs on similar hardware — the gate's job is
+to catch code-level regressions on the (reasonably homogeneous) CI
+runner pool, not to be a portable performance oracle. When the runner
+fleet shifts (or a perf change is intentional), recalibrate: apply
+the `refresh-bench-baselines` label to the PR and commit the artifact
+the bench-gate job uploads, or re-run locally:
+    ./build/bench/<bench> --json BENCH_<bench>.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+FAIL_BELOW = 0.80  # current/baseline below this fails the gate.
+WARN_BELOW = 0.90  # ... below this warns.
+
+
+def is_rate(unit):
+    """Throughput-style units: higher is better, stable enough to gate."""
+    return isinstance(unit, str) and "/s" in unit
+
+
+def load_records(path):
+    """BENCH_*.json -> {record name: (value, unit)} for numeric records."""
+    with open(path) as f:
+        doc = json.load(f)
+    records = {}
+    for entry in doc.get("records", []):
+        name, value = entry.get("name"), entry.get("value")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        records[name] = (float(value), entry.get("unit", ""))
+    return doc.get("bench", os.path.basename(path)), records
+
+
+def gate_file(baseline_path, current_path):
+    """Compare one bench's records. Returns (n_failed, n_warned)."""
+    bench, base = load_records(baseline_path)
+    _, cur = load_records(current_path)
+    failed = warned = 0
+
+    for name, (base_value, unit) in sorted(base.items()):
+        if not is_rate(unit):
+            continue
+        if name not in cur:
+            print(f"::error::{bench}: gated record '{name}' missing "
+                  f"from the fresh run")
+            failed += 1
+            continue
+        cur_value = cur[name][0]
+        if base_value <= 0:
+            print(f"{bench}: {name}: baseline is {base_value}, skipped")
+            continue
+        ratio = cur_value / base_value
+        line = (f"{bench}: {name}: {cur_value:.4g} {unit} vs baseline "
+                f"{base_value:.4g} {unit} ({ratio:.1%} of baseline)")
+        if ratio < FAIL_BELOW:
+            print(f"::error::{line} — regression beyond "
+                  f"{1 - FAIL_BELOW:.0%}, failing the gate")
+            failed += 1
+        elif ratio < WARN_BELOW:
+            print(f"::warning::{line} — within the "
+                  f"{1 - FAIL_BELOW:.0%} gate but regressed more than "
+                  f"{1 - WARN_BELOW:.0%}")
+            warned += 1
+        else:
+            print(f"ok: {line}")
+
+    # Context-only records (times, counts): print, never gate.
+    for name, (base_value, unit) in sorted(base.items()):
+        if is_rate(unit) or name not in cur:
+            continue
+        print(f"info: {bench}: {name}: {cur[name][0]:.4g} {unit} "
+              f"(baseline {base_value:.4g} {unit})")
+    return failed, warned
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding the committed "
+                             "BENCH_*.json baselines")
+    parser.add_argument("--current-dir", required=True,
+                        help="directory holding this run's BENCH_*.json")
+    args = parser.parse_args()
+
+    baselines = sorted(f for f in os.listdir(args.baseline_dir)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"::error::no BENCH_*.json baselines in "
+              f"{args.baseline_dir}")
+        return 2
+
+    total_failed = total_warned = checked = 0
+    for name in baselines:
+        current = os.path.join(args.current_dir, name)
+        if not os.path.exists(current):
+            print(f"::error::baseline {name} has no fresh record in "
+                  f"{args.current_dir} (bench not run?)")
+            total_failed += 1
+            continue
+        try:
+            failed, warned = gate_file(
+                os.path.join(args.baseline_dir, name), current)
+        except (json.JSONDecodeError, OSError) as e:
+            print(f"::error::{name}: unreadable records: {e}")
+            return 2
+        total_failed += failed
+        total_warned += warned
+        checked += 1
+
+    print(f"\nbench-gate: {checked} record files checked, "
+          f"{total_failed} failed, {total_warned} warned "
+          f"(fail < {FAIL_BELOW:.0%} of baseline, "
+          f"warn < {WARN_BELOW:.0%})")
+    return 1 if total_failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,11 @@ EvalContext::EvalContext(const PerfModel &model, const ModelDesc &desc,
 size_t
 EvalContext::encode(HierStrategy hs)
 {
+    // The 5x5 table indexing assumes exactly five Strategy values; a
+    // new enumerator must grow the strategies_ array alongside this
+    // multiplier or encode() writes past its end.
+    static_assert(static_cast<size_t>(Strategy::MP) == 4,
+                  "strategy table encoding assumes 5 Strategy values");
     return static_cast<size_t>(hs.intra) * 5 +
         static_cast<size_t>(hs.inter);
 }

@@ -8,6 +8,18 @@
 namespace madmax
 {
 
+std::string
+toString(SearchAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case SearchAlgorithm::Exhaustive: return "exhaustive";
+      case SearchAlgorithm::CoordinateDescent: return "coordinate-descent";
+      case SearchAlgorithm::SimulatedAnnealing: return "annealing";
+      case SearchAlgorithm::Genetic: return "genetic";
+    }
+    panic("toString: unknown SearchAlgorithm");
+}
+
 StrategyExplorer::StrategyExplorer(const PerfModel &model,
                                    EvalEngine *engine)
     : model_(model), shared_(engine)
@@ -23,22 +35,6 @@ EvalEngine &
 StrategyExplorer::engine() const
 {
     return shared_ ? *shared_ : *owned_;
-}
-
-std::vector<LayerClass>
-StrategyExplorer::classesOf(const ModelDesc &desc) const
-{
-    std::vector<LayerClass> classes;
-    for (LayerClass cls : {LayerClass::SparseEmbedding,
-                           LayerClass::DenseEmbedding,
-                           LayerClass::BaseDense, LayerClass::Transformer,
-                           LayerClass::MoE}) {
-        if (desc.graph.hasClass(cls))
-            classes.push_back(cls);
-    }
-    if (classes.empty())
-        fatal("StrategyExplorer: model has no layers");
-    return classes;
 }
 
 std::vector<HierStrategy>
@@ -84,45 +80,6 @@ Exploration
 StrategyExplorer::explore(const ModelDesc &desc, const TaskSpec &task,
                           const ExplorerOptions &options) const
 {
-    // Gather the classes present, in a stable order.
-    std::vector<LayerClass> classes = classesOf(desc);
-
-    // Cartesian product over per-class candidates. Plans inherit the
-    // production default of prefetch-enabled FSDP so the explorer
-    // never ranks below the baseline on a technicality.
-    std::vector<ParallelPlan> plans;
-    plans.emplace_back();
-    plans.back().fsdpPrefetch = true;
-    for (LayerClass cls : classes) {
-        std::vector<ParallelPlan> expanded;
-        for (const ParallelPlan &base : plans) {
-            for (HierStrategy hs : candidates(cls)) {
-                ParallelPlan p = base;
-                p.set(cls, hs);
-                expanded.push_back(std::move(p));
-            }
-        }
-        plans = std::move(expanded);
-    }
-    if (options.explorePrefetch) {
-        // Ablation variants with prefetching disabled (Fig. 9).
-        size_t base_count = plans.size();
-        for (size_t i = 0; i < base_count; ++i) {
-            bool has_fsdp = false;
-            for (const auto &[cls, hs] : plans[i].byClass) {
-                if (hs.intra == Strategy::FSDP ||
-                    hs.inter == Strategy::FSDP) {
-                    has_fsdp = true;
-                }
-            }
-            if (has_fsdp) {
-                ParallelPlan p = plans[i];
-                p.fsdpPrefetch = false;
-                plans.push_back(std::move(p));
-            }
-        }
-    }
-
     // The unconstrained variant is only materialized on the
     // ignoreMemory path: it costs a full cluster copy + re-validation,
     // which the common constrained sweep must not pay.
@@ -134,6 +91,12 @@ StrategyExplorer::explore(const ModelDesc &desc, const TaskSpec &task,
         unconstrained.emplace(model_.cluster(), o);
         model = &*unconstrained;
     }
+
+    // The full plan product in canonical enumeration order (a golden-
+    // suite compatibility contract — see dse::enumeratePlans).
+    SearchSpace space =
+        makeSearchSpace({model}, desc, task, options.explorePrefetch);
+    std::vector<ParallelPlan> plans = enumeratePlans(space);
 
     std::vector<PlanRequest> requests;
     requests.reserve(plans.size());
@@ -172,85 +135,32 @@ StrategyExplorer::explore(const ModelDesc &desc, const TaskSpec &task,
 }
 
 ExplorationResult
-StrategyExplorer::bestByCoordinateDescent(
-    const ModelDesc &desc, const TaskSpec &task, const PerfModel &model,
-    const std::vector<LayerClass> &classes) const
-{
-    // Start from the baseline (prefetch-enabled) and greedily sweep
-    // one layer class at a time until no single-class change helps.
-    // Each class sweep is evaluated as one engine batch: within a
-    // sweep every trial varies only that class, so batching matches
-    // the sequential greedy adoption exactly (argmax == last adopted).
-    EvalStats stats;
-    ParallelPlan plan = ParallelPlan::fsdpBaseline();
-    plan.fsdpPrefetch = true;
-    PerfReport best =
-        engine().evaluateOne(model, desc, task, plan, &stats);
-
-    bool improved = true;
-    int rounds = 0;
-    while (improved && rounds++ < 8) {
-        improved = false;
-        for (LayerClass cls : classes) {
-            std::vector<PlanRequest> trials;
-            for (HierStrategy hs : candidates(cls)) {
-                if (plan.strategyFor(cls) == hs)
-                    continue;
-                PlanRequest req;
-                req.model = &model;
-                req.desc = &desc;
-                req.task = &task;
-                req.plan = plan;
-                req.plan.set(cls, hs);
-                trials.push_back(std::move(req));
-            }
-            EvalStats batch_stats;
-            std::vector<PerfReport> reports =
-                engine().evaluateAll(trials, &batch_stats);
-            stats += batch_stats;
-            for (size_t i = 0; i < trials.size(); ++i) {
-                if (reports[i].valid &&
-                    (!best.valid ||
-                     reports[i].throughput() > best.throughput())) {
-                    plan = trials[i].plan;
-                    best = std::move(reports[i]);
-                    improved = true;
-                }
-            }
-        }
-    }
-    if (!best.valid) {
-        fatal("StrategyExplorer: no valid plan fits device memory "
-              "for '" + desc.name + "'");
-    }
-    return ExplorationResult{plan, std::move(best), stats};
-}
-
-ExplorationResult
 StrategyExplorer::best(const ModelDesc &desc, const TaskSpec &task,
                        const ExplorerOptions &options) const
 {
-    if (options.algorithm == SearchAlgorithm::CoordinateDescent) {
-        const PerfModel *model = &model_;
-        std::optional<PerfModel> unconstrained;
-        if (options.ignoreMemory) {
-            PerfModelOptions o = model_.options();
-            o.ignoreMemory = true;
-            unconstrained.emplace(model_.cluster(), o);
-            model = &*unconstrained;
-        }
-        return bestByCoordinateDescent(desc, task, *model,
-                                       classesOf(desc));
+    const PerfModel *model = &model_;
+    std::optional<PerfModel> unconstrained;
+    if (options.ignoreMemory) {
+        PerfModelOptions o = model_.options();
+        o.ignoreMemory = true;
+        unconstrained.emplace(model_.cluster(), o);
+        model = &*unconstrained;
     }
-    Exploration all = explore(desc, task, options);
-    for (ExplorationResult &r : all.results) {
-        if (r.report.valid) {
-            r.stats = all.stats;
-            return std::move(r);
-        }
+
+    SearchSpace space =
+        makeSearchSpace({model}, desc, task, options.explorePrefetch);
+    std::unique_ptr<SearchStrategy> strategy =
+        makeSearchStrategy(toString(options.algorithm));
+    SearchOutcome outcome =
+        strategy->run(space, engine(), options.search);
+
+    const SearchCandidate *winner = bestCandidate(outcome);
+    if (!winner) {
+        fatal("StrategyExplorer: no valid plan fits device memory "
+              "for '" + desc.name + "'");
     }
-    fatal("StrategyExplorer: no valid plan fits device memory for '" +
-          desc.name + "'");
+    return ExplorationResult{winner->plan, winner->report,
+                             outcome.stats};
 }
 
 PerfReport

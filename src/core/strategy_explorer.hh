@@ -14,8 +14,10 @@
 #define MADMAX_CORE_STRATEGY_EXPLORER_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "dse/search_strategy.hh"
 #include "engine/eval_engine.hh"
 
 namespace madmax
@@ -40,12 +42,21 @@ struct Exploration
     EvalStats stats;
 };
 
-/** Search algorithm for the strategy space. */
+/**
+ * Search algorithm for the strategy space. Each value maps onto a
+ * registered dse SearchStrategy (see dse/search_strategy.hh);
+ * toString() yields the registry name.
+ */
 enum class SearchAlgorithm
 {
-    Exhaustive,        ///< Full cartesian product (default).
-    CoordinateDescent, ///< Greedy per-class sweeps until fixpoint.
+    Exhaustive,         ///< Full cartesian product (default).
+    CoordinateDescent,  ///< Greedy per-class sweeps until fixpoint.
+    SimulatedAnnealing, ///< Metropolis random walk, budgeted.
+    Genetic,            ///< Population search, budgeted.
 };
+
+/** The dse strategy-registry name ("exhaustive", ...). */
+std::string toString(SearchAlgorithm algorithm);
 
 /** Exploration knobs. */
 struct ExplorerOptions
@@ -67,6 +78,9 @@ struct ExplorerOptions
 
     /** How best() searches the space (explore() is always full). */
     SearchAlgorithm algorithm = SearchAlgorithm::Exhaustive;
+
+    /** Budget / seed knobs for the guided algorithms. */
+    SearchOptions search;
 };
 
 /**
@@ -103,11 +117,13 @@ class StrategyExplorer
 
     /**
      * The throughput-optimal valid plan, via the configured search
-     * algorithm. Coordinate descent evaluates O(classes x candidates)
-     * plans per round instead of the full product; it can stop in a
-     * local optimum but matches exhaustive search on every workload
-     * in this suite (see tests). The result's stats field carries the
-     * whole search's cost.
+     * algorithm — delegated to the dse strategy registry
+     * (makeSearchStrategy). Coordinate descent evaluates O(classes x
+     * candidates) plans per round instead of the full product; it can
+     * stop in a local optimum but matches exhaustive search on every
+     * workload in this suite (see tests). Annealing and genetic
+     * honor options.search.maxEvaluations. The result's stats field
+     * carries the whole search's cost.
      *
      * @throws ConfigError if no plan fits in memory.
      */
@@ -118,13 +134,6 @@ class StrategyExplorer
     PerfReport baseline(const ModelDesc &desc, const TaskSpec &task) const;
 
   private:
-    ExplorationResult bestByCoordinateDescent(
-        const ModelDesc &desc, const TaskSpec &task,
-        const PerfModel &model,
-        const std::vector<LayerClass> &classes) const;
-
-    std::vector<LayerClass> classesOf(const ModelDesc &desc) const;
-
     /** The shared engine, or the private serial fallback. */
     EvalEngine &engine() const;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/logging.hh"
+
 namespace madmax
 {
 
@@ -33,6 +35,45 @@ paretoFrontier(const std::vector<ParetoPoint> &points)
             frontier.push_back(idx);
             best_value = points[idx].value;
         }
+    }
+    return frontier;
+}
+
+bool
+dominates(const ParetoPointNd &a, const ParetoPointNd &b)
+{
+    if (a.objectives.size() != b.objectives.size())
+        fatal("dominates: objective dimension mismatch");
+    bool better = false;
+    for (size_t k = 0; k < a.objectives.size(); ++k) {
+        if (a.objectives[k] < b.objectives[k])
+            return false;
+        if (a.objectives[k] > b.objectives[k])
+            better = true;
+    }
+    return better;
+}
+
+std::vector<size_t>
+paretoFrontierNd(const std::vector<ParetoPointNd> &points)
+{
+    // O(n^2) pairwise scan: DSE frontiers hold at most a few thousand
+    // evaluated points, far below where a divide-and-conquer extractor
+    // would pay off.
+    std::vector<size_t> frontier;
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool keep = true;
+        for (size_t j = 0; j < points.size() && keep; ++j) {
+            if (j == i)
+                continue;
+            if (dominates(points[j], points[i]))
+                keep = false;
+            // Exact duplicates keep the first occurrence only.
+            if (j < i && points[j].objectives == points[i].objectives)
+                keep = false;
+        }
+        if (keep)
+            frontier.push_back(i);
     }
     return frontier;
 }

@@ -32,6 +32,32 @@ std::vector<size_t> paretoFrontier(const std::vector<ParetoPoint> &points);
 /** True if @p a dominates @p b (no worse on both, better on one). */
 bool dominates(const ParetoPoint &a, const ParetoPoint &b);
 
+/**
+ * One candidate scored on N objectives, all maximized (callers negate
+ * cost-like axes). The multi-objective generalization the ParetoEngine
+ * uses for its {throughput, perf-per-TCO, memory-headroom} frontier.
+ */
+struct ParetoPointNd
+{
+    std::vector<double> objectives; ///< Higher is better on every axis.
+    size_t tag = 0;                 ///< Caller-defined identifier.
+};
+
+/**
+ * True if @p a dominates @p b: no worse on every objective, strictly
+ * better on at least one. Objective vectors must be the same length.
+ * @throws ConfigError on dimension mismatch.
+ */
+bool dominates(const ParetoPointNd &a, const ParetoPointNd &b);
+
+/**
+ * Indices (into @p points) of the non-dominated subset, in input
+ * order. Points with bitwise-identical objective vectors keep only
+ * the first occurrence (matching the 2-D extractor's tie handling).
+ */
+std::vector<size_t>
+paretoFrontierNd(const std::vector<ParetoPointNd> &points);
+
 } // namespace madmax
 
 #endif // MADMAX_DSE_PARETO_HH

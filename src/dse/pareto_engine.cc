@@ -1,0 +1,299 @@
+#include "dse/pareto_engine.hh"
+
+#include <algorithm>
+
+#include "dse/pareto.hh"
+#include "hw/hw_zoo.hh"
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/** Evaluate @p plan on the first @p limit hardware points as one
+ *  engine batch. */
+std::vector<ParetoCandidate>
+evaluateOnAll(const std::vector<PerfModel> &models,
+              const ModelDesc &desc, const TaskSpec &task,
+              const ParallelPlan &plan, EvalEngine &engine,
+              EvalStats &stats, size_t limit)
+{
+    std::vector<PlanRequest> requests;
+    requests.reserve(limit);
+    for (size_t hw = 0; hw < models.size() && hw < limit; ++hw) {
+        PlanRequest req;
+        req.model = &models[hw];
+        req.desc = &desc;
+        req.task = &task;
+        req.plan = plan;
+        requests.push_back(std::move(req));
+    }
+    EvalStats local;
+    std::vector<PerfReport> reports = engine.evaluateAll(requests, &local);
+    stats += local;
+
+    std::vector<ParetoCandidate> out;
+    out.reserve(requests.size());
+    for (size_t hw = 0; hw < requests.size(); ++hw) {
+        ParetoCandidate c;
+        c.hwIndex = hw;
+        c.plan = plan;
+        c.report = std::move(reports[hw]);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+JsonValue
+candidateJson(const ParetoCandidate &c,
+              const std::vector<HardwarePoint> &hardware)
+{
+    JsonValue out;
+    out.set("hardware", hardware[c.hwIndex].name);
+    out.set("plan", c.plan.toString());
+    JsonValue obj;
+    obj.set("throughput", c.objectives.throughput);
+    obj.set("perf_per_tco", c.objectives.perfPerTco);
+    obj.set("mem_headroom_bytes", c.objectives.memHeadroomBytes);
+    out.set("objectives", std::move(obj));
+    out.set("report", toJson(c.report));
+    return out;
+}
+
+} // namespace
+
+ParetoObjectives
+scoreObjectives(const PerfReport &report, const HardwarePoint &hw,
+                const CostModelOptions &cost)
+{
+    ParetoObjectives obj;
+    obj.throughput = report.valid ? report.throughput() : 0.0;
+    double rate = hw.cluster.numDevices() * hw.a100PeakRatio *
+        cost.dollarsPerA100Hour;
+    obj.perfPerTco = rate > 0.0 ? obj.throughput / rate : 0.0;
+    obj.memHeadroomBytes =
+        report.memory.usableCapacity - report.memory.total();
+    return obj;
+}
+
+ParetoEngine::ParetoEngine(std::vector<HardwarePoint> hardware,
+                           EvalEngine *engine)
+    : hw_(std::move(hardware)), shared_(engine)
+{
+    if (hw_.empty())
+        fatal("ParetoEngine: empty hardware catalog");
+    models_.reserve(hw_.size());
+    for (HardwarePoint &point : hw_) {
+        if (point.name.empty())
+            point.name = point.cluster.name;
+        // PerfModel construction validates the cluster spec.
+        models_.emplace_back(point.cluster);
+    }
+    if (!shared_)
+        owned_ = std::make_unique<EvalEngine>();
+}
+
+EvalEngine &
+ParetoEngine::engine() const
+{
+    return shared_ ? *shared_ : *owned_;
+}
+
+ParetoFrontier
+ParetoEngine::explore(const ModelDesc &desc, const TaskSpec &task,
+                      const ParetoOptions &options) const
+{
+    ParetoFrontier out;
+    out.strategy = options.strategy;
+
+    // The default-mapping (FSDP) point on every hardware point: the
+    // normalization frontier of Figs. 1/16 and the guided searches'
+    // warm start. An explicit budget is a hard ceiling over the whole
+    // exploration, so a budget smaller than the catalog trims the
+    // baseline sweep itself (only the first points get evaluated).
+    if (options.includeBaselines) {
+        size_t limit = models_.size();
+        if (options.search.maxEvaluations > 0) {
+            limit = std::min(
+                limit,
+                static_cast<size_t>(options.search.maxEvaluations));
+        }
+        out.baselines = evaluateOnAll(models_, desc, task,
+                                      ParallelPlan::fsdpBaseline(),
+                                      engine(), out.stats, limit);
+    }
+
+    std::vector<const PerfModel *> modelPtrs;
+    modelPtrs.reserve(models_.size());
+    for (const PerfModel &model : models_)
+        modelPtrs.push_back(&model);
+    SearchSpace space = makeSearchSpace(modelPtrs, desc, task);
+    // The baseline sweep doubles as the guided searches' warm start:
+    // they pick their starting hardware point from it instead of
+    // spending budget re-probing every point.
+    for (const ParetoCandidate &c : out.baselines) {
+        space.warmStart.push_back(
+            SearchCandidate{c.hwIndex, c.plan, c.report});
+    }
+
+    // The budget covers the whole exploration: what the baselines
+    // spent is no longer available to the guided search (-1 tells
+    // the strategy its budget is already gone — 0 would mean "auto").
+    SearchOptions searchOpts = options.search;
+    if (searchOpts.maxEvaluations > 0) {
+        long remaining =
+            searchOpts.maxEvaluations - out.stats.evaluations;
+        searchOpts.maxEvaluations = remaining > 0 ? remaining : -1;
+    }
+    std::unique_ptr<SearchStrategy> strategy =
+        makeSearchStrategy(options.strategy);
+    SearchOutcome outcome = strategy->run(space, engine(), searchOpts);
+    out.stats += outcome.stats;
+
+    // Fold baselines and search visits into one scored candidate
+    // list, in visit order.
+    out.candidates.reserve(out.baselines.size() +
+                           outcome.evaluated.size());
+    for (const ParetoCandidate &c : out.baselines)
+        out.candidates.push_back(c);
+    for (SearchCandidate &c : outcome.evaluated) {
+        ParetoCandidate pc;
+        pc.hwIndex = c.hwIndex;
+        pc.plan = std::move(c.plan);
+        pc.report = std::move(c.report);
+        out.candidates.push_back(std::move(pc));
+    }
+    for (ParetoCandidate &c : out.candidates) {
+        if (c.report.valid)
+            c.objectives =
+                scoreObjectives(c.report, hw_[c.hwIndex], options.cost);
+    }
+
+    // Throughput-best valid candidate per hardware point (first visit
+    // wins ties, so exhaustive matches StrategyExplorer::best()).
+    std::vector<const ParetoCandidate *> best(hw_.size(), nullptr);
+    for (const ParetoCandidate &c : out.candidates) {
+        if (!c.report.valid)
+            continue;
+        const ParetoCandidate *&slot = best[c.hwIndex];
+        if (!slot || c.objectives.throughput >
+                slot->objectives.throughput) {
+            slot = &c;
+        }
+    }
+    for (const ParetoCandidate *c : best) {
+        if (c)
+            out.bestPerHw.push_back(*c);
+    }
+
+    // The multi-objective frontier over every valid visit.
+    std::vector<ParetoPointNd> scored;
+    std::vector<size_t> scoredIdx;
+    for (size_t i = 0; i < out.candidates.size(); ++i) {
+        const ParetoCandidate &c = out.candidates[i];
+        if (!c.report.valid)
+            continue;
+        scored.push_back(ParetoPointNd{
+            {c.objectives.throughput, c.objectives.perfPerTco,
+             c.objectives.memHeadroomBytes},
+            scoredIdx.size()});
+        scoredIdx.push_back(i);
+    }
+    for (size_t idx : paretoFrontierNd(scored))
+        out.points.push_back(out.candidates[scoredIdx[idx]]);
+    std::stable_sort(out.points.begin(), out.points.end(),
+                     [](const ParetoCandidate &a,
+                        const ParetoCandidate &b) {
+                         return a.objectives.throughput >
+                             b.objectives.throughput;
+                     });
+    return out;
+}
+
+std::vector<HardwarePoint>
+cloudHardwareCatalog(int num_nodes)
+{
+    std::vector<HardwarePoint> out;
+    for (const hw_zoo::CloudInstance &inst :
+         hw_zoo::cloudInstances(num_nodes)) {
+        out.push_back(
+            HardwarePoint{inst.name, inst.cluster, inst.a100PeakRatio});
+    }
+    return out;
+}
+
+HardwarePoint
+makeHardwarePoint(const ClusterSpec &cluster)
+{
+    HardwarePoint point;
+    point.name = cluster.name;
+    point.cluster = cluster;
+    double a100_peak = hw_zoo::a100_40().peakFlopsTensor16;
+    point.a100PeakRatio = cluster.device.peakFlopsTensor16 > 0.0
+        ? cluster.device.peakFlopsTensor16 / a100_peak
+        : 1.0;
+    return point;
+}
+
+std::vector<HardwarePoint>
+nodeCountSweep(const ClusterSpec &cluster,
+               const std::vector<int> &node_counts)
+{
+    if (node_counts.empty())
+        fatal("nodeCountSweep: empty node-count list");
+    double a100_peak = hw_zoo::a100_40().peakFlopsTensor16;
+    double ratio = cluster.device.peakFlopsTensor16 > 0.0
+        ? cluster.device.peakFlopsTensor16 / a100_peak
+        : 1.0;
+    std::vector<HardwarePoint> out;
+    out.reserve(node_counts.size());
+    for (int nodes : node_counts) {
+        if (nodes <= 0)
+            fatal("nodeCountSweep: node counts must be positive");
+        HardwarePoint point;
+        point.cluster = cluster.withNumNodes(nodes);
+        point.name = strfmt("%s-%dn", cluster.name.c_str(), nodes);
+        point.a100PeakRatio = ratio;
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+JsonValue
+toJson(const ParetoFrontier &frontier,
+       const std::vector<HardwarePoint> &hardware)
+{
+    JsonValue hwArr;
+    for (const HardwarePoint &point : hardware) {
+        JsonValue entry;
+        entry.set("name", point.name);
+        entry.set("devices",
+                  static_cast<long>(point.cluster.numDevices()));
+        entry.set("nodes", static_cast<long>(point.cluster.numNodes));
+        entry.set("a100_peak_ratio", point.a100PeakRatio);
+        hwArr.append(std::move(entry));
+    }
+
+    auto listJson = [&](const std::vector<ParetoCandidate> &list) {
+        JsonValue arr(JsonValue::Array{});
+        for (const ParetoCandidate &c : list)
+            arr.append(candidateJson(c, hardware));
+        return arr;
+    };
+
+    JsonValue out;
+    out.set("strategy", frontier.strategy);
+    out.set("hardware", std::move(hwArr));
+    out.set("frontier", listJson(frontier.points));
+    out.set("best_per_hardware", listJson(frontier.bestPerHw));
+    out.set("baselines", listJson(frontier.baselines));
+    out.set("evaluated_points",
+            static_cast<long>(frontier.candidates.size()));
+    out.set("search", toJson(frontier.stats));
+    return out;
+}
+
+} // namespace madmax

@@ -1,0 +1,747 @@
+#include "dse/search_strategy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <set>
+
+#include "core/strategy_explorer.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/**
+ * Deterministic bounded draw. std::uniform_int_distribution's mapping
+ * is implementation-defined, so the guided searches would produce
+ * different (still valid) answers per standard library; a plain modulo
+ * over the raw 64-bit stream keeps the searches bit-reproducible
+ * everywhere, and the bias is irrelevant at these tiny ranges.
+ */
+size_t
+drawIndex(std::mt19937_64 &rng, size_t bound)
+{
+    return static_cast<size_t>(rng() % bound);
+}
+
+/** Uniform double in [0, 1). */
+double
+drawUnit(std::mt19937_64 &rng)
+{
+    return static_cast<double>(rng() >> 11) * 0x1p-53;
+}
+
+/** Evaluate a batch of (hwIndex, plan) points through the engine and
+ *  append every result (including cache hits and pruned OOM verdicts)
+ *  to @p out in request order. The batch is one evaluateAll call, so
+ *  it rides the engine's context grouping and thread pool. */
+void
+evaluateInto(const SearchSpace &space, EvalEngine &engine,
+             std::vector<std::pair<size_t, ParallelPlan>> points,
+             SearchOutcome &out)
+{
+    if (points.empty())
+        return;
+    std::vector<PlanRequest> requests;
+    requests.reserve(points.size());
+    for (auto &[hw, plan] : points) {
+        PlanRequest req;
+        req.model = space.models[hw];
+        req.desc = space.desc;
+        req.task = space.task;
+        req.plan = std::move(plan);
+        requests.push_back(std::move(req));
+    }
+    EvalStats stats;
+    std::vector<PerfReport> reports = engine.evaluateAll(requests, &stats);
+    out.stats += stats;
+    out.evaluated.reserve(out.evaluated.size() + requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        out.evaluated.push_back(SearchCandidate{
+            points[i].first, std::move(requests[i].plan),
+            std::move(reports[i])});
+    }
+}
+
+/** The guided strategies' effective evaluation budget. */
+long
+effectiveBudget(const SearchSpace &space, const SearchOptions &options)
+{
+    if (options.maxEvaluations < 0)
+        return 0; // The caller's budget is already spent.
+    if (options.maxEvaluations > 0)
+        return options.maxEvaluations;
+    size_t size = space.size();
+    return std::max<long>(12, static_cast<long>(size / 6));
+}
+
+/**
+ * Trim a batch so it cannot overshoot the remaining budget even if
+ * every point turns out to be a fresh evaluation (cache hits and
+ * pruned points just leave budget unspent) — the budget is a hard
+ * ceiling, not a soft target.
+ */
+void
+trimToBudget(std::vector<std::pair<size_t, ParallelPlan>> &points,
+             long budget, const EvalStats &stats)
+{
+    long room = budget - stats.evaluations;
+    if (room < 0)
+        room = 0;
+    if (static_cast<long>(points.size()) > room)
+        points.resize(static_cast<size_t>(room));
+}
+
+/** Best valid warm-start candidate by throughput, or null. */
+const SearchCandidate *
+bestWarmStart(const SearchSpace &space)
+{
+    const SearchCandidate *best = nullptr;
+    for (const SearchCandidate &c : space.warmStart) {
+        if (c.report.valid &&
+            (!best || c.report.throughput() >
+                 best->report.throughput())) {
+            best = &c;
+        }
+    }
+    return best;
+}
+
+/** Throughput if valid, -1 otherwise (worse than any valid plan). */
+double
+fitnessOf(const PerfReport &report)
+{
+    return report.valid ? report.throughput() : -1.0;
+}
+
+/** A crude but deterministic hardware-capability rank used to pick
+ *  the seed hardware point: aggregate best-available peak FLOPS. */
+double
+hardwareRank(const PerfModel &model)
+{
+    const ClusterSpec &c = model.cluster();
+    double peak = std::max({c.device.peakFlopsTensor16,
+                            c.device.peakFlopsTf32,
+                            c.device.peakFlopsFp32});
+    return peak * c.numDevices();
+}
+
+/**
+ * The baseline plan every search starts from: the FSDP baseline with
+ * prefetching on, matching explore()'s production default — but
+ * restricted to the classes the space actually has, so guided plans
+ * render (and compare) identically to exhaustively-enumerated ones.
+ */
+ParallelPlan
+seedPlan(const SearchSpace &space)
+{
+    ParallelPlan base = ParallelPlan::fsdpBaseline();
+    ParallelPlan plan;
+    plan.fsdpPrefetch = true;
+    for (LayerClass cls : space.classes)
+        plan.set(cls, base.strategyFor(cls));
+    return plan;
+}
+
+// --- Exhaustive -------------------------------------------------------
+
+class ExhaustiveSearch : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "exhaustive"; }
+
+    SearchOutcome run(const SearchSpace &space, EvalEngine &engine,
+                      const SearchOptions &) const override
+    {
+        space.validate();
+        std::vector<ParallelPlan> plans = enumeratePlans(space);
+        std::vector<std::pair<size_t, ParallelPlan>> points;
+        points.reserve(space.models.size() * plans.size());
+        for (size_t hw = 0; hw < space.models.size(); ++hw)
+            for (const ParallelPlan &plan : plans)
+                points.emplace_back(hw, plan);
+        SearchOutcome out;
+        evaluateInto(space, engine, std::move(points), out);
+        return out;
+    }
+};
+
+// --- Coordinate descent -----------------------------------------------
+
+class CoordinateDescentSearch : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "coordinate-descent"; }
+
+    SearchOutcome run(const SearchSpace &space, EvalEngine &engine,
+                      const SearchOptions &options) const override
+    {
+        space.validate();
+        // Coordinate descent terminates on its own (fixpoint, >= 8
+        // rounds); the budget only binds when set explicitly.
+        const long budget = options.maxEvaluations == 0
+            ? std::numeric_limits<long>::max()
+            : std::max<long>(0, options.maxEvaluations);
+        SearchOutcome out;
+
+        // Seed: the baseline plan — on the warm start's best hardware
+        // point when the caller provided one, otherwise on every
+        // hardware point (a single point when called from
+        // StrategyExplorer::best).
+        ParallelPlan plan = seedPlan(space);
+        std::vector<std::pair<size_t, ParallelPlan>> seeds;
+        if (const SearchCandidate *warm = bestWarmStart(space)) {
+            seeds.emplace_back(warm->hwIndex, plan);
+        } else {
+            for (size_t hw = 0; hw < space.models.size(); ++hw)
+                seeds.emplace_back(hw, plan);
+        }
+        trimToBudget(seeds, budget, out.stats);
+        evaluateInto(space, engine, std::move(seeds), out);
+
+        size_t hwCur = 0;
+        PerfReport best;
+        for (const SearchCandidate &c : out.evaluated) {
+            if (c.report.valid &&
+                (!best.valid ||
+                 c.report.throughput() > best.throughput())) {
+                best = c.report;
+                hwCur = c.hwIndex;
+            }
+        }
+
+        // Greedy sweeps, one coordinate at a time, until no single
+        // change helps. Each sweep is one engine batch: within a sweep
+        // every trial varies only that coordinate, so batching matches
+        // sequential greedy adoption exactly (argmax == last adopted).
+        bool improved = true;
+        int rounds = 0;
+        while (improved && rounds++ < 8 &&
+               out.stats.evaluations < budget) {
+            improved = false;
+            for (size_t ci = 0; ci < space.classes.size(); ++ci) {
+                LayerClass cls = space.classes[ci];
+                std::vector<std::pair<size_t, ParallelPlan>> trials;
+                for (HierStrategy hs : space.candidates[ci]) {
+                    if (plan.strategyFor(cls) == hs)
+                        continue;
+                    ParallelPlan p = plan;
+                    p.set(cls, hs);
+                    trials.emplace_back(hwCur, std::move(p));
+                }
+                trimToBudget(trials, budget, out.stats);
+                size_t first = out.evaluated.size();
+                evaluateInto(space, engine, std::move(trials), out);
+                for (size_t i = first; i < out.evaluated.size(); ++i) {
+                    const SearchCandidate &c = out.evaluated[i];
+                    if (c.report.valid &&
+                        (!best.valid || c.report.throughput() >
+                             best.throughput())) {
+                        plan = c.plan;
+                        best = c.report;
+                        improved = true;
+                    }
+                }
+            }
+            // The hardware coordinate: the current plan on every other
+            // hardware point (a no-op for single-point spaces).
+            std::vector<std::pair<size_t, ParallelPlan>> hwTrials;
+            for (size_t hw = 0; hw < space.models.size(); ++hw) {
+                if (hw != hwCur)
+                    hwTrials.emplace_back(hw, plan);
+            }
+            trimToBudget(hwTrials, budget, out.stats);
+            size_t first = out.evaluated.size();
+            evaluateInto(space, engine, std::move(hwTrials), out);
+            for (size_t i = first; i < out.evaluated.size(); ++i) {
+                const SearchCandidate &c = out.evaluated[i];
+                if (c.report.valid &&
+                    (!best.valid ||
+                     c.report.throughput() > best.throughput())) {
+                    hwCur = c.hwIndex;
+                    best = c.report;
+                    improved = true;
+                }
+            }
+        }
+        return out;
+    }
+};
+
+// --- Simulated annealing ----------------------------------------------
+
+class SimulatedAnnealingSearch : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "annealing"; }
+
+    SearchOutcome run(const SearchSpace &space, EvalEngine &engine,
+                      const SearchOptions &options) const override
+    {
+        space.validate();
+        const long budget = effectiveBudget(space, options);
+        std::mt19937_64 rng(options.seed);
+        SearchOutcome out;
+
+        // Seed on the most promising hardware point: the warm start's
+        // best when the caller provided one (ParetoEngine passes its
+        // baseline sweep), otherwise the beefiest by a deterministic
+        // capability heuristic — then give the other points a look
+        // while the budget allows half of it for seeding.
+        size_t hwBest = 0;
+        if (const SearchCandidate *warm = bestWarmStart(space)) {
+            hwBest = warm->hwIndex;
+        } else {
+            for (size_t hw = 1; hw < space.models.size(); ++hw) {
+                if (hardwareRank(*space.models[hw]) >
+                    hardwareRank(*space.models[hwBest])) {
+                    hwBest = hw;
+                }
+            }
+        }
+        std::vector<std::pair<size_t, ParallelPlan>> seeds;
+        seeds.emplace_back(hwBest, seedPlan(space));
+        if (space.warmStart.empty()) {
+            for (size_t hw = 0; hw < space.models.size(); ++hw) {
+                if (hw != hwBest &&
+                    static_cast<long>(seeds.size()) < budget / 2) {
+                    seeds.emplace_back(hw, seedPlan(space));
+                }
+            }
+        }
+        trimToBudget(seeds, budget, out.stats);
+        evaluateInto(space, engine, std::move(seeds), out);
+
+        size_t hwCur = hwBest;
+        ParallelPlan planCur = seedPlan(space);
+        PerfReport cur;
+        for (const SearchCandidate &c : out.evaluated) {
+            if (c.report.valid &&
+                (!cur.valid ||
+                 c.report.throughput() > cur.throughput())) {
+                cur = c.report;
+                hwCur = c.hwIndex;
+                planCur = c.plan;
+            }
+        }
+
+        // Tabu set: points already visited this run are never
+        // re-proposed — with a tight budget every evaluation must be
+        // a fresh point, not a random-walk revisit.
+        auto pointKey = [](size_t hw, const ParallelPlan &plan) {
+            return std::to_string(hw) + '|' + plan.toString() +
+                (plan.fsdpPrefetch ? "+p" : "-p");
+        };
+        std::set<std::string> seen;
+        for (const SearchCandidate &c : out.evaluated)
+            seen.insert(pointKey(c.hwIndex, c.plan));
+
+        double temperature = options.initialTemperature;
+        // Proposal cap: tabu'd proposals are free, so a small space
+        // must not spin forever once it is exhausted.
+        long proposals = 0;
+        const long maxProposals =
+            64 + 16 * static_cast<long>(budget);
+        while (out.stats.evaluations < budget &&
+               proposals++ < maxProposals) {
+            size_t hwNext = hwCur;
+            ParallelPlan planNext = planCur;
+            bool canMoveHw = space.models.size() > 1;
+            // No coordinate has a move at all (every class pinned to
+            // one candidate, single hardware point): nothing to walk.
+            bool anyClassMutable = false;
+            for (const std::vector<HierStrategy> &cands :
+                 space.candidates) {
+                if (cands.size() > 1)
+                    anyClassMutable = true;
+            }
+            if (!canMoveHw && !anyClassMutable)
+                break;
+            bool moveHw = canMoveHw &&
+                (!anyClassMutable ||
+                 drawUnit(rng) < options.hardwareMoveProbability);
+            if (moveHw) {
+                hwNext = drawIndex(rng, space.models.size() - 1);
+                if (hwNext >= hwCur)
+                    ++hwNext;
+            } else {
+                size_t ci = drawIndex(rng, space.classes.size());
+                const std::vector<HierStrategy> &cands =
+                    space.candidates[ci];
+                if (cands.size() < 2)
+                    continue; // Pinned class; draw another coordinate.
+                HierStrategy hs =
+                    cands[drawIndex(rng, cands.size())];
+                if (planNext.strategyFor(space.classes[ci]) == hs)
+                    continue;
+                planNext.set(space.classes[ci], hs);
+            }
+
+            if (!seen.insert(pointKey(hwNext, planNext)).second)
+                continue; // Already visited; propose something new.
+
+            size_t first = out.evaluated.size();
+            evaluateInto(space, engine, {{hwNext, planNext}}, out);
+            const PerfReport &next = out.evaluated[first].report;
+            temperature *= options.coolingRate;
+            if (!next.valid)
+                continue;
+            bool accept;
+            if (!cur.valid || next.throughput() >= cur.throughput()) {
+                accept = true;
+            } else {
+                double drop = (cur.throughput() - next.throughput()) /
+                    cur.throughput();
+                accept = temperature > 0.0 &&
+                    drawUnit(rng) < std::exp(-drop / temperature);
+            }
+            if (accept) {
+                hwCur = hwNext;
+                planCur = planNext;
+                cur = next;
+            }
+        }
+        return out;
+    }
+};
+
+// --- Genetic ----------------------------------------------------------
+
+class GeneticSearch : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "genetic"; }
+
+    SearchOutcome run(const SearchSpace &space, EvalEngine &engine,
+                      const SearchOptions &options) const override
+    {
+        space.validate();
+        const long budget = effectiveBudget(space, options);
+        std::mt19937_64 rng(options.seed);
+        SearchOutcome out;
+
+        // Genome: hardware index + one candidate index per class.
+        struct Individual
+        {
+            size_t hw = 0;
+            std::vector<size_t> genes;
+            double fitness = -1.0;
+        };
+        auto toPlan = [&](const Individual &ind) {
+            ParallelPlan plan = seedPlan(space);
+            for (size_t ci = 0; ci < space.classes.size(); ++ci)
+                plan.set(space.classes[ci],
+                         space.candidates[ci][ind.genes[ci]]);
+            return plan;
+        };
+        auto baselineGenes = [&] {
+            ParallelPlan base = seedPlan(space);
+            std::vector<size_t> genes(space.classes.size(), 0);
+            for (size_t ci = 0; ci < space.classes.size(); ++ci) {
+                const std::vector<HierStrategy> &cands =
+                    space.candidates[ci];
+                for (size_t k = 0; k < cands.size(); ++k) {
+                    if (cands[k] == base.strategyFor(space.classes[ci]))
+                        genes[ci] = k;
+                }
+            }
+            return genes;
+        };
+
+        // Seed phase: sweep each class around the baseline on the
+        // most promising hardware point (the warm start's best when
+        // provided, else the beefiest by capability) and keep the
+        // per-class winners — the population starts from locally-good
+        // building blocks instead of uniform noise.
+        size_t hwSeed = 0;
+        if (const SearchCandidate *warm = bestWarmStart(space)) {
+            hwSeed = warm->hwIndex;
+        } else {
+            for (size_t hw = 1; hw < space.models.size(); ++hw) {
+                if (hardwareRank(*space.models[hw]) >
+                    hardwareRank(*space.models[hwSeed])) {
+                    hwSeed = hw;
+                }
+            }
+        }
+        std::vector<size_t> winners = baselineGenes();
+        std::vector<Individual> population;
+        for (size_t ci = 0;
+             ci < space.classes.size() &&
+             out.stats.evaluations < budget;
+             ++ci) {
+            std::vector<std::pair<size_t, ParallelPlan>> sweep;
+            for (size_t k = 0; k < space.candidates[ci].size(); ++k) {
+                Individual ind{hwSeed, winners, -1.0};
+                ind.genes[ci] = k;
+                sweep.emplace_back(hwSeed, toPlan(ind));
+            }
+            trimToBudget(sweep, budget, out.stats);
+            size_t swept = sweep.size();
+            size_t first = out.evaluated.size();
+            evaluateInto(space, engine, std::move(sweep), out);
+            double bestFit = -1.0;
+            for (size_t i = first; i < first + swept; ++i) {
+                double fit = fitnessOf(out.evaluated[i].report);
+                Individual ind{hwSeed, winners, fit};
+                ind.genes[ci] = i - first;
+                population.push_back(ind);
+                if (fit > bestFit) {
+                    bestFit = fit;
+                    winners[ci] = i - first;
+                }
+            }
+        }
+
+        std::set<std::string> visited;
+        auto genomeKey = [](const Individual &ind) {
+            std::string key = std::to_string(ind.hw);
+            for (size_t g : ind.genes)
+                key += ':' + std::to_string(g);
+            return key;
+        };
+        for (const Individual &ind : population)
+            visited.insert(genomeKey(ind));
+
+        // Evaluate a batch of genomes, skipping genomes already
+        // visited this run and trimming to the remaining budget (the
+        // trim assumes every point is fresh, so the budget is a hard
+        // ceiling even before cache effects).
+        auto evaluateGenomes = [&](std::vector<Individual> batch) {
+            std::vector<Individual> fresh;
+            for (Individual &ind : batch) {
+                if (visited.insert(genomeKey(ind)).second)
+                    fresh.push_back(std::move(ind));
+            }
+            long room = budget - out.stats.evaluations;
+            if (room <= 0)
+                return;
+            if (static_cast<long>(fresh.size()) > room)
+                fresh.resize(static_cast<size_t>(room));
+            std::vector<std::pair<size_t, ParallelPlan>> points;
+            for (const Individual &ind : fresh)
+                points.emplace_back(ind.hw, toPlan(ind));
+            size_t first = out.evaluated.size();
+            evaluateInto(space, engine, std::move(points), out);
+            for (size_t i = 0; i < fresh.size(); ++i) {
+                fresh[i].fitness =
+                    fitnessOf(out.evaluated[first + i].report);
+                population.push_back(std::move(fresh[i]));
+            }
+        };
+
+        // Complete the initial population: the all-winners genome on
+        // every hardware point, then random genomes for diversity.
+        {
+            std::vector<Individual> extra;
+            for (size_t hw = 0; hw < space.models.size(); ++hw)
+                extra.push_back(Individual{hw, winners, -1.0});
+            while (extra.size() + population.size() <
+                   static_cast<size_t>(options.populationSize)) {
+                Individual ind;
+                ind.hw = drawIndex(rng, space.models.size());
+                for (size_t ci = 0; ci < space.classes.size(); ++ci)
+                    ind.genes.push_back(
+                        drawIndex(rng, space.candidates[ci].size()));
+                extra.push_back(std::move(ind));
+            }
+            evaluateGenomes(std::move(extra));
+        }
+
+        auto fitter = [](const Individual &a, const Individual &b) {
+            return a.fitness > b.fitness;
+        };
+        auto tournament = [&]() -> const Individual & {
+            const Individual &a =
+                population[drawIndex(rng, population.size())];
+            const Individual &b =
+                population[drawIndex(rng, population.size())];
+            return a.fitness >= b.fitness ? a : b;
+        };
+
+        for (int gen = 0; gen < options.maxGenerations &&
+             out.stats.evaluations < budget && !population.empty();
+             ++gen) {
+            // Keep selection pressure bounded: survivors are the
+            // fittest populationSize genomes seen so far.
+            std::stable_sort(population.begin(), population.end(),
+                             fitter);
+            if (population.size() >
+                static_cast<size_t>(options.populationSize)) {
+                population.resize(
+                    static_cast<size_t>(options.populationSize));
+            }
+            std::vector<Individual> children;
+            for (int k = 0; k < options.populationSize; ++k) {
+                const Individual &pa = tournament();
+                const Individual &pb = tournament();
+                Individual child;
+                // Crossover on layer-class assignments; the hardware
+                // gene rides along from one parent.
+                child.hw = drawUnit(rng) < 0.5 ? pa.hw : pb.hw;
+                for (size_t ci = 0; ci < space.classes.size(); ++ci)
+                    child.genes.push_back(drawUnit(rng) < 0.5
+                                              ? pa.genes[ci]
+                                              : pb.genes[ci]);
+                if (drawUnit(rng) < options.mutationRate &&
+                    space.models.size() > 1) {
+                    child.hw = drawIndex(rng, space.models.size());
+                }
+                for (size_t ci = 0; ci < space.classes.size(); ++ci) {
+                    if (drawUnit(rng) < options.mutationRate) {
+                        child.genes[ci] = drawIndex(
+                            rng, space.candidates[ci].size());
+                    }
+                }
+                children.push_back(std::move(child));
+            }
+            evaluateGenomes(std::move(children));
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+size_t
+SearchSpace::planCount() const
+{
+    size_t count = 1;
+    for (const std::vector<HierStrategy> &cands : candidates)
+        count *= cands.size();
+    return count;
+}
+
+void
+SearchSpace::validate() const
+{
+    if (models.empty())
+        fatal("SearchSpace: no hardware points");
+    for (const PerfModel *model : models) {
+        if (!model)
+            fatal("SearchSpace: null PerfModel");
+    }
+    if (!desc || !task)
+        fatal("SearchSpace: null model description or task");
+    if (classes.size() != candidates.size())
+        fatal("SearchSpace: classes/candidates size mismatch");
+    for (const std::vector<HierStrategy> &cands : candidates) {
+        if (cands.empty())
+            fatal("SearchSpace: a layer class has no candidates");
+    }
+}
+
+std::vector<ParallelPlan>
+enumeratePlans(const SearchSpace &space)
+{
+    // Cartesian product over per-class candidates. Plans inherit the
+    // production default of prefetch-enabled FSDP so searches never
+    // rank below the baseline on a technicality. This enumeration
+    // order is a compatibility contract: the golden explore() suites
+    // snapshot it.
+    std::vector<ParallelPlan> plans;
+    plans.emplace_back();
+    plans.back().fsdpPrefetch = true;
+    for (size_t ci = 0; ci < space.classes.size(); ++ci) {
+        std::vector<ParallelPlan> expanded;
+        for (const ParallelPlan &base : plans) {
+            for (HierStrategy hs : space.candidates[ci]) {
+                ParallelPlan p = base;
+                p.set(space.classes[ci], hs);
+                expanded.push_back(std::move(p));
+            }
+        }
+        plans = std::move(expanded);
+    }
+    if (space.explorePrefetch) {
+        // Ablation variants with prefetching disabled (Fig. 9).
+        size_t base_count = plans.size();
+        for (size_t i = 0; i < base_count; ++i) {
+            bool has_fsdp = false;
+            for (const auto &[cls, hs] : plans[i].byClass) {
+                if (hs.intra == Strategy::FSDP ||
+                    hs.inter == Strategy::FSDP) {
+                    has_fsdp = true;
+                }
+            }
+            if (has_fsdp) {
+                ParallelPlan p = plans[i];
+                p.fsdpPrefetch = false;
+                plans.push_back(std::move(p));
+            }
+        }
+    }
+    return plans;
+}
+
+const SearchCandidate *
+bestCandidate(const SearchOutcome &outcome)
+{
+    const SearchCandidate *best = nullptr;
+    for (const SearchCandidate &c : outcome.evaluated) {
+        if (c.report.valid &&
+            (!best || c.report.throughput() >
+                 best->report.throughput())) {
+            best = &c;
+        }
+    }
+    return best;
+}
+
+SearchSpace
+makeSearchSpace(std::vector<const PerfModel *> models,
+                const ModelDesc &desc, const TaskSpec &task,
+                bool explorePrefetch)
+{
+    SearchSpace space;
+    space.models = std::move(models);
+    space.desc = &desc;
+    space.task = &task;
+    space.explorePrefetch = explorePrefetch;
+    for (LayerClass cls : {LayerClass::SparseEmbedding,
+                           LayerClass::DenseEmbedding,
+                           LayerClass::BaseDense, LayerClass::Transformer,
+                           LayerClass::MoE}) {
+        if (desc.graph.hasClass(cls)) {
+            space.classes.push_back(cls);
+            space.candidates.push_back(
+                StrategyExplorer::candidates(cls));
+        }
+    }
+    if (space.classes.empty())
+        fatal("SearchSpace: model '" + desc.name + "' has no layers");
+    space.validate();
+    return space;
+}
+
+const std::vector<std::string> &
+searchStrategyNames()
+{
+    static const std::vector<std::string> names = {
+        "exhaustive", "coordinate-descent", "annealing", "genetic"};
+    return names;
+}
+
+std::unique_ptr<SearchStrategy>
+makeSearchStrategy(const std::string &name)
+{
+    if (name == "exhaustive")
+        return std::make_unique<ExhaustiveSearch>();
+    if (name == "coordinate-descent")
+        return std::make_unique<CoordinateDescentSearch>();
+    if (name == "annealing")
+        return std::make_unique<SimulatedAnnealingSearch>();
+    if (name == "genetic")
+        return std::make_unique<GeneticSearch>();
+    std::string known;
+    for (const std::string &n : searchStrategyNames())
+        known += (known.empty() ? "" : ", ") + n;
+    fatal("unknown search strategy '" + name + "' (registered: " +
+          known + ")");
+}
+
+} // namespace madmax

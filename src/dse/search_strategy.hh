@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Pluggable search strategies over the joint (hardware point x
+ * parallelization plan) design space (§V "Design Space Exploration").
+ *
+ * A SearchSpace describes the space: one PerfModel per hardware point
+ * and the per-layer-class strategy candidates. A SearchStrategy visits
+ * points of that space through an EvalEngine (which parallelizes,
+ * memoizes, and OOM-prunes them) and returns every visited candidate
+ * plus the EvalStats of the visit, so search cost-to-quality is
+ * directly measurable. Consumers pick what they need from the
+ * outcome: StrategyExplorer::best() takes the throughput argmax, the
+ * ParetoEngine builds a multi-objective frontier from all of it.
+ *
+ * Four strategies ship, selectable by name through the registry:
+ *
+ *   exhaustive         full cartesian product (today's explore()),
+ *   coordinate-descent greedy per-coordinate sweeps until fixpoint,
+ *   annealing          simulated annealing with Metropolis acceptance,
+ *   genetic            population search seeded from per-class sweep
+ *                      winners, crossover on layer-class assignments.
+ *
+ * Guided strategies are deterministic (seeded mt19937) and respect an
+ * evaluation budget, so "95% of the optimum at 25% of the cost" is a
+ * testable contract (tests/dse/test_search_strategy.cc).
+ */
+
+#ifndef MADMAX_DSE_SEARCH_STRATEGY_HH
+#define MADMAX_DSE_SEARCH_STRATEGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/eval_engine.hh"
+
+namespace madmax
+{
+
+/**
+ * Knobs for the guided searches. All strategies are deterministic for
+ * a fixed option set: randomized ones draw from a private mt19937
+ * seeded here, never from global state.
+ */
+struct SearchOptions
+{
+    /** RNG seed for annealing / genetic ("madmax" in ASCII). */
+    uint64_t seed = 0x6d61646d6178ull;
+
+    /**
+     * Full-evaluation budget for the guided strategies (annealing,
+     * genetic): they stop submitting new points once the engine has
+     * executed this many fresh PerfModel evaluations on their behalf
+     * — a hard ceiling, pre-trimmed batches included. Cache hits and
+     * OOM-pruned points are free. 0 = auto (about a sixth of the
+     * space, at least 12); negative = no budget left, evaluate
+     * nothing (the ParetoEngine passes this when its baseline sweep
+     * already consumed the caller's budget). Exhaustive ignores the
+     * budget (it *is* the reference cost); coordinate descent honors
+     * an explicit budget but normally terminates on its own.
+     */
+    long maxEvaluations = 0;
+
+    /** @name Simulated annealing */
+    /// @{
+    /** Initial temperature as a fraction of current throughput. */
+    double initialTemperature = 0.15;
+    /** Geometric cooling factor applied per proposal. */
+    double coolingRate = 0.90;
+    /** Probability that a proposal mutates the hardware coordinate. */
+    double hardwareMoveProbability = 0.35;
+    /// @}
+
+    /** @name Genetic search */
+    /// @{
+    int populationSize = 12;
+    int maxGenerations = 16;
+    /** Per-gene mutation probability after crossover. */
+    double mutationRate = 0.25;
+    /// @}
+};
+
+/** One visited point of the space. */
+struct SearchCandidate
+{
+    size_t hwIndex = 0; ///< Index into SearchSpace::models.
+    ParallelPlan plan;
+    PerfReport report;
+};
+
+/**
+ * The joint search space. models has one entry per hardware point
+ * (StrategyExplorer::best passes exactly one); candidates[i] holds the
+ * admissible HierStrategy set for classes[i]. All pointers are
+ * borrowed and must outlive the search.
+ */
+struct SearchSpace
+{
+    std::vector<const PerfModel *> models;
+    const ModelDesc *desc = nullptr;
+    const TaskSpec *task = nullptr;
+    std::vector<LayerClass> classes;
+    std::vector<std::vector<HierStrategy>> candidates;
+
+    /** Also visit FSDP-prefetch-off variants (exhaustive only). */
+    bool explorePrefetch = false;
+
+    /**
+     * Points the caller already evaluated (e.g. the ParetoEngine's
+     * per-hardware FSDP baselines). Guided strategies use them as
+     * free warm-start context — picking their starting hardware point
+     * from the best valid entry instead of re-probing every point —
+     * but do not copy them into their outcome.
+     */
+    std::vector<SearchCandidate> warmStart;
+
+    /** Plans per hardware point (cartesian product, prefetch-on). */
+    size_t planCount() const;
+
+    /** Total points: hardware points x plans. */
+    size_t size() const { return models.size() * planCount(); }
+
+    /** Validate pointers and shape. @throws ConfigError */
+    void validate() const;
+};
+
+/** Everything a strategy visited, in visit order, plus its cost. */
+struct SearchOutcome
+{
+    std::vector<SearchCandidate> evaluated;
+    EvalStats stats;
+};
+
+/** Interface every search strategy implements. */
+class SearchStrategy
+{
+  public:
+    virtual ~SearchStrategy() = default;
+
+    /** Registry name ("exhaustive", "annealing", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Visit points of @p space through @p engine. Deterministic for a
+     * fixed (space, options) pair and any engine thread count.
+     */
+    virtual SearchOutcome run(const SearchSpace &space,
+                              EvalEngine &engine,
+                              const SearchOptions &options = {}) const = 0;
+};
+
+/** Registered strategy names, in documentation order. */
+const std::vector<std::string> &searchStrategyNames();
+
+/** Build a strategy by registry name. @throws ConfigError on unknown
+ *  names (the message lists the registered ones). */
+std::unique_ptr<SearchStrategy>
+makeSearchStrategy(const std::string &name);
+
+/**
+ * The full plan product for @p space in canonical enumeration order —
+ * the exact order StrategyExplorer::explore() has always used (golden
+ * suites depend on it): candidate-major over classes in order, all
+ * prefetch-enabled, then (with explorePrefetch) the prefetch-off
+ * variants of FSDP-bearing plans appended in enumeration order.
+ */
+std::vector<ParallelPlan> enumeratePlans(const SearchSpace &space);
+
+/** The best valid candidate by throughput (first wins ties), or null
+ *  when nothing valid was visited. */
+const SearchCandidate *bestCandidate(const SearchOutcome &outcome);
+
+/**
+ * Build a SearchSpace over the layer classes present in @p desc, with
+ * the paper's per-class candidate sets
+ * (StrategyExplorer::candidates). @p models, @p desc and @p task are
+ * borrowed and must outlive the returned space.
+ * @throws ConfigError if the model has no layers.
+ */
+SearchSpace makeSearchSpace(std::vector<const PerfModel *> models,
+                            const ModelDesc &desc, const TaskSpec &task,
+                            bool explorePrefetch = false);
+
+} // namespace madmax
+
+#endif // MADMAX_DSE_SEARCH_STRATEGY_HH

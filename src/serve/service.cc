@@ -2,6 +2,7 @@
 
 #include "config/config_loader.hh"
 #include "core/strategy_explorer.hh"
+#include "dse/pareto_engine.hh"
 #include "util/logging.hh"
 
 namespace madmax
@@ -53,6 +54,9 @@ EvalService::EvalService(ServiceOptions options)
     });
     router_.add("POST", "/v1/explore", [this](const HttpRequest &r) {
         return handleExplore(r);
+    });
+    router_.add("POST", "/v1/pareto", [this](const HttpRequest &r) {
+        return handlePareto(r);
     });
     router_.add("GET", "/v1/health", [this](const HttpRequest &r) {
         return handleHealth(r);
@@ -132,6 +136,79 @@ EvalService::handleExplore(const HttpRequest &request)
 }
 
 HttpResponse
+EvalService::handlePareto(const HttpRequest &request)
+{
+    ++paretoCount_;
+    JsonValue body = JsonValue::parse(request.body);
+    if (!body.isObject())
+        fatal("request body must be a JSON object with \"model\" and "
+              "\"task\" members");
+    for (const char *key : {"model", "task"})
+        if (!body.has(key))
+            fatal(std::string("request body missing \"") + key +
+                  "\" member");
+    ModelDesc model = loadModel(body.at("model"));
+    TaskConfig task = loadTask(body.at("task"));
+
+    // The hardware axis mirrors `madmax pareto`: an inline "system"
+    // document (optionally swept over "node_counts"), or a named
+    // catalog ("catalog": "cloud" with "nodes" per instance type).
+    std::vector<HardwarePoint> hw;
+    if (body.has("system")) {
+        if (body.has("catalog") || body.has("nodes"))
+            fatal("\"system\" and \"catalog\"/\"nodes\" are mutually "
+                  "exclusive");
+        ClusterSpec cluster = loadCluster(body.at("system"));
+        if (body.has("node_counts")) {
+            const JsonValue &arr = body.at("node_counts");
+            if (!arr.isArray() || arr.size() == 0)
+                fatal("\"node_counts\" must be a non-empty array of "
+                      "integers");
+            std::vector<int> counts;
+            for (size_t i = 0; i < arr.size(); ++i) {
+                double n = arr.at(i).asDouble();
+                if (!(n >= 1 && n <= 65536) ||
+                    n != static_cast<long>(n))
+                    fatal("\"node_counts\" entries must be integers "
+                          "in [1, 65536]");
+                counts.push_back(static_cast<int>(n));
+            }
+            hw = nodeCountSweep(cluster, counts);
+        } else {
+            hw = {makeHardwarePoint(cluster)};
+        }
+    } else {
+        if (body.has("node_counts"))
+            fatal("\"node_counts\" requires \"system\"");
+        std::string catalog = body.stringOr("catalog", "cloud");
+        if (catalog != "cloud")
+            fatal("unknown catalog '" + catalog +
+                  "' (supported: cloud)");
+        double nodes = body.numberOr("nodes", 16);
+        if (!(nodes >= 1 && nodes <= 4096))
+            fatal("\"nodes\" must be in [1, 4096]");
+        hw = cloudHardwareCatalog(static_cast<int>(nodes));
+    }
+
+    ParetoOptions opts;
+    opts.strategy = body.stringOr("strategy", "exhaustive");
+    double budget = body.numberOr("budget", 0);
+    if (!(budget >= 0 && budget <= static_cast<double>(1L << 30)))
+        fatal("\"budget\" must be in [0, 2^30]");
+    opts.search.maxEvaluations = static_cast<long>(budget);
+    double seed = body.numberOr(
+        "seed", static_cast<double>(SearchOptions{}.seed));
+    if (!(seed >= 0 && seed <= 0x1p63))
+        fatal("\"seed\" must be a non-negative integer");
+    opts.search.seed = static_cast<uint64_t>(seed);
+    opts.includeBaselines = body.boolOr("include_baselines", true);
+
+    ParetoEngine pareto(std::move(hw), &engine_);
+    ParetoFrontier frontier = pareto.explore(model, task.task, opts);
+    return jsonResponse(toJson(frontier, pareto.hardware()));
+}
+
+HttpResponse
 EvalService::handleHealth(const HttpRequest &request)
 {
     ++healthCount_;
@@ -168,6 +245,7 @@ EvalService::handleStats(const HttpRequest &request)
     JsonValue requests;
     requests.set("evaluate", s.evaluate);
     requests.set("explore", s.explore);
+    requests.set("pareto", s.pareto);
     requests.set("health", s.health);
     requests.set("stats", s.stats);
     JsonValue server;
@@ -200,6 +278,7 @@ EvalService::stats() const
     ServiceStats s;
     s.evaluate = evaluateCount_.load();
     s.explore = exploreCount_.load();
+    s.pareto = paretoCount_.load();
     s.health = healthCount_.load();
     s.stats = statsCount_.load();
     s.errors = errorCount_.load();

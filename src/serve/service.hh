@@ -22,6 +22,13 @@
  *                      "no_memory_limit" -> the same schema as
  *                      `madmax_cli explore --format json` (not byte-
  *                      identical: search.wall_seconds is measured).
+ *   POST /v1/pareto    body {"model": ..., "task": ...} plus a
+ *                      hardware axis ("system" [+ "node_counts"] or
+ *                      "catalog"/"nodes") and search knobs
+ *                      ("strategy", "budget", "seed") -> the same
+ *                      schema as `madmax_cli pareto --format json`:
+ *                      the multi-objective frontier over the joint
+ *                      (hardware x plan) space (docs/dse.md).
  *   GET  /v1/health    liveness: status, uptime, engine parallelism.
  *   GET  /v1/stats     engine lifetime counters + memo-cache
  *                      occupancy + per-endpoint request counts.
@@ -60,11 +67,15 @@ struct ServiceStats
 {
     long evaluate = 0;
     long explore = 0;
+    long pareto = 0;
     long health = 0;
     long stats = 0;
     long errors = 0; ///< Responses with status >= 400 (any endpoint).
 
-    long total() const { return evaluate + explore + health + stats; }
+    long total() const
+    {
+        return evaluate + explore + pareto + health + stats;
+    }
 };
 
 class EvalService
@@ -105,6 +116,7 @@ class EvalService
   private:
     HttpResponse handleEvaluate(const HttpRequest &request);
     HttpResponse handleExplore(const HttpRequest &request);
+    HttpResponse handlePareto(const HttpRequest &request);
     HttpResponse handleHealth(const HttpRequest &request);
     HttpResponse handleStats(const HttpRequest &request);
 
@@ -115,6 +127,7 @@ class EvalService
 
     std::atomic<long> evaluateCount_{0};
     std::atomic<long> exploreCount_{0};
+    std::atomic<long> paretoCount_{0};
     std::atomic<long> healthCount_{0};
     std::atomic<long> statsCount_{0};
     std::atomic<long> errorCount_{0};

@@ -18,12 +18,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 
+#include "../golden_check.hh"
 #include "core/strategy_explorer.hh"
 #include "hw/hw_zoo.hh"
 #include "model/model_zoo.hh"
@@ -36,11 +34,7 @@ namespace madmax
 namespace
 {
 
-std::string
-goldenDir()
-{
-    return std::string(MADMAX_CONFIG_DIR) + "/../tests/golden";
-}
+using testing::checkGolden;
 
 /** FNV-1a over the scheduled Timeline: every event's identity, DAG
  *  shape, name, and scheduled interval, plus the aggregates. A report
@@ -144,41 +138,6 @@ dumpExploration(const ModelDesc &desc, const TaskSpec &task,
         out += dumpReport(ex.results[i].report);
     }
     return out;
-}
-
-/** Compare @p got against the checked-in golden file, or rewrite the
- *  file when MADMAX_REGEN_GOLDEN is set. */
-void
-checkGolden(const std::string &file, const std::string &got)
-{
-    const std::string path = goldenDir() + "/" + file;
-    if (std::getenv("MADMAX_REGEN_GOLDEN") != nullptr) {
-        std::ofstream out(path);
-        ASSERT_TRUE(out.good()) << "cannot write " << path;
-        out << got;
-        return;
-    }
-    std::ifstream in(path);
-    ASSERT_TRUE(in.good())
-        << "missing golden file " << path
-        << " (regenerate with MADMAX_REGEN_GOLDEN=1)";
-    std::ostringstream want;
-    want << in.rdbuf();
-    // EXPECT_EQ on multi-MB strings prints unusable diffs; locate the
-    // first differing line instead.
-    if (got == want.str()) {
-        SUCCEED();
-        return;
-    }
-    std::istringstream gotLines(got), wantLines(want.str());
-    std::string g, w;
-    int line = 1;
-    while (std::getline(gotLines, g) && std::getline(wantLines, w)) {
-        ASSERT_EQ(g, w) << file << ": first divergence at line " << line;
-        ++line;
-    }
-    FAIL() << file << ": dumps differ in length (" << got.size()
-           << " vs " << want.str().size() << " bytes)";
 }
 
 } // namespace

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dse/pareto.hh"
+#include "util/logging.hh"
 
 namespace madmax
 {
@@ -66,6 +69,71 @@ TEST(Pareto, AllDominatedByOne)
         {4.0, 99.0, 3},
     };
     EXPECT_EQ(paretoFrontier(pts), (std::vector<size_t>{0}));
+}
+
+TEST(ParetoNd, DominatesRequiresStrictImprovement)
+{
+    ParetoPointNd a{{2.0, 2.0, 2.0}, 0};
+    ParetoPointNd b{{1.0, 2.0, 2.0}, 1};
+    ParetoPointNd equal{{2.0, 2.0, 2.0}, 2};
+    ParetoPointNd mixed{{3.0, 1.0, 2.0}, 3};
+    EXPECT_TRUE(dominates(a, b));
+    EXPECT_FALSE(dominates(b, a));
+    EXPECT_FALSE(dominates(a, equal)); // Ties don't dominate.
+    EXPECT_FALSE(dominates(a, mixed)); // Trade-offs don't dominate.
+    EXPECT_FALSE(dominates(mixed, a));
+}
+
+TEST(ParetoNd, DimensionMismatchThrows)
+{
+    ParetoPointNd a{{1.0, 2.0}, 0};
+    ParetoPointNd b{{1.0, 2.0, 3.0}, 1};
+    EXPECT_THROW(dominates(a, b), ConfigError);
+}
+
+TEST(ParetoNd, FrontierKeepsNonDominatedInInputOrder)
+{
+    std::vector<ParetoPointNd> pts = {
+        {{1.0, 5.0, 1.0}, 0}, // Dominated by 1 (>= everywhere, > first).
+        {{2.0, 6.0, 1.0}, 1}, // On frontier (best second axis).
+        {{1.0, 4.0, 1.0}, 2}, // Dominated by 0 and 1.
+        {{3.0, 5.0, 1.0}, 3}, // On frontier (best first axis).
+    };
+    EXPECT_EQ(paretoFrontierNd(pts), (std::vector<size_t>{1, 3}));
+}
+
+TEST(ParetoNd, ExactDuplicatesKeepFirst)
+{
+    std::vector<ParetoPointNd> pts = {
+        {{1.0, 1.0}, 0},
+        {{1.0, 1.0}, 1}, // Bitwise duplicate of 0.
+        {{2.0, 0.5}, 2},
+    };
+    EXPECT_EQ(paretoFrontierNd(pts), (std::vector<size_t>{0, 2}));
+}
+
+TEST(ParetoNd, SingleAndEmpty)
+{
+    EXPECT_TRUE(paretoFrontierNd({}).empty());
+    EXPECT_EQ(paretoFrontierNd({{{1.0}, 0}}),
+              (std::vector<size_t>{0}));
+}
+
+TEST(ParetoNd, ThreeAxisFrontierMatchesTwoAxisWhenOneIsConstant)
+{
+    // With one axis constant, the 3-D frontier degenerates to the
+    // 2-D one — the single-hardware-point fig13 property.
+    std::vector<ParetoPoint> pts2d = {
+        {1.0, 1.0, 0}, {2.0, 3.0, 1}, {3.0, 2.0, 2}, {4.0, 5.0, 3},
+    };
+    std::vector<ParetoPointNd> pts3d;
+    for (const ParetoPoint &p : pts2d)
+        pts3d.push_back(ParetoPointNd{{-p.cost, p.value, 7.0}, p.tag});
+    std::vector<size_t> got = paretoFrontierNd(pts3d);
+    std::vector<size_t> want = paretoFrontier(pts2d);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
 }
 
 } // namespace madmax

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * ParetoEngine tests: the multi-objective frontier contract (every
+ * returned point non-dominated, exhaustive ⊇ guided), the
+ * cost-to-quality acceptance bar for the guided searches (>= 95% of
+ * the exhaustive optimum at <= 25% of its evaluations on GPT-3
+ * pre-training), consumer parity (bestPerHw == StrategyExplorer::
+ * best, Fig. 1 table byte-identical), determinism across engine
+ * thread counts, and golden JSON snapshots of the `madmax pareto
+ * --format json` / `/v1/pareto` rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "../golden_check.hh"
+#include "core/strategy_explorer.hh"
+#include "dse/pareto.hh"
+#include "dse/pareto_engine.hh"
+#include "dse/sweep.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+#include "util/table.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+using testing::checkGolden;
+
+/** The Fig. 1 configuration: DLRM-A pre-training over the cloud
+ *  instance catalog. */
+struct CloudConfig
+{
+    ModelDesc desc = model_zoo::dlrmA();
+    TaskSpec task = TaskSpec::preTraining();
+    std::vector<HardwarePoint> hw = cloudHardwareCatalog(16);
+};
+
+/** GPT-3 pre-training over a node-count sweep of the LLM training
+ *  system — the acceptance-criteria joint space. */
+struct Gpt3Config
+{
+    ModelDesc desc = model_zoo::gpt3();
+    TaskSpec task = TaskSpec::preTraining();
+    std::vector<HardwarePoint> hw = nodeCountSweep(
+        hw_zoo::llmTrainingSystem(), {16, 32, 48, 64, 96, 128, 192, 256});
+};
+
+ParetoPointNd
+objectivesOf(const ParetoCandidate &c)
+{
+    return ParetoPointNd{{c.objectives.throughput,
+                          c.objectives.perfPerTco,
+                          c.objectives.memHeadroomBytes},
+                        0};
+}
+
+double
+bestThroughput(const ParetoFrontier &frontier)
+{
+    double best = 0.0;
+    for (const ParetoCandidate &c : frontier.points)
+        best = std::max(best, c.objectives.throughput);
+    return best;
+}
+
+std::string
+objectiveKey(const ParetoCandidate &c)
+{
+    return strfmt("%.17g|%.17g|%.17g", c.objectives.throughput,
+                  c.objectives.perfPerTco,
+                  c.objectives.memHeadroomBytes);
+}
+
+} // namespace
+
+TEST(ParetoEngineTest, RejectsEmptyCatalogAndBadSweeps)
+{
+    EXPECT_THROW(ParetoEngine({}), ConfigError);
+    EXPECT_THROW(nodeCountSweep(hw_zoo::dlrmTrainingSystem(), {}),
+                 ConfigError);
+    EXPECT_THROW(nodeCountSweep(hw_zoo::dlrmTrainingSystem(), {0}),
+                 ConfigError);
+}
+
+TEST(ParetoEngineTest, UnknownStrategyThrows)
+{
+    CloudConfig cfg;
+    ParetoEngine engine(cfg.hw);
+    ParetoOptions opts;
+    opts.strategy = "brute-force";
+    EXPECT_THROW(engine.explore(cfg.desc, cfg.task, opts), ConfigError);
+}
+
+// The frontier contract: every point any strategy returns is
+// non-dominated among everything that strategy visited, and the
+// frontier carries no duplicate objective vectors (ISSUE 5 property
+// test, DLRM-A and GPT-3 configs).
+template <typename Config>
+void
+frontierIsNonDominated()
+{
+    Config cfg;
+    for (const std::string &name : searchStrategyNames()) {
+        ParetoEngine engine(cfg.hw);
+        ParetoOptions opts;
+        opts.strategy = name;
+        ParetoFrontier f = engine.explore(cfg.desc, cfg.task, opts);
+        ASSERT_FALSE(f.points.empty()) << name;
+
+        std::set<std::string> seen;
+        for (const ParetoCandidate &p : f.points) {
+            EXPECT_TRUE(p.report.valid) << name;
+            EXPECT_TRUE(seen.insert(objectiveKey(p)).second)
+                << name << ": duplicate frontier objectives";
+            for (const ParetoCandidate &other : f.candidates) {
+                if (!other.report.valid)
+                    continue;
+                EXPECT_FALSE(
+                    dominates(objectivesOf(other), objectivesOf(p)))
+                    << name << ": frontier point dominated by "
+                    << other.plan.toString() << " on hw "
+                    << other.hwIndex;
+            }
+        }
+    }
+}
+
+TEST(ParetoFrontierProperty, NonDominatedOnDlrmACloud)
+{
+    frontierIsNonDominated<CloudConfig>();
+}
+
+TEST(ParetoFrontierProperty, NonDominatedOnGpt3NodeSweep)
+{
+    frontierIsNonDominated<Gpt3Config>();
+}
+
+// Exhaustive's output is a superset of every guided strategy's
+// frontier, in the two senses that are structurally guaranteed:
+// (1) every guided frontier point exists among exhaustive's visited
+// candidates with bitwise-identical objectives (guided searches only
+// ever visit points of the same joint space through the same
+// evaluation path), and (2) the exhaustive frontier *covers* each
+// guided frontier point — the point is either on it, or dominated by
+// one of its points (exhaustive's frontier is the true frontier of
+// the whole space, so adding guided visits cannot extend it).
+template <typename Config>
+void
+exhaustiveIsSuperset()
+{
+    Config cfg;
+    ParetoEngine exhaustive(cfg.hw);
+    ParetoFrontier full = exhaustive.explore(cfg.desc, cfg.task);
+    std::set<std::string> fullCandidateKeys;
+    for (const ParetoCandidate &p : full.candidates) {
+        if (p.report.valid)
+            fullCandidateKeys.insert(objectiveKey(p));
+    }
+    std::set<std::string> fullFrontierKeys;
+    for (const ParetoCandidate &p : full.points)
+        fullFrontierKeys.insert(objectiveKey(p));
+
+    for (const std::string &name : searchStrategyNames()) {
+        if (name == "exhaustive")
+            continue;
+        ParetoEngine engine(cfg.hw);
+        ParetoOptions opts;
+        opts.strategy = name;
+        ParetoFrontier guided =
+            engine.explore(cfg.desc, cfg.task, opts);
+        for (const ParetoCandidate &p : guided.points) {
+            EXPECT_TRUE(fullCandidateKeys.count(objectiveKey(p)))
+                << name << ": frontier point " << p.plan.toString()
+                << " on hw " << p.hwIndex
+                << " was never visited by exhaustive search";
+            bool covered = fullFrontierKeys.count(objectiveKey(p)) > 0;
+            for (const ParetoCandidate &f : full.points) {
+                if (covered)
+                    break;
+                covered = dominates(objectivesOf(f), objectivesOf(p));
+            }
+            EXPECT_TRUE(covered)
+                << name << ": frontier point " << p.plan.toString()
+                << " on hw " << p.hwIndex
+                << " is neither on nor dominated by the exhaustive "
+                   "frontier";
+        }
+    }
+}
+
+TEST(ParetoFrontierProperty, ExhaustiveSupersetOnDlrmACloud)
+{
+    exhaustiveIsSuperset<CloudConfig>();
+}
+
+TEST(ParetoFrontierProperty, ExhaustiveSupersetOnGpt3NodeSweep)
+{
+    exhaustiveIsSuperset<Gpt3Config>();
+}
+
+// ISSUE 5 acceptance: on GPT-3 pre-training, annealing and genetic
+// each reach >= 95% of the exhaustive frontier's best throughput
+// point using <= 25% of its EvalStats.evaluations.
+TEST(ParetoAcceptance, GuidedReach95PercentAt25PercentCostOnGpt3)
+{
+    Gpt3Config cfg;
+    ParetoEngine exhaustive(cfg.hw);
+    ParetoFrontier full = exhaustive.explore(cfg.desc, cfg.task);
+    const long fullEvals = full.stats.evaluations;
+    const double fullBest = bestThroughput(full);
+    ASSERT_GT(fullEvals, 0);
+    ASSERT_GT(fullBest, 0.0);
+
+    for (const char *name : {"annealing", "genetic"}) {
+        ParetoEngine engine(cfg.hw);
+        ParetoOptions opts;
+        opts.strategy = name;
+        opts.search.maxEvaluations = fullEvals / 4;
+        ParetoFrontier guided =
+            engine.explore(cfg.desc, cfg.task, opts);
+        EXPECT_LE(guided.stats.evaluations, fullEvals / 4) << name;
+        EXPECT_GE(bestThroughput(guided), 0.95 * fullBest) << name;
+    }
+}
+
+// The same bar on the Fig. 1 joint space. Genetic meets the 95%
+// criterion here too; annealing gets a looser bound on this heavily
+// OOM-pruned space (50 of 96 joint points are infeasible), where a
+// quarter-budget random walk cannot reliably cross between the few
+// feasible basins.
+TEST(ParetoAcceptance, GuidedQualityOnDlrmACloud)
+{
+    CloudConfig cfg;
+    ParetoEngine exhaustive(cfg.hw);
+    ParetoFrontier full = exhaustive.explore(cfg.desc, cfg.task);
+    const long fullEvals = full.stats.evaluations;
+    const double fullBest = bestThroughput(full);
+
+    ParetoEngine genetic(cfg.hw);
+    ParetoOptions gopts;
+    gopts.strategy = "genetic";
+    gopts.search.maxEvaluations = fullEvals / 4;
+    ParetoFrontier g = genetic.explore(cfg.desc, cfg.task, gopts);
+    EXPECT_LE(g.stats.evaluations, fullEvals / 4);
+    EXPECT_GE(bestThroughput(g), 0.95 * fullBest);
+
+    ParetoEngine annealing(cfg.hw);
+    ParetoOptions aopts;
+    aopts.strategy = "annealing";
+    aopts.search.maxEvaluations = fullEvals / 4;
+    ParetoFrontier a = annealing.explore(cfg.desc, cfg.task, aopts);
+    EXPECT_LE(a.stats.evaluations, fullEvals / 4);
+    EXPECT_GE(bestThroughput(a), 0.75 * fullBest);
+}
+
+TEST(ParetoEngineTest, BudgetCeilingCoversBaselines)
+{
+    CloudConfig cfg;
+    for (const char *name : {"annealing", "genetic"}) {
+        ParetoEngine engine(cfg.hw);
+        ParetoOptions opts;
+        opts.strategy = name;
+        opts.search.maxEvaluations = 4; // Below the 6-point catalog.
+        ParetoFrontier f = engine.explore(cfg.desc, cfg.task, opts);
+        EXPECT_LE(f.stats.evaluations, 4) << name;
+        EXPECT_LE(f.baselines.size(), 4u) << name;
+    }
+}
+
+TEST(ParetoEngineTest, BestPerHwMatchesStrategyExplorer)
+{
+    CloudConfig cfg;
+    EvalEngine shared;
+    ParetoEngine engine(cfg.hw, &shared);
+    ParetoFrontier f = engine.explore(cfg.desc, cfg.task);
+
+    std::set<size_t> covered;
+    for (const ParetoCandidate &c : f.bestPerHw)
+        covered.insert(c.hwIndex);
+
+    for (size_t hw = 0; hw < cfg.hw.size(); ++hw) {
+        PerfModel model(cfg.hw[hw].cluster);
+        StrategyExplorer explorer(model);
+        PerfReport baseline = explorer.baseline(cfg.desc, cfg.task);
+        ASSERT_LT(hw, f.baselines.size());
+        EXPECT_EQ(f.baselines[hw].report.valid, baseline.valid);
+        EXPECT_EQ(f.baselines[hw].report.throughput(),
+                  baseline.throughput());
+        try {
+            ExplorationResult best = explorer.best(cfg.desc, cfg.task);
+            ASSERT_TRUE(covered.count(hw));
+            for (const ParetoCandidate &c : f.bestPerHw) {
+                if (c.hwIndex != hw)
+                    continue;
+                EXPECT_EQ(c.report.throughput(),
+                          best.report.throughput());
+                EXPECT_EQ(c.plan.toString(), best.plan.toString());
+            }
+        } catch (const ConfigError &) {
+            EXPECT_FALSE(covered.count(hw));
+        }
+    }
+}
+
+TEST(ParetoEngineTest, DeterministicAcrossEngineThreadCounts)
+{
+    CloudConfig cfg;
+    auto run = [&](int jobs) {
+        EvalEngineOptions eo;
+        eo.jobs = jobs;
+        EvalEngine shared(eo);
+        ParetoEngine engine(cfg.hw, &shared);
+        ParetoFrontier f = engine.explore(cfg.desc, cfg.task);
+        std::string dump;
+        for (const ParetoCandidate &c : f.points) {
+            dump += std::to_string(c.hwIndex) + '|' +
+                c.plan.toString() + '|' + objectiveKey(c) + '\n';
+        }
+        return dump;
+    };
+    EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ParetoEngineTest, ScoreObjectivesUsesTheCostModel)
+{
+    CloudConfig cfg;
+    PerfReport report;
+    report.valid = true;
+    report.globalBatchSize = 1000;
+    report.iterationTime = 0.5;
+    report.memory.usableCapacity = 10.0;
+    report.memory.paramBytes = 4.0;
+
+    CostModelOptions cost;
+    cost.dollarsPerA100Hour = 2.0;
+    ParetoObjectives obj = scoreObjectives(report, cfg.hw[0], cost);
+    EXPECT_DOUBLE_EQ(obj.throughput, 2000.0);
+    double rate = cfg.hw[0].cluster.numDevices() *
+        cfg.hw[0].a100PeakRatio * 2.0;
+    EXPECT_DOUBLE_EQ(obj.perfPerTco, 2000.0 / rate);
+    EXPECT_DOUBLE_EQ(obj.memHeadroomBytes, 6.0);
+}
+
+// ---- Golden snapshots ------------------------------------------------
+
+// The engine-backed Fig. 1 table must be byte-identical to the
+// historical per-instance explorer sweep (the table portion of
+// bench/fig01_pareto_frontier's output, captured before the bench
+// moved onto the ParetoEngine). Mirrors the bench's rendering.
+TEST(ParetoGolden, Fig01FrontierTableIsByteIdentical)
+{
+    const ModelDesc model = model_zoo::dlrmA();
+    const TaskSpec task = TaskSpec::preTraining();
+    const double samples = 1e9;
+    const double a100_peak = hw_zoo::a100_40().peakFlopsTensor16;
+
+    ParetoEngine pareto(cloudHardwareCatalog(16));
+    ParetoFrontier frontier = pareto.explore(model, task);
+
+    std::map<size_t, const ParetoCandidate *> best_by_hw;
+    for (const ParetoCandidate &c : frontier.bestPerHw)
+        best_by_hw[c.hwIndex] = &c;
+
+    struct Point
+    {
+        std::string label;
+        double hours;
+        double elapsed;
+        bool tuned;
+    };
+    std::vector<Point> pts;
+    for (size_t hw = 0; hw < pareto.hardware().size(); ++hw) {
+        const HardwarePoint &inst = pareto.hardware()[hw];
+        const PerfReport &fsdp = frontier.baselines[hw].report;
+        if (fsdp.valid) {
+            pts.push_back(Point{
+                inst.name + " [FSDP]",
+                normalizedGpuHours(fsdp, inst.cluster, samples,
+                                   a100_peak),
+                samples / fsdp.throughput() / 3600.0, false});
+        }
+        auto it = best_by_hw.find(hw);
+        if (it != best_by_hw.end()) {
+            const PerfReport &best = it->second->report;
+            pts.push_back(Point{
+                inst.name + " [MAD-Max]",
+                normalizedGpuHours(best, inst.cluster, samples,
+                                   a100_peak),
+                samples / best.throughput() / 3600.0, true});
+        }
+    }
+
+    std::vector<ParetoPoint> fsdp_pts, tuned_pts;
+    for (size_t i = 0; i < pts.size(); ++i) {
+        auto &bucket = pts[i].tuned ? tuned_pts : fsdp_pts;
+        bucket.push_back(
+            ParetoPoint{pts[i].hours, 1.0 / pts[i].elapsed, i});
+    }
+    std::set<size_t> on_frontier;
+    for (size_t idx : paretoFrontier(fsdp_pts))
+        on_frontier.insert(fsdp_pts[idx].tag);
+    for (size_t idx : paretoFrontier(tuned_pts))
+        on_frontier.insert(tuned_pts[idx].tag);
+
+    AsciiTable table({"configuration", "agg GPU-hrs/1B (A100-norm)",
+                      "elapsed hrs/1B", "frontier"});
+    for (size_t i = 0; i < pts.size(); ++i) {
+        std::string frontier_tag;
+        if (on_frontier.count(i)) {
+            frontier_tag = pts[i].tuned ? "MAD-Max frontier"
+                                        : "default frontier";
+        }
+        table.addRow({pts[i].label, strfmt("%.0f", pts[i].hours),
+                      strfmt("%.2f", pts[i].elapsed), frontier_tag});
+    }
+    std::ostringstream out;
+    table.print(out);
+    checkGolden("fig01_pareto_frontier.txt", out.str());
+}
+
+// Full JSON rendering of the GPT-3 pre-training exploration — the
+// exact body `madmax pareto --format json` and `/v1/pareto` emit for
+// this configuration (wall_seconds zeroed: it is the one measured,
+// non-deterministic field).
+TEST(ParetoGolden, Gpt3CloudJsonSnapshot)
+{
+    Gpt3Config cfg;
+    ParetoEngine engine(cfg.hw);
+    ParetoFrontier f = engine.explore(cfg.desc, cfg.task);
+    f.stats.wallSeconds = 0.0;
+    checkGolden("pareto_gpt3_nodesweep.txt",
+                toJson(f, engine.hardware()).dump(2) + "\n");
+}
+
+} // namespace madmax

@@ -209,6 +209,122 @@ TEST(EvalService, ExploreRejectsOutOfRangeTop)
               400);
 }
 
+namespace
+{
+
+/** A /v1/pareto body over the shipped configs: the ZionEX system
+ *  swept across two node counts (a small joint space, kept quick). */
+JsonValue
+paretoBody()
+{
+    const std::string dir = MADMAX_CONFIG_DIR;
+    JsonValue body;
+    body.set("model", JsonValue::parseFile(dir + "/model_dlrm_a.json"));
+    body.set("task",
+             JsonValue::parseFile(dir + "/task_pretrain_optimal.json"));
+    body.set("system",
+             JsonValue::parseFile(dir + "/system_zionex.json"));
+    JsonValue counts;
+    counts.append(8);
+    counts.append(16);
+    body.set("node_counts", std::move(counts));
+    return body;
+}
+
+} // namespace
+
+TEST(EvalService, ParetoMirrorsTheCliSchema)
+{
+    EvalService service;
+    HttpResponse resp =
+        service.handle(post("/v1/pareto", paretoBody().dump(2)));
+    ASSERT_EQ(resp.status, 200);
+
+    JsonValue doc = JsonValue::parse(resp.body);
+    EXPECT_EQ(doc.at("strategy").asString(), "exhaustive");
+    ASSERT_TRUE(doc.at("hardware").isArray());
+    EXPECT_EQ(doc.at("hardware").size(), 2u);
+    ASSERT_TRUE(doc.at("frontier").isArray());
+    ASSERT_GT(doc.at("frontier").size(), 0u);
+    EXPECT_EQ(doc.at("baselines").size(), 2u);
+    EXPECT_GT(doc.at("evaluated_points").asLong(), 0);
+    EXPECT_GT(doc.at("search").at("evaluations").asLong(), 0);
+
+    // Frontier entries carry the hardware name, the plan, the three
+    // objectives, and the full report (same toJson as /v1/evaluate).
+    const JsonValue &top = doc.at("frontier").at(size_t{0});
+    EXPECT_FALSE(top.at("hardware").asString().empty());
+    EXPECT_FALSE(top.at("plan").asString().empty());
+    EXPECT_GT(top.at("objectives").at("throughput").asDouble(), 0.0);
+    EXPECT_GT(
+        top.at("objectives").at("mem_headroom_bytes").asDouble(), 0.0);
+    EXPECT_TRUE(top.at("report").at("valid").asBool());
+}
+
+TEST(EvalService, ParetoHonorsStrategyBudgetAndSeed)
+{
+    EvalService service;
+    JsonValue body = paretoBody();
+    body.set("strategy", "genetic");
+    body.set("budget", 10);
+    body.set("seed", 7);
+    HttpResponse resp =
+        service.handle(post("/v1/pareto", body.dump(2)));
+    ASSERT_EQ(resp.status, 200);
+    JsonValue doc = JsonValue::parse(resp.body);
+    EXPECT_EQ(doc.at("strategy").asString(), "genetic");
+    EXPECT_LE(doc.at("search").at("evaluations").asLong(), 10);
+}
+
+TEST(EvalService, ParetoRejectsBadInput)
+{
+    EvalService service;
+
+    JsonValue missing = paretoBody();
+    // (JsonValue has no erase; rebuild without "task".)
+    JsonValue noTask;
+    noTask.set("model", missing.at("model"));
+    noTask.set("system", missing.at("system"));
+    EXPECT_EQ(
+        service.handle(post("/v1/pareto", noTask.dump(2))).status, 400);
+
+    JsonValue badStrategy = paretoBody();
+    badStrategy.set("strategy", "brute-force");
+    EXPECT_EQ(
+        service.handle(post("/v1/pareto", badStrategy.dump(2))).status,
+        400);
+
+    JsonValue conflict = paretoBody();
+    conflict.set("catalog", "cloud");
+    EXPECT_EQ(
+        service.handle(post("/v1/pareto", conflict.dump(2))).status,
+        400);
+
+    JsonValue badCounts = paretoBody();
+    JsonValue counts;
+    counts.append(0);
+    badCounts.set("node_counts", std::move(counts));
+    EXPECT_EQ(
+        service.handle(post("/v1/pareto", badCounts.dump(2))).status,
+        400);
+
+    EXPECT_EQ(service.stats().errors, 4);
+}
+
+TEST(EvalService, ParetoRequestsAreCountedInStats)
+{
+    EvalService service;
+    ASSERT_EQ(
+        service.handle(post("/v1/pareto", paretoBody().dump(2))).status,
+        200);
+    JsonValue doc =
+        JsonValue::parse(service.handle(get("/v1/stats")).body);
+    EXPECT_EQ(
+        doc.at("server").at("requests").at("pareto").asLong(), 1);
+    // The pareto request plus the /v1/stats request reporting it.
+    EXPECT_EQ(doc.at("server").at("requests_total").asLong(), 2);
+}
+
 TEST(EvalService, HealthReportsOkAndJobs)
 {
     EvalService service;

@@ -7,6 +7,10 @@
  *       [--trace out.json] [--format json|text]
  *   madmax explore  --model m.json --system s.json --task t.json
  *       [--top N] [--jobs N] [--no-memory-limit] [--format json|text]
+ *   madmax pareto   --model m.json --task t.json
+ *       [--system s.json [--node-counts 8,16,32] | --catalog cloud
+ *       [--nodes N]] [--strategy NAME] [--budget N] [--seed N]
+ *       [--jobs N] [--top N] [--format json|text]
  *   madmax describe --model m.json
  *   madmax serve    [--port N] [--jobs N]
  *
@@ -21,6 +25,7 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -29,6 +34,7 @@
 
 #include "config/config_loader.hh"
 #include "core/strategy_explorer.hh"
+#include "dse/pareto_engine.hh"
 #include "serve/service.hh"
 #include "trace/chrome_trace.hh"
 #include "util/logging.hh"
@@ -49,6 +55,13 @@ usage()
         "                  [--trace OUT.json] [--format json|text]\n"
         "  madmax explore  --model M.json --system S.json --task T.json\n"
         "                  [--top N] [--jobs N] [--no-memory-limit]\n"
+        "                  [--format json|text]\n"
+        "  madmax pareto   --model M.json --task T.json\n"
+        "                  [--system S.json [--node-counts 8,16,32] |\n"
+        "                  --catalog cloud [--nodes N]]\n"
+        "                  [--strategy exhaustive|coordinate-descent|\n"
+        "                  annealing|genetic] [--budget N] [--seed N]\n"
+        "                  [--jobs N] [--top N] [--no-baselines]\n"
         "                  [--format json|text]\n"
         "  madmax describe --model M.json\n"
         "  madmax serve    [--port N] [--jobs N]\n"
@@ -232,6 +245,126 @@ cmdExplore(const std::map<std::string, std::string> &flags)
     return 0;
 }
 
+/** Parse a "--node-counts 8,16,32" comma list. @throws ConfigError */
+std::vector<int>
+parseNodeCounts(const std::string &value)
+{
+    std::vector<int> counts;
+    size_t pos = 0;
+    while (pos <= value.size()) {
+        size_t comma = value.find(',', pos);
+        std::string item = value.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        long n = 0;
+        try {
+            size_t consumed = 0;
+            n = std::stol(item, &consumed);
+            if (consumed != item.size())
+                throw std::invalid_argument(item);
+        } catch (const std::exception &) {
+            fatal("--node-counts needs a comma-separated integer "
+                  "list, got '" + value + "'");
+        }
+        if (n < 1 || n > 65536)
+            fatal("--node-counts entries must be in [1, 65536], got " +
+                  item);
+        counts.push_back(static_cast<int>(n));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (counts.empty())
+        fatal("--node-counts list is empty");
+    return counts;
+}
+
+int
+cmdPareto(const std::map<std::string, std::string> &flags)
+{
+    ModelDesc model = loadModelFile(require(flags, "model"));
+    TaskConfig task = loadTaskFile(require(flags, "task"));
+
+    // The hardware axis of the joint space: one system (optionally
+    // swept over node counts), or the public-cloud instance catalog.
+    std::vector<HardwarePoint> hw;
+    if (flags.count("system")) {
+        if (flags.count("catalog") || flags.count("nodes"))
+            fatal("--system and --catalog/--nodes are mutually "
+                  "exclusive");
+        ClusterSpec cluster = loadClusterFile(flags.at("system"));
+        if (flags.count("node-counts"))
+            hw = nodeCountSweep(cluster,
+                                parseNodeCounts(flags.at("node-counts")));
+        else
+            hw = {makeHardwarePoint(cluster)};
+    } else {
+        if (flags.count("node-counts"))
+            fatal("--node-counts requires --system");
+        std::string catalog = flags.count("catalog")
+            ? flags.at("catalog") : "cloud";
+        if (catalog != "cloud")
+            fatal("unknown --catalog '" + catalog +
+                  "' (supported: cloud)");
+        hw = cloudHardwareCatalog(
+            static_cast<int>(intFlag(flags, "nodes", 16, 1, 4096)));
+    }
+
+    EvalEngineOptions engine_opts;
+    engine_opts.jobs =
+        static_cast<int>(intFlag(flags, "jobs", 1, 0, 4096));
+    EvalEngine engine(engine_opts);
+    ParetoEngine pareto(std::move(hw), &engine);
+
+    ParetoOptions opts;
+    opts.strategy = flags.count("strategy") ? flags.at("strategy")
+                                            : "exhaustive";
+    opts.search.maxEvaluations =
+        intFlag(flags, "budget", 0, 0, 1L << 30);
+    opts.search.seed = static_cast<uint64_t>(
+        intFlag(flags, "seed",
+                static_cast<long>(SearchOptions{}.seed), 0,
+                std::numeric_limits<long>::max()));
+    opts.includeBaselines = flags.count("no-baselines") == 0;
+    ParetoFrontier frontier = pareto.explore(model, task.task, opts);
+
+    if (wantJson(flags)) {
+        std::cout << toJson(frontier, pareto.hardware()).dump(2)
+                  << "\n";
+        return 0;
+    }
+
+    size_t top = static_cast<size_t>(
+        intFlag(flags, "top", 0, 0, 1L << 30));
+    std::cout << strfmt(
+        "strategy: %s over %zu hardware points (%zu points visited, "
+        "%zu on frontier)\n",
+        frontier.strategy.c_str(), pareto.hardware().size(),
+        frontier.candidates.size(), frontier.points.size());
+    AsciiTable table({"rank", "hardware", "plan", "throughput",
+                      "perf/($/hr)", "mem headroom"});
+    size_t shown = 0;
+    for (const ParetoCandidate &c : frontier.points) {
+        if (top != 0 && shown >= top)
+            break;
+        ++shown;
+        table.addRow(
+            {std::to_string(shown),
+             pareto.hardware()[c.hwIndex].name, c.plan.toString(),
+             formatCount(c.objectives.throughput) + "/s",
+             strfmt("%.4g", c.objectives.perfPerTco),
+             formatBytes(c.objectives.memHeadroomBytes)});
+    }
+    table.print(std::cout);
+    const EvalStats &s = frontier.stats;
+    std::cout << strfmt(
+        "search: %ld evaluations, %ld cache hits, %ld pruned, %s "
+        "(%d jobs)\n",
+        s.evaluations, s.cacheHits, s.pruned,
+        formatTime(s.wallSeconds).c_str(), engine.jobs());
+    return 0;
+}
+
 int
 cmdDescribe(const std::map<std::string, std::string> &flags)
 {
@@ -325,6 +458,13 @@ main(int argc, char **argv)
                           "format"};
             spec.boolean = {"json", "no-memory-limit"};
             return cmdExplore(parseFlags(argc, argv, 2, cmd, spec));
+        }
+        if (cmd == "pareto") {
+            spec.value = {"model", "task", "system", "node-counts",
+                          "catalog", "nodes", "strategy", "budget",
+                          "seed", "jobs", "top", "format"};
+            spec.boolean = {"json", "no-baselines"};
+            return cmdPareto(parseFlags(argc, argv, 2, cmd, spec));
         }
         if (cmd == "describe") {
             spec.value = {"model"};
