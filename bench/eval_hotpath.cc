@@ -1,7 +1,7 @@
 /**
  * @file
  * Evaluation hot-path microbench: quantifies what the shared
- * EvalContext buys a sweep. Three measurements over the GPT-3 explore
+ * EvalContext buys a sweep. Four measurements over the GPT-3 explore
  * plan set on the LLM training system:
  *
  *  - cold:   PerfModel::evaluate per plan — every call builds a
@@ -13,7 +13,14 @@
  *  - sweep:  StrategyExplorer::explore through a fresh EvalEngine
  *            with `--jobs` workers (default 1), the end-to-end
  *            `madmax explore` hot path (grouped contexts + memo keys
- *            + OOM pruning). cold and reuse are always single-thread.
+ *            + OOM pruning). cold and reuse are always single-thread;
+ *  - delta:  EvalContext::evaluateDelta over a precomputed
+ *            single-class mutation walk — the guided-search workload
+ *            shape — against the same walk through full evaluation.
+ *            The delta path splices cached segment templates instead
+ *            of rebuilding streams; the acceptance bar for PR 6 was
+ *            >= 3x full evaluation on this workload
+ *            (delta_over_full_speedup tracks it going forward).
  *
  * Reference point: before the EvalContext overhaul (PR 4), the sweep
  * measurement on this workload ran at ~1530 evals/s on the CI
@@ -25,6 +32,9 @@
  */
 
 #include <iostream>
+#include <random>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
@@ -101,6 +111,67 @@ main(int argc, char **argv)
             context.evaluate(plan);
     });
 
+    // Delta phase: a seeded walk that mutates one layer class per
+    // step, the shape annealing/genetic mutation loops produce. The
+    // walk stays inside the feasible plan set (the delta path
+    // short-circuits OOM verdicts without splicing, which would
+    // flatter the measurement) and is precomputed so the timed region
+    // measures evaluation only.
+    constexpr size_t kWalkSteps = 512;
+    std::vector<ParallelPlan> walk;
+    {
+        std::vector<LayerClass> classes;
+        for (LayerClass cls : {LayerClass::SparseEmbedding,
+                               LayerClass::DenseEmbedding,
+                               LayerClass::BaseDense,
+                               LayerClass::Transformer, LayerClass::MoE}) {
+            if (desc.graph.hasClass(cls))
+                classes.push_back(cls);
+        }
+        auto planKey = [](const ParallelPlan &p) {
+            return p.toString() + (p.fsdpPrefetch ? "+p" : "-p");
+        };
+        std::set<std::string> feasible;
+        for (const ParallelPlan &p : plans)
+            feasible.insert(planKey(p));
+        ParallelPlan cur = plans.front();
+        std::mt19937_64 rng(0x6d61646d6178ull); // "madmax"
+        size_t attempts = 0;
+        while (walk.size() < kWalkSteps && attempts++ < kWalkSteps * 64) {
+            LayerClass cls = classes[rng() % classes.size()];
+            const std::vector<HierStrategy> &cands =
+                StrategyExplorer::candidates(cls);
+            HierStrategy hs = cands[rng() % cands.size()];
+            if (cur.strategyFor(cls) == hs)
+                continue;
+            ParallelPlan next = cur;
+            next.set(cls, hs);
+            if (!feasible.count(planKey(next)))
+                continue;
+            walk.push_back(next);
+            cur = next;
+        }
+    }
+
+    // The walk evaluates through a timeline-free model — the DSE
+    // configuration (see ParetoEngine) and the precondition for the
+    // incremental path (keepTimeline forces the full-evaluation
+    // fall-back). Full and delta share the context, so both sides
+    // measure the marginal per-eval cost on warmed strategy tables.
+    PerfModelOptions mut_opts;
+    mut_opts.keepTimeline = false;
+    PerfModel mut_perf(cluster, mut_opts);
+    EvalContext mut_context(mut_perf, desc, task);
+    double full_mut_s = bestOf([&] {
+        for (const ParallelPlan &plan : walk)
+            mut_context.evaluate(plan);
+    });
+    EvalContext::DeltaState delta_state;
+    double delta_s = bestOf([&] {
+        for (const ParallelPlan &plan : walk)
+            mut_context.evaluateDelta(delta_state, plan);
+    });
+
     long sweep_evals = 0;
     double sweep_s = bestOf([&] {
         // Fresh engine per run: a warm memo cache would measure cache
@@ -118,6 +189,9 @@ main(int argc, char **argv)
     double cold_rate = n / cold_s;
     double reuse_rate = n / reuse_s;
     double sweep_rate = static_cast<double>(sweep_evals) / sweep_s;
+    const double walk_n = static_cast<double>(walk.size());
+    double full_mut_rate = walk_n / full_mut_s;
+    double delta_rate = walk_n / delta_s;
 
     AsciiTable table({"path", "wall", "evals", "evals/s"});
     table.addRow({"cold (context per eval)", formatTime(cold_s),
@@ -131,9 +205,17 @@ main(int argc, char **argv)
                   formatTime(sweep_s),
                   std::to_string(sweep_evals),
                   formatCount(sweep_rate)});
+    table.addRow({"full (mutation walk)", formatTime(full_mut_s),
+                  std::to_string(walk.size()),
+                  formatCount(full_mut_rate)});
+    table.addRow({"delta (mutation walk)", formatTime(delta_s),
+                  std::to_string(walk.size()),
+                  formatCount(delta_rate)});
     table.print(std::cout);
     std::cout << strfmt("context reuse speedup over cold: %.2fx\n",
                         reuse_rate / cold_rate);
+    std::cout << strfmt("delta re-eval speedup over full: %.2fx\n",
+                        delta_rate / full_mut_rate);
 
     reporter.record("cold_evals_per_sec", cold_rate, "evals/s");
     reporter.record("reuse_evals_per_sec", reuse_rate, "evals/s");
@@ -145,5 +227,11 @@ main(int argc, char **argv)
     reporter.record("sweep_jobs", static_cast<double>(sweep_jobs),
                     "threads");
     reporter.record("plan_count", n, "count");
+    reporter.record("full_mutate_evals_per_s", full_mut_rate,
+                    "evals/s");
+    reporter.record("delta_evals_per_s", delta_rate, "evals/s");
+    reporter.record("delta_over_full_speedup",
+                    delta_rate / full_mut_rate, "x");
+    reporter.record("walk_steps", walk_n, "count");
     return 0;
 }

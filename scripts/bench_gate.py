@@ -55,10 +55,16 @@ def load_records(path):
 
 
 def gate_file(baseline_path, current_path):
-    """Compare one bench's records. Returns (n_failed, n_warned)."""
+    """Compare one bench's records.
+
+    Returns (n_failed, warned_names) where warned_names lists the
+    warn-band records as "bench: record" strings, so the caller's
+    summary can name exactly what is drifting instead of a bare count.
+    """
     bench, base = load_records(baseline_path)
     _, cur = load_records(current_path)
-    failed = warned = 0
+    failed = 0
+    warned = []
 
     for name, (base_value, unit) in sorted(base.items()):
         if not is_rate(unit):
@@ -83,7 +89,7 @@ def gate_file(baseline_path, current_path):
             print(f"::warning::{line} — within the "
                   f"{1 - FAIL_BELOW:.0%} gate but regressed more than "
                   f"{1 - WARN_BELOW:.0%}")
-            warned += 1
+            warned.append(f"{bench}: {name}")
         else:
             print(f"ok: {line}")
 
@@ -112,7 +118,8 @@ def main():
               f"{args.baseline_dir}")
         return 2
 
-    total_failed = total_warned = checked = 0
+    total_failed = checked = 0
+    all_warned = []
     for name in baselines:
         current = os.path.join(args.current_dir, name)
         if not os.path.exists(current):
@@ -127,13 +134,15 @@ def main():
             print(f"::error::{name}: unreadable records: {e}")
             return 2
         total_failed += failed
-        total_warned += warned
+        all_warned.extend(warned)
         checked += 1
 
     print(f"\nbench-gate: {checked} record files checked, "
-          f"{total_failed} failed, {total_warned} warned "
+          f"{total_failed} failed, {len(all_warned)} warned "
           f"(fail < {FAIL_BELOW:.0%} of baseline, "
           f"warn < {WARN_BELOW:.0%})")
+    for record in all_warned:
+        print(f"  warned: {record}")
     return 1 if total_failed else 0
 
 

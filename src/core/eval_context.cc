@@ -44,6 +44,7 @@ EvalContext::EvalContext(const PerfModel &model, const ModelDesc &desc,
         lc.category = processor.categoryOf(layer);
         lc.fwdName = &layer.name();
         lc.bwdName = layer.name() + "'";
+        lc.cls = layer.layerClass();
     }
 }
 
@@ -120,17 +121,36 @@ EvalContext::buildStrategyTable(size_t slot, HierStrategy hs) const
         per_layer[static_cast<size_t>(i)] = std::move(resolved);
     }
     table.perLayer = std::move(per_layer);
+
+    // The delta path's segment templates ride along: symbolic
+    // per-layer event subgraphs for both prefetch variants, generated
+    // by the same emission code buildGraph() runs (see
+    // stream_builder.hh) so they cannot drift from the full path.
+    for (int pf = 0; pf < 2; ++pf) {
+        buildSegmentSet(*desc_, costs_, table.perLayer, false,
+                        pf == 1, table.fwdSegs[pf]);
+        if (task_->needsBackward()) {
+            buildSegmentSet(*desc_, costs_, table.perLayer, true,
+                            pf == 1, table.bwdSegs[pf]);
+        }
+    }
     table.ready.store(true, std::memory_order_release);
 }
 
-const std::vector<ResolvedCommOp> &
-EvalContext::plannedOps(int idx, HierStrategy hs) const
+const EvalContext::StrategyTable &
+EvalContext::strategyTable(HierStrategy hs) const
 {
     const size_t slot = encode(hs);
     const StrategyTable &table = strategies_[slot];
     if (!table.ready.load(std::memory_order_acquire))
         buildStrategyTable(slot, hs);
-    return table.perLayer[static_cast<size_t>(idx)];
+    return table;
+}
+
+const std::vector<ResolvedCommOp> &
+EvalContext::plannedOps(int idx, HierStrategy hs) const
+{
+    return strategyTable(hs).perLayer[static_cast<size_t>(idx)];
 }
 
 PerfReport
@@ -138,6 +158,66 @@ EvalContext::verdict(const ParallelPlan &plan) const
 {
     return model_->verdict(*desc_, *task_, plan, taskName_);
 }
+
+namespace
+{
+
+/** The schedule-to-report assembly shared by the full and delta
+ *  evaluation paths (everything but the optional Timeline). */
+void
+fillScheduleReport(PerfReport &report, const EventGraph &graph,
+                   const FlatSchedule &sched)
+{
+    report.iterationTime = sched.makespan;
+    report.serializedTime = sched.computeBusy + sched.commBusy;
+    report.computeTime = sched.computeBusy;
+    report.commTime = sched.commBusy;
+    report.exposedCommTime = sched.exposedComm;
+
+    // Per-category sums accumulate into fixed arrays in node order —
+    // the same additions in the same order the per-node map
+    // operator[] version performed, so every sum is bit-identical —
+    // and land in the maps in ascending enum order afterwards (which
+    // is also std::map's iteration order, so the maps come out
+    // byte-identical too). A category's key exists iff a node touched
+    // it, even when the touches summed to zero, hence the flags.
+    constexpr size_t kNumCategories =
+        static_cast<size_t>(EventCategory::Other) + 1;
+    double serialized[kNumCategories] = {};
+    double exposed[kNumCategories] = {};
+    bool serialized_touched[kNumCategories] = {};
+    bool exposed_touched[kNumCategories] = {};
+
+    // One pass feeds both breakdowns (each accumulates per category in
+    // node order, exactly as two passes would). The exposed terms come
+    // from the same sweep that produced the aggregate
+    // (sched.rawOverlap) — the second O(comm x compute) pass this used
+    // to be is gone.
+    const size_t n = graph.nodes.size();
+    for (size_t i = 0; i < n; ++i) {
+        const EventNode &node = graph.nodes[i];
+        const size_t c = static_cast<size_t>(node.category);
+        if (node.duration > 0.0) {
+            serialized[c] += node.duration;
+            serialized_touched[c] = true;
+        }
+        if (node.stream == StreamKind::Communication &&
+            sched.finish[i] > sched.start[i]) {
+            exposed[c] +=
+                (sched.finish[i] - sched.start[i]) - sched.rawOverlap[i];
+            exposed_touched[c] = true;
+        }
+    }
+    for (size_t c = 0; c < kNumCategories; ++c) {
+        const EventCategory cat = static_cast<EventCategory>(c);
+        if (serialized_touched[c])
+            report.serializedBreakdown.emplace(cat, serialized[c]);
+        if (exposed_touched[c])
+            report.exposedBreakdown.emplace(cat, exposed[c]);
+    }
+}
+
+} // namespace
 
 PerfReport
 EvalContext::evaluate(const ParallelPlan &plan) const
@@ -151,33 +231,10 @@ EvalContext::evaluate(const ParallelPlan &plan) const
     OverlapSimulator simulator(options().backgroundCommChannel);
     FlatSchedule sched = simulator.scheduleGraph(graph);
 
-    report.iterationTime = sched.makespan;
-    report.serializedTime = sched.computeBusy + sched.commBusy;
-    report.computeTime = sched.computeBusy;
-    report.commTime = sched.commBusy;
-    report.exposedCommTime = sched.exposedComm;
-
-    const size_t n = graph.nodes.size();
-    for (size_t i = 0; i < n; ++i) {
-        const EventNode &node = graph.nodes[i];
-        if (node.duration <= 0.0)
-            continue;
-        report.serializedBreakdown[node.category] += node.duration;
-    }
-    // Exposed time per communication category, from the same sweep
-    // that produced the aggregate (sched.rawOverlap) — the second
-    // O(comm x compute) pass this loop used to be is gone.
-    for (size_t i = 0; i < n; ++i) {
-        const EventNode &node = graph.nodes[i];
-        if (node.stream != StreamKind::Communication ||
-            sched.finish[i] <= sched.start[i]) {
-            continue;
-        }
-        report.exposedBreakdown[node.category] +=
-            (sched.finish[i] - sched.start[i]) - sched.rawOverlap[i];
-    }
+    fillScheduleReport(report, graph, sched);
 
     if (options().keepTimeline) {
+        const size_t n = graph.nodes.size();
         Timeline tl;
         tl.events.reserve(n);
         for (size_t i = 0; i < n; ++i) {
@@ -190,6 +247,105 @@ EvalContext::evaluate(const ParallelPlan &plan) const
         tl.exposedComm = sched.exposedComm;
         report.timeline = std::move(tl);
     }
+    return report;
+}
+
+void
+EvalContext::spliceGraph(DeltaState &state, const ParallelPlan &plan) const
+{
+    const int num_layers = desc_->graph.numLayers();
+    const bool backward = task_->needsBackward();
+    const size_t pf = plan.fsdpPrefetch ? 1 : 0;
+
+    // Resolve each present class's strategy table once. This is where
+    // the incremental reuse lives: a plan differing from the previous
+    // one in K classes hits K possibly-cold table lookups (template
+    // construction only for strategies this context has never seen);
+    // every other layer's segment splices straight from cache.
+    const LayerClass all_classes[] = {
+        LayerClass::SparseEmbedding, LayerClass::DenseEmbedding,
+        LayerClass::BaseDense, LayerClass::Transformer, LayerClass::MoE};
+    const StrategyTable *tables[5];
+    for (LayerClass cls : all_classes) {
+        tables[static_cast<size_t>(cls)] =
+            &strategyTable(plan.strategyFor(cls));
+    }
+
+    // Maximal same-class layer runs, then one fused splice: every
+    // run is a contiguous range of one strategy table's packed arena
+    // (GPT-3's ~190-layer transformer stack is a single run per
+    // pass), so the splice cost scales with class alternations, not
+    // layer count. Backward sets are stored in emission order (layer
+    // N-1..0), so a descending layer run maps to an ascending set
+    // range starting at N-1-i.
+    std::vector<SpliceRun> &runs = state.runs;
+    runs.clear();
+    for (int i = 0; i < num_layers;) {
+        const LayerClass cls = costs_[static_cast<size_t>(i)].cls;
+        int j = i + 1;
+        while (j < num_layers &&
+               costs_[static_cast<size_t>(j)].cls == cls)
+            ++j;
+        runs.push_back(
+            SpliceRun{&tables[static_cast<size_t>(cls)]->fwdSegs[pf],
+                      static_cast<uint32_t>(i),
+                      static_cast<uint32_t>(j - i), false});
+        i = j;
+    }
+    if (backward) {
+        for (int i = num_layers - 1; i >= 0;) {
+            const LayerClass cls = costs_[static_cast<size_t>(i)].cls;
+            int j = i - 1;
+            while (j >= 0 && costs_[static_cast<size_t>(j)].cls == cls)
+                --j;
+            runs.push_back(SpliceRun{
+                &tables[static_cast<size_t>(cls)]->bwdSegs[pf],
+                static_cast<uint32_t>(num_layers - 1 - i),
+                static_cast<uint32_t>(i - j), true});
+            i = j;
+        }
+    }
+    spliceSegmentRuns(runs.data(), runs.size(), num_layers, backward,
+                      state.graph, state.fwdOut, state.bwdOut,
+                      state.computeIds);
+}
+
+PerfReport
+EvalContext::evaluateDelta(DeltaState &state,
+                           const ParallelPlan &plan) const
+{
+    // Fall-back: retained timelines need materialized events, which
+    // only the full path produces. The state's splice buffers are
+    // left untouched (and stay consistent with prevPlan).
+    if (options().keepTimeline) {
+        state.lastUsedDelta = false;
+        return evaluate(plan);
+    }
+    if (state.context != this) {
+        // Structural change — another (model, task, cluster) triple,
+        // including a different present-class set via another
+        // ModelDesc: rebind and start from scratch.
+        state.context = this;
+        state.hasPlan = false;
+    }
+
+    PerfReport report = verdict(plan);
+    if (!report.memory.fits() && !options().ignoreMemory) {
+        // OOM verdict: no streams built, nothing advanced — exactly
+        // evaluate()'s short-circuit.
+        state.lastUsedDelta = false;
+        return report;
+    }
+
+    const bool incremental = state.hasPlan;
+    spliceGraph(state, plan);
+    OverlapSimulator simulator(options().backgroundCommChannel);
+    simulator.scheduleGraphInto(state.graph, state.sched, state.scratch);
+    fillScheduleReport(report, state.graph, state.sched);
+
+    state.prevPlan = plan;
+    state.hasPlan = true;
+    state.lastUsedDelta = incremental;
     return report;
 }
 

@@ -50,8 +50,11 @@
 #include <vector>
 
 #include "collective/collective.hh"
+#include "core/overlap_simulator.hh"
 #include "core/perf_model.hh"
+#include "core/segment_template.hh"
 #include "parallel/comm_planner.hh"
+#include "trace/event_graph.hh"
 #include "trace/trace_event.hh"
 
 namespace madmax
@@ -110,6 +113,63 @@ class EvalContext
     /** Memory-only evaluation, identical to PerfModel::verdict. */
     PerfReport verdict(const ParallelPlan &plan) const;
 
+    /**
+     * Caller-owned state for incremental (delta) re-evaluation —
+     * default-construct one, keep it alive across a sequence of
+     * evaluateDelta calls, and the event graph, schedule, and sweep
+     * buffers stop being per-evaluation allocations. The state binds
+     * itself to the first context that evaluates through it and
+     * resets automatically when a different context (other model,
+     * task, or cluster — the structural fall-back) takes over.
+     */
+    struct DeltaState
+    {
+        /** Context this state is bound to (managed by evaluateDelta). */
+        const EvalContext *context = nullptr;
+
+        /** prevPlan holds the previously spliced plan. */
+        bool hasPlan = false;
+        ParallelPlan prevPlan;
+
+        /** Did the last evaluateDelta take the incremental path (a
+         *  prior splice to diff against, streams actually built)?
+         *  False after fall-backs, first-time splices, and OOM
+         *  verdicts — the EvalEngine's deltaEvals/fullEvals split
+         *  reads this. */
+        bool lastUsedDelta = false;
+
+        /// @name Persistent splice / schedule buffers
+        /// @{
+        EventGraph graph;
+        FlatSchedule sched;
+        SweepScratch scratch;
+        std::vector<SpliceRun> runs;
+        std::vector<int32_t> fwdOut;
+        std::vector<int32_t> bwdOut;
+        std::vector<int32_t> computeIds;
+        /// @}
+    };
+
+    /**
+     * Evaluate one plan incrementally: splice the event graph from
+     * per-(layer-class strategy, prefetch) segment templates cached in
+     * this context's strategy tables — a candidate differing from the
+     * previous plan in K classes only pays template construction for
+     * strategies never seen before; everything else is resolved by
+     * splicing — then re-run the linear overlap sweep in @p state's
+     * persistent buffers. The report is bit-identical to evaluate().
+     *
+     * Falls back to the full path (leaving @p state's splice buffers
+     * untouched) when the model retains timelines
+     * (PerfModelOptions::keepTimeline — spliced graphs never
+     * materialize events) and short-circuits on OOM verdicts exactly
+     * like evaluate(). A context switch (different model / task /
+     * cluster, including a different present-class set via another
+     * ModelDesc) rebinds the state and starts from scratch.
+     */
+    PerfReport evaluateDelta(DeltaState &state,
+                             const ParallelPlan &plan) const;
+
     /** Plan-invariant per-layer costs and trace labels. */
     struct LayerCosts
     {
@@ -118,6 +178,7 @@ class EvalContext
         EventCategory category = EventCategory::Other;
         const std::string *fwdName = nullptr; ///< &layer.name().
         std::string bwdName; ///< layer.name() + "'" (backward label).
+        LayerClass cls = LayerClass::BaseDense; ///< layer.layerClass().
     };
 
     const LayerCosts &layerCosts(int idx) const
@@ -140,16 +201,29 @@ class EvalContext
     size_t collectiveTableSize() const;
 
   private:
-    /** Per-layer resolved ops for one (intra, inter) strategy pair. */
+    /** Per-layer resolved ops for one (intra, inter) strategy pair,
+     *  plus the symbolic segment templates the delta path splices
+     *  from — both built together, published once. */
     struct StrategyTable
     {
         std::atomic<bool> ready{false};
         std::vector<std::vector<ResolvedCommOp>> perLayer;
+
+        /** Packed per-layer segment arenas, indexed [fsdpPrefetch];
+         *  bwdSegs stays empty for forward-only tasks. */
+        std::array<SegmentSet, 2> fwdSegs;
+        std::array<SegmentSet, 2> bwdSegs;
     };
 
     static size_t encode(HierStrategy hs);
 
     void buildStrategyTable(size_t slot, HierStrategy hs) const;
+
+    /** The (lazily built) table for @p hs. */
+    const StrategyTable &strategyTable(HierStrategy hs) const;
+
+    /** Rebuild @p state's graph for @p plan from cached templates. */
+    void spliceGraph(DeltaState &state, const ParallelPlan &plan) const;
 
     /** Memoized CollectiveModel::time (only called while holding
      *  buildMutex_). */

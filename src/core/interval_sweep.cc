@@ -9,13 +9,22 @@ namespace madmax
 std::vector<Interval>
 mergeIntervals(std::vector<Interval> in)
 {
-    if (in.empty())
-        return in;
     std::sort(in.begin(), in.end(),
               [](const Interval &a, const Interval &b) {
                   return a.lo < b.lo;
               });
     std::vector<Interval> out;
+    mergeSortedIntervalsInto(in, out);
+    return out;
+}
+
+void
+mergeSortedIntervalsInto(const std::vector<Interval> &in,
+                         std::vector<Interval> &out)
+{
+    out.clear();
+    if (in.empty())
+        return;
     out.push_back(in.front());
     for (size_t i = 1; i < in.size(); ++i) {
         if (in[i].lo <= out.back().hi)
@@ -23,32 +32,102 @@ mergeIntervals(std::vector<Interval> in)
         else
             out.push_back(in[i]);
     }
-    return out;
+}
+
+void
+sortedQueryOrder(const std::vector<Interval> &queries,
+                 std::vector<size_t> &order)
+{
+    // Visit queries in ascending lo so the cover cursor never backs
+    // up (stable on ties to keep the visit order deterministic; the
+    // per-query sums are order-independent across queries anyway).
+    order.resize(queries.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&queries](size_t a, size_t b) {
+                         return queries[a].lo < queries[b].lo;
+                     });
 }
 
 std::vector<double>
 coveredLengths(const std::vector<Interval> &cover,
                const std::vector<Interval> &queries)
 {
-    std::vector<double> out(queries.size(), 0.0);
-    if (cover.empty() || queries.empty())
-        return out;
+    std::vector<size_t> order;
+    sortedQueryOrder(queries, order);
+    std::vector<double> out;
+    coveredLengthsInto(cover, queries, order, out);
+    return out;
+}
 
-    // Visit queries in ascending lo so the cover cursor never backs
-    // up (stable on ties to keep the visit order deterministic; the
-    // per-query sums are order-independent across queries anyway).
-    std::vector<size_t> order(queries.size());
-    std::iota(order.begin(), order.end(), size_t{0});
-    std::stable_sort(order.begin(), order.end(),
-                     [&queries](size_t a, size_t b) {
-                         return queries[a].lo < queries[b].lo;
-                     });
+void
+coveredLengthsPairInto(const std::vector<Interval> &coverA,
+                       const std::vector<Interval> &coverB,
+                       const std::vector<Interval> &queries,
+                       const std::vector<size_t> &order,
+                       std::vector<double> &outA,
+                       std::vector<double> &outB)
+{
+    // Per cover this is exactly coveredLengthsInto: same cursor, same
+    // intersection terms in the same ascending cover order, so each
+    // output double is bit-identical to the single-cover sweep.
+    outA.resize(queries.size());
+    outB.resize(queries.size());
+    size_t baseA = 0;
+    size_t baseB = 0;
+    for (size_t qi : order) {
+        const Interval &q = queries[qi];
+        if (q.hi <= q.lo) {
+            outA[qi] = 0.0;
+            outB[qi] = 0.0;
+            continue;
+        }
+        while (baseA < coverA.size() && coverA[baseA].hi <= q.lo)
+            ++baseA;
+        double coveredA = 0.0;
+        for (size_t j = baseA;
+             j < coverA.size() && coverA[j].lo < q.hi; ++j) {
+            double a = std::max(q.lo, coverA[j].lo);
+            double b = std::min(q.hi, coverA[j].hi);
+            if (b > a)
+                coveredA += b - a;
+        }
+        outA[qi] = coveredA;
+        while (baseB < coverB.size() && coverB[baseB].hi <= q.lo)
+            ++baseB;
+        double coveredB = 0.0;
+        for (size_t j = baseB;
+             j < coverB.size() && coverB[j].lo < q.hi; ++j) {
+            double a = std::max(q.lo, coverB[j].lo);
+            double b = std::min(q.hi, coverB[j].hi);
+            if (b > a)
+                coveredB += b - a;
+        }
+        outB[qi] = coveredB;
+    }
+}
+
+void
+coveredLengthsInto(const std::vector<Interval> &cover,
+                   const std::vector<Interval> &queries,
+                   const std::vector<size_t> &order,
+                   std::vector<double> &out)
+{
+    // @p order visits every query exactly once, so each slot gets one
+    // unconditional store and the upfront zero-fill is skipped.
+    out.resize(queries.size());
+    if (cover.empty() || queries.empty()) {
+        std::fill(out.begin(), out.end(), 0.0);
+        return;
+    }
 
     size_t base = 0;
     for (size_t qi : order) {
         const Interval &q = queries[qi];
-        if (q.hi <= q.lo)
+        if (q.hi <= q.lo) {
+            out[qi] = 0.0;
             continue;
+        }
         while (base < cover.size() && cover[base].hi <= q.lo)
             ++base;
         double covered = 0.0;
@@ -61,7 +140,6 @@ coveredLengths(const std::vector<Interval> &cover,
         }
         out[qi] = covered;
     }
-    return out;
 }
 
 } // namespace madmax

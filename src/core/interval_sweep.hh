@@ -18,6 +18,7 @@
 #ifndef MADMAX_CORE_INTERVAL_SWEEP_HH
 #define MADMAX_CORE_INTERVAL_SWEEP_HH
 
+#include <cstddef>
 #include <vector>
 
 namespace madmax
@@ -32,6 +33,52 @@ struct Interval
 
 /** Merge overlapping intervals; input need not be sorted. */
 std::vector<Interval> mergeIntervals(std::vector<Interval> in);
+
+/**
+ * mergeIntervals for input already sorted by ascending lo (e.g. the
+ * busy intervals of a sequential stream), writing into a caller-owned
+ * buffer — the allocation- and sort-free form the scheduling hot path
+ * uses. Produces exactly the intervals mergeIntervals would.
+ */
+void mergeSortedIntervalsInto(const std::vector<Interval> &in,
+                              std::vector<Interval> &out);
+
+/**
+ * The ascending-lo visit order coveredLengths uses (stable on ties),
+ * written into a caller-owned buffer. Splitting the order out lets a
+ * caller that sweeps the same query set against several covers (the
+ * merged and raw compute intervals of one schedule) sort once.
+ */
+void sortedQueryOrder(const std::vector<Interval> &queries,
+                      std::vector<std::size_t> &order);
+
+/**
+ * coveredLengths with the visit order precomputed and the output
+ * written into a caller-owned buffer. Bit-identical to coveredLengths
+ * on the same inputs. @p order must visit every query exactly once in
+ * ascending-lo order — sortedQueryOrder's output, or any other
+ * permutation with ascending lo (the per-query sums only depend on
+ * the cover order, so ties may be visited in any order).
+ */
+void coveredLengthsInto(const std::vector<Interval> &cover,
+                        const std::vector<Interval> &queries,
+                        const std::vector<std::size_t> &order,
+                        std::vector<double> &out);
+
+/**
+ * Two coveredLengthsInto sweeps fused into one pass over the shared
+ * query visit order: @p outA is exactly coveredLengthsInto(coverA,
+ * queries, order, outA) and @p outB exactly the coverB run, computed
+ * with one traversal of @p order and one load of each query instead
+ * of two. The scheduling hot path sweeps every comm interval against
+ * both the merged and the raw compute-busy intervals this way.
+ */
+void coveredLengthsPairInto(const std::vector<Interval> &coverA,
+                            const std::vector<Interval> &coverB,
+                            const std::vector<Interval> &queries,
+                            const std::vector<std::size_t> &order,
+                            std::vector<double> &outA,
+                            std::vector<double> &outB);
 
 /**
  * Covered length of each query interval under @p cover.

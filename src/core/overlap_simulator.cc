@@ -13,84 +13,153 @@ namespace madmax
 FlatSchedule
 OverlapSimulator::scheduleGraph(const EventGraph &graph) const
 {
-    const size_t n = graph.nodes.size();
     FlatSchedule sched;
+    SweepScratch scratch;
+    scheduleGraphInto(graph, sched, scratch);
+    return sched;
+}
+
+void
+OverlapSimulator::scheduleGraphInto(const EventGraph &graph,
+                                    FlatSchedule &sched,
+                                    SweepScratch &scratch) const
+{
+    const size_t n = graph.nodes.size();
     sched.start.resize(n);
     sched.finish.resize(n);
     sched.rawOverlap.assign(n, 0.0);
+    sched.computeBusy = 0.0;
+    sched.commBusy = 0.0;
+    sched.exposedComm = 0.0;
 
-    double compute_cursor = 0.0;
-    double comm_cursor = 0.0;
-    // Non-blocking collectives (gradient AllReduce / ReduceScatter)
-    // ride a separate background channel, as NCCL does, so they do
-    // not head-of-line block later blocking collectives.
-    double background_cursor = 0.0;
+    // Stream cursors: [0] compute, [1] blocking communication, [2] the
+    // background channel non-blocking collectives (gradient AllReduce
+    // / ReduceScatter) ride, as NCCL does, so they do not head-of-line
+    // block later blocking collectives.
+    double cursors[3] = {0.0, 0.0, 0.0};
+
+    // The exposed-communication sweep's inputs are collected inline:
+    // the compute stream's busy intervals (sequential stream, so they
+    // come out disjoint and ascending — no sort needed) and the
+    // nonzero comm intervals ("queries"), remembering each query's
+    // channel so the ascending-lo visit order below comes from a
+    // linear two-way merge instead of a sort (per channel, starts are
+    // already non-decreasing).
+    std::vector<Interval> &compute_busy = scratch.computeBusy;
+    std::vector<Interval> &queries = scratch.queries;
+    std::vector<size_t> &query_node = scratch.queryNode;
+    std::vector<size_t> &main_chan = scratch.mainChan;
+    std::vector<size_t> &back_chan = scratch.backChan;
+    compute_busy.clear();
+    queries.clear();
+    query_node.clear();
+    main_chan.clear();
+    back_chan.clear();
 
     for (size_t i = 0; i < n; ++i) {
         const EventNode &node = graph.nodes[i];
-        double ready = 0.0;
-        const int32_t *deps = graph.depsOf(node);
-        for (uint32_t d = 0; d < node.depsCount; ++d)
-            ready = std::max(ready, sched.finish[deps[d]]);
+        double ready;
+        if (node.depsCount == static_cast<uint32_t>(i)) {
+            // A node depending on every earlier node — the iteration-
+            // end barrier (dependencies are distinct earlier nodes, so
+            // depsCount == i can only mean deps == {0..i-1}). Its
+            // ready time is the max finish so far, and finishes are
+            // monotone per stream, so that is the max cursor — the
+            // same double as the full dependency scan, without
+            // walking a graph-sized list.
+            ready = std::max(cursors[0],
+                             std::max(cursors[1], cursors[2]));
+        } else {
+            const int32_t *deps = graph.depsOf(node);
+            // max over the dependency finishes; max is exact, so the
+            // two-accumulator unroll produces the same double as the
+            // sequential loop.
+            double r0 = 0.0;
+            double r1 = 0.0;
+            uint32_t d = 0;
+            for (; d + 1 < node.depsCount; d += 2) {
+                r0 = std::max(r0, sched.finish[deps[d]]);
+                r1 = std::max(r1, sched.finish[deps[d + 1]]);
+            }
+            if (d < node.depsCount)
+                r0 = std::max(r0, sched.finish[deps[d]]);
+            ready = std::max(r0, r1);
+        }
 
-        bool background = backgroundChannel_ && !node.blocking &&
-            node.stream == StreamKind::Communication;
-        double &cursor = node.stream == StreamKind::Compute
-            ? compute_cursor
-            : (background ? background_cursor : comm_cursor);
-        double start = std::max(cursor, ready);
-        double finish = start + node.duration;
-        cursor = finish;
+        const bool is_compute = node.stream == StreamKind::Compute;
+        const size_t chan = is_compute
+            ? 0
+            : (backgroundChannel_ && !node.blocking ? 2 : 1);
+        const double start = std::max(cursors[chan], ready);
+        const double finish = start + node.duration;
+        cursors[chan] = finish;
         sched.start[i] = start;
         sched.finish[i] = finish;
-        sched.makespan = std::max(sched.makespan, finish);
 
-        if (node.stream == StreamKind::Compute)
+        if (is_compute) {
             sched.computeBusy += node.duration;
-        else
+            if (finish > start)
+                compute_busy.push_back(Interval{start, finish});
+        } else {
             sched.commBusy += node.duration;
-    }
-
-    // Exposed communication: comm busy time not covered by concurrent
-    // compute execution. The compute stream is sequential, so its
-    // busy intervals are disjoint and already in ascending order; one
-    // linear sweep (ascending comm starts, forward-only compute
-    // cursor) replaces the old per-event scan over every compute
-    // interval.
-    std::vector<Interval> compute_busy;
-    for (size_t i = 0; i < n; ++i) {
-        if (graph.nodes[i].stream == StreamKind::Compute &&
-            sched.finish[i] > sched.start[i]) {
-            compute_busy.push_back(
-                Interval{sched.start[i], sched.finish[i]});
+            if (finish > start) {
+                (chan == 2 ? back_chan : main_chan)
+                    .push_back(queries.size());
+                queries.push_back(Interval{start, finish});
+                query_node.push_back(i);
+            }
         }
     }
-
-    std::vector<Interval> queries;
-    std::vector<size_t> query_node;
-    for (size_t i = 0; i < n; ++i) {
-        if (graph.nodes[i].stream != StreamKind::Communication ||
-            sched.finish[i] <= sched.start[i]) {
-            continue;
-        }
-        queries.push_back(Interval{sched.start[i], sched.finish[i]});
-        query_node.push_back(i);
-    }
+    // Finishes are monotone per stream, so each cursor ends at its
+    // stream's max finish and the makespan is the max cursor — the
+    // same double the old per-node max produced.
+    sched.makespan =
+        std::max(cursors[0], std::max(cursors[1], cursors[2]));
 
     // Two historical accountings, both preserved bit-for-bit: the
     // aggregate used merged compute intervals, the per-category
     // breakdown (consuming rawOverlap downstream) used the raw
-    // per-event ones. See FlatSchedule::rawOverlap.
-    std::vector<double> merged_cov =
-        coveredLengths(mergeIntervals(compute_busy), queries);
-    std::vector<double> raw_cov = coveredLengths(compute_busy, queries);
+    // per-event ones. See FlatSchedule::rawOverlap. The sequential
+    // compute stream's intervals are already ascending, so the merge
+    // needs no sort, and both coverage sweeps share one query order.
+    //
+    // The shared order is the merge of the two channels' (already
+    // ascending) query sequences; ties break toward the smaller query
+    // index, which reproduces sortedQueryOrder's stable sort exactly
+    // (and coveredLengthsInto's per-query sums only need ascending lo
+    // in the first place).
+    mergeSortedIntervalsInto(compute_busy, scratch.merged);
+    std::vector<size_t> &order = scratch.order;
+    order.clear();
+    {
+        size_t a = 0;
+        size_t b = 0;
+        while (a < main_chan.size() && b < back_chan.size()) {
+            const size_t qa = main_chan[a];
+            const size_t qb = back_chan[b];
+            if (queries[qa].lo < queries[qb].lo ||
+                (queries[qa].lo == queries[qb].lo && qa < qb)) {
+                order.push_back(qa);
+                ++a;
+            } else {
+                order.push_back(qb);
+                ++b;
+            }
+        }
+        order.insert(order.end(), main_chan.begin() + a,
+                     main_chan.end());
+        order.insert(order.end(), back_chan.begin() + b,
+                     back_chan.end());
+    }
+    coveredLengthsPairInto(scratch.merged, compute_busy, queries,
+                           scratch.order, scratch.mergedCov,
+                           scratch.rawCov);
 
     for (size_t q = 0; q < queries.size(); ++q) {
         sched.exposedComm +=
-            (queries[q].hi - queries[q].lo) - merged_cov[q];
-        sched.rawOverlap[query_node[q]] = raw_cov[q];
+            (queries[q].hi - queries[q].lo) - scratch.mergedCov[q];
+        sched.rawOverlap[query_node[q]] = scratch.rawCov[q];
     }
-    return sched;
 }
 
 Timeline

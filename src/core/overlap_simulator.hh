@@ -27,6 +27,7 @@
 
 #include <vector>
 
+#include "core/interval_sweep.hh"
 #include "trace/event_graph.hh"
 #include "trace/trace_event.hh"
 
@@ -64,12 +65,36 @@ struct FlatSchedule
 };
 
 /**
+ * Reusable working buffers for the exposed-communication sweep.
+ * Callers that schedule many graphs of similar size (the delta
+ * re-evaluation loop) keep one of these alive so the per-schedule
+ * interval/order/coverage vectors stop being fresh allocations.
+ */
+struct SweepScratch
+{
+    std::vector<Interval> computeBusy; ///< Raw compute-busy intervals.
+    std::vector<Interval> merged;      ///< Same, merged.
+    std::vector<Interval> queries;     ///< Nonzero comm intervals.
+    std::vector<size_t> queryNode;     ///< queries[i] -> node id.
+    std::vector<size_t> order;         ///< Ascending-lo query order.
+    std::vector<size_t> mainChan;      ///< Main-channel query indices.
+    std::vector<size_t> backChan;      ///< Background query indices.
+    std::vector<double> mergedCov;     ///< Coverage under merged.
+    std::vector<double> rawCov;        ///< Coverage under raw.
+};
+
+/**
  * Schedules a per-device event DAG onto a compute stream and a
  * communication stream.
  *
  * Input contract: events are in issue order (each stream executes its
  * events in the order they appear), every dependency id refers to an
- * earlier event, and ids are unique. Violations are internal errors.
+ * earlier event, a node's dependency list has no duplicates, and ids
+ * are unique. Violations are internal errors. (The no-duplicates rule
+ * lets the scheduler recognize a node with as many dependencies as
+ * there are earlier nodes — the iteration-end barrier — and resolve
+ * its ready time from the stream cursors instead of scanning a
+ * graph-sized list; both builders satisfy it by construction.)
  */
 class OverlapSimulator
 {
@@ -91,6 +116,17 @@ class OverlapSimulator
      * guarantees it by construction.
      */
     FlatSchedule scheduleGraph(const EventGraph &graph) const;
+
+    /**
+     * scheduleGraph into caller-owned result and scratch buffers —
+     * the allocation-reusing form the delta re-evaluation loop calls
+     * per candidate. @p sched is fully overwritten (stale contents
+     * from a previous, differently-sized graph are fine); scratch
+     * vectors are cleared and refilled. Bit-identical to
+     * scheduleGraph.
+     */
+    void scheduleGraphInto(const EventGraph &graph, FlatSchedule &sched,
+                           SweepScratch &scratch) const;
 
     /**
      * Schedule @p events and return the Timeline with per-event

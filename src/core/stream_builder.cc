@@ -1,5 +1,7 @@
 #include "core/stream_builder.hh"
 
+#include <cstring>
+
 #include "parallel/comm_planner.hh"
 #include "util/logging.hh"
 
@@ -9,9 +11,529 @@ namespace madmax
 namespace
 {
 
-const std::string kIterEndName = "iter_end";
+/**
+ * What one per-layer segment emission reads: the layer's compute cost
+ * and label, its resolved collectives, and the graph topology for
+ * data / gradient dependencies. Built from a StreamBuilder::LayerView
+ * (concrete build) or from EvalContext tables (template build).
+ */
+struct SegmentSpec
+{
+    const ModelGraph *graph = nullptr;
+    int idx = 0;
+    const std::string *computeName = nullptr;
+    double computeTime = 0.0;
+    EventCategory category = EventCategory::Other;
+    const std::vector<ResolvedCommOp> *ops = nullptr;
+    bool prefetch = false;
+    bool backward = false;
+};
+
+/**
+ * The one shared per-layer emission: decides event order and
+ * dependency wiring once, for both the concrete graph build
+ * (GraphEmitter) and the symbolic template build (TemplateEmitter).
+ *
+ * The emitter interface, duck-typed:
+ *   beginSegment(idx, backward)      start a segment;
+ *   computeCountBefore()             compute events emitted so far;
+ *   clearDeps()                      start staging a dependency list;
+ *   depLocal(local)                  stage an earlier segment event;
+ *   depComputeBack(k)                stage the k-th most recent
+ *                                    compute event (param gathers);
+ *   depFwdOut(layer) -> staged?      stage a layer's forward output
+ *                                    if that layer is already built;
+ *   depBwdOut(layer) -> staged?      same for backward outputs;
+ *   addEvent(...) -> local id        emit with the staged deps;
+ *   markCompute(local)               record the segment's compute;
+ *   finishSegment(outLocal)          record the visible output.
+ */
+template <class Emitter>
+void
+emitLayerSegment(const SegmentSpec &s, Emitter &em)
+{
+    em.beginSegment(s.idx, s.backward);
+    const Phase phase = s.backward ? Phase::Backward : Phase::Forward;
+
+    // Parameter AllGathers have no data dependency; what limits them
+    // is issue time. Without prefetching the gather is issued when the
+    // consuming layer starts (i.e. after the preceding compute event
+    // finishes); with prefetching it is issued one layer earlier and
+    // can hide behind the preceding layer's compute (Fig. 9).
+    auto stageParamGatherDeps = [&] {
+        const size_t n = em.computeCountBefore();
+        if (s.prefetch) {
+            if (n >= 2)
+                em.depComputeBack(2);
+            return;
+        }
+        if (n >= 1)
+            em.depComputeBack(1);
+    };
+    // Forward data dependencies: the producers' visible outputs.
+    auto stageDataDeps = [&] {
+        for (int d : s.graph->deps(s.idx))
+            em.depFwdOut(d);
+    };
+    // Incoming gradients: the backward outputs of this layer's
+    // consumers (or the end of forward for the final layer).
+    auto stageGradDeps = [&] {
+        bool any = false;
+        for (int c : s.graph->consumers(s.idx)) {
+            if (em.depBwdOut(c))
+                any = true;
+        }
+        if (!any)
+            em.depFwdOut(s.idx);
+    };
+
+    std::vector<int32_t> pre_ids;
+    for (const ResolvedCommOp &op : *s.ops) {
+        if (op.phase != phase || op.position != CommPosition::Pre)
+            continue;
+        em.clearDeps();
+        if (op.kind == Collective::AllGather)
+            stageParamGatherDeps();
+        else if (s.backward)
+            stageGradDeps();
+        else
+            stageDataDeps();
+        pre_ids.push_back(em.addEvent(&op.tag,
+                                      StreamKind::Communication,
+                                      op.category, op.duration,
+                                      op.blocking));
+    }
+
+    // The layer's compute block.
+    em.clearDeps();
+    if (s.backward) {
+        stageGradDeps();
+        for (int32_t p : pre_ids)
+            em.depLocal(p);
+    } else {
+        for (int32_t p : pre_ids)
+            em.depLocal(p);
+        stageDataDeps();
+    }
+    int32_t cid = em.addEvent(s.computeName, StreamKind::Compute,
+                              s.category, s.computeTime, true);
+    em.markCompute(cid);
+
+    // Post comms; blocking ones become the layer's visible output.
+    int32_t out = cid;
+    for (const ResolvedCommOp &op : *s.ops) {
+        if (op.phase != phase || op.position != CommPosition::Post)
+            continue;
+        em.clearDeps();
+        em.depLocal(out);
+        int32_t eid = em.addEvent(&op.tag, StreamKind::Communication,
+                                  op.category, op.duration,
+                                  op.blocking);
+        if (op.blocking)
+            out = eid;
+    }
+    em.finishSegment(out);
+}
+
+/** Emits segments into a concrete flat EventGraph (buildGraph). */
+class GraphEmitter
+{
+  public:
+    GraphEmitter(EventGraph &graph, std::vector<int32_t> &fwdOut,
+                 std::vector<int32_t> &bwdOut,
+                 std::vector<int32_t> &computeEvents,
+                 std::vector<int32_t> &scratchDeps)
+        : graph_(graph), fwdOut_(fwdOut), bwdOut_(bwdOut),
+          computeEvents_(computeEvents), deps_(scratchDeps)
+    {}
+
+    void beginSegment(int idx, bool backward)
+    {
+        idx_ = idx;
+        backward_ = backward;
+        base_ = static_cast<int32_t>(graph_.nodes.size());
+    }
+
+    size_t computeCountBefore() const { return computeEvents_.size(); }
+
+    void clearDeps() { deps_.clear(); }
+    void depLocal(int32_t local) { deps_.push_back(base_ + local); }
+
+    void depComputeBack(size_t k)
+    {
+        deps_.push_back(computeEvents_[computeEvents_.size() - k]);
+    }
+
+    bool depFwdOut(int layer)
+    {
+        int32_t id = fwdOut_[static_cast<size_t>(layer)];
+        if (id < 0)
+            return false;
+        deps_.push_back(id);
+        return true;
+    }
+
+    bool depBwdOut(int layer)
+    {
+        int32_t id = bwdOut_[static_cast<size_t>(layer)];
+        if (id < 0)
+            return false;
+        deps_.push_back(id);
+        return true;
+    }
+
+    int32_t addEvent(const std::string *name, StreamKind stream,
+                     EventCategory category, double duration,
+                     bool blocking)
+    {
+        EventNode node;
+        node.name = name;
+        node.stream = stream;
+        node.category = category;
+        node.blocking = blocking;
+        node.backward = backward_;
+        node.layerIdx = idx_;
+        node.duration = duration;
+        node.depsBegin = static_cast<uint32_t>(graph_.deps.size());
+        node.depsCount = static_cast<uint32_t>(deps_.size());
+        graph_.deps.insert(graph_.deps.end(), deps_.begin(),
+                           deps_.end());
+        graph_.nodes.push_back(node);
+        return static_cast<int32_t>(graph_.nodes.size()) - 1 - base_;
+    }
+
+    void markCompute(int32_t local)
+    {
+        computeEvents_.push_back(base_ + local);
+    }
+
+    void finishSegment(int32_t outLocal)
+    {
+        (backward_ ? bwdOut_ : fwdOut_)[static_cast<size_t>(idx_)] =
+            base_ + outLocal;
+    }
+
+  private:
+    EventGraph &graph_;
+    std::vector<int32_t> &fwdOut_;
+    std::vector<int32_t> &bwdOut_;
+    std::vector<int32_t> &computeEvents_;
+    std::vector<int32_t> &deps_;
+    int idx_ = 0;
+    bool backward_ = false;
+    int32_t base_ = 0;
+};
+
+/**
+ * Emits segments symbolically into a SegmentSet arena
+ * (buildSegmentSet). Whether a FwdOut/BwdOut/ComputeAt dependency
+ * exists is decided here, from emission order alone: in the forward
+ * pass layer d's output exists iff d < idx (dependencies point
+ * backwards), in the backward pass every forward output exists and
+ * consumer c's backward output exists iff c > idx; the compute-event
+ * count before a segment is its emission ordinal — the number of
+ * segments already in the set, plus N for backward sets (the whole
+ * forward pass precedes them). That is why the arena is
+ * plan-independent.
+ */
+class TemplateEmitter
+{
+  public:
+    TemplateEmitter(SegmentSet &set, size_t ordinalBase)
+        : set_(set), ordinalBase_(ordinalBase)
+    {}
+
+    void beginSegment(int idx, bool backward)
+    {
+        idx_ = idx;
+        backward_ = backward;
+        segEventBase_ = set_.events.size();
+        staged_ = 0;
+        SegmentSet::Seg seg;
+        seg.eventBegin = static_cast<uint32_t>(set_.events.size());
+        seg.depBegin = static_cast<uint32_t>(set_.deps.size());
+        set_.segs.push_back(seg);
+    }
+
+    size_t computeCountBefore() const
+    {
+        return ordinalBase_ + set_.segs.size() - 1;
+    }
+
+    void clearDeps() { staged_ = 0; }
+
+    void depLocal(int32_t local)
+    {
+        // Fold to an arena index so the splicer resolves it with the
+        // run's node shift alone.
+        stage(SymDep{SymDep::Kind::Local,
+                     static_cast<int32_t>(segEventBase_) + local});
+    }
+
+    void depComputeBack(size_t k)
+    {
+        // Fold "k-th most recent compute" to the absolute emission
+        // ordinal it names — ordinal arithmetic is plan-independent.
+        stage(SymDep{SymDep::Kind::ComputeAt,
+                     static_cast<int32_t>(computeCountBefore() - k)});
+    }
+
+    bool depFwdOut(int layer)
+    {
+        if (!backward_ && layer >= idx_)
+            return false;
+        stage(SymDep{SymDep::Kind::FwdOut, layer});
+        return true;
+    }
+
+    bool depBwdOut(int layer)
+    {
+        if (!backward_ || layer <= idx_)
+            return false;
+        stage(SymDep{SymDep::Kind::BwdOut, layer});
+        return true;
+    }
+
+    int32_t addEvent(const std::string *name, StreamKind stream,
+                     EventCategory category, double duration,
+                     bool blocking)
+    {
+        EventNode ev;
+        ev.name = name;
+        ev.stream = stream;
+        ev.category = category;
+        ev.blocking = blocking;
+        ev.backward = backward_;
+        ev.layerIdx = idx_;
+        ev.duration = duration;
+        // Arena-relative cumulative offset — exactly what the splicer
+        // needs, since instantiated dependency lists keep arena order.
+        ev.depsBegin =
+            static_cast<uint32_t>(set_.deps.size() - staged_);
+        ev.depsCount = static_cast<uint32_t>(staged_);
+        staged_ = 0;
+        set_.events.push_back(ev);
+        return static_cast<int32_t>(set_.events.size() -
+                                    segEventBase_) -
+               1;
+    }
+
+    void markCompute(int32_t local)
+    {
+        set_.segs.back().computeLocal = local;
+    }
+    void finishSegment(int32_t outLocal)
+    {
+        set_.segs.back().outputLocal = outLocal;
+    }
+
+  private:
+    void stage(SymDep dep)
+    {
+        set_.deps.push_back(dep);
+        ++staged_;
+    }
+
+    SegmentSet &set_;
+    size_t ordinalBase_;
+    size_t segEventBase_ = 0; ///< First arena event of this segment.
+    size_t staged_ = 0; ///< Symbolic deps staged since clearDeps().
+    int idx_ = 0;
+    bool backward_ = false;
+};
 
 } // namespace
+
+const std::string &
+iterEndEventName()
+{
+    static const std::string name = "iter_end";
+    return name;
+}
+
+void
+appendIterEnd(EventGraph &graph, bool backward)
+{
+    // Iteration-end barrier: waits for everything, including
+    // non-blocking gradient collectives.
+    EventNode node;
+    node.name = &iterEndEventName();
+    node.stream = StreamKind::Compute;
+    node.category = EventCategory::Other;
+    node.blocking = true;
+    node.backward = backward;
+    node.layerIdx = -1;
+    node.duration = 0.0;
+    const size_t n = graph.nodes.size();
+    node.depsBegin = static_cast<uint32_t>(graph.deps.size());
+    node.depsCount = static_cast<uint32_t>(n);
+    for (size_t i = 0; i < n; ++i)
+        graph.deps.push_back(static_cast<int32_t>(i));
+    graph.nodes.push_back(node);
+}
+
+void
+buildSegmentSet(
+    const ModelDesc &desc,
+    const std::vector<EvalContext::LayerCosts> &costs,
+    const std::vector<std::vector<ResolvedCommOp>> &perLayerOps,
+    bool backwardPass, bool prefetch, SegmentSet &out)
+{
+    const int num_layers = desc.graph.numLayers();
+    out.events.clear();
+    out.deps.clear();
+    out.segs.clear();
+    out.segs.reserve(static_cast<size_t>(num_layers) + 1);
+
+    // Emit in emission order — forward layer 0..N-1, backward layer
+    // N-1..0 — so consecutive layers are consecutive arena ranges and
+    // a segment's emission ordinal is its position in the set (plus N
+    // for backward sets).
+    TemplateEmitter em(out, backwardPass
+                                ? static_cast<size_t>(num_layers)
+                                : 0);
+    for (int e = 0; e < num_layers; ++e) {
+        const int i = backwardPass ? num_layers - 1 - e : e;
+        const size_t s = static_cast<size_t>(i);
+        const EvalContext::LayerCosts &lc = costs[s];
+        SegmentSpec spec;
+        spec.graph = &desc.graph;
+        spec.idx = i;
+        spec.computeName = backwardPass ? &lc.bwdName : lc.fwdName;
+        spec.computeTime = backwardPass ? lc.bwdTime : lc.fwdTime;
+        spec.category = lc.category;
+        spec.ops = &perLayerOps[s];
+        spec.prefetch = prefetch;
+        spec.backward = backwardPass;
+        emitLayerSegment(spec, em);
+    }
+
+    SegmentSet::Seg sentinel;
+    sentinel.eventBegin = static_cast<uint32_t>(out.events.size());
+    sentinel.depBegin = static_cast<uint32_t>(out.deps.size());
+    out.segs.push_back(sentinel);
+}
+
+void
+spliceSegmentRuns(const SpliceRun *runs, size_t numRuns, int numLayers,
+                  bool withBackward, EventGraph &graph,
+                  std::vector<int32_t> &fwdOut,
+                  std::vector<int32_t> &bwdOut,
+                  std::vector<int32_t> &computeIds)
+{
+    const size_t nl = static_cast<size_t>(numLayers);
+
+    // Size the whole graph once (segments plus the iteration-end
+    // barrier, which depends on every other node), then fill through
+    // raw pointers — no per-segment vector bookkeeping. Run extents
+    // come straight from the arena offsets.
+    size_t total_nodes = 0;
+    size_t total_deps = 0;
+    for (size_t r = 0; r < numRuns; ++r) {
+        const SegmentSet::Seg *segs = runs[r].set->segs.data();
+        const uint32_t lo = runs[r].first;
+        const uint32_t hi = runs[r].first + runs[r].count;
+        total_nodes += segs[hi].eventBegin - segs[lo].eventBegin;
+        total_deps += segs[hi].depBegin - segs[lo].depBegin;
+    }
+    graph.nodes.resize(total_nodes + 1);
+    graph.deps.resize(total_deps + total_nodes);
+    fwdOut.assign(nl, -1);
+    bwdOut.assign(nl, -1);
+    // Indexed by emission ordinal; every slot is written in a run's
+    // pass 1 before any dependency reads it, so no fill value needed.
+    computeIds.resize(withBackward ? 2 * nl : nl);
+
+    EventNode *nodes = graph.nodes.data();
+    int32_t *deps = graph.deps.data();
+    size_t node_pos = 0;
+    size_t dep_pos = 0;
+    for (size_t r = 0; r < numRuns; ++r) {
+        const SegmentSet &set = *runs[r].set;
+        const SegmentSet::Seg *segs = set.segs.data();
+        const uint32_t first = runs[r].first;
+        const uint32_t last = runs[r].first + runs[r].count;
+        const uint32_t ev_begin = segs[first].eventBegin;
+        const size_t run_nodes = segs[last].eventBegin - ev_begin;
+        const uint32_t dp_begin = segs[first].depBegin;
+        const size_t run_deps = segs[last].depBegin - dp_begin;
+
+        // Bulk node copy — one contiguous read stream for the whole
+        // run, with a run-constant dependency-offset shift (the
+        // arena's cumulative offsets and the graph's concrete ones
+        // differ by the same amount for every event of the run).
+        const EventNode *src = set.events.data() + ev_begin;
+        const uint32_t dep_shift =
+            static_cast<uint32_t>(dep_pos) - dp_begin;
+        for (size_t e = 0; e < run_nodes; ++e) {
+            EventNode &dst = nodes[node_pos + e];
+            dst = src[e];
+            dst.depsBegin += dep_shift;
+        }
+
+        // Pass 1: record every segment's visible output and compute
+        // event id — pure index arithmetic, independent of the
+        // dependency sweep. computeIds is indexed by emission ordinal
+        // (set index, plus N for backward sets).
+        const bool bwd = runs[r].backward;
+        const int32_t node_shift = static_cast<int32_t>(node_pos) -
+                                   static_cast<int32_t>(ev_begin);
+        int32_t *coutBase = computeIds.data() + (bwd ? nl : 0);
+        int32_t *outArr = (bwd ? bwdOut : fwdOut).data();
+        for (uint32_t j = first; j < last; ++j) {
+            const int32_t base =
+                node_shift + static_cast<int32_t>(segs[j].eventBegin);
+            // Set entry j is layer j forward, layer N-1-j backward.
+            const size_t layer = bwd ? nl - 1 - j : j;
+            outArr[layer] = base + segs[j].outputLocal;
+            coutBase[j] = base + segs[j].computeLocal;
+        }
+
+        // Pass 2: one flat, branch-predictable sweep resolves the
+        // run's whole symbolic-dependency range — every kind is a
+        // single indexed load or add against state pass 1 (or an
+        // earlier run) already filled; dependencies only ever point
+        // at earlier emissions, so nothing here races the fill.
+        const SymDep *sym = set.deps.data();
+        int32_t *out = deps + dep_pos;
+        const uint32_t dp_end = segs[last].depBegin;
+        for (uint32_t k = dp_begin; k < dp_end; ++k) {
+            int32_t resolved = 0;
+            switch (sym[k].kind) {
+              case SymDep::Kind::Local:
+                resolved = node_shift + sym[k].value;
+                break;
+              case SymDep::Kind::FwdOut:
+                resolved = fwdOut[static_cast<size_t>(sym[k].value)];
+                break;
+              case SymDep::Kind::BwdOut:
+                resolved = bwdOut[static_cast<size_t>(sym[k].value)];
+                break;
+              case SymDep::Kind::ComputeAt:
+                resolved =
+                    computeIds[static_cast<size_t>(sym[k].value)];
+                break;
+            }
+            out[k - dp_begin] = resolved;
+        }
+        node_pos += run_nodes;
+        dep_pos += run_deps;
+    }
+
+    // Iteration-end barrier, wired exactly as appendIterEnd does.
+    EventNode &end = nodes[total_nodes];
+    end.name = &iterEndEventName();
+    end.stream = StreamKind::Compute;
+    end.category = EventCategory::Other;
+    end.blocking = true;
+    end.backward = withBackward;
+    end.layerIdx = -1;
+    end.duration = 0.0;
+    end.depsBegin = static_cast<uint32_t>(dep_pos);
+    end.depsCount = static_cast<uint32_t>(total_nodes);
+    for (size_t i = 0; i < total_nodes; ++i)
+        deps[dep_pos + i] = static_cast<int32_t>(i);
+}
 
 StreamBuilder::StreamBuilder(const EvalContext &context,
                              const ParallelPlan &plan)
@@ -87,186 +609,44 @@ StreamBuilder::StreamBuilder(const ModelDesc &desc, const TaskSpec &task,
     }
 }
 
-int32_t
-StreamBuilder::addEvent(BuildState &st, const std::string *name,
-                        StreamKind stream, EventCategory category,
-                        double duration, const std::vector<int32_t> &deps,
-                        bool blocking, int layer_idx, bool backward) const
-{
-    EventNode node;
-    node.name = name;
-    node.stream = stream;
-    node.category = category;
-    node.blocking = blocking;
-    node.backward = backward;
-    node.layerIdx = layer_idx;
-    node.duration = duration;
-    node.depsBegin = static_cast<uint32_t>(st.graph.deps.size());
-    node.depsCount = static_cast<uint32_t>(deps.size());
-    st.graph.deps.insert(st.graph.deps.end(), deps.begin(), deps.end());
-    st.graph.nodes.push_back(node);
-    return static_cast<int32_t>(st.graph.nodes.size()) - 1;
-}
-
-void
-StreamBuilder::paramGatherDeps(const BuildState &st,
-                               std::vector<int32_t> &deps) const
-{
-    // Parameter AllGathers have no data dependency; what limits them
-    // is issue time. Without prefetching the gather is issued when the
-    // consuming layer starts (i.e. after the preceding compute event
-    // finishes); with prefetching it is issued one layer earlier and
-    // can hide behind the preceding layer's compute (Fig. 9).
-    const size_t n = st.computeEvents.size();
-    if (fsdpPrefetch_) {
-        if (n >= 2)
-            deps.push_back(st.computeEvents[n - 2]);
-        return;
-    }
-    if (n >= 1)
-        deps.push_back(st.computeEvents[n - 1]);
-}
-
-void
-StreamBuilder::buildForwardLayer(BuildState &st, int idx) const
-{
-    const LayerView &lv = layers_[static_cast<size_t>(idx)];
-
-    std::vector<int32_t> pre_ids;
-    for (const ResolvedCommOp &op : *lv.ops) {
-        if (op.phase != Phase::Forward || op.position != CommPosition::Pre)
-            continue;
-        std::vector<int32_t> &deps = st.scratchDeps;
-        deps.clear();
-        if (op.kind == Collective::AllGather) {
-            paramGatherDeps(st, deps);
-        } else {
-            // Data-dependent pre-comm (e.g. MoE dispatch).
-            for (int d : desc_.graph.deps(idx)) {
-                if (st.fwdOutput[static_cast<size_t>(d)] >= 0)
-                    deps.push_back(st.fwdOutput[static_cast<size_t>(d)]);
-            }
-        }
-        pre_ids.push_back(addEvent(st, &op.tag,
-                                   StreamKind::Communication,
-                                   op.category, op.duration, deps,
-                                   op.blocking, idx, false));
-    }
-
-    // The layer's compute block.
-    std::vector<int32_t> &cdeps = st.scratchDeps;
-    cdeps = pre_ids;
-    for (int d : desc_.graph.deps(idx)) {
-        if (st.fwdOutput[static_cast<size_t>(d)] >= 0)
-            cdeps.push_back(st.fwdOutput[static_cast<size_t>(d)]);
-    }
-    int32_t cid = addEvent(st, lv.fwdName, StreamKind::Compute,
-                           lv.category, lv.fwdTime, cdeps, true, idx,
-                           false);
-    st.computeEvents.push_back(cid);
-
-    // Post comms; blocking ones become the layer's visible output.
-    int32_t out = cid;
-    for (const ResolvedCommOp &op : *lv.ops) {
-        if (op.phase != Phase::Forward || op.position != CommPosition::Post)
-            continue;
-        std::vector<int32_t> &deps = st.scratchDeps;
-        deps.assign(1, out);
-        int32_t eid = addEvent(st, &op.tag, StreamKind::Communication,
-                               op.category, op.duration, deps,
-                               op.blocking, idx, false);
-        if (op.blocking)
-            out = eid;
-    }
-    st.fwdOutput[static_cast<size_t>(idx)] = out;
-}
-
-void
-StreamBuilder::buildBackwardLayer(BuildState &st, int idx) const
-{
-    const LayerView &lv = layers_[static_cast<size_t>(idx)];
-
-    // Incoming gradients: the backward outputs of this layer's
-    // consumers (or the end of forward for the final layer).
-    std::vector<int32_t> grad_deps;
-    for (int c : desc_.graph.consumers(idx)) {
-        if (st.bwdOutput[static_cast<size_t>(c)] >= 0)
-            grad_deps.push_back(st.bwdOutput[static_cast<size_t>(c)]);
-    }
-    if (grad_deps.empty() &&
-        st.fwdOutput[static_cast<size_t>(idx)] >= 0) {
-        grad_deps.push_back(st.fwdOutput[static_cast<size_t>(idx)]);
-    }
-
-    std::vector<int32_t> pre_ids;
-    for (const ResolvedCommOp &op : *lv.ops) {
-        if (op.phase != Phase::Backward ||
-            op.position != CommPosition::Pre) {
-            continue;
-        }
-        std::vector<int32_t> &deps = st.scratchDeps;
-        if (op.kind == Collective::AllGather) {
-            deps.clear();
-            paramGatherDeps(st, deps);
-        } else {
-            deps = grad_deps;
-        }
-        pre_ids.push_back(addEvent(st, &op.tag,
-                                   StreamKind::Communication,
-                                   op.category, op.duration, deps,
-                                   op.blocking, idx, true));
-    }
-
-    std::vector<int32_t> &cdeps = st.scratchDeps;
-    cdeps = grad_deps;
-    cdeps.insert(cdeps.end(), pre_ids.begin(), pre_ids.end());
-    int32_t cid = addEvent(st, lv.bwdName, StreamKind::Compute,
-                           lv.category, lv.bwdTime, cdeps, true, idx,
-                           true);
-    st.computeEvents.push_back(cid);
-
-    int32_t out = cid;
-    for (const ResolvedCommOp &op : *lv.ops) {
-        if (op.phase != Phase::Backward ||
-            op.position != CommPosition::Post) {
-            continue;
-        }
-        std::vector<int32_t> &deps = st.scratchDeps;
-        deps.assign(1, out);
-        int32_t eid = addEvent(st, &op.tag, StreamKind::Communication,
-                               op.category, op.duration, deps,
-                               op.blocking, idx, true);
-        if (op.blocking)
-            out = eid;
-    }
-    st.bwdOutput[static_cast<size_t>(idx)] = out;
-}
-
 EventGraph
 StreamBuilder::buildGraph() const
 {
     const int num_layers = desc_.graph.numLayers();
-    BuildState st;
-    st.fwdOutput.assign(static_cast<size_t>(num_layers), -1);
-    st.bwdOutput.assign(static_cast<size_t>(num_layers), -1);
+    EventGraph graph;
+    std::vector<int32_t> fwd_out(static_cast<size_t>(num_layers), -1);
+    std::vector<int32_t> bwd_out(static_cast<size_t>(num_layers), -1);
+    std::vector<int32_t> compute_events;
+    std::vector<int32_t> scratch_deps;
+    GraphEmitter em(graph, fwd_out, bwd_out, compute_events,
+                    scratch_deps);
 
-    for (int i = 0; i < num_layers; ++i)
-        buildForwardLayer(st, i);
-    if (needsBackward_) {
-        for (int i = num_layers - 1; i >= 0; --i)
-            buildBackwardLayer(st, i);
+    auto specFor = [&](int i, bool backward) {
+        const LayerView &lv = layers_[static_cast<size_t>(i)];
+        SegmentSpec spec;
+        spec.graph = &desc_.graph;
+        spec.idx = i;
+        spec.computeName = backward ? lv.bwdName : lv.fwdName;
+        spec.computeTime = backward ? lv.bwdTime : lv.fwdTime;
+        spec.category = lv.category;
+        spec.ops = lv.ops;
+        spec.prefetch = fsdpPrefetch_;
+        spec.backward = backward;
+        return spec;
+    };
+
+    for (int i = 0; i < num_layers; ++i) {
+        SegmentSpec spec = specFor(i, false);
+        emitLayerSegment(spec, em);
     }
-
-    // Iteration-end barrier: waits for everything, including
-    // non-blocking gradient collectives.
-    std::vector<int32_t> all_ids(st.graph.nodes.size());
-    for (size_t i = 0; i < all_ids.size(); ++i)
-        all_ids[i] = static_cast<int32_t>(i);
-    addEvent(st, &kIterEndName, StreamKind::Compute,
-             EventCategory::Other, 0.0, all_ids, true, -1,
-             needsBackward_);
-
-    return std::move(st.graph);
+    if (needsBackward_) {
+        for (int i = num_layers - 1; i >= 0; --i) {
+            SegmentSpec spec = specFor(i, true);
+            emitLayerSegment(spec, em);
+        }
+    }
+    appendIterEnd(graph, needsBackward_);
+    return graph;
 }
 
 std::vector<TraceEvent>

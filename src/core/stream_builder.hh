@@ -23,6 +23,15 @@
  * produce the same flat EventGraph; buildGraph() allocates no
  * per-event strings — names are borrowed pointers, materialized only
  * when a caller keeps the Timeline.
+ *
+ * The per-layer emission logic is shared, via a compile-time emitter
+ * parameter, with the symbolic segment-template generator behind
+ * incremental re-evaluation (core/segment_template.hh): one
+ * implementation decides event order and dependency wiring for both
+ * the concrete build and the template build, so the delta path cannot
+ * drift from the full path. buildSegmentSet / spliceSegmentRuns
+ * / appendIterEnd below are that generator and its splicing
+ * counterparts, used by EvalContext::evaluateDelta.
  */
 
 #ifndef MADMAX_CORE_STREAM_BUILDER_HH
@@ -34,6 +43,7 @@
 #include "collective/collective.hh"
 #include "core/eval_context.hh"
 #include "core/layer_processor.hh"
+#include "core/segment_template.hh"
 #include "trace/event_graph.hh"
 #include "trace/trace_event.hh"
 
@@ -85,27 +95,6 @@ class StreamBuilder
         const std::vector<ResolvedCommOp> *ops = nullptr;
     };
 
-    struct BuildState
-    {
-        EventGraph graph;
-        std::vector<int32_t> fwdOutput;     ///< Layer -> fwd output event.
-        std::vector<int32_t> bwdOutput;     ///< Layer -> bwd output event.
-        std::vector<int32_t> computeEvents; ///< Compute events, issue order.
-        std::vector<int32_t> scratchDeps;   ///< Reused dep assembly buffer.
-    };
-
-    int32_t addEvent(BuildState &st, const std::string *name,
-                     StreamKind stream, EventCategory category,
-                     double duration, const std::vector<int32_t> &deps,
-                     bool blocking, int layer_idx, bool backward) const;
-
-    /** Dependency for an FSDP AllGather under (non-)prefetch. */
-    void paramGatherDeps(const BuildState &st,
-                         std::vector<int32_t> &deps) const;
-
-    void buildForwardLayer(BuildState &st, int idx) const;
-    void buildBackwardLayer(BuildState &st, int idx) const;
-
     const ModelDesc &desc_;
     bool needsBackward_;
     bool fsdpPrefetch_;
@@ -116,6 +105,50 @@ class StreamBuilder
     std::vector<std::string> ownedBwdNames_;
     std::vector<std::vector<ResolvedCommOp>> ownedOps_;
 };
+
+/** The iteration-end barrier's trace label ("iter_end"), in stable
+ *  storage so spliced graphs can borrow it like built ones do. */
+const std::string &iterEndEventName();
+
+/**
+ * Append the iteration-end barrier to @p graph: a zero-duration
+ * compute event depending on every event emitted so far, so
+ * non-blocking gradient collectives still bound the makespan.
+ */
+void appendIterEnd(EventGraph &graph, bool backward);
+
+/**
+ * Generate the packed segment arena for one pass direction under one
+ * (strategy-uniform ops table, prefetch) binding — the symbolic twin
+ * of buildGraph()'s per-layer emission, produced by the same code
+ * path. Segments land in emission order (forward layer 0..N-1,
+ * backward layer N-1..0); name pointers borrow from @p costs and
+ * @p perLayerOps, so the set is valid exactly as long as its owning
+ * EvalContext strategy table.
+ */
+void buildSegmentSet(
+    const ModelDesc &desc,
+    const std::vector<EvalContext::LayerCosts> &costs,
+    const std::vector<std::vector<ResolvedCommOp>> &perLayerOps,
+    bool backwardPass, bool prefetch, SegmentSet &out);
+
+/**
+ * Splice a full iteration from packed segment arenas: @p runs holds
+ * the maximal same-class segment runs in emission order — forward
+ * runs covering layers 0..N-1, then (when @p withBackward) backward
+ * runs covering layers N-1..0 — and the graph is rebuilt in one pass:
+ * a single sizing of the node/dep arrays, one bulk contiguous node
+ * copy per run, a flat symbolic-dependency resolution sweep, and the
+ * iteration-end barrier, producing exactly the graph buildGraph()
+ * emits for the plan the runs were resolved from. @p fwdOut /
+ * @p bwdOut / @p computeIds are caller-owned state reused across
+ * splices (resized/cleared here).
+ */
+void spliceSegmentRuns(const SpliceRun *runs, size_t numRuns,
+                       int numLayers, bool withBackward,
+                       EventGraph &graph, std::vector<int32_t> &fwdOut,
+                       std::vector<int32_t> &bwdOut,
+                       std::vector<int32_t> &computeIds);
 
 } // namespace madmax
 

@@ -89,8 +89,16 @@ ParetoEngine::ParetoEngine(std::vector<HardwarePoint> hardware,
     for (HardwarePoint &point : hw_) {
         if (point.name.empty())
             point.name = point.cluster.name;
-        // PerfModel construction validates the cluster spec.
-        models_.emplace_back(point.cluster);
+        // PerfModel construction validates the cluster spec. DSE
+        // never consumes scheduled timelines, so they are disabled:
+        // evaluations carry ~100 KB less state each, and the guided
+        // strategies' DeltaSessions take the incremental splice path
+        // instead of the keepTimeline fall-back (reports are
+        // otherwise identical — nothing the frontier renders reads
+        // the timeline).
+        PerfModelOptions opts;
+        opts.keepTimeline = false;
+        models_.emplace_back(point.cluster, opts);
     }
     if (!shared_)
         owned_ = std::make_unique<EvalEngine>();

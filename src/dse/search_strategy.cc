@@ -38,11 +38,13 @@ drawUnit(std::mt19937_64 &rng)
 /** Evaluate a batch of (hwIndex, plan) points through the engine and
  *  append every result (including cache hits and pruned OOM verdicts)
  *  to @p out in request order. The batch is one evaluateAll call, so
- *  it rides the engine's context grouping and thread pool. */
+ *  it rides the engine's context grouping and thread pool — or, when
+ *  the strategy passes its DeltaSession, the incremental splice path
+ *  (see SearchOptions::deltaEval). */
 void
 evaluateInto(const SearchSpace &space, EvalEngine &engine,
              std::vector<std::pair<size_t, ParallelPlan>> points,
-             SearchOutcome &out)
+             SearchOutcome &out, DeltaSession *session = nullptr)
 {
     if (points.empty())
         return;
@@ -57,7 +59,8 @@ evaluateInto(const SearchSpace &space, EvalEngine &engine,
         requests.push_back(std::move(req));
     }
     EvalStats stats;
-    std::vector<PerfReport> reports = engine.evaluateAll(requests, &stats);
+    std::vector<PerfReport> reports =
+        engine.evaluateAll(requests, &stats, session);
     out.stats += stats;
     out.evaluated.reserve(out.evaluated.size() + requests.size());
     for (size_t i = 0; i < requests.size(); ++i) {
@@ -187,6 +190,11 @@ class CoordinateDescentSearch : public SearchStrategy
             ? std::numeric_limits<long>::max()
             : std::max<long>(0, options.maxEvaluations);
         SearchOutcome out;
+        // Per-run incremental-evaluation session: each sweep's trials
+        // differ from the incumbent in one coordinate, the delta
+        // path's best case.
+        DeltaSession session;
+        DeltaSession *ds = options.deltaEval ? &session : nullptr;
 
         // Seed: the baseline plan — on the warm start's best hardware
         // point when the caller provided one, otherwise on every
@@ -201,7 +209,7 @@ class CoordinateDescentSearch : public SearchStrategy
                 seeds.emplace_back(hw, plan);
         }
         trimToBudget(seeds, budget, out.stats);
-        evaluateInto(space, engine, std::move(seeds), out);
+        evaluateInto(space, engine, std::move(seeds), out, ds);
 
         size_t hwCur = 0;
         PerfReport best;
@@ -235,7 +243,7 @@ class CoordinateDescentSearch : public SearchStrategy
                 }
                 trimToBudget(trials, budget, out.stats);
                 size_t first = out.evaluated.size();
-                evaluateInto(space, engine, std::move(trials), out);
+                evaluateInto(space, engine, std::move(trials), out, ds);
                 for (size_t i = first; i < out.evaluated.size(); ++i) {
                     const SearchCandidate &c = out.evaluated[i];
                     if (c.report.valid &&
@@ -256,7 +264,7 @@ class CoordinateDescentSearch : public SearchStrategy
             }
             trimToBudget(hwTrials, budget, out.stats);
             size_t first = out.evaluated.size();
-            evaluateInto(space, engine, std::move(hwTrials), out);
+            evaluateInto(space, engine, std::move(hwTrials), out, ds);
             for (size_t i = first; i < out.evaluated.size(); ++i) {
                 const SearchCandidate &c = out.evaluated[i];
                 if (c.report.valid &&
@@ -286,6 +294,11 @@ class SimulatedAnnealingSearch : public SearchStrategy
         const long budget = effectiveBudget(space, options);
         std::mt19937_64 rng(options.seed);
         SearchOutcome out;
+        // Per-run incremental-evaluation session: the random walk's
+        // single-point proposals mutate one coordinate at a time, so
+        // nearly every evaluation takes the splice path.
+        DeltaSession session;
+        DeltaSession *ds = options.deltaEval ? &session : nullptr;
 
         // Seed on the most promising hardware point: the warm start's
         // best when the caller provided one (ParetoEngine passes its
@@ -314,7 +327,7 @@ class SimulatedAnnealingSearch : public SearchStrategy
             }
         }
         trimToBudget(seeds, budget, out.stats);
-        evaluateInto(space, engine, std::move(seeds), out);
+        evaluateInto(space, engine, std::move(seeds), out, ds);
 
         size_t hwCur = hwBest;
         ParallelPlan planCur = seedPlan(space);
@@ -385,7 +398,7 @@ class SimulatedAnnealingSearch : public SearchStrategy
                 continue; // Already visited; propose something new.
 
             size_t first = out.evaluated.size();
-            evaluateInto(space, engine, {{hwNext, planNext}}, out);
+            evaluateInto(space, engine, {{hwNext, planNext}}, out, ds);
             const PerfReport &next = out.evaluated[first].report;
             temperature *= options.coolingRate;
             if (!next.valid)
@@ -423,6 +436,11 @@ class GeneticSearch : public SearchStrategy
         const long budget = effectiveBudget(space, options);
         std::mt19937_64 rng(options.seed);
         SearchOutcome out;
+        // Per-run incremental-evaluation session: generations are
+        // small batches of near-duplicate genomes, well inside the
+        // splice path's sweet spot.
+        DeltaSession session;
+        DeltaSession *ds = options.deltaEval ? &session : nullptr;
 
         // Genome: hardware index + one candidate index per class.
         struct Individual
@@ -483,7 +501,7 @@ class GeneticSearch : public SearchStrategy
             trimToBudget(sweep, budget, out.stats);
             size_t swept = sweep.size();
             size_t first = out.evaluated.size();
-            evaluateInto(space, engine, std::move(sweep), out);
+            evaluateInto(space, engine, std::move(sweep), out, ds);
             double bestFit = -1.0;
             for (size_t i = first; i < first + swept; ++i) {
                 double fit = fitnessOf(out.evaluated[i].report);
@@ -526,7 +544,7 @@ class GeneticSearch : public SearchStrategy
             for (const Individual &ind : fresh)
                 points.emplace_back(ind.hw, toPlan(ind));
             size_t first = out.evaluated.size();
-            evaluateInto(space, engine, std::move(points), out);
+            evaluateInto(space, engine, std::move(points), out, ds);
             for (size_t i = 0; i < fresh.size(); ++i) {
                 fresh[i].fitness =
                     fitnessOf(out.evaluated[first + i].report);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <tuple>
 #include <unordered_map>
@@ -167,6 +168,33 @@ keySuffix(const ModelDesc &desc, const ParallelPlan &plan)
 
 } // namespace
 
+/**
+ * One persistent (context, splice buffers) pair per (model, desc,
+ * task) triple, keyed by pointer identity like engine batch grouping.
+ * std::map keeps slot addresses stable across inserts — evaluateAll
+ * holds DeltaState pointers while later requests may add slots.
+ */
+struct DeltaSession::Impl
+{
+    struct Slot
+    {
+        std::shared_ptr<EvalContext> ctx;
+        EvalContext::DeltaState state;
+    };
+    std::map<std::tuple<const void *, const void *, const void *>, Slot>
+        slots;
+};
+
+DeltaSession::DeltaSession() : impl_(std::make_unique<Impl>()) {}
+
+DeltaSession::~DeltaSession() = default;
+
+size_t
+DeltaSession::slots() const
+{
+    return impl_->slots.size();
+}
+
 EvalEngine::EvalEngine(EvalEngineOptions options)
     : options_(options)
 {
@@ -267,7 +295,7 @@ EvalEngine::counters() const
 
 std::vector<PerfReport>
 EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
-                        EvalStats *stats)
+                        EvalStats *stats, DeltaSession *session)
 {
     auto t0 = std::chrono::steady_clock::now();
     EvalStats local;
@@ -328,6 +356,9 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
         std::vector<size_t> dups; ///< Served from firstIdx's report.
         std::string key;
         std::shared_ptr<EvalContext> ctx; ///< The group's context.
+        /// Session splice buffers (null without a session); non-null
+        /// routes the evaluation through EvalContext::evaluateDelta.
+        EvalContext::DeltaState *delta = nullptr;
     };
     std::vector<Pending> pending;
     std::unordered_map<std::string, size_t> keyToPending;
@@ -378,24 +409,50 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
         ++local.evaluations;
         if (options_.memoize)
             keyToPending.emplace(keys[i], pending.size());
-        if (!group.ctx) {
+        EvalContext::DeltaState *delta = nullptr;
+        if (session) {
+            // The session owns the context and its splice buffers:
+            // reusing the slot across evaluateAll calls is what keeps
+            // the delta path incremental over a whole search run.
+            auto &slot = session->impl_->slots[std::make_tuple(
+                static_cast<const void *>(req.model),
+                static_cast<const void *>(req.desc),
+                static_cast<const void *>(req.task))];
+            if (!slot.ctx) {
+                slot.ctx = std::make_shared<EvalContext>(
+                    *req.model, *req.desc, *req.task);
+            }
+            group.ctx = slot.ctx;
+            delta = &slot.state;
+        } else if (!group.ctx) {
             group.ctx = std::make_shared<EvalContext>(
                 *req.model, *req.desc, *req.task);
         }
-        pending.push_back(Pending{i, {}, keys[i], group.ctx});
+        pending.push_back(Pending{i, {}, keys[i], group.ctx, delta});
     }
 
     auto evaluateAt = [&](size_t p) {
         const PlanRequest &req = requests[pending[p].firstIdx];
-        results[pending[p].firstIdx] =
-            pending[p].ctx->evaluate(req.plan);
+        if (pending[p].delta) {
+            results[pending[p].firstIdx] = pending[p].ctx->evaluateDelta(
+                *pending[p].delta, req.plan);
+        } else {
+            results[pending[p].firstIdx] =
+                pending[p].ctx->evaluate(req.plan);
+        }
     };
-    if (pool_ && pending.size() > 1) {
+    if (!session && pool_ && pending.size() > 1) {
         pool_->parallelFor(pending.size(), evaluateAt);
     } else {
-        for (size_t p = 0; p < pending.size(); ++p)
+        // Session evaluations mutate their slot's DeltaState, so they
+        // run serially on the caller's thread (see DeltaSession).
+        for (size_t p = 0; p < pending.size(); ++p) {
             evaluateAt(p);
+            if (pending[p].delta && pending[p].delta->lastUsedDelta)
+                ++local.deltaEvals;
+        }
     }
+    local.fullEvals = local.evaluations - local.deltaEvals;
 
     for (const Pending &p : pending) {
         if (options_.memoize) {
@@ -434,6 +491,13 @@ toJson(const EvalStats &stats)
     out.set("cache_hits", stats.cacheHits);
     out.set("pruned", stats.pruned);
     out.set("wall_seconds", stats.wallSeconds);
+    // Only sessions produce a nonzero delta split; keep the historical
+    // four-field schema byte-identical for everything else (goldens
+    // embed it).
+    if (stats.deltaEvals != 0) {
+        out.set("delta_evals", stats.deltaEvals);
+        out.set("full_evals", stats.fullEvals);
+    }
     return out;
 }
 

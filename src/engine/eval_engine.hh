@@ -51,10 +51,23 @@ class ThreadPool;
  */
 struct EvalStats
 {
-    long evaluations = 0; ///< Full PerfModel::evaluate calls executed.
+    long evaluations = 0; ///< Fresh model evaluations executed.
     long cacheHits = 0;   ///< Requests served from the memo cache.
     long pruned = 0;      ///< OOM plans resolved by the memory pre-pass.
     double wallSeconds = 0.0; ///< Wall-clock time inside the engine.
+
+    /**
+     * Split of `evaluations` by evaluation path:
+     * deltaEvals + fullEvals == evaluations, always. deltaEvals counts
+     * evaluations that took the incremental splice path of a
+     * DeltaSession (EvalContext::evaluateDelta with a prior plan to
+     * reuse); fullEvals counts complete stream builds — including a
+     * session's first evaluation per context and every fall-back
+     * (keepTimeline, context switch, OOM verdict). Both stay 0 /
+     * equal to `evaluations` respectively when no session is passed.
+     */
+    long deltaEvals = 0;
+    long fullEvals = 0;
 
     /** Total points requested (evaluations + cacheHits + pruned). */
     long requests() const { return evaluations + cacheHits + pruned; }
@@ -65,6 +78,8 @@ struct EvalStats
         cacheHits += o.cacheHits;
         pruned += o.pruned;
         wallSeconds += o.wallSeconds;
+        deltaEvals += o.deltaEvals;
+        fullEvals += o.fullEvals;
         return *this;
     }
 };
@@ -72,9 +87,52 @@ struct EvalStats
 /**
  * Search-cost JSON rendering shared by the CLI's `"search"` object
  * and the serving API (`/v1/explore`, `/v1/stats`), keeping their
- * schemas in lockstep.
+ * schemas in lockstep. The delta split (`delta_evals` / `full_evals`)
+ * is emitted only when incremental evaluation actually happened
+ * (deltaEvals != 0), so consumers of the historical four-field schema
+ * see it unchanged.
  */
 JsonValue toJson(const EvalStats &stats);
+
+/**
+ * Caller-owned incremental-evaluation session. Pass one to
+ * evaluateAll and the engine evaluates through
+ * EvalContext::evaluateDelta instead of EvalContext::evaluate: the
+ * session keeps one (context, DeltaState) slot per (model, desc,
+ * task) triple it has seen, so across calls — a guided search's
+ * mutation loop — context construction is paid once per triple and
+ * every subsequent plan splices its event graph from cached segment
+ * templates (reports stay bit-identical; see
+ * EvalContext::evaluateDelta).
+ *
+ * Trade-off: a DeltaState is inherently sequential, so session
+ * evaluations run serially on the caller's thread instead of the
+ * engine pool. That is the right trade for incremental single-point /
+ * small-batch loops (annealing proposals, genetic generations);
+ * wide independent batches (exhaustive sweeps) should keep passing no
+ * session and ride the pool.
+ *
+ * Not thread-safe: use from one thread at a time. The referenced
+ * model/desc/task objects must outlive the session (slots are keyed
+ * and bound by pointer identity, like engine batch grouping).
+ */
+class DeltaSession
+{
+  public:
+    DeltaSession();
+    ~DeltaSession();
+
+    DeltaSession(const DeltaSession &) = delete;
+    DeltaSession &operator=(const DeltaSession &) = delete;
+
+    /** Distinct (model, desc, task) triples bound so far. */
+    size_t slots() const;
+
+  private:
+    friend class EvalEngine;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /**
  * Cumulative engine-lifetime observability counters, the backing data
@@ -158,10 +216,16 @@ class EvalEngine
      * timeline even when the model keeps them. Callers that consume
      * timelines (trace export, stream plots) evaluate through
      * PerfModel directly.
+     *
+     * @p session, when given, switches fresh evaluations to the
+     * incremental delta path (serial, session-resident contexts — see
+     * DeltaSession); results are bit-identical either way, and
+     * EvalStats::deltaEvals / fullEvals record the split.
      */
     std::vector<PerfReport>
     evaluateAll(const std::vector<PlanRequest> &requests,
-                EvalStats *stats = nullptr);
+                EvalStats *stats = nullptr,
+                DeltaSession *session = nullptr);
 
     /** Single-point convenience wrapper over evaluateAll. @p stats,
      *  when given, is *accumulated* into (callers tally loops). */

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Differential pin for incremental (delta) re-evaluation: over long
+ * randomized single-class mutation walks, EvalContext::evaluateDelta
+ * must produce reports bit-identical to EvalContext::evaluate on
+ * every PerfReport field, for every model/task combination the paper
+ * sweeps — and it must fall back to the full path (not silently
+ * diverge) on retained timelines, task switches, and present-class-
+ * set changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/eval_context.hh"
+#include "core/strategy_explorer.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/**
+ * Exact equality on every non-timeline PerfReport field. EXPECT_EQ on
+ * double compares representations exactly (no tolerance), which is
+ * the contract: the delta path is a pure optimization.
+ */
+void
+expectBitIdentical(const PerfReport &a, const PerfReport &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.modelName, b.modelName) << what;
+    EXPECT_EQ(a.clusterName, b.clusterName) << what;
+    EXPECT_EQ(a.taskName, b.taskName) << what;
+    EXPECT_EQ(a.plan.toString(), b.plan.toString()) << what;
+    EXPECT_EQ(a.plan.fsdpPrefetch, b.plan.fsdpPrefetch) << what;
+    EXPECT_EQ(a.valid, b.valid) << what;
+    EXPECT_EQ(a.memory.paramBytes, b.memory.paramBytes) << what;
+    EXPECT_EQ(a.memory.gradBytes, b.memory.gradBytes) << what;
+    EXPECT_EQ(a.memory.optimizerBytes, b.memory.optimizerBytes) << what;
+    EXPECT_EQ(a.memory.activationBytes, b.memory.activationBytes)
+        << what;
+    EXPECT_EQ(a.memory.transientBytes, b.memory.transientBytes) << what;
+    EXPECT_EQ(a.memory.usableCapacity, b.memory.usableCapacity) << what;
+    EXPECT_EQ(a.iterationTime, b.iterationTime) << what;
+    EXPECT_EQ(a.serializedTime, b.serializedTime) << what;
+    EXPECT_EQ(a.computeTime, b.computeTime) << what;
+    EXPECT_EQ(a.commTime, b.commTime) << what;
+    EXPECT_EQ(a.exposedCommTime, b.exposedCommTime) << what;
+    EXPECT_EQ(a.globalBatchSize, b.globalBatchSize) << what;
+    EXPECT_EQ(a.contextLength, b.contextLength) << what;
+    EXPECT_EQ(a.serializedBreakdown, b.serializedBreakdown) << what;
+    EXPECT_EQ(a.exposedBreakdown, b.exposedBreakdown) << what;
+}
+
+/** The layer classes @p desc actually contains, in enum order. */
+std::vector<LayerClass>
+presentClasses(const ModelDesc &desc)
+{
+    std::set<LayerClass> seen;
+    for (int i = 0; i < desc.graph.numLayers(); ++i)
+        seen.insert(desc.graph.layer(i).layerClass());
+    return {seen.begin(), seen.end()};
+}
+
+/**
+ * Seeded randomized differential walk: start from the FSDP baseline
+ * and mutate one knob per step — one present class's strategy, or
+ * the prefetch flag — comparing full and delta evaluation bitwise at
+ * every step. Infeasible (OOM) candidates are evaluated too: both
+ * paths must short-circuit identically.
+ */
+void
+runDifferentialWalk(ModelDesc desc, const ClusterSpec &cluster,
+                    TaskSpec task, uint64_t seed, int steps = 500)
+{
+    PerfModelOptions opts;
+    opts.keepTimeline = false;
+    PerfModel perf(cluster, opts);
+    EvalContext context(perf, desc, task);
+    EvalContext::DeltaState state;
+
+    const std::vector<LayerClass> classes = presentClasses(desc);
+    ASSERT_FALSE(classes.empty());
+
+    std::mt19937_64 rng(seed);
+    ParallelPlan plan = ParallelPlan::fsdpBaseline();
+    for (int step = 0; step < steps; ++step) {
+        if (rng() % 8 == 0) {
+            plan.fsdpPrefetch = !plan.fsdpPrefetch;
+        } else {
+            const LayerClass cls = classes[rng() % classes.size()];
+            const std::vector<HierStrategy> cands =
+                StrategyExplorer::candidates(cls);
+            ASSERT_FALSE(cands.empty());
+            plan.set(cls, cands[rng() % cands.size()]);
+        }
+
+        const PerfReport full = context.evaluate(plan);
+        const PerfReport delta = context.evaluateDelta(state, plan);
+        expectBitIdentical(full, delta,
+                           "step " + std::to_string(step) + " plan " +
+                               plan.toString());
+        if (::testing::Test::HasFailure())
+            break; // One mismatch is enough signal; don't spam 500.
+    }
+}
+
+} // namespace
+
+TEST(DeltaEval, WalkBitwiseIdenticalDlrmAPretrain)
+{
+    runDifferentialWalk(model_zoo::dlrmA(), hw_zoo::dlrmTrainingSystem(),
+                        TaskSpec::preTraining(), 0xd11a);
+}
+
+TEST(DeltaEval, WalkBitwiseIdenticalDlrmAInference)
+{
+    runDifferentialWalk(model_zoo::dlrmA(), hw_zoo::dlrmTrainingSystem(),
+                        TaskSpec::inference(), 0xd11b);
+}
+
+TEST(DeltaEval, WalkBitwiseIdenticalGpt3Pretrain)
+{
+    runDifferentialWalk(model_zoo::gpt3(), hw_zoo::llmTrainingSystem(),
+                        TaskSpec::preTraining(), 0x69e7);
+}
+
+TEST(DeltaEval, WalkBitwiseIdenticalGpt3Inference)
+{
+    runDifferentialWalk(model_zoo::gpt3(), hw_zoo::llmTrainingSystem(),
+                        TaskSpec::inference(), 0x69e8);
+}
+
+TEST(DeltaEval, WalkBitwiseIdenticalMoePretrain)
+{
+    runDifferentialWalk(model_zoo::llmMoe(), hw_zoo::llmTrainingSystem(),
+                        TaskSpec::preTraining(), 0x30e1);
+}
+
+TEST(DeltaEval, WalkBitwiseIdenticalMoeInference)
+{
+    runDifferentialWalk(model_zoo::llmMoe(), hw_zoo::llmTrainingSystem(),
+                        TaskSpec::inference(), 0x30e2);
+}
+
+/**
+ * keepTimeline models fall back to the full path: the report matches
+ * evaluate() including the materialized timeline, the state does not
+ * advance (no splice to diff against later), and lastUsedDelta
+ * reports the fall-back.
+ */
+TEST(DeltaEval, KeepTimelineFallsBackToFullEvaluation)
+{
+    ModelDesc desc = model_zoo::gpt3();
+    PerfModel perf(hw_zoo::llmTrainingSystem()); // keepTimeline default.
+    ASSERT_TRUE(perf.options().keepTimeline);
+    TaskSpec task = TaskSpec::preTraining();
+    EvalContext context(perf, desc, task);
+    EvalContext::DeltaState state;
+
+    const ParallelPlan plan = ParallelPlan::fsdpBaseline();
+    const PerfReport full = context.evaluate(plan);
+    const PerfReport delta = context.evaluateDelta(state, plan);
+
+    expectBitIdentical(full, delta, "keepTimeline fall-back");
+    ASSERT_EQ(full.timeline.events.size(), delta.timeline.events.size());
+    EXPECT_GT(delta.timeline.events.size(), 0u);
+    EXPECT_EQ(full.timeline.makespan, delta.timeline.makespan);
+    EXPECT_FALSE(state.lastUsedDelta);
+    EXPECT_FALSE(state.hasPlan);
+    EXPECT_TRUE(state.graph.nodes.empty());
+}
+
+/**
+ * A task switch (same model, other task — a different event-graph
+ * shape) rebinds the state: the first evaluation under the new
+ * context is a from-scratch splice, not a diff against the old one,
+ * and stays bitwise correct.
+ */
+TEST(DeltaEval, TaskSwitchRebindsStateAndStaysBitwise)
+{
+    ModelDesc desc = model_zoo::gpt3();
+    ClusterSpec cluster = hw_zoo::llmTrainingSystem();
+    PerfModelOptions opts;
+    opts.keepTimeline = false;
+    PerfModel perf(cluster, opts);
+    TaskSpec pretrain = TaskSpec::preTraining();
+    TaskSpec inference = TaskSpec::inference();
+    EvalContext trainCtx(perf, desc, pretrain);
+    EvalContext inferCtx(perf, desc, inference);
+    EvalContext::DeltaState state;
+
+    const ParallelPlan plan = ParallelPlan::fsdpBaseline();
+    trainCtx.evaluateDelta(state, plan);
+    trainCtx.evaluateDelta(state, plan);
+    EXPECT_TRUE(state.lastUsedDelta); // Warm within one context.
+
+    const PerfReport full = inferCtx.evaluate(plan);
+    const PerfReport delta = inferCtx.evaluateDelta(state, plan);
+    expectBitIdentical(full, delta, "task switch");
+    EXPECT_FALSE(state.lastUsedDelta); // From-scratch splice.
+
+    inferCtx.evaluateDelta(state, plan);
+    EXPECT_TRUE(state.lastUsedDelta); // Warm again under new binding.
+}
+
+/**
+ * A present-class-set change (different ModelDesc) is the other
+ * structural fall-back: the rebind starts from scratch and the first
+ * evaluation under the new model is still bitwise identical.
+ */
+TEST(DeltaEval, ClassSetChangeRebindsStateAndStaysBitwise)
+{
+    ClusterSpec cluster = hw_zoo::dlrmTrainingSystem();
+    PerfModelOptions opts;
+    opts.keepTimeline = false;
+    PerfModel perf(cluster, opts);
+    TaskSpec task = TaskSpec::preTraining();
+
+    // DLRM-A has sparse embeddings + dense classes; the transformer
+    // variant adds the Transformer class — a different class set.
+    ModelDesc mlp = model_zoo::dlrmA();
+    ModelDesc trans = model_zoo::dlrmATransformer();
+    EvalContext mlpCtx(perf, mlp, task);
+    EvalContext transCtx(perf, trans, task);
+    EvalContext::DeltaState state;
+
+    const ParallelPlan plan = ParallelPlan::fsdpBaseline();
+    mlpCtx.evaluateDelta(state, plan);
+    mlpCtx.evaluateDelta(state, plan);
+    EXPECT_TRUE(state.lastUsedDelta);
+
+    const PerfReport full = transCtx.evaluate(plan);
+    const PerfReport delta = transCtx.evaluateDelta(state, plan);
+    expectBitIdentical(full, delta, "class-set change");
+    EXPECT_FALSE(state.lastUsedDelta);
+}
+
+/**
+ * OOM verdicts short-circuit without touching the splice state, on
+ * both the first and subsequent evaluations — and a feasible plan
+ * right after still diffs against the last *spliced* plan correctly.
+ */
+TEST(DeltaEval, OomShortCircuitMatchesFullAndPreservesState)
+{
+    ModelDesc desc = model_zoo::gpt3();
+    ClusterSpec cluster = hw_zoo::llmTrainingSystem();
+    PerfModelOptions opts;
+    opts.keepTimeline = false;
+    PerfModel perf(cluster, opts);
+    TaskSpec task = TaskSpec::preTraining();
+    EvalContext context(perf, desc, task);
+    EvalContext::DeltaState state;
+
+    // Fully replicated GPT-3 training state cannot fit one device.
+    ParallelPlan oom;
+    oom.set(LayerClass::Transformer, HierStrategy{Strategy::DDP});
+    oom.set(LayerClass::DenseEmbedding, HierStrategy{Strategy::DDP});
+    oom.set(LayerClass::BaseDense, HierStrategy{Strategy::DDP});
+    const PerfReport fullOom = context.evaluate(oom);
+    ASSERT_FALSE(fullOom.valid);
+
+    const ParallelPlan feasible = ParallelPlan::fsdpBaseline();
+    context.evaluateDelta(state, feasible);
+    const PerfReport deltaOom = context.evaluateDelta(state, oom);
+    expectBitIdentical(fullOom, deltaOom, "OOM short-circuit");
+    EXPECT_FALSE(state.lastUsedDelta);
+
+    // The feasible re-evaluation after the OOM detour still matches.
+    const PerfReport full = context.evaluate(feasible);
+    const PerfReport delta = context.evaluateDelta(state, feasible);
+    expectBitIdentical(full, delta, "post-OOM resume");
+    EXPECT_TRUE(state.lastUsedDelta);
+}
+
+} // namespace madmax

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Delta re-evaluation in the guided searches must be invisible in
+ * every output and visible only in cost accounting: for equal seeds
+ * and budgets, annealing / genetic / coordinate-descent produce
+ * byte-identical visit sequences, frontiers, and bestPerHw with
+ * SearchOptions::deltaEval on and off, and EvalStats always satisfies
+ * deltaEvals + fullEvals == evaluations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dse/pareto_engine.hh"
+#include "dse/search_strategy.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/**
+ * A two-point joint space over DLRM-A with timeline retention off —
+ * the configuration under which the incremental splice path actually
+ * engages (keepTimeline models always fall back to full builds).
+ */
+struct DeltaFixture
+{
+    ModelDesc desc = model_zoo::dlrmA();
+    TaskSpec task = TaskSpec::preTraining();
+    PerfModelOptions opts;
+    PerfModel small;
+    PerfModel large;
+    SearchSpace space;
+
+    static PerfModelOptions noTimeline()
+    {
+        PerfModelOptions o;
+        o.keepTimeline = false;
+        return o;
+    }
+
+    DeltaFixture()
+        : opts(noTimeline()),
+          small(hw_zoo::dlrmTrainingSystem().withNumNodes(8), opts),
+          large(hw_zoo::dlrmTrainingSystem(), opts)
+    {
+        space = makeSearchSpace({&small, &large}, desc, task);
+    }
+};
+
+/** Byte-exact fingerprint of one visited candidate. */
+std::string
+candidateKey(size_t hwIndex, const ParallelPlan &plan,
+             const PerfReport &report)
+{
+    std::string key = std::to_string(hwIndex) + '|' + plan.toString() +
+                      (plan.fsdpPrefetch ? "+p" : "-p") + '|';
+    key += std::to_string(report.valid) + '|';
+    // Hex-exact doubles: any drift in the evaluation path shows here.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a|%a|%a", report.iterationTime,
+                  report.exposedCommTime, report.memory.total());
+    return key + buf;
+}
+
+std::vector<std::string>
+outcomeTrace(const SearchOutcome &outcome)
+{
+    std::vector<std::string> trace;
+    trace.reserve(outcome.evaluated.size());
+    for (const SearchCandidate &c : outcome.evaluated)
+        trace.push_back(candidateKey(c.hwIndex, c.plan, c.report));
+    return trace;
+}
+
+std::vector<std::string>
+paretoTrace(const std::vector<ParetoCandidate> &candidates)
+{
+    std::vector<std::string> trace;
+    trace.reserve(candidates.size());
+    for (const ParetoCandidate &c : candidates)
+        trace.push_back(candidateKey(c.hwIndex, c.plan, c.report));
+    return trace;
+}
+
+void
+expectDeltaSplitInvariant(const EvalStats &stats, bool deltaOn)
+{
+    EXPECT_EQ(stats.deltaEvals + stats.fullEvals, stats.evaluations);
+    if (deltaOn)
+        EXPECT_GT(stats.deltaEvals, 0);
+    else
+        EXPECT_EQ(stats.deltaEvals, 0);
+}
+
+} // namespace
+
+TEST(GuidedDelta, SearchOutcomesIdenticalWithDeltaOnAndOff)
+{
+    DeltaFixture cfg;
+    for (const std::string &name :
+         {std::string("coordinate-descent"), std::string("annealing"),
+          std::string("genetic")}) {
+        std::unique_ptr<SearchStrategy> strategy =
+            makeSearchStrategy(name);
+
+        SearchOptions on;
+        on.maxEvaluations = 60;
+        on.deltaEval = true;
+        SearchOptions off = on;
+        off.deltaEval = false;
+
+        EvalEngine engineOn;
+        EvalEngine engineOff;
+        const SearchOutcome a =
+            strategy->run(cfg.space, engineOn, on);
+        const SearchOutcome b =
+            strategy->run(cfg.space, engineOff, off);
+
+        EXPECT_EQ(outcomeTrace(a), outcomeTrace(b)) << name;
+        EXPECT_EQ(a.stats.evaluations, b.stats.evaluations) << name;
+        EXPECT_EQ(a.stats.cacheHits, b.stats.cacheHits) << name;
+        EXPECT_EQ(a.stats.pruned, b.stats.pruned) << name;
+        expectDeltaSplitInvariant(a.stats, /*deltaOn=*/true);
+        expectDeltaSplitInvariant(b.stats, /*deltaOn=*/false);
+    }
+}
+
+TEST(GuidedDelta, ExhaustiveIgnoresDeltaSessions)
+{
+    DeltaFixture cfg;
+    std::unique_ptr<SearchStrategy> strategy =
+        makeSearchStrategy("exhaustive");
+    SearchOptions on;
+    on.deltaEval = true;
+    EvalEngine engine;
+    const SearchOutcome outcome = strategy->run(cfg.space, engine, on);
+    // The one wide batch stays on the engine pool: no delta split.
+    EXPECT_EQ(outcome.stats.deltaEvals, 0);
+    EXPECT_EQ(outcome.stats.fullEvals, outcome.stats.evaluations);
+}
+
+TEST(GuidedDelta, ParetoFrontiersIdenticalWithDeltaOnAndOff)
+{
+    std::vector<HardwarePoint> hw = nodeCountSweep(
+        hw_zoo::dlrmTrainingSystem(), {8, 16});
+    ModelDesc desc = model_zoo::dlrmA();
+    TaskSpec task = TaskSpec::preTraining();
+
+    for (const std::string &name :
+         {std::string("annealing"), std::string("genetic")}) {
+        ParetoOptions on;
+        on.strategy = name;
+        on.search.maxEvaluations = 60;
+        on.search.deltaEval = true;
+        ParetoOptions off = on;
+        off.search.deltaEval = false;
+
+        ParetoEngine engineOn(hw);
+        ParetoEngine engineOff(hw);
+        const ParetoFrontier a = engineOn.explore(desc, task, on);
+        const ParetoFrontier b = engineOff.explore(desc, task, off);
+
+        EXPECT_EQ(paretoTrace(a.points), paretoTrace(b.points)) << name;
+        EXPECT_EQ(paretoTrace(a.bestPerHw), paretoTrace(b.bestPerHw))
+            << name;
+        EXPECT_EQ(paretoTrace(a.candidates), paretoTrace(b.candidates))
+            << name;
+        EXPECT_EQ(a.stats.evaluations, b.stats.evaluations) << name;
+        expectDeltaSplitInvariant(a.stats, /*deltaOn=*/true);
+        expectDeltaSplitInvariant(b.stats, /*deltaOn=*/false);
+    }
+}
+
+} // namespace madmax

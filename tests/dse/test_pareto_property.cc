@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Randomized property pin for the N-dimensional Pareto extractor: on
+ * seeded random point clouds (2–4 objectives, duplicates and ties
+ * included), the frontier must be mutually non-dominated, and every
+ * dropped point must be accounted for — dominated by some frontier
+ * point, or a bitwise duplicate of an earlier frontier point (the
+ * documented first-occurrence tie rule).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "dse/pareto.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+std::vector<ParetoPointNd>
+randomCloud(std::mt19937_64 &rng, size_t dims, size_t count)
+{
+    // A small discrete value set forces ties and duplicates, which is
+    // where dominance logic usually goes wrong.
+    std::uniform_int_distribution<int> coord(0, 7);
+    std::vector<ParetoPointNd> pts(count);
+    for (size_t i = 0; i < count; ++i) {
+        pts[i].tag = i;
+        pts[i].objectives.resize(dims);
+        for (size_t d = 0; d < dims; ++d)
+            pts[i].objectives[d] = static_cast<double>(coord(rng));
+    }
+    return pts;
+}
+
+} // namespace
+
+TEST(ParetoNdProperty, FrontierIsMutuallyNonDominated)
+{
+    std::mt19937_64 rng(0xf207);
+    for (int round = 0; round < 40; ++round) {
+        const size_t dims = 2 + round % 3;
+        std::vector<ParetoPointNd> pts = randomCloud(rng, dims, 60);
+        const std::vector<size_t> frontier = paretoFrontierNd(pts);
+
+        for (size_t a : frontier) {
+            for (size_t b : frontier) {
+                if (a == b)
+                    continue;
+                EXPECT_FALSE(dominates(pts[a], pts[b]))
+                    << "round " << round << ": frontier point " << a
+                    << " dominates frontier point " << b;
+            }
+        }
+    }
+}
+
+TEST(ParetoNdProperty, EveryDroppedPointIsAccountedFor)
+{
+    std::mt19937_64 rng(0xacc7);
+    for (int round = 0; round < 40; ++round) {
+        const size_t dims = 2 + round % 3;
+        std::vector<ParetoPointNd> pts = randomCloud(rng, dims, 60);
+        const std::vector<size_t> frontier = paretoFrontierNd(pts);
+
+        std::vector<bool> kept(pts.size(), false);
+        for (size_t f : frontier)
+            kept[f] = true;
+
+        for (size_t i = 0; i < pts.size(); ++i) {
+            if (kept[i])
+                continue;
+            bool dominated = false;
+            bool duplicateOfEarlierKept = false;
+            for (size_t f : frontier) {
+                if (dominates(pts[f], pts[i]))
+                    dominated = true;
+                if (f < i && pts[f].objectives == pts[i].objectives)
+                    duplicateOfEarlierKept = true;
+            }
+            EXPECT_TRUE(dominated || duplicateOfEarlierKept)
+                << "round " << round << ": dropped point " << i
+                << " is neither dominated nor a duplicate of a kept "
+                   "frontier point";
+        }
+    }
+}
+
+} // namespace madmax
