@@ -2,9 +2,11 @@
  * @file
  * Closed-loop client throughput bench for the serving layer: starts
  * an in-process `madmax serve` stack (EvalService + HttpServer on a
- * free loopback port), then drives it with closed-loop clients (each
- * client issues its next request only after the previous response
- * lands — the standard interactive-user model).
+ * free loopback port), then drives it with N closed-loop keep-alive
+ * clients (each client holds one persistent connection and issues its
+ * next request only after the previous response lands — the standard
+ * interactive-user model) and reports achieved req/s plus p50/p99
+ * per-request latency.
  *
  * Three phases:
  *   cold    one request against an empty memo cache (startup +
@@ -23,11 +25,15 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,51 +52,92 @@ namespace
 {
 
 constexpr int kClients = 4;
-constexpr int kCachedRequests = 50; ///< Per client, cached phase.
-constexpr int kMixedRequests = 16;  ///< Per client, mixed phase.
+constexpr int kCachedRequests = 2000; ///< Per client, cached phase.
+constexpr int kMixedRequests = 500;   ///< Per client, mixed phase.
 
-/** Minimal closed-loop HTTP client: one request per connection. */
-std::string
-httpPost(int port, const std::string &path, const std::string &body)
+/** Closed-loop HTTP/1.1 keep-alive client: one persistent
+ *  connection, one outstanding request at a time. */
+class BenchClient
 {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0)
-        return "";
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<uint16_t>(port));
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        ::close(fd);
-        return "";
+  public:
+    explicit BenchClient(int port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return;
+        int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
     }
-    std::string raw = "POST " + path + " HTTP/1.1\r\n"
-        "Host: localhost\r\nContent-Type: application/json\r\n"
-        "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
-        body;
-    size_t off = 0;
-    while (off < raw.size()) {
-        ssize_t n = ::send(fd, raw.data() + off, raw.size() - off,
-                           MSG_NOSIGNAL);
-        if (n <= 0)
-            break;
-        off += static_cast<size_t>(n);
-    }
-    std::string resp;
-    char chunk[4096];
-    ssize_t n;
-    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
-        resp.append(chunk, static_cast<size_t>(n));
-    ::close(fd);
-    return resp;
-}
 
-bool
-isOk(const std::string &response)
-{
-    return response.rfind("HTTP/1.1 200", 0) == 0;
-}
+    ~BenchClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    BenchClient(const BenchClient &) = delete;
+    BenchClient &operator=(const BenchClient &) = delete;
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** POST @p body and read one full response; returns true iff the
+     *  response is a 200. The connection stays open (keep-alive). */
+    bool post(const std::string &path, const std::string &body)
+    {
+        std::string raw = "POST " + path + " HTTP/1.1\r\n"
+            "Host: localhost\r\nContent-Type: application/json\r\n"
+            "Content-Length: " + std::to_string(body.size()) +
+            "\r\n\r\n" + body;
+        size_t off = 0;
+        while (off < raw.size()) {
+            ssize_t n = ::send(fd_, raw.data() + off,
+                               raw.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                return false;
+            off += static_cast<size_t>(n);
+        }
+        return readResponse();
+    }
+
+  private:
+    /** Read one Content-Length-framed response off the connection. */
+    bool readResponse()
+    {
+        char chunk[16384];
+        for (;;) {
+            size_t headerEnd = buf_.find("\r\n\r\n");
+            if (headerEnd != std::string::npos) {
+                size_t clPos = buf_.find("Content-Length:");
+                if (clPos == std::string::npos ||
+                    clPos > headerEnd)
+                    return false;
+                size_t len = std::stoul(buf_.substr(clPos + 15));
+                size_t total = headerEnd + 4 + len;
+                if (buf_.size() >= total) {
+                    bool ok = buf_.rfind("HTTP/1.1 200", 0) == 0;
+                    buf_.erase(0, total);
+                    return ok;
+                }
+            }
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                return false;
+            buf_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+    int fd_ = -1;
+    std::string buf_;
+};
 
 /** An evaluate body for the DLRM-A / ZionEX triple with the given
  *  base-dense strategy (distinct strategies -> distinct cache keys). */
@@ -115,28 +162,70 @@ evaluateBody(const std::string &base_dense)
     return body.dump(2);
 }
 
-/** Run @p requests_per_client closed-loop requests on each of
- *  kClients threads; returns achieved requests/second. */
 double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct LoopResult
+{
+    double rps = 0;
+    double p50 = 0; ///< Seconds.
+    double p99 = 0; ///< Seconds.
+};
+
+/** Run @p requests_per_client closed-loop keep-alive requests on each
+ *  of kClients threads, timing every request. */
+LoopResult
 closedLoop(int port, const std::vector<std::string> &bodies,
            int requests_per_client, std::atomic<long> &failures)
 {
+    std::mutex latMutex;
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<size_t>(kClients) *
+                      requests_per_client);
+
     WallTimer timer;
     std::vector<std::thread> clients;
     for (int c = 0; c < kClients; ++c) {
         clients.emplace_back([&, c] {
+            BenchClient client(port);
+            if (!client.connected()) {
+                failures += requests_per_client;
+                return;
+            }
+            std::vector<double> mine;
+            mine.reserve(requests_per_client);
             for (int r = 0; r < requests_per_client; ++r) {
                 const std::string &body =
                     bodies[(c + r) % bodies.size()];
-                if (!isOk(httpPost(port, "/v1/evaluate", body)))
+                auto t0 = std::chrono::steady_clock::now();
+                if (!client.post("/v1/evaluate", body))
                     ++failures;
+                mine.push_back(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   t0)
+                                   .count());
             }
+            std::lock_guard<std::mutex> lock(latMutex);
+            latencies.insert(latencies.end(), mine.begin(),
+                             mine.end());
         });
     }
     for (std::thread &t : clients)
         t.join();
     double seconds = timer.seconds();
-    return kClients * requests_per_client / seconds;
+
+    LoopResult result;
+    result.rps = kClients * requests_per_client / seconds;
+    std::sort(latencies.begin(), latencies.end());
+    result.p50 = percentile(latencies, 0.50);
+    result.p99 = percentile(latencies, 0.99);
+    return result;
 }
 
 } // namespace
@@ -145,8 +234,8 @@ int
 main(int argc, char **argv)
 {
     BenchReporter reporter("serve_throughput", argc, argv);
-    banner("serve throughput — closed-loop clients vs. a resident "
-           "evaluation service",
+    banner("serve throughput — closed-loop keep-alive clients vs. a "
+           "resident evaluation service",
            "interactive DSE only pays off if many users share one "
            "warm model (§IV, >100x vs. profiling)");
 
@@ -156,6 +245,12 @@ main(int argc, char **argv)
     HttpServerOptions hopts;
     hopts.port = 0;
     hopts.workers = kClients;
+    // The bench holds connections for thousands of requests; don't
+    // let the anti-starvation request cap recycle them mid-phase.
+    hopts.keepAliveMaxRequests = 1L << 30;
+    hopts.classifier = [&service](const HttpRequest &r) {
+        return service.classify(r);
+    };
     HttpServer server(
         [&service](const HttpRequest &r) { return service.handle(r); },
         hopts);
@@ -166,24 +261,30 @@ main(int argc, char **argv)
 
     // Phase 1: cold request — what every CLI invocation pays.
     std::string triple = evaluateBody("(TP, DDP)");
-    WallTimer cold;
-    if (!isOk(httpPost(server.port(), "/v1/evaluate", triple)))
-        ++failures;
-    double cold_seconds = cold.seconds();
-    std::cout << strfmt("cold request (cache miss): %s\n",
-                        formatTime(cold_seconds).c_str());
-    reporter.record("cold_latency", cold_seconds, "seconds");
+    {
+        BenchClient cold(server.port());
+        WallTimer timer;
+        if (!cold.connected() ||
+            !cold.post("/v1/evaluate", triple))
+            ++failures;
+        double cold_seconds = timer.seconds();
+        std::cout << strfmt("cold request (cache miss): %s\n",
+                            formatTime(cold_seconds).c_str());
+        reporter.record("cold_latency", cold_seconds, "seconds");
+    }
 
     // Phase 2: the resident-service case — one hot triple.
-    double cached_rps = closedLoop(server.port(), {triple},
+    LoopResult cached = closedLoop(server.port(), {triple},
                                    kCachedRequests, failures);
     std::cout << strfmt(
-        "cached: %d clients x %d reqs -> %.0f req/s (%s/req)\n",
-        kClients, kCachedRequests, cached_rps,
-        formatTime(kClients / cached_rps).c_str());
-    reporter.record("cached_rps", cached_rps, "requests/s");
-    reporter.record("cached_latency", kClients / cached_rps,
-                    "seconds");
+        "cached: %d clients x %d reqs -> %.0f req/s "
+        "(p50 %s, p99 %s)\n",
+        kClients, kCachedRequests, cached.rps,
+        formatTime(cached.p50).c_str(),
+        formatTime(cached.p99).c_str());
+    reporter.record("cached_rps", cached.rps, "requests/s");
+    reporter.record("cached_p50", cached.p50, "seconds");
+    reporter.record("cached_p99", cached.p99, "seconds");
 
     // Phase 3: DSE-style traffic — rotating distinct plans.
     std::vector<std::string> mixed;
@@ -191,19 +292,26 @@ main(int argc, char **argv)
                              "(FSDP, DDP)", "(TP, FSDP)", "(MP)",
                              "(DDP, FSDP)", "(TP)"})
         mixed.push_back(evaluateBody(plan));
-    double mixed_rps = closedLoop(server.port(), mixed, kMixedRequests,
-                                  failures);
+    LoopResult mixedRes = closedLoop(server.port(), mixed,
+                                     kMixedRequests, failures);
     std::cout << strfmt(
         "mixed plans: %d clients x %d reqs over %zu plans -> %.0f "
-        "req/s\n",
-        kClients, kMixedRequests, mixed.size(), mixed_rps);
-    reporter.record("mixed_rps", mixed_rps, "requests/s");
+        "req/s (p50 %s, p99 %s)\n",
+        kClients, kMixedRequests, mixed.size(), mixedRes.rps,
+        formatTime(mixedRes.p50).c_str(),
+        formatTime(mixedRes.p99).c_str());
+    reporter.record("mixed_rps", mixedRes.rps, "requests/s");
+    reporter.record("mixed_p50", mixedRes.p50, "seconds");
+    reporter.record("mixed_p99", mixedRes.p99, "seconds");
 
     EngineCounters counters = service.engine().counters();
+    HttpServerStats transport = server.stats();
     std::cout << strfmt(
-        "engine: %ld evaluations, %ld cache hits, %ld pruned\n",
+        "engine: %ld evaluations, %ld cache hits, %ld batches | "
+        "transport: %ld conns, %ld reuses\n",
         counters.lifetime.evaluations, counters.lifetime.cacheHits,
-        counters.lifetime.pruned);
+        counters.batches, transport.accepted,
+        transport.keepAliveReuses);
     reporter.record("evaluations",
                     static_cast<double>(counters.lifetime.evaluations),
                     "count");
@@ -218,6 +326,6 @@ main(int argc, char **argv)
         return 1;
     }
     std::cout << "all requests succeeded; responses served from one "
-                 "shared engine\n";
+                 "shared engine over keep-alive connections\n";
     return 0;
 }

@@ -3,11 +3,14 @@
 
 Compares a fresh bench run (--current-dir) against the committed
 baselines (--baseline-dir, the repository root) and fails on a >20%
-regression of any *throughput-rate* record (evals/s, requests/s, ...),
-with a warn-only annotation in the 10-20% band. Time- and count-valued
-records are reported for context but never gated: a single cold
-latency sample on a shared CI runner is too noisy to block a PR on,
-while closed-loop rates average thousands of operations.
+regression of any *throughput-rate* record (evals/s, requests/s, ...)
+or any *percentile-latency* record (`*_p50` / `*_p99` in seconds,
+gated lower-is-better with the same thresholds applied to the
+inverted ratio), with a warn-only annotation in the 10-20% band.
+Other time- and count-valued records are reported for context but
+never gated: a single cold latency sample on a shared CI runner is
+too noisy to block a PR on, while closed-loop rates and percentiles
+average thousands of operations.
 
 Exit codes: 0 clean (warnings allowed), 1 at least one record regressed
 beyond the fail threshold, 2 usage/input error (missing or malformed
@@ -41,6 +44,17 @@ def is_rate(unit):
     return isinstance(unit, str) and "/s" in unit
 
 
+def is_latency(name, unit):
+    """Percentile latencies: lower is better, averaged over enough
+    requests to be gate-stable (unlike one-shot cold samples)."""
+    return (isinstance(name, str) and unit == "seconds"
+            and name.endswith(("_p50", "_p99")))
+
+
+def is_gated(name, unit):
+    return is_rate(unit) or is_latency(name, unit)
+
+
 def load_records(path):
     """BENCH_*.json -> {record name: (value, unit)} for numeric records."""
     with open(path) as f:
@@ -67,7 +81,7 @@ def gate_file(baseline_path, current_path):
     warned = []
 
     for name, (base_value, unit) in sorted(base.items()):
-        if not is_rate(unit):
+        if not is_gated(name, unit):
             continue
         if name not in cur:
             print(f"::error::{bench}: gated record '{name}' missing "
@@ -75,12 +89,18 @@ def gate_file(baseline_path, current_path):
             failed += 1
             continue
         cur_value = cur[name][0]
-        if base_value <= 0:
-            print(f"{bench}: {name}: baseline is {base_value}, skipped")
+        if base_value <= 0 or cur_value <= 0:
+            print(f"{bench}: {name}: non-positive value, skipped")
             continue
-        ratio = cur_value / base_value
+        # Normalize so that ratio < 1 always means "got worse":
+        # rates gate on current/baseline, latencies on the inverse.
+        if is_rate(unit):
+            ratio = cur_value / base_value
+        else:
+            ratio = base_value / cur_value
         line = (f"{bench}: {name}: {cur_value:.4g} {unit} vs baseline "
-                f"{base_value:.4g} {unit} ({ratio:.1%} of baseline)")
+                f"{base_value:.4g} {unit} ({ratio:.1%} of baseline "
+                f"{'rate' if is_rate(unit) else 'speed'})")
         if ratio < FAIL_BELOW:
             print(f"::error::{line} — regression beyond "
                   f"{1 - FAIL_BELOW:.0%}, failing the gate")
@@ -93,9 +113,9 @@ def gate_file(baseline_path, current_path):
         else:
             print(f"ok: {line}")
 
-    # Context-only records (times, counts): print, never gate.
+    # Context-only records (one-shot times, counts): print, never gate.
     for name, (base_value, unit) in sorted(base.items()):
-        if is_rate(unit) or name not in cur:
+        if is_gated(name, unit) or name not in cur:
             continue
         print(f"info: {bench}: {name}: {cur[name][0]:.4g} {unit} "
               f"(baseline {base_value:.4g} {unit})")

@@ -261,6 +261,27 @@ EvalEngine::cachePut(const std::string &key, PerfReport report)
     }
 }
 
+bool
+EvalEngine::tryCached(const std::string &key, const ParallelPlan &plan,
+                      PerfReport &out)
+{
+    std::shared_ptr<const PerfReport> hit = cacheGet(key);
+    if (!hit)
+        return false;
+    out = *hit;
+    out.plan = plan; // Keys canonicalize absent-class strategies away.
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    ++lifetime_.cacheHits;
+    return true;
+}
+
+bool
+EvalEngine::isCached(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return cache_.find(key) != cache_.end();
+}
+
 size_t
 EvalEngine::cacheSize() const
 {
@@ -290,6 +311,9 @@ EvalEngine::counters() const
     c.cacheCapacity = options_.cacheCapacity;
     c.cacheInsertions = insertions_;
     c.cacheEvictions = evictions_;
+    c.batches = batches_;
+    c.batchRequests = batchRequests_;
+    c.maxBatchRequests = maxBatchRequests_;
     return c;
 }
 
@@ -477,6 +501,10 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         lifetime_ += local;
+        ++batches_;
+        batchRequests_ += static_cast<long>(requests.size());
+        maxBatchRequests_ = std::max(
+            maxBatchRequests_, static_cast<long>(requests.size()));
     }
     if (stats)
         *stats = local;

@@ -149,6 +149,13 @@ struct EngineCounters
     size_t cacheCapacity = 0;
     long cacheInsertions = 0;
     long cacheEvictions = 0;
+
+    /// Batch-submission shape: how work arrives, not how much. The
+    /// serving layer's micro-batching dispatcher shows up here as
+    /// fewer, larger batches for the same request count.
+    long batches = 0;          ///< evaluateAll calls.
+    long batchRequests = 0;    ///< Points submitted across all batches.
+    long maxBatchRequests = 0; ///< Largest single batch.
 };
 
 /**
@@ -243,6 +250,24 @@ class EvalEngine
      */
     static std::string cacheKey(const PlanRequest &request);
 
+    /**
+     * Fast-path probe by a precomputed canonical key (the serving
+     * layer stores keys alongside parsed configs, so its hot path
+     * skips both config parsing and key construction). On a hit,
+     * copies the cached report into @p out with @p plan restored
+     * (cached copies are timeline-stripped, exactly like an
+     * evaluateAll cache hit) and accounts one lifetime cache hit.
+     * A miss does no accounting — the caller resubmits through
+     * evaluateAll, which counts the point there.
+     */
+    bool tryCached(const std::string &key, const ParallelPlan &plan,
+                   PerfReport &out);
+
+    /** Accounting-free occupancy probe: admission control asks
+     *  "would this request be cheap?" without perturbing LRU order
+     *  or the lifetime stats. */
+    bool isCached(const std::string &key) const;
+
     size_t cacheSize() const;
     void clearCache();
 
@@ -276,6 +301,9 @@ class EvalEngine
     EvalStats lifetime_;
     long insertions_ = 0;
     long evictions_ = 0;
+    long batches_ = 0;
+    long batchRequests_ = 0;
+    long maxBatchRequests_ = 0;
 };
 
 } // namespace madmax

@@ -1,0 +1,110 @@
+#include "serve/batch_dispatcher.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "engine/eval_engine.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+BatchDispatcher::BatchDispatcher(EvalEngine &engine,
+                                 BatchDispatcherOptions options)
+    : engine_(engine), options_(options)
+{
+    if (options_.windowMicros < 0)
+        fatal("BatchDispatcher: windowMicros must be >= 0");
+    if (options_.maxBatch < 1)
+        fatal("BatchDispatcher: maxBatch must be >= 1");
+}
+
+PerfReport
+BatchDispatcher::evaluate(const CachedRequest &request)
+{
+    {
+        // Memo hot path: no window, no queue, no batch — the cached
+        // report is ready and the window would be pure added latency.
+        PerfReport memo;
+        if (engine_.tryCached(request.engineKey, request.plan, memo)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.memoFastPath;
+            return memo;
+        }
+    }
+
+    Pending mine;
+    mine.request = &request;
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(&mine);
+    ++stats_.requests;
+    cv_.notify_all(); // A window-waiting leader may now be full.
+
+    while (!mine.done) {
+        if (leaderBusy_) {
+            cv_.wait(lock);
+            continue;
+        }
+        // Become the window leader. `mine` is still queued (it is not
+        // done, and a leader marks everything it takes done before
+        // clearing leaderBusy_), so the batch below includes it.
+        leaderBusy_ = true;
+        if (options_.windowMicros > 0 &&
+            queue_.size() < options_.maxBatch)
+            cv_.wait_for(
+                lock, std::chrono::microseconds(options_.windowMicros),
+                [this] { return queue_.size() >= options_.maxBatch; });
+
+        std::vector<Pending *> batch(queue_.begin(), queue_.end());
+        queue_.clear();
+        ++stats_.windows;
+        stats_.maxOccupancy = std::max(
+            stats_.maxOccupancy, static_cast<long>(batch.size()));
+        if (batch.size() > 1)
+            stats_.coalesced += static_cast<long>(batch.size());
+        lock.unlock();
+
+        std::vector<PlanRequest> points;
+        points.reserve(batch.size());
+        for (const Pending *p : batch) {
+            PlanRequest point;
+            point.model = &p->request->triple->perf;
+            point.desc = &p->request->triple->model;
+            point.task = &p->request->triple->task;
+            point.plan = p->request->plan;
+            points.push_back(std::move(point));
+        }
+        std::vector<PerfReport> reports;
+        std::exception_ptr error;
+        try {
+            reports = engine_.evaluateAll(points);
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        lock.lock();
+        for (size_t i = 0; i < batch.size(); ++i) {
+            if (error)
+                batch[i]->error = error;
+            else
+                batch[i]->report = std::move(reports[i]);
+            batch[i]->done = true;
+        }
+        leaderBusy_ = false;
+        cv_.notify_all();
+    }
+
+    if (mine.error)
+        std::rethrow_exception(mine.error);
+    return std::move(mine.report);
+}
+
+BatchDispatcherStats
+BatchDispatcher::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace madmax

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Cross-request micro-batching for the serving hot path.
+ *
+ * BatchDispatcher coalesces concurrent /v1/evaluate requests into
+ * single EvalEngine::evaluateAll batches using a leader/follower
+ * scheme: the first request to arrive becomes the window leader,
+ * waits up to the batch window for company, then submits everything
+ * queued as ONE batch on its own thread; followers block until the
+ * leader distributes their results. Requests arriving while a batch
+ * is evaluating accumulate for the next window (continuous batching —
+ * under sustained load the effective window is the evaluation time
+ * and the configured window only bounds the idle case). The payoff
+ * rides the engine's batch grouping: requests whose configs resolved
+ * to the same shared ParsedTriple (serve/config_cache.hh) have
+ * pointer-identical (model, desc, task) and therefore share one warm
+ * EvalContext within the batch — many tenants, one validation +
+ * per-layer timing pass — and in-batch duplicate points collapse to
+ * a single evaluation.
+ *
+ * Requests already memoized in the engine bypass the window entirely
+ * (EvalEngine::tryCached), so the batch window adds zero latency to
+ * the cached hot path.
+ *
+ * SingleFlight deduplicates concurrent *identical* requests at the
+ * response level — used by /v1/pareto, where a whole search is too
+ * coarse to batch but popular identical queries (same body bytes)
+ * would otherwise each run the full frontier sweep.
+ */
+
+#ifndef MADMAX_SERVE_BATCH_DISPATCHER_HH
+#define MADMAX_SERVE_BATCH_DISPATCHER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/perf_model.hh"
+#include "serve/config_cache.hh"
+#include "serve/http_server.hh"
+#include "util/fingerprint.hh"
+
+namespace madmax
+{
+
+class EvalEngine;
+
+struct BatchDispatcherOptions
+{
+    /** How long a window leader waits for company, microseconds.
+     *  0 = submit immediately (coalescing then happens only via
+     *  accumulation behind an in-flight batch). */
+    long windowMicros = 100;
+
+    /** Window occupancy that cuts the wait short and submits. */
+    size_t maxBatch = 64;
+};
+
+struct BatchDispatcherStats
+{
+    long windows = 0;   ///< Batches submitted to the engine.
+    long requests = 0;  ///< Requests that entered a window (memo
+                        ///< misses; hits bypass).
+    long coalesced = 0; ///< Requests that shared a window with >= 1
+                        ///< other request.
+    long maxOccupancy = 0;  ///< Largest window submitted.
+    long memoFastPath = 0;  ///< Requests answered from the engine memo
+                            ///< cache without entering a window.
+};
+
+class BatchDispatcher
+{
+  public:
+    BatchDispatcher(EvalEngine &engine,
+                    BatchDispatcherOptions options = {});
+
+    BatchDispatcher(const BatchDispatcher &) = delete;
+    BatchDispatcher &operator=(const BatchDispatcher &) = delete;
+
+    /**
+     * Evaluate one resolved request, riding whatever batch forms.
+     * Blocking; safe from any number of threads. Engine failures are
+     * rethrown on every request of the affected batch.
+     */
+    PerfReport evaluate(const CachedRequest &request);
+
+    BatchDispatcherStats stats() const;
+
+  private:
+    /** One waiting request; lives on its submitter's stack. */
+    struct Pending
+    {
+        const CachedRequest *request = nullptr;
+        PerfReport report;
+        std::exception_ptr error;
+        bool done = false;
+    };
+
+    EvalEngine &engine_;
+    BatchDispatcherOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Pending *> queue_;
+    bool leaderBusy_ = false; ///< A window is open or evaluating.
+    BatchDispatcherStats stats_;
+};
+
+/**
+ * Response-level request deduplication: concurrent requests with
+ * byte-identical bodies run the handler once and share the response.
+ * Purely in-flight — nothing is cached after the leader finishes, so
+ * a repeat request a millisecond later runs fresh (persistent reuse
+ * is the engine memo cache's job). Hash collisions degrade to
+ * not-deduplicating, never to a wrong response.
+ */
+class SingleFlight
+{
+  public:
+    /** Run @p fn (or wait for an in-flight identical body's run).
+     *  @p wasShared, when given, is set true iff this call received
+     *  a response computed by another request. Leader exceptions are
+     *  rethrown to every sharer. */
+    template <typename Fn>
+    HttpResponse
+    run(const std::string &body, Fn &&fn, bool *wasShared = nullptr)
+    {
+        uint64_t key = fnv1a(body);
+        std::shared_ptr<Entry> entry;
+        bool leader = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = inflight_.find(key);
+            if (it != inflight_.end()) {
+                if (it->second->body != body)
+                    entry = nullptr; // Collision: run solo.
+                else
+                    entry = it->second;
+            } else {
+                entry = std::make_shared<Entry>();
+                entry->body = body;
+                inflight_.emplace(key, entry);
+                leader = true;
+            }
+        }
+        if (!entry)
+            return fn();
+        if (leader) {
+            try {
+                entry->response = fn();
+            } catch (...) {
+                entry->error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                inflight_.erase(key);
+            }
+            {
+                std::lock_guard<std::mutex> lock(entry->mutex);
+                entry->done = true;
+            }
+            entry->cv.notify_all();
+            if (entry->error)
+                std::rethrow_exception(entry->error);
+            // Copy, not move: followers still read entry->response.
+            return entry->response;
+        }
+        std::unique_lock<std::mutex> lock(entry->mutex);
+        entry->cv.wait(lock, [&] { return entry->done; });
+        if (wasShared)
+            *wasShared = true;
+        if (entry->error)
+            std::rethrow_exception(entry->error);
+        return entry->response;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string body;
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        HttpResponse response;
+        std::exception_ptr error;
+    };
+
+    std::mutex mutex_;
+    std::unordered_map<uint64_t, std::shared_ptr<Entry>> inflight_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_SERVE_BATCH_DISPATCHER_HH

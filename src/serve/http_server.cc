@@ -1,7 +1,11 @@
 #include "serve/http_server.hh"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -9,7 +13,6 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <thread>
 
 #include "config/json.hh"
 #include "util/logging.hh"
@@ -20,13 +23,15 @@ namespace madmax
 namespace
 {
 
-using Deadline = std::chrono::steady_clock::time_point;
+using Clock = std::chrono::steady_clock;
 
-bool
-expired(Deadline deadline)
-{
-    return std::chrono::steady_clock::now() >= deadline;
-}
+/** Inbound-buffer cap while a handler is busy: pipelined requests
+ *  beyond it pause reading (TCP backpressure) instead of buffering
+ *  without bound. */
+constexpr size_t kPipelineSlack = 4096;
+
+/** Bytes a draining close will discard before giving up. */
+constexpr size_t kDrainCap = size_t{4} << 20;
 
 std::string
 lowered(std::string s)
@@ -48,89 +53,199 @@ trimmed(const std::string &s)
 
 /** Serialize a response with the framing headers the server owns. */
 std::string
-renderResponse(const HttpResponse &resp)
+renderResponse(const HttpResponse &resp, bool keepAlive)
 {
     std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
         statusReason(resp.status) + "\r\n";
     out += "Content-Type: " + resp.contentType + "\r\n";
     out += "Content-Length: " + std::to_string(resp.body.size()) +
         "\r\n";
-    out += "Connection: close\r\n\r\n";
+    for (const auto &[name, value] : resp.headers)
+        out += name + ": " + value + "\r\n";
+    out += keepAlive ? "Connection: keep-alive\r\n\r\n"
+                     : "Connection: close\r\n\r\n";
     out += resp.body;
     return out;
 }
 
-/** send() the whole buffer; MSG_NOSIGNAL so a dead client yields an
- *  error instead of SIGPIPE. */
-void
-sendAll(int fd, const std::string &data)
+/** Does the client forbid reuse (Connection: close, or HTTP/1.0
+ *  without an explicit keep-alive)? */
+bool
+requestWantsClose(const HttpRequest &req)
 {
-    size_t off = 0;
-    while (off < data.size()) {
-        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                           MSG_NOSIGNAL);
-        if (n <= 0)
-            return; // Client went away; nothing useful to do.
-        off += static_cast<size_t>(n);
-    }
+    auto it = req.headers.find("connection");
+    std::string value =
+        it == req.headers.end() ? "" : lowered(it->second);
+    if (value.find("close") != std::string::npos)
+        return true;
+    if (req.version == "HTTP/1.0")
+        return value.find("keep-alive") == std::string::npos;
+    return false;
 }
 
-/**
- * @param drain When the request was rejected before its body was
- *        fully read, half-close and discard what the client is still
- *        sending (bounded by the socket timeout) — close() with
- *        unread data pending triggers a TCP RST that can destroy the
- *        in-flight error response before the client reads it.
- */
-void
-respondAndClose(int fd, const HttpResponse &resp, bool drain = false,
-                Deadline deadline = Deadline::max())
+enum class Parse
 {
-    sendAll(fd, renderResponse(resp));
-    if (drain) {
-        ::shutdown(fd, SHUT_WR);
-        char sink[4096];
-        size_t discarded = 0;
-        while (discarded < (size_t{4} << 20) && !expired(deadline)) {
-            ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
-            if (n <= 0)
-                break;
-            discarded += static_cast<size_t>(n);
-        }
-    }
-    ::close(fd);
-}
+    NeedMore, ///< Incomplete; keep the buffer, wait for bytes.
+    Ok,       ///< One full request parsed; @p consumed bytes used.
+    Error,    ///< Protocol violation; @p error is the response.
+};
 
 /**
- * Receive until a blank line ends the header block — CRLFCRLF, or
- * bare LFLF for sloppy clients (checked together per chunk; waiting
- * for CRLF alone would stall LF-only clients until the socket
- * timeout). On success @p bodyStart is one past the terminator and
- * the header block's length is returned; npos on overflow/error/EOF.
+ * Try to parse one complete request from the front of @p buf.
+ * Incremental: called every time bytes arrive, it re-scans for the
+ * header terminator (CRLFCRLF, or bare LFLF for sloppy clients —
+ * checked together so LF-only clients are served promptly instead of
+ * idling into a timeout) and only commits once the full body is
+ * buffered. @p expectContinue is set as soon as the header block
+ * carries `Expect: 100-continue`, even while the body is still
+ * incomplete, so the caller can unblock a waiting curl.
  */
-size_t
-recvHeaderBlock(int fd, std::string &buf, size_t cap,
-                size_t &bodyStart, Deadline deadline)
+Parse
+tryParseRequest(const std::string &buf, const HttpServerOptions &opt,
+                HttpRequest &req, size_t &consumed,
+                HttpResponse &error, bool &expectContinue)
 {
-    char chunk[4096];
-    while (true) {
-        size_t pos = buf.find("\r\n\r\n");
-        if (pos != std::string::npos) {
-            bodyStart = pos + 4;
-            return pos;
-        }
-        pos = buf.find("\n\n");
-        if (pos != std::string::npos) {
-            bodyStart = pos + 2;
-            return pos;
-        }
-        if (buf.size() > cap || expired(deadline))
-            return std::string::npos;
-        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n <= 0)
-            return std::string::npos;
-        buf.append(chunk, static_cast<size_t>(n));
+    size_t headerEnd = buf.find("\r\n\r\n");
+    size_t bodyStart = headerEnd + 4;
+    size_t lfOnly = buf.find("\n\n");
+    if (lfOnly != std::string::npos &&
+        (headerEnd == std::string::npos || lfOnly < headerEnd)) {
+        headerEnd = lfOnly;
+        bodyStart = lfOnly + 2;
     }
+    if (headerEnd == std::string::npos) {
+        if (buf.size() > opt.maxHeaderBytes) {
+            error = errorResponse(
+                431, "bad_request",
+                "malformed or oversized request header");
+            return Parse::Error;
+        }
+        return Parse::NeedMore;
+    }
+    if (headerEnd > opt.maxHeaderBytes) {
+        error = errorResponse(431, "bad_request",
+                              "malformed or oversized request header");
+        return Parse::Error;
+    }
+
+    req = HttpRequest{};
+    std::string head = buf.substr(0, headerEnd);
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start <= head.size()) {
+        size_t nl = head.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(head.substr(start));
+            break;
+        }
+        lines.push_back(head.substr(start, nl - start));
+        start = nl + 1;
+    }
+    for (std::string &line : lines)
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+
+    // Request line: METHOD SP TARGET SP HTTP/1.x
+    size_t sp1 =
+        lines.empty() ? std::string::npos : lines[0].find(' ');
+    size_t sp2 = sp1 == std::string::npos
+        ? std::string::npos
+        : lines[0].find(' ', sp1 + 1);
+    if (sp2 == std::string::npos ||
+        lines[0].compare(sp2 + 1, 7, "HTTP/1.") != 0) {
+        error = errorResponse(400, "bad_request",
+                              "malformed request line");
+        return Parse::Error;
+    }
+    req.method = lines[0].substr(0, sp1);
+    req.target = lines[0].substr(sp1 + 1, sp2 - sp1 - 1);
+    req.version = lines[0].substr(sp2 + 1);
+    size_t q = req.target.find('?');
+    if (q != std::string::npos)
+        req.target.resize(q);
+
+    bool duplicateContentLength = false;
+    for (size_t i = 1; i < lines.size(); ++i) {
+        if (lines[i].empty())
+            continue;
+        size_t colon = lines[i].find(':');
+        if (colon == std::string::npos)
+            continue; // Ignore malformed header lines.
+        std::string key = lowered(trimmed(lines[i].substr(0, colon)));
+        // Repeated Content-Length is the classic request-smuggling
+        // precondition (RFC 7230 §3.3.2): two hops disagreeing on
+        // framing. Reject rather than last-wins.
+        if (key == "content-length" && req.headers.count(key))
+            duplicateContentLength = true;
+        req.headers[key] = trimmed(lines[i].substr(colon + 1));
+    }
+    if (duplicateContentLength) {
+        error = errorResponse(400, "bad_request",
+                              "repeated Content-Length header");
+        return Parse::Error;
+    }
+
+    // Only Content-Length framing is implemented. A chunked body must
+    // be refused explicitly: treating it as zero-length would leave
+    // the chunk bytes in the buffer to be misparsed as the next
+    // pipelined request.
+    auto te = req.headers.find("transfer-encoding");
+    if (te != req.headers.end() &&
+        lowered(te->second) != "identity") {
+        error = errorResponse(501, "not_implemented",
+                              "Transfer-Encoding is not supported; "
+                              "send a Content-Length body");
+        return Parse::Error;
+    }
+
+    size_t contentLength = 0;
+    auto cl = req.headers.find("content-length");
+    if (cl != req.headers.end()) {
+        // Digits only, fully consumed: "12abc" must be rejected, not
+        // truncated into a misframed 12-byte body.
+        bool ok = !cl->second.empty() &&
+            cl->second.find_first_not_of("0123456789") ==
+                std::string::npos;
+        if (ok) {
+            try {
+                contentLength = std::stoul(cl->second);
+            } catch (const std::exception &) {
+                ok = false; // Overflow.
+            }
+        }
+        if (!ok) {
+            error = errorResponse(400, "bad_request",
+                                  "invalid Content-Length");
+            return Parse::Error;
+        }
+    }
+    if (contentLength > opt.maxBodyBytes) {
+        error = errorResponse(
+            413, "payload_too_large",
+            "request body exceeds " +
+                std::to_string(opt.maxBodyBytes) + " bytes");
+        return Parse::Error;
+    }
+
+    auto expect = req.headers.find("expect");
+    if (expect != req.headers.end() &&
+        lowered(expect->second) == "100-continue")
+        expectContinue = true;
+
+    if (buf.size() - bodyStart < contentLength)
+        return Parse::NeedMore;
+
+    req.body = buf.substr(bodyStart, contentLength);
+    consumed = bodyStart + contentLength;
+    return Parse::Ok;
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 } // namespace
@@ -167,6 +282,35 @@ errorResponse(int status, const std::string &code,
     return resp;
 }
 
+/**
+ * Per-connection state machine. Owned and mutated exclusively by the
+ * I/O thread; workers refer to a connection only by id.
+ */
+struct HttpServer::Conn
+{
+    int fd = -1;
+    uint64_t id = 0;
+
+    std::string in;  ///< Received, not yet parsed.
+    std::string out; ///< Rendered, not yet written.
+    size_t outOff = 0;
+
+    bool handlerBusy = false;    ///< One request dispatched, awaiting
+                                 ///< its completion.
+    bool wantClose = false;      ///< Client asked for Connection: close.
+    bool closeAfterWrite = false;
+    bool draining = false;       ///< Half-closed, discarding inbound.
+    bool wantWrite = false;      ///< EPOLLOUT armed.
+    bool requestActive = false;  ///< Mid-request (slow-loris deadline).
+    bool sentContinue = false;   ///< 100 Continue sent for this request.
+    bool peerClosed = false;     ///< recv() saw EOF.
+    bool readPaused = false;     ///< Pipeline buffer full; backpressure.
+
+    int served = 0; ///< Requests answered on this connection.
+    size_t drained = 0;
+    Clock::time_point deadline;
+};
+
 HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
     : handler_(std::move(handler)), options_(options)
 {
@@ -178,6 +322,12 @@ HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
         fatal("HttpServer: workers must be >= 1");
     if (options_.queueDepth < 1)
         fatal("HttpServer: queueDepth must be >= 1");
+    if (options_.idleTimeoutSeconds < 1)
+        fatal("HttpServer: idleTimeoutSeconds must be >= 1");
+    if (options_.requestDeadlineSeconds < 1)
+        fatal("HttpServer: requestDeadlineSeconds must be >= 1");
+    if (options_.keepAliveMaxRequests < 1)
+        fatal("HttpServer: keepAliveMaxRequests must be >= 1");
 }
 
 HttpServer::~HttpServer()
@@ -191,6 +341,7 @@ HttpServer::start()
     if (running_.load())
         fatal("HttpServer: already started");
     stopping_.store(false);
+    inFlight_.store(0);
 
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listenFd_ < 0)
@@ -212,20 +363,49 @@ HttpServer::start()
         fatal("HttpServer: cannot bind 127.0.0.1:" +
               std::to_string(options_.port) + ": " + err);
     }
-    if (::listen(listenFd_, 128) != 0) {
+    if (::listen(listenFd_, 512) != 0) {
         std::string err = std::strerror(errno);
         ::close(listenFd_);
         listenFd_ = -1;
         fatal("HttpServer: listen(): " + err);
     }
+    setNonBlocking(listenFd_);
 
     socklen_t len = sizeof(addr);
     ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
                   &len);
     port_ = ntohs(addr.sin_port);
 
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wakeFd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epollFd_ < 0 || wakeFd_ < 0) {
+        std::string err = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        if (epollFd_ >= 0)
+            ::close(epollFd_);
+        if (wakeFd_ >= 0)
+            ::close(wakeFd_);
+        epollFd_ = wakeFd_ = -1;
+        fatal("HttpServer: epoll/eventfd: " + err);
+    }
+
+    // ids 0/1 are reserved for the listen socket and the wake fd;
+    // connections start at 16.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
+    ev.events = EPOLLIN;
+    ev.data.u64 = 1;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+
+    {
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        workersStop_ = false;
+    }
     running_.store(true);
-    acceptor_ = std::thread(&HttpServer::acceptLoop, this);
+    io_ = std::thread(&HttpServer::ioLoop, this);
     for (int i = 0; i < options_.workers; ++i)
         workers_.emplace_back(&HttpServer::workerLoop, this);
 }
@@ -235,318 +415,541 @@ HttpServer::stop()
 {
     if (!running_.load())
         return;
-    {
-        // The store must happen under mutex_: a worker that just
-        // evaluated its wait predicate (stopping_ still false, queue
-        // empty) holds the lock until wait() atomically blocks, so
-        // locking here guarantees notify_all below cannot fire in
-        // that window and be lost (the classic lost-wakeup hang).
-        std::lock_guard<std::mutex> lock(mutex_);
-        stopping_.store(true);
-    }
-    // Unblock the acceptor: shutdown() makes a blocked accept() return
-    // on Linux; close() alone would not.
-    ::shutdown(listenFd_, SHUT_RDWR);
-    if (acceptor_.joinable())
-        acceptor_.join();
-    ::close(listenFd_);
-    listenFd_ = -1;
+    stopping_.store(true);
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(wakeFd_, &one, sizeof(one));
+    if (io_.joinable())
+        io_.join();
 
-    // Workers drain and *serve* everything already admitted before
-    // exiting (their wait predicate only releases them when the queue
-    // is empty): accepted connections are part of the contract, only
-    // un-accepted ones are refused (by the closed listen socket).
-    queueCv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        workersStop_ = true;
+    }
+    dispatchCv_.notify_all();
     for (std::thread &t : workers_)
         if (t.joinable())
             t.join();
     workers_.clear();
+
+    ::close(epollFd_);
+    ::close(wakeFd_);
+    epollFd_ = wakeFd_ = -1;
+    conns_.clear();
+    completions_.clear();
+    dispatchQueue_.clear();
     running_.store(false);
 }
 
 HttpServerStats
 HttpServer::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(statsMutex_);
     return stats_;
 }
 
 void
-HttpServer::acceptLoop()
+HttpServer::bumpStat(long HttpServerStats::*field)
 {
-    while (!stopping_.load()) {
-        int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0) {
-            if (stopping_.load())
-                break;
-            // EINTR / ECONNABORTED are instant-retry; resource
-            // exhaustion (EMFILE/ENFILE/ENOMEM) persists until
-            // connections finish, so back off instead of spinning
-            // this thread at 100% CPU hammering accept().
-            if (errno != EINTR && errno != ECONNABORTED)
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(10));
-            continue;
-        }
-        timeval tv{};
-        tv.tv_sec = options_.recvTimeoutSeconds;
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-
-        bool full = false;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.accepted;
-            if (queue_.size() >= options_.queueDepth) {
-                full = true;
-                ++stats_.rejectedQueueFull;
-            } else {
-                queue_.push_back(fd);
-            }
-        }
-        if (full) {
-            // Shed load at admission: the bounded queue is the
-            // backpressure mechanism (never buffer unboundedly).
-            // Drain what the client already sent first — without it,
-            // close() with unread bytes pending RSTs the 503 away.
-            // Non-blocking only: the acceptor must not stall on a
-            // slow sender; on loopback the whole request has almost
-            // always landed by the time accept() returns.
-            char sink[4096];
-            while (::recv(fd, sink, sizeof(sink), MSG_DONTWAIT) > 0) {
-            }
-            respondAndClose(fd, errorResponse(
-                                    503, "overloaded",
-                                    "request queue is full, retry"));
-        } else {
-            queueCv_.notify_one();
-        }
-    }
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++(stats_.*field);
 }
 
 void
 HttpServer::workerLoop()
 {
     while (true) {
-        int fd = -1;
+        Dispatched work;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queueCv_.wait(lock, [this] {
-                return stopping_.load() || !queue_.empty();
+            std::unique_lock<std::mutex> lock(dispatchMutex_);
+            dispatchCv_.wait(lock, [this] {
+                return workersStop_ || !dispatchQueue_.empty();
             });
-            if (queue_.empty())
-                return; // stopping_ and drained.
-            fd = queue_.front();
-            queue_.pop_front();
+            if (dispatchQueue_.empty())
+                return; // workersStop_ and drained.
+            work = std::move(dispatchQueue_.front());
+            dispatchQueue_.pop_front();
         }
-        handleConnection(fd);
+        HttpResponse resp;
+        try {
+            resp = handler_(work.request);
+        } catch (const ConfigError &e) {
+            resp = errorResponse(400, "bad_request", e.what());
+        } catch (const std::exception &e) {
+            resp = errorResponse(500, "internal", e.what());
+        }
+        {
+            std::lock_guard<std::mutex> lock(completionMutex_);
+            completions_.push_back(
+                Completion{work.connId, std::move(resp)});
+        }
+        uint64_t one = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(wakeFd_, &one, sizeof(one));
     }
 }
 
 void
-HttpServer::handleConnection(int fd)
+HttpServer::setWantWrite(Conn &conn, bool want)
 {
-    Deadline deadline = std::chrono::steady_clock::now() +
-        std::chrono::seconds(options_.requestDeadlineSeconds);
-    std::string buf;
-    size_t bodyStart = 0;
-    size_t headerEnd = recvHeaderBlock(fd, buf,
-                                       options_.maxHeaderBytes,
-                                       bodyStart, deadline);
-    if (headerEnd == std::string::npos) {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.badRequests;
-        }
-        // Distinguish an oversized preamble from a hung-up/garbled
-        // client; the latter may not be able to read a response at
-        // all, but sending one is harmless.
-        respondAndClose(fd,
-                        errorResponse(
-                            buf.size() > options_.maxHeaderBytes ? 431
-                                                                 : 400,
-                            "bad_request",
-                            "malformed or oversized request header"),
-                        /*drain=*/true, deadline);
+    if (conn.wantWrite == want)
         return;
-    }
+    conn.wantWrite = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
 
-    HttpRequest req;
-    {
-        std::string head = buf.substr(0, headerEnd);
-        std::vector<std::string> lines;
-        size_t start = 0;
-        while (start <= head.size()) {
-            size_t nl = head.find('\n', start);
-            if (nl == std::string::npos) {
-                lines.push_back(head.substr(start));
+void
+HttpServer::closeConn(Conn &conn)
+{
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conns_.erase(conn.id); // Invalidates conn.
+}
+
+void
+HttpServer::queueResponse(Conn &conn, const HttpResponse &resp,
+                          bool keepAlive)
+{
+    conn.out += renderResponse(resp, keepAlive);
+}
+
+/** Flush pending output; arm EPOLLOUT on a partial write. Returns
+ *  false when the connection was closed. */
+bool
+HttpServer::flushWrite(Conn &conn)
+{
+    while (conn.outOff < conn.out.size()) {
+        ssize_t n = ::send(conn.fd, conn.out.data() + conn.outOff,
+                           conn.out.size() - conn.outOff,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outOff += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!conn.wantWrite)
+                bumpStat(&HttpServerStats::partialWrites);
+            setWantWrite(conn, true);
+            return true; // Resumed by EPOLLOUT.
+        }
+        closeConn(conn); // Peer is gone; nothing useful to do.
+        return false;
+    }
+    conn.out.clear();
+    conn.outOff = 0;
+    setWantWrite(conn, false);
+    if (conn.closeAfterWrite)
+        return startDrain(conn);
+    return true;
+}
+
+/**
+ * Begin a drained close: everything we wanted to say is flushed, so
+ * half-close the write side and discard whatever the client is still
+ * sending until EOF (bounded by kDrainCap and the request deadline).
+ * Closing with unread inbound bytes pending would trigger a TCP RST
+ * that can destroy the just-sent response before the client reads it
+ * — the classic lost-error-response failure this path exists to
+ * prevent.
+ */
+bool
+HttpServer::startDrain(Conn &conn)
+{
+    if (conn.peerClosed) {
+        closeConn(conn);
+        return false;
+    }
+    conn.draining = true;
+    conn.in.clear();
+    ::shutdown(conn.fd, SHUT_WR);
+    conn.deadline = Clock::now() +
+        std::chrono::seconds(options_.requestDeadlineSeconds);
+    // Eat anything already buffered; ET means no event will re-fire
+    // for bytes that arrived before the shutdown.
+    return onReadable(conn);
+}
+
+/** Queue an error response and schedule the drained close. Every
+ *  error path funnels here, so `Connection: close` + drain is a
+ *  structural property rather than a per-call-site convention. */
+bool
+HttpServer::respondError(Conn &conn, const HttpResponse &resp)
+{
+    conn.closeAfterWrite = true;
+    queueResponse(conn, resp, /*keepAlive=*/false);
+    return flushWrite(conn);
+}
+
+/**
+ * Parse-and-dispatch pump: consume as many complete requests from the
+ * inbound buffer as the one-in-flight-per-connection rule allows.
+ * Runs after every read and after every completion, which is what
+ * makes pipelining work under edge-triggered epoll — buffered bytes
+ * never generate another event, so the pump must be re-entered from
+ * the completion path, not the socket.
+ */
+bool
+HttpServer::pump(Conn &conn)
+{
+    while (!conn.handlerBusy && !conn.draining &&
+           !conn.closeAfterWrite) {
+        HttpRequest req;
+        HttpResponse error;
+        size_t consumed = 0;
+        bool expectContinue = false;
+        Parse st = tryParseRequest(conn.in, options_, req, consumed,
+                                   error, expectContinue);
+        if (st == Parse::NeedMore) {
+            if (!conn.in.empty() && !conn.requestActive) {
+                // First bytes of a new request start its read
+                // deadline (slow-loris bound).
+                conn.requestActive = true;
+                conn.deadline = Clock::now() +
+                    std::chrono::seconds(
+                        options_.requestDeadlineSeconds);
+            }
+            if (expectContinue && !conn.sentContinue) {
+                // curl stalls its body until the server blesses it;
+                // every real evaluate request (three inlined config
+                // objects) crosses curl's threshold.
+                conn.sentContinue = true;
+                conn.out += "HTTP/1.1 100 Continue\r\n\r\n";
+                return flushWrite(conn);
+            }
+            if (conn.peerClosed) {
+                if (!conn.in.empty())
+                    bumpStat(&HttpServerStats::badRequests);
+                closeConn(conn); // Truncated request or clean EOF.
+                return false;
+            }
+            return true;
+        }
+        if (st == Parse::Error) {
+            bumpStat(&HttpServerStats::badRequests);
+            return respondError(conn, error);
+        }
+
+        conn.in.erase(0, consumed);
+        conn.requestActive = false;
+        if (expectContinue && !conn.sentContinue) {
+            // Body arrived in one shot; still honor the Expect so
+            // strict clients see the interim response they asked for.
+            conn.out += "HTTP/1.1 100 Continue\r\n\r\n";
+        }
+        conn.sentContinue = false;
+        if (conn.served > 0)
+            bumpStat(&HttpServerStats::keepAliveReuses);
+        if (!conn.in.empty())
+            bumpStat(&HttpServerStats::pipelinedRequests);
+        conn.wantClose = requestWantsClose(req);
+
+        // Tiered admission: shed the expensive tier well before the
+        // cheap one, so health probes and cached hits survive a flood
+        // of cold evaluations (the binary all-or-nothing 503 this
+        // replaces shed a health check as readily as a cold eval).
+        RequestCost cost = options_.classifier
+            ? options_.classifier(req)
+            : RequestCost::Cached;
+        long load = inFlight_.load();
+        long depth = static_cast<long>(options_.queueDepth);
+        bool shed = false;
+        if (cost == RequestCost::Expensive && load >= depth * 3 / 4) {
+            bumpStat(&HttpServerStats::shedExpensive);
+            shed = true;
+        } else if (cost == RequestCost::Cached && load >= depth) {
+            bumpStat(&HttpServerStats::shedCached);
+            shed = true;
+        }
+        if (shed) {
+            bumpStat(&HttpServerStats::rejectedQueueFull);
+            HttpResponse resp = errorResponse(
+                503, "overloaded",
+                cost == RequestCost::Expensive
+                    ? "shedding cold evaluations under load, retry"
+                    : "request queue is full, retry");
+            resp.headers["Retry-After"] = "1";
+            return respondError(conn, resp);
+        }
+
+        conn.handlerBusy = true;
+        conn.deadline = Clock::now() +
+            std::chrono::seconds(options_.idleTimeoutSeconds);
+        inFlight_.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(dispatchMutex_);
+            dispatchQueue_.push_back(
+                Dispatched{conn.id, std::move(req)});
+        }
+        dispatchCv_.notify_one();
+        return true;
+    }
+    return true;
+}
+
+/** Drain the socket (edge-triggered: read until EAGAIN). Returns
+ *  false when the connection was closed. */
+bool
+HttpServer::onReadable(Conn &conn)
+{
+    char chunk[16384];
+    while (true) {
+        if (conn.readPaused)
+            break;
+        ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            if (conn.draining) {
+                conn.drained += static_cast<size_t>(n);
+                if (conn.drained > kDrainCap) {
+                    closeConn(conn);
+                    return false;
+                }
+                continue;
+            }
+            conn.in.append(chunk, static_cast<size_t>(n));
+            if (conn.handlerBusy &&
+                conn.in.size() > options_.maxHeaderBytes +
+                        options_.maxBodyBytes + kPipelineSlack) {
+                // A pipelining flood behind a slow request: stop
+                // reading (TCP backpressure) instead of buffering
+                // the client's whole send queue in memory.
+                conn.readPaused = true;
                 break;
             }
-            lines.push_back(head.substr(start, nl - start));
-            start = nl + 1;
+            continue;
         }
-        for (std::string &line : lines)
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-
-        // Request line: METHOD SP TARGET SP HTTP/1.x
-        size_t sp1 = lines.empty() ? std::string::npos
-                                   : lines[0].find(' ');
-        size_t sp2 = sp1 == std::string::npos
-            ? std::string::npos
-            : lines[0].find(' ', sp1 + 1);
-        if (sp2 == std::string::npos ||
-            lines[0].compare(sp2 + 1, 7, "HTTP/1.") != 0) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.badRequests;
+        if (n == 0) {
+            conn.peerClosed = true;
+            if (conn.draining ||
+                (!conn.handlerBusy && conn.out.empty() &&
+                 conn.in.empty())) {
+                closeConn(conn);
+                return false;
             }
-            respondAndClose(fd,
-                            errorResponse(400, "bad_request",
-                                          "malformed request line"),
-                            /*drain=*/true, deadline);
+            break; // Half-close: finish the in-flight response.
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        closeConn(conn);
+        return false;
+    }
+    if (conn.draining)
+        return true;
+    bool alive = pump(conn);
+    if (alive && !conns_.count(conn.id))
+        return false; // Defensive; pump reports closes itself.
+    if (alive && !conn.handlerBusy && !conn.requestActive &&
+        !conn.draining && !conn.closeAfterWrite)
+        conn.deadline = Clock::now() +
+            std::chrono::seconds(options_.idleTimeoutSeconds);
+    return alive;
+}
+
+bool
+HttpServer::onWritable(Conn &conn)
+{
+    return flushWrite(conn);
+}
+
+void
+HttpServer::acceptReady()
+{
+    while (true) {
+        int fd = ::accept4(listenFd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            // EAGAIN: drained. Resource exhaustion (EMFILE/ENFILE)
+            // persists until connections finish; the loop's next tick
+            // retries, so unlike the old dedicated acceptor there is
+            // no spin to back off from.
             return;
         }
-        req.method = lines[0].substr(0, sp1);
-        req.target = lines[0].substr(sp1 + 1, sp2 - sp1 - 1);
-        req.version = lines[0].substr(sp2 + 1);
-        size_t q = req.target.find('?');
-        if (q != std::string::npos)
-            req.target.resize(q);
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        bumpStat(&HttpServerStats::accepted);
 
-        bool duplicateContentLength = false;
-        for (size_t i = 1; i < lines.size(); ++i) {
-            if (lines[i].empty())
-                continue;
-            size_t colon = lines[i].find(':');
-            if (colon == std::string::npos)
-                continue; // Ignore malformed header lines.
-            std::string key =
-                lowered(trimmed(lines[i].substr(0, colon)));
-            // Repeated Content-Length is the classic
-            // request-smuggling precondition (RFC 7230 §3.3.2): two
-            // hops disagreeing on framing. Reject rather than
-            // last-wins.
-            if (key == "content-length" && req.headers.count(key))
-                duplicateContentLength = true;
-            req.headers[key] = trimmed(lines[i].substr(colon + 1));
-        }
-        if (duplicateContentLength) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.badRequests;
-            }
-            respondAndClose(fd,
-                            errorResponse(400, "bad_request",
-                                          "repeated Content-Length "
-                                          "header"),
-                            /*drain=*/true, deadline);
-            return;
-        }
-    }
-
-    // Only Content-Length framing is implemented. A chunked body must
-    // be refused explicitly: treating it as zero-length would hand
-    // the handler an empty body and leave the chunk bytes unread in
-    // the socket (RST-ing the response away on close).
-    auto te = req.headers.find("transfer-encoding");
-    if (te != req.headers.end() && lowered(te->second) != "identity") {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.badRequests;
-        }
-        respondAndClose(fd,
-                        errorResponse(501, "not_implemented",
-                                      "Transfer-Encoding is not "
-                                      "supported; send a "
-                                      "Content-Length body"),
-                        /*drain=*/true, deadline);
-        return;
-    }
-
-    size_t contentLength = 0;
-    auto cl = req.headers.find("content-length");
-    if (cl != req.headers.end()) {
-        // Digits only, fully consumed: "12abc" must be rejected, not
-        // truncated into a misframed 12-byte body.
-        bool ok = !cl->second.empty() &&
-            cl->second.find_first_not_of("0123456789") ==
-                std::string::npos;
-        if (ok) {
-            try {
-                contentLength = std::stoul(cl->second);
-            } catch (const std::exception &) {
-                ok = false; // Overflow.
-            }
-        }
-        if (!ok) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.badRequests;
-            }
-            respondAndClose(fd,
-                            errorResponse(400, "bad_request",
-                                          "invalid Content-Length"),
-                            /*drain=*/true, deadline);
-            return;
-        }
-    }
-    if (contentLength > options_.maxBodyBytes) {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.badRequests;
-        }
-        respondAndClose(
-            fd,
-            errorResponse(413, "payload_too_large",
-                          "request body exceeds " +
-                              std::to_string(options_.maxBodyBytes) +
-                              " bytes"),
-            /*drain=*/true, deadline);
-        return;
-    }
-
-    // curl sends "Expect: 100-continue" for larger bodies and stalls
-    // until the server blesses it; every real evaluate request (three
-    // inlined config objects) crosses that threshold.
-    auto expect = req.headers.find("expect");
-    if (expect != req.headers.end() &&
-        lowered(expect->second) == "100-continue")
-        sendAll(fd, "HTTP/1.1 100 Continue\r\n\r\n");
-
-    req.body = buf.substr(bodyStart);
-    char chunk[4096];
-    while (req.body.size() < contentLength) {
-        bool dead = expired(deadline); // Trickling past the deadline.
-        ssize_t n =
-            dead ? -1 : ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n <= 0) {
-            // Trickling or truncated: count it (else accepted !=
-            // served + badRequests + rejectedQueueFull and the gap
-            // has no explaining counter), close, free the worker.
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.badRequests;
-            }
+        uint64_t id = nextConnId_++;
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->id = id;
+        conn->deadline = Clock::now() +
+            std::chrono::seconds(options_.idleTimeoutSeconds);
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLET;
+        ev.data.u64 = id;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
             ::close(fd);
-            return;
+            continue;
         }
-        req.body.append(chunk, static_cast<size_t>(n));
+        Conn &ref = *conn;
+        conns_.emplace(id, std::move(conn));
+        // Bytes may already be buffered (loopback clients usually
+        // send the whole request before accept returns) and ET will
+        // not re-signal them.
+        onReadable(ref);
     }
-    req.body.resize(contentLength);
+}
 
-    HttpResponse resp;
-    try {
-        resp = handler_(req);
-    } catch (const ConfigError &e) {
-        resp = errorResponse(400, "bad_request", e.what());
-    } catch (const std::exception &e) {
-        resp = errorResponse(500, "internal", e.what());
-    }
+void
+HttpServer::processCompletions()
+{
+    std::vector<Completion> batch;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.served;
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        batch.swap(completions_);
     }
-    respondAndClose(fd, resp);
+    for (Completion &done : batch) {
+        inFlight_.fetch_sub(1);
+        auto it = conns_.find(done.connId);
+        if (it == conns_.end())
+            continue; // Connection died while the handler ran.
+        Conn &conn = *it->second;
+        conn.handlerBusy = false;
+        ++conn.served;
+        bumpStat(&HttpServerStats::served);
+
+        // Keep-alive decision: the client's wish, the request cap,
+        // shutdown, a half-closed peer — and, structurally, every
+        // error response closes (and drains) the connection.
+        bool close = conn.wantClose || conn.peerClosed ||
+            done.response.status >= 400 ||
+            conn.served >= options_.keepAliveMaxRequests ||
+            stopping_.load();
+        if (close) {
+            conn.closeAfterWrite = true;
+            queueResponse(conn, done.response, /*keepAlive=*/false);
+            flushWrite(conn);
+            continue;
+        }
+        queueResponse(conn, done.response, /*keepAlive=*/true);
+        if (!flushWrite(conn))
+            continue;
+        if (conn.readPaused) {
+            conn.readPaused = false;
+            if (!onReadable(conn)) // Re-read; ET events were consumed.
+                continue;
+        } else {
+            conn.deadline = Clock::now() +
+                std::chrono::seconds(options_.idleTimeoutSeconds);
+            pump(conn); // Next pipelined request, if buffered.
+        }
+    }
+}
+
+void
+HttpServer::sweepDeadlines()
+{
+    Clock::time_point now = Clock::now();
+    std::vector<uint64_t> expired;
+    for (auto &[id, conn] : conns_) {
+        if (conn->handlerBusy || now < conn->deadline)
+            continue;
+        expired.push_back(id);
+    }
+    for (uint64_t id : expired) {
+        auto it = conns_.find(id);
+        if (it == conns_.end())
+            continue;
+        Conn &conn = *it->second;
+        if (conn.draining || conn.closeAfterWrite) {
+            // Client never finished reading its (error) response.
+            bumpStat(&HttpServerStats::deadlineClosed);
+        } else if (conn.requestActive) {
+            // Slow loris: mid-request past the read deadline.
+            bumpStat(&HttpServerStats::deadlineClosed);
+            bumpStat(&HttpServerStats::badRequests);
+        } else {
+            bumpStat(&HttpServerStats::idleClosed);
+        }
+        closeConn(conn);
+    }
+}
+
+void
+HttpServer::ioLoop()
+{
+    constexpr int kMaxEvents = 128;
+    epoll_event events[kMaxEvents];
+    bool listenOpen = true;
+    Clock::time_point stopDeadline{};
+
+    while (true) {
+        if (stopping_.load() && listenOpen) {
+            // Stop admitting, but finish everything dispatched:
+            // accepted requests are part of the contract.
+            ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+            ::close(listenFd_);
+            listenFd_ = -1;
+            listenOpen = false;
+            stopDeadline =
+                Clock::now() + std::chrono::seconds(5);
+        }
+        if (!listenOpen) {
+            bool idle = inFlight_.load() == 0;
+            if (idle) {
+                for (auto &[id, conn] : conns_)
+                    if (!conn->out.empty() &&
+                        conn->outOff < conn->out.size())
+                        idle = false;
+            }
+            if (idle || Clock::now() >= stopDeadline)
+                break;
+        }
+
+        int n = ::epoll_wait(epollFd_, events, kMaxEvents, 100);
+        if (n < 0 && errno != EINTR)
+            break;
+        for (int i = 0; i < n; ++i) {
+            uint64_t id = events[i].data.u64;
+            if (id == 0) {
+                if (listenOpen)
+                    acceptReady();
+                continue;
+            }
+            if (id == 1) {
+                uint64_t count = 0;
+                while (::read(wakeFd_, &count, sizeof(count)) > 0) {
+                }
+                continue;
+            }
+            auto it = conns_.find(id);
+            if (it == conns_.end())
+                continue;
+            Conn &conn = *it->second;
+            if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+                if (conn.handlerBusy) {
+                    conn.peerClosed = true; // Reap at completion.
+                    continue;
+                }
+                closeConn(conn);
+                continue;
+            }
+            if (events[i].events & EPOLLOUT) {
+                if (!onWritable(conn))
+                    continue;
+                if (!conns_.count(id))
+                    continue;
+            }
+            if (events[i].events & EPOLLIN)
+                onReadable(conn);
+        }
+        processCompletions();
+        sweepDeadlines();
+    }
+
+    // Shutdown: flush what we can, then close everything.
+    processCompletions();
+    for (auto &[id, conn] : conns_) {
+        ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+        ::close(conn->fd);
+    }
+    conns_.clear();
+    if (listenOpen) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
 }
 
 } // namespace madmax

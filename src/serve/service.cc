@@ -38,6 +38,31 @@ jsonResponse(const JsonValue &doc)
     return resp;
 }
 
+/** One Prometheus metric family: HELP + TYPE + one sample line per
+ *  (labels, value) pair appended by the caller. */
+void
+promHeader(std::string &out, const std::string &name,
+           const std::string &help, const char *type)
+{
+    out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+void
+promSample(std::string &out, const std::string &name,
+           const std::string &labels, double value)
+{
+    out += name;
+    if (!labels.empty())
+        out += "{" + labels + "}";
+    // Integral counters print without a fraction; measured quantities
+    // keep full double precision.
+    if (value == static_cast<double>(static_cast<long>(value)))
+        out += " " + std::to_string(static_cast<long>(value)) + "\n";
+    else
+        out += " " + std::to_string(value) + "\n";
+}
+
 } // namespace
 
 EvalService::EvalService(ServiceOptions options)
@@ -47,6 +72,14 @@ EvalService::EvalService(ServiceOptions options)
           eo.cacheCapacity = options.cacheCapacity;
           return eo;
       }()),
+      configCache_(options.configCacheCapacity),
+      dispatcher_(engine_,
+                  [&options] {
+                      BatchDispatcherOptions bo;
+                      bo.windowMicros = options.batchWindowMicros;
+                      bo.maxBatch = options.batchMax;
+                      return bo;
+                  }()),
       start_(std::chrono::steady_clock::now())
 {
     router_.add("POST", "/v1/evaluate", [this](const HttpRequest &r) {
@@ -64,11 +97,33 @@ EvalService::EvalService(ServiceOptions options)
     router_.add("GET", "/v1/stats", [this](const HttpRequest &r) {
         return handleStats(r);
     });
+    router_.add("GET", "/v1/metrics", [this](const HttpRequest &r) {
+        return handleMetrics(r);
+    });
+}
+
+std::atomic<long> *
+EvalService::latencySlot(const std::string &target)
+{
+    if (target == "/v1/evaluate")
+        return &evaluateNanos_;
+    if (target == "/v1/explore")
+        return &exploreNanos_;
+    if (target == "/v1/pareto")
+        return &paretoNanos_;
+    if (target == "/v1/health")
+        return &healthNanos_;
+    if (target == "/v1/stats")
+        return &statsNanos_;
+    if (target == "/v1/metrics")
+        return &metricsNanos_;
+    return nullptr;
 }
 
 HttpResponse
 EvalService::handle(const HttpRequest &request)
 {
+    auto t0 = std::chrono::steady_clock::now();
     HttpResponse resp;
     try {
         resp = router_.route(request);
@@ -79,21 +134,37 @@ EvalService::handle(const HttpRequest &request)
     }
     if (resp.status >= 400)
         ++errorCount_;
+    if (std::atomic<long> *slot = latencySlot(request.target))
+        slot->fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
     return resp;
+}
+
+RequestCost
+EvalService::classify(const HttpRequest &request) const
+{
+    if (request.method == "GET")
+        return RequestCost::Cheap;
+    if (request.target == "/v1/evaluate") {
+        std::string key;
+        if (configCache_.peekKey(request.body, key) &&
+            engine_.isCached(key))
+            return RequestCost::Cached;
+    }
+    return RequestCost::Expensive;
 }
 
 HttpResponse
 EvalService::handleEvaluate(const HttpRequest &request)
 {
     ++evaluateCount_;
-    JsonValue body = parseTripleBody(request);
-    ModelDesc model = loadModel(body.at("model"));
-    ClusterSpec cluster = loadCluster(body.at("system"));
-    TaskConfig task = loadTask(body.at("task"));
-
-    PerfModel perf(cluster);
-    PerfReport report =
-        engine_.evaluateOne(perf, model, task.task, task.plan);
+    // Parse (or reuse the parsed form of) the config triple, then
+    // ride whatever evaluation batch forms. Engine memo hits return
+    // straight from the dispatcher's fast path.
+    CachedRequest parsed = configCache_.lookup(request.body);
+    PerfReport report = dispatcher_.evaluate(parsed);
     return jsonResponse(toJson(report));
 }
 
@@ -139,6 +210,20 @@ HttpResponse
 EvalService::handlePareto(const HttpRequest &request)
 {
     ++paretoCount_;
+    // A pareto search is too coarse to micro-batch, but concurrent
+    // byte-identical queries (a popular dashboard, a retry storm)
+    // collapse to one search sharing its response.
+    bool shared = false;
+    HttpResponse resp = paretoFlight_.run(
+        request.body, [&] { return runPareto(request); }, &shared);
+    if (shared)
+        ++paretoShared_;
+    return resp;
+}
+
+HttpResponse
+EvalService::runPareto(const HttpRequest &request)
+{
     JsonValue body = JsonValue::parse(request.body);
     if (!body.isObject())
         fatal("request body must be a JSON object with \"model\" and "
@@ -236,10 +321,16 @@ EvalService::handleStats(const HttpRequest &request)
     cache.set("insertions", c.cacheInsertions);
     cache.set("evictions", c.cacheEvictions);
 
+    JsonValue engineBatches;
+    engineBatches.set("calls", c.batches);
+    engineBatches.set("requests", c.batchRequests);
+    engineBatches.set("max_requests", c.maxBatchRequests);
+
     JsonValue eng;
     eng.set("jobs", engine_.jobs());
     eng.set("lifetime", toJson(c.lifetime));
     eng.set("cache", std::move(cache));
+    eng.set("batches", std::move(engineBatches));
 
     ServiceStats s = stats();
     JsonValue requests;
@@ -248,10 +339,32 @@ EvalService::handleStats(const HttpRequest &request)
     requests.set("pareto", s.pareto);
     requests.set("health", s.health);
     requests.set("stats", s.stats);
+    requests.set("metrics", s.metrics);
+
+    BatchDispatcherStats b = dispatcher_.stats();
+    JsonValue batching;
+    batching.set("windows", b.windows);
+    batching.set("batched_requests", b.requests);
+    batching.set("coalesced_requests", b.coalesced);
+    batching.set("max_occupancy", b.maxOccupancy);
+    batching.set("memo_fast_path", b.memoFastPath);
+
+    ConfigCache::Stats cc = configCache_.stats();
+    JsonValue configCache;
+    configCache.set("capacity", static_cast<long>(cc.capacity));
+    configCache.set("entries", static_cast<long>(cc.entries));
+    configCache.set("hits", cc.hits);
+    configCache.set("misses", cc.misses);
+    configCache.set("evictions", cc.evictions);
+    configCache.set("triple_shares", cc.tripleShares);
+
     JsonValue server;
     server.set("requests", std::move(requests));
     server.set("requests_total", s.total());
     server.set("errors", s.errors);
+    server.set("batching", std::move(batching));
+    server.set("config_cache", std::move(configCache));
+    server.set("pareto_coalesced", paretoShared_.load());
 
     JsonValue out;
     out.set("engine", std::move(eng));
@@ -263,6 +376,13 @@ EvalService::handleStats(const HttpRequest &request)
         transport.set("served", t.served);
         transport.set("rejected_queue_full", t.rejectedQueueFull);
         transport.set("bad_requests", t.badRequests);
+        transport.set("keep_alive_reuses", t.keepAliveReuses);
+        transport.set("pipelined_requests", t.pipelinedRequests);
+        transport.set("shed_expensive", t.shedExpensive);
+        transport.set("shed_cached", t.shedCached);
+        transport.set("idle_closed", t.idleClosed);
+        transport.set("deadline_closed", t.deadlineClosed);
+        transport.set("partial_writes", t.partialWrites);
         out.set("transport", std::move(transport));
     }
     out.set("uptime_seconds",
@@ -270,6 +390,183 @@ EvalService::handleStats(const HttpRequest &request)
                 std::chrono::steady_clock::now() - start_)
                 .count());
     return jsonResponse(out);
+}
+
+HttpResponse
+EvalService::handleMetrics(const HttpRequest &request)
+{
+    ++metricsCount_;
+    (void)request;
+    EngineCounters c = engine_.counters();
+    BatchDispatcherStats b = dispatcher_.stats();
+    ConfigCache::Stats cc = configCache_.stats();
+    ServiceStats s = stats();
+
+    std::string out;
+    out.reserve(4096);
+
+    promHeader(out, "madmax_uptime_seconds",
+               "Seconds since service start.", "gauge");
+    promSample(out, "madmax_uptime_seconds", "",
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count());
+
+    promHeader(out, "madmax_requests_total",
+               "Requests routed, by endpoint.", "counter");
+    const struct
+    {
+        const char *name;
+        long count;
+        long nanos;
+    } endpoints[] = {
+        {"evaluate", s.evaluate, evaluateNanos_.load()},
+        {"explore", s.explore, exploreNanos_.load()},
+        {"pareto", s.pareto, paretoNanos_.load()},
+        {"health", s.health, healthNanos_.load()},
+        {"stats", s.stats, statsNanos_.load()},
+        {"metrics", s.metrics, metricsNanos_.load()},
+    };
+    for (const auto &e : endpoints)
+        promSample(out, "madmax_requests_total",
+                   std::string("endpoint=\"") + e.name + "\"",
+                   static_cast<double>(e.count));
+
+    promHeader(out, "madmax_request_seconds_total",
+               "Cumulative handler wall time, by endpoint.",
+               "counter");
+    for (const auto &e : endpoints)
+        promSample(out, "madmax_request_seconds_total",
+                   std::string("endpoint=\"") + e.name + "\"",
+                   static_cast<double>(e.nanos) * 1e-9);
+
+    promHeader(out, "madmax_errors_total",
+               "Responses with status >= 400 (any endpoint).",
+               "counter");
+    promSample(out, "madmax_errors_total", "",
+               static_cast<double>(s.errors));
+
+    promHeader(out, "madmax_engine_evaluations_total",
+               "Fresh model evaluations executed.", "counter");
+    promSample(out, "madmax_engine_evaluations_total", "",
+               static_cast<double>(c.lifetime.evaluations));
+    promHeader(out, "madmax_engine_cache_hits_total",
+               "Evaluations served from the memo cache.", "counter");
+    promSample(out, "madmax_engine_cache_hits_total", "",
+               static_cast<double>(c.lifetime.cacheHits));
+    promHeader(out, "madmax_engine_pruned_total",
+               "OOM plans resolved by the memory pre-pass.",
+               "counter");
+    promSample(out, "madmax_engine_pruned_total", "",
+               static_cast<double>(c.lifetime.pruned));
+    promHeader(out, "madmax_engine_cache_entries",
+               "Memo-cache occupancy.", "gauge");
+    promSample(out, "madmax_engine_cache_entries", "",
+               static_cast<double>(c.cacheEntries));
+    promHeader(out, "madmax_engine_batch_calls_total",
+               "evaluateAll batches submitted.", "counter");
+    promSample(out, "madmax_engine_batch_calls_total", "",
+               static_cast<double>(c.batches));
+    promHeader(out, "madmax_engine_batch_requests_total",
+               "Points submitted across all batches.", "counter");
+    promSample(out, "madmax_engine_batch_requests_total", "",
+               static_cast<double>(c.batchRequests));
+
+    promHeader(out, "madmax_batch_windows_total",
+               "Micro-batch windows dispatched.", "counter");
+    promSample(out, "madmax_batch_windows_total", "",
+               static_cast<double>(b.windows));
+    promHeader(out, "madmax_batch_requests_total",
+               "Requests that entered a micro-batch window.",
+               "counter");
+    promSample(out, "madmax_batch_requests_total", "",
+               static_cast<double>(b.requests));
+    promHeader(out, "madmax_batch_coalesced_requests_total",
+               "Windowed requests that shared their window.",
+               "counter");
+    promSample(out, "madmax_batch_coalesced_requests_total", "",
+               static_cast<double>(b.coalesced));
+    promHeader(out, "madmax_batch_max_occupancy",
+               "Largest window submitted.", "gauge");
+    promSample(out, "madmax_batch_max_occupancy", "",
+               static_cast<double>(b.maxOccupancy));
+    promHeader(out, "madmax_batch_memo_fast_path_total",
+               "Evaluate requests answered from the memo cache "
+               "without a window.",
+               "counter");
+    promSample(out, "madmax_batch_memo_fast_path_total", "",
+               static_cast<double>(b.memoFastPath));
+
+    promHeader(out, "madmax_config_cache_hits_total",
+               "Request bodies whose parse was reused.", "counter");
+    promSample(out, "madmax_config_cache_hits_total", "",
+               static_cast<double>(cc.hits));
+    promHeader(out, "madmax_config_cache_misses_total",
+               "Request bodies parsed cold.", "counter");
+    promSample(out, "madmax_config_cache_misses_total", "",
+               static_cast<double>(cc.misses));
+    promHeader(out, "madmax_config_cache_entries",
+               "Parsed-config cache occupancy.", "gauge");
+    promSample(out, "madmax_config_cache_entries", "",
+               static_cast<double>(cc.entries));
+
+    promHeader(out, "madmax_pareto_coalesced_total",
+               "Pareto requests served by a shared in-flight search.",
+               "counter");
+    promSample(out, "madmax_pareto_coalesced_total", "",
+               static_cast<double>(paretoShared_.load()));
+
+    if (transportStats_) {
+        HttpServerStats t = transportStats_();
+        promHeader(out, "madmax_http_connections_accepted_total",
+                   "TCP connections accepted.", "counter");
+        promSample(out, "madmax_http_connections_accepted_total", "",
+                   static_cast<double>(t.accepted));
+        promHeader(out, "madmax_http_requests_served_total",
+                   "Requests answered by the handler.", "counter");
+        promSample(out, "madmax_http_requests_served_total", "",
+                   static_cast<double>(t.served));
+        promHeader(out, "madmax_http_keepalive_reuses_total",
+                   "Requests beyond their connection's first.",
+                   "counter");
+        promSample(out, "madmax_http_keepalive_reuses_total", "",
+                   static_cast<double>(t.keepAliveReuses));
+        promHeader(out, "madmax_http_pipelined_requests_total",
+                   "Requests parsed while a response was pending.",
+                   "counter");
+        promSample(out, "madmax_http_pipelined_requests_total", "",
+                   static_cast<double>(t.pipelinedRequests));
+        promHeader(out, "madmax_http_shed_total",
+                   "Requests shed by tiered admission control.",
+                   "counter");
+        promSample(out, "madmax_http_shed_total", "tier=\"expensive\"",
+                   static_cast<double>(t.shedExpensive));
+        promSample(out, "madmax_http_shed_total", "tier=\"cached\"",
+                   static_cast<double>(t.shedCached));
+        promHeader(out, "madmax_http_bad_requests_total",
+                   "Transport-level request rejections.", "counter");
+        promSample(out, "madmax_http_bad_requests_total", "",
+                   static_cast<double>(t.badRequests));
+        promHeader(out, "madmax_http_idle_closed_total",
+                   "Keep-alive connections evicted idle.", "counter");
+        promSample(out, "madmax_http_idle_closed_total", "",
+                   static_cast<double>(t.idleClosed));
+        promHeader(out, "madmax_http_deadline_closed_total",
+                   "Connections cut at the request deadline.",
+                   "counter");
+        promSample(out, "madmax_http_deadline_closed_total", "",
+                   static_cast<double>(t.deadlineClosed));
+        promHeader(out, "madmax_http_partial_writes_total",
+                   "Responses resumed after a short write.",
+                   "counter");
+        promSample(out, "madmax_http_partial_writes_total", "",
+                   static_cast<double>(t.partialWrites));
+    }
+
+    HttpResponse resp;
+    resp.contentType = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = std::move(out);
+    return resp;
 }
 
 ServiceStats
@@ -281,6 +578,7 @@ EvalService::stats() const
     s.pareto = paretoCount_.load();
     s.health = healthCount_.load();
     s.stats = statsCount_.load();
+    s.metrics = metricsCount_.load();
     s.errors = errorCount_.load();
     return s;
 }

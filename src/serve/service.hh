@@ -6,11 +6,23 @@
  * every request the server ever answers — repeat evaluations of a
  * popular (model, system, task) triple are cache hits instead of
  * full stream builds, which is what amortizes the >100x-over-
- * profiling speedup across many interactive users. Cache misses ride
- * the engine's context grouping (core/eval_context.hh): an explore
- * request's whole plan sweep shares one EvalContext built from the
- * request's parsed triple, so per-plan cost is the marginal stream
- * build + schedule, not re-validation of the cluster and model.
+ * profiling speedup across many interactive users.
+ *
+ * Between the transport and the engine sit two serving-only layers
+ * (both new with the epoll transport):
+ *
+ *  - a fingerprint-keyed parsed-config cache (serve/config_cache.hh):
+ *    repeat bodies skip JSON parsing and config validation entirely,
+ *    and bodies differing only in whitespace or plan share one
+ *    ParsedTriple, whose pointer identity drives engine batch
+ *    grouping;
+ *  - a micro-batching dispatcher (serve/batch_dispatcher.hh):
+ *    concurrent cold evaluations coalesce into single
+ *    EvalEngine::evaluateAll batches, so requests sharing a triple
+ *    share one warm EvalContext per batch window. Engine memo hits
+ *    bypass the window (zero added latency on the cached path), and
+ *    concurrent byte-identical /v1/pareto requests collapse to one
+ *    search via single-flight deduplication.
  *
  * Endpoints (full reference with examples: docs/serving.md):
  *
@@ -31,7 +43,10 @@
  *                      (hardware x plan) space (docs/dse.md).
  *   GET  /v1/health    liveness: status, uptime, engine parallelism.
  *   GET  /v1/stats     engine lifetime counters + memo-cache
- *                      occupancy + per-endpoint request counts.
+ *                      occupancy + batching/config-cache/transport
+ *                      counters + per-endpoint request counts.
+ *   GET  /v1/metrics   the same counters in Prometheus text
+ *                      exposition format (text/plain; version=0.0.4).
  *
  * Errors use the uniform {"error": {code, message}} shape: 400 for
  * malformed JSON / missing fields / bad configs, 404/405 from the
@@ -46,6 +61,8 @@
 #include <functional>
 
 #include "engine/eval_engine.hh"
+#include "serve/batch_dispatcher.hh"
+#include "serve/config_cache.hh"
 #include "serve/request_router.hh"
 
 namespace madmax
@@ -60,6 +77,16 @@ struct ServiceOptions
 
     /** Memo-cache entry cap, forwarded to EvalEngineOptions. */
     size_t cacheCapacity = size_t{1} << 13;
+
+    /** Micro-batching window for cold evaluations, microseconds
+     *  (BatchDispatcherOptions::windowMicros); 0 disables waiting. */
+    long batchWindowMicros = 100;
+
+    /** Batch occupancy that submits a window early. */
+    size_t batchMax = 64;
+
+    /** Parsed-config cache entry cap (serve/config_cache.hh). */
+    size_t configCacheCapacity = 1024;
 };
 
 /** Per-endpoint request accounting, reported by `GET /v1/stats`. */
@@ -70,11 +97,12 @@ struct ServiceStats
     long pareto = 0;
     long health = 0;
     long stats = 0;
+    long metrics = 0;
     long errors = 0; ///< Responses with status >= 400 (any endpoint).
 
     long total() const
     {
-        return evaluate + explore + pareto + health + stats;
+        return evaluate + explore + pareto + health + stats + metrics;
     }
 };
 
@@ -93,8 +121,23 @@ class EvalService
      */
     HttpResponse handle(const HttpRequest &request);
 
+    /**
+     * Admission-tier classifier for the transport's tiered load
+     * shedding (HttpServerOptions::classifier). GETs (health, stats,
+     * metrics) are Cheap and never shed; an evaluate whose body is a
+     * known parsed-config entry with a warm engine memo key is Cached
+     * (shed last); everything else — cold evaluations, explore,
+     * pareto — is Expensive (shed first). Fast: one hash + two map
+     * probes, no parsing; safe to call on the event loop.
+     */
+    RequestCost classify(const HttpRequest &request) const;
+
     /** The shared process-lifetime engine (tests inspect its cache). */
     EvalEngine &engine() { return engine_; }
+
+    /** The serving-side coalescing layers (tests inspect counters). */
+    const BatchDispatcher &dispatcher() const { return dispatcher_; }
+    const ConfigCache &configCache() const { return configCache_; }
 
     ServiceStats stats() const;
 
@@ -117,10 +160,19 @@ class EvalService
     HttpResponse handleEvaluate(const HttpRequest &request);
     HttpResponse handleExplore(const HttpRequest &request);
     HttpResponse handlePareto(const HttpRequest &request);
+    HttpResponse runPareto(const HttpRequest &request);
     HttpResponse handleHealth(const HttpRequest &request);
     HttpResponse handleStats(const HttpRequest &request);
+    HttpResponse handleMetrics(const HttpRequest &request);
+
+    /** Cumulative handler-latency slot for a target ("/v1/..."), or
+     *  null for unrouted targets. */
+    std::atomic<long> *latencySlot(const std::string &target);
 
     EvalEngine engine_;
+    ConfigCache configCache_;
+    BatchDispatcher dispatcher_;
+    SingleFlight paretoFlight_;
     RequestRouter router_;
     std::function<HttpServerStats()> transportStats_;
     std::chrono::steady_clock::time_point start_;
@@ -130,7 +182,18 @@ class EvalService
     std::atomic<long> paretoCount_{0};
     std::atomic<long> healthCount_{0};
     std::atomic<long> statsCount_{0};
+    std::atomic<long> metricsCount_{0};
     std::atomic<long> errorCount_{0};
+    std::atomic<long> paretoShared_{0}; ///< Single-flight dedups.
+
+    /// Cumulative handler nanoseconds per endpoint (same order as the
+    /// count atomics; /v1/metrics divides by the counts for means).
+    std::atomic<long> evaluateNanos_{0};
+    std::atomic<long> exploreNanos_{0};
+    std::atomic<long> paretoNanos_{0};
+    std::atomic<long> healthNanos_{0};
+    std::atomic<long> statsNanos_{0};
+    std::atomic<long> metricsNanos_{0};
 };
 
 } // namespace madmax

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * FNV-1a 64-bit content fingerprints. Used by the serving layer to
+ * key parsed-config caches by request-body bytes without storing the
+ * bytes in the key: the hash buckets, an exact compare against the
+ * stored original confirms (so a collision costs a cache miss, never
+ * a wrong answer).
+ */
+
+#ifndef MADMAX_UTIL_FINGERPRINT_HH
+#define MADMAX_UTIL_FINGERPRINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace madmax
+{
+
+constexpr uint64_t kFnvBasis = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/** Fold @p len bytes into @p seed (chainable across fragments). */
+inline uint64_t
+fnv1a(const void *data, size_t len, uint64_t seed = kFnvBasis)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i)
+        seed = (seed ^ p[i]) * kFnvPrime;
+    return seed;
+}
+
+inline uint64_t
+fnv1a(const std::string &s, uint64_t seed = kFnvBasis)
+{
+    return fnv1a(s.data(), s.size(), seed);
+}
+
+} // namespace madmax
+
+#endif // MADMAX_UTIL_FINGERPRINT_HH

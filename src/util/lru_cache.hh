@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small header-only LRU map, the bookkeeping half of the serving
+ * layer's parsed-config caches (EvalEngine has its own inlined copy
+ * of this structure predating it — the memo cache's entry type and
+ * locking are entangled with evaluation accounting, so it stays
+ * as-is). Not thread-safe; callers hold their own mutex, which they
+ * need anyway to make lookup-then-insert atomic.
+ */
+
+#ifndef MADMAX_UTIL_LRU_CACHE_HH
+#define MADMAX_UTIL_LRU_CACHE_HH
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace madmax
+{
+
+template <typename Key, typename Value> class LruCache
+{
+  public:
+    explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+    /** Pointer to the value (touched most-recent), or nullptr.
+     *  Invalidated by the next put(). */
+    Value *get(const Key &key)
+    {
+        auto it = map_.find(key);
+        if (it == map_.end())
+            return nullptr;
+        order_.splice(order_.begin(), order_, it->second.second);
+        return &it->second.first;
+    }
+
+    /** Peek without touching recency (for read-only probes). */
+    const Value *peek(const Key &key) const
+    {
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : &it->second.first;
+    }
+
+    /** Insert or overwrite; evicts least-recent beyond capacity.
+     *  Returns the number of evictions (0 or 1). */
+    size_t put(const Key &key, Value value)
+    {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            it->second.first = std::move(value);
+            order_.splice(order_.begin(), order_, it->second.second);
+            return 0;
+        }
+        order_.push_front(key);
+        map_.emplace(key,
+                     std::make_pair(std::move(value), order_.begin()));
+        size_t evicted = 0;
+        while (map_.size() > capacity_) {
+            map_.erase(order_.back());
+            order_.pop_back();
+            ++evicted;
+        }
+        return evicted;
+    }
+
+    size_t size() const { return map_.size(); }
+    size_t capacity() const { return capacity_; }
+
+  private:
+    size_t capacity_;
+    std::list<Key> order_; ///< Front = most recently used.
+    std::unordered_map<Key,
+                       std::pair<Value, typename std::list<Key>::iterator>>
+        map_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_UTIL_LRU_CACHE_HH

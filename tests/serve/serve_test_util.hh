@@ -14,6 +14,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -56,11 +57,14 @@ httpExchange(int port, const std::string &raw)
     return resp;
 }
 
-/** Render a POST with a body (CRLF framing, explicit Content-Length). */
+/** Render a POST with a body (CRLF framing, explicit Content-Length).
+ *  Asks for `Connection: close` so httpExchange's read-to-EOF
+ *  terminates; keep-alive flows use KeepAliveClient instead. */
 inline std::string
 postRequest(const std::string &path, const std::string &body)
 {
     return "POST " + path + " HTTP/1.1\r\nHost: localhost\r\n"
+        "Connection: close\r\n"
         "Content-Type: application/json\r\nContent-Length: " +
         std::to_string(body.size()) + "\r\n\r\n" + body;
 }
@@ -68,8 +72,123 @@ postRequest(const std::string &path, const std::string &body)
 inline std::string
 getRequest(const std::string &path)
 {
+    return "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n"
+        "Connection: close\r\n\r\n";
+}
+
+/** Keep-alive variants: no `Connection: close`, so the server holds
+ *  the connection open for the next request. */
+inline std::string
+postRequestKeepAlive(const std::string &path, const std::string &body)
+{
+    return "POST " + path + " HTTP/1.1\r\nHost: localhost\r\n"
+        "Content-Type: application/json\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+inline std::string
+getRequestKeepAlive(const std::string &path)
+{
     return "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
 }
+
+/**
+ * A blocking keep-alive client: one TCP connection, any number of
+ * requests. readResponse() frames responses by Content-Length (the
+ * server always sends one), so pipelined responses on the same
+ * socket are split correctly instead of read-to-EOF.
+ */
+class KeepAliveClient
+{
+  public:
+    explicit KeepAliveClient(int port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~KeepAliveClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    KeepAliveClient(const KeepAliveClient &) = delete;
+    KeepAliveClient &operator=(const KeepAliveClient &) = delete;
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send raw bytes; returns false on a send error (peer gone). */
+    bool sendRaw(const std::string &raw)
+    {
+        size_t off = 0;
+        while (off < raw.size()) {
+            ssize_t n = ::send(fd_, raw.data() + off,
+                               raw.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                return false;
+            off += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+    /** Read exactly one response (status line through body), framed
+     *  by its Content-Length header. Empty string on EOF/error. */
+    std::string readResponse()
+    {
+        while (true) {
+            size_t headerEnd = buf_.find("\r\n\r\n");
+            if (headerEnd != std::string::npos) {
+                std::string head = buf_.substr(0, headerEnd);
+                for (char &c : head)
+                    c = static_cast<char>(
+                        std::tolower(static_cast<unsigned char>(c)));
+                size_t contentLength = 0;
+                size_t pos = head.find("content-length:");
+                if (pos != std::string::npos)
+                    contentLength = std::stoul(
+                        head.substr(pos + 15));
+                size_t total = headerEnd + 4 + contentLength;
+                if (buf_.size() >= total) {
+                    std::string resp = buf_.substr(0, total);
+                    buf_.erase(0, total);
+                    return resp;
+                }
+            }
+            char chunk[4096];
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                return "";
+            buf_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+    /** Drain the socket to EOF (after the server closes). */
+    std::string readToEof()
+    {
+        char chunk[4096];
+        ssize_t n;
+        while ((n = ::recv(fd_, chunk, sizeof(chunk), 0)) > 0)
+            buf_.append(chunk, static_cast<size_t>(n));
+        std::string all;
+        all.swap(buf_);
+        return all;
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buf_; ///< Received, not yet returned.
+};
 
 /** Status code of a raw HTTP response (0 if unparsable). */
 inline int

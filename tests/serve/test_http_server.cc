@@ -112,16 +112,17 @@ TEST(HttpServer, InvalidContentLengthIs400)
 TEST(HttpServer, ServesBareLfClientsPromptly)
 {
     // LF-only framing must be detected while reading, not only after
-    // the socket timeout expires.
+    // an idle/request deadline expires.
     HttpServerOptions opts;
     opts.port = 0;
-    opts.recvTimeoutSeconds = 30; // Make a timeout-dependent pass hang.
+    opts.idleTimeoutSeconds = 30; // Make a timeout-dependent pass hang.
+    opts.requestDeadlineSeconds = 30;
     HttpServer server(echoHandler, opts);
     server.start();
     auto t0 = std::chrono::steady_clock::now();
     std::string resp = httpExchange(
         server.port(),
-        "POST /lf HTTP/1.1\nContent-Length: 2\n\nok");
+        "POST /lf HTTP/1.1\nConnection: close\nContent-Length: 2\n\nok");
     double seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
@@ -186,7 +187,9 @@ TEST(HttpServer, MissingContentLengthMeansEmptyBody)
     HttpServer server(echoHandler, opts);
     server.start();
     std::string resp = httpExchange(
-        server.port(), "POST /x HTTP/1.1\r\nHost: l\r\n\r\nignored");
+        server.port(),
+        "POST /x HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n"
+        "ignored");
     EXPECT_EQ(statusOf(resp), 200);
     EXPECT_EQ(bodyOf(resp), "POST /x|");
     server.stop();
@@ -202,6 +205,7 @@ TEST(HttpServer, HonorsExpect100Continue)
     std::string resp = httpExchange(
         server.port(),
         "POST /x HTTP/1.1\r\nExpect: 100-continue\r\n"
+        "Connection: close\r\n"
         "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
             body);
     EXPECT_EQ(resp.rfind("HTTP/1.1 100 Continue\r\n\r\n", 0), 0u);

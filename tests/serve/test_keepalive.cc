@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Keep-alive transport tests: connection reuse, pipelining on one
+ * socket, partial-write resumption of large responses, idle-timeout
+ * eviction, the per-connection request cap, the
+ * error-closes-the-connection contract, and tiered load shedding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/http_server.hh"
+#include "serve_test_util.hh"
+
+namespace madmax
+{
+
+using namespace serve_test;
+
+namespace
+{
+
+HttpResponse
+echoHandler(const HttpRequest &req)
+{
+    HttpResponse resp;
+    resp.body = req.method + " " + req.target + "|" + req.body;
+    return resp;
+}
+
+} // namespace
+
+TEST(KeepAlive, ServesManyRequestsOnOneConnection)
+{
+    HttpServerOptions opts;
+    opts.port = 0;
+    HttpServer server(echoHandler, opts);
+    server.start();
+
+    KeepAliveClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    for (int i = 0; i < 20; ++i) {
+        std::string body = "req" + std::to_string(i);
+        ASSERT_TRUE(
+            client.sendRaw(postRequestKeepAlive("/echo", body)));
+        std::string resp = client.readResponse();
+        EXPECT_EQ(statusOf(resp), 200);
+        EXPECT_EQ(bodyOf(resp), "POST /echo|" + body);
+        EXPECT_NE(resp.find("Connection: keep-alive\r\n"),
+                  std::string::npos);
+    }
+    HttpServerStats stats = server.stats();
+    EXPECT_EQ(stats.accepted, 1);
+    EXPECT_EQ(stats.served, 20);
+    EXPECT_EQ(stats.keepAliveReuses, 19);
+    server.stop();
+}
+
+TEST(KeepAlive, PipelinedRequestsAreAnsweredInOrder)
+{
+    HttpServerOptions opts;
+    opts.port = 0;
+    HttpServer server(echoHandler, opts);
+    server.start();
+
+    KeepAliveClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    // All five requests in one burst, before reading anything.
+    std::string burst;
+    for (int i = 0; i < 5; ++i)
+        burst += postRequestKeepAlive("/p", "n" + std::to_string(i));
+    ASSERT_TRUE(client.sendRaw(burst));
+    for (int i = 0; i < 5; ++i) {
+        std::string resp = client.readResponse();
+        EXPECT_EQ(statusOf(resp), 200);
+        EXPECT_EQ(bodyOf(resp), "POST /p|n" + std::to_string(i));
+    }
+    HttpServerStats stats = server.stats();
+    EXPECT_EQ(stats.served, 5);
+    EXPECT_GE(stats.pipelinedRequests, 1);
+    server.stop();
+}
+
+TEST(KeepAlive, LargeResponsesSurvivePartialWrites)
+{
+    // A response far larger than the socket send buffer forces the
+    // EAGAIN -> EPOLLOUT -> resume path; the client must still
+    // receive every byte, and the connection must stay usable. 32 MB
+    // exceeds any autotuned loopback send+receive buffering, so the
+    // write stalls even if the client races ahead.
+    const std::string big(32 << 20, 'x');
+    HttpServerOptions opts;
+    opts.port = 0;
+    HttpServer server(
+        [&big](const HttpRequest &) {
+            HttpResponse resp;
+            resp.body = big;
+            return resp;
+        },
+        opts);
+    server.start();
+
+    KeepAliveClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.sendRaw(getRequestKeepAlive("/big")));
+    // Don't read yet: let the kernel buffers fill so the server's
+    // write is guaranteed to go partial before we start draining.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::string resp = client.readResponse();
+    EXPECT_EQ(statusOf(resp), 200);
+    EXPECT_EQ(bodyOf(resp), big);
+    ASSERT_TRUE(client.sendRaw(getRequestKeepAlive("/big")));
+    EXPECT_EQ(bodyOf(client.readResponse()), big);
+    EXPECT_GE(server.stats().partialWrites, 1);
+    server.stop();
+}
+
+TEST(KeepAlive, IdleConnectionsAreEvicted)
+{
+    HttpServerOptions opts;
+    opts.port = 0;
+    opts.idleTimeoutSeconds = 1;
+    HttpServer server(echoHandler, opts);
+    server.start();
+
+    KeepAliveClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.sendRaw(postRequestKeepAlive("/x", "hi")));
+    EXPECT_EQ(statusOf(client.readResponse()), 200);
+
+    // Idle past the timeout: the server must close from its side.
+    auto t0 = std::chrono::steady_clock::now();
+    std::string rest = client.readToEof(); // Blocks until server FIN.
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    EXPECT_EQ(rest, "");
+    EXPECT_LT(seconds, 10.0);
+    EXPECT_GE(server.stats().idleClosed, 1);
+    server.stop();
+}
+
+TEST(KeepAlive, RequestCapClosesTheConnection)
+{
+    HttpServerOptions opts;
+    opts.port = 0;
+    opts.keepAliveMaxRequests = 3;
+    HttpServer server(echoHandler, opts);
+    server.start();
+
+    KeepAliveClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(client.sendRaw(postRequestKeepAlive("/x", "b")));
+        std::string resp = client.readResponse();
+        EXPECT_EQ(statusOf(resp), 200);
+        bool last = i == 2;
+        EXPECT_NE(resp.find(last ? "Connection: close\r\n"
+                                 : "Connection: keep-alive\r\n"),
+                  std::string::npos);
+    }
+    // The cap response carried Connection: close; the socket must
+    // reach EOF without further requests being accepted.
+    EXPECT_EQ(client.readToEof(), "");
+    server.stop();
+}
+
+TEST(KeepAlive, ErrorResponsesCloseTheConnection)
+{
+    HttpServerOptions opts;
+    opts.port = 0;
+    HttpServer server(echoHandler, opts);
+    server.start();
+
+    // Transport-level error mid-stream: a malformed second request
+    // after a healthy first one. The error response must arrive
+    // intact (drained close, no RST racing it) and carry
+    // Connection: close.
+    KeepAliveClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.sendRaw(postRequestKeepAlive("/ok", "fine")));
+    EXPECT_EQ(statusOf(client.readResponse()), 200);
+    ASSERT_TRUE(client.sendRaw("complete garbage\r\n\r\n"));
+    std::string resp = client.readResponse();
+    EXPECT_EQ(statusOf(resp), 400);
+    EXPECT_NE(resp.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_EQ(client.readToEof(), "");
+    server.stop();
+}
+
+TEST(KeepAlive, ShedsExpensiveBeforeCachedUnderLoad)
+{
+    // With queueDepth 4 and handlers parked on a gate, in-flight load
+    // saturates; tier-2 requests must then shed with a Retry-After
+    // 503 while tier-0 requests keep flowing (workers > queueDepth,
+    // so shedding — not worker starvation — is what's observed).
+    std::mutex gate;
+    gate.lock();
+    HttpServerOptions opts;
+    opts.port = 0;
+    opts.workers = 8;
+    opts.queueDepth = 4;
+    opts.classifier = [](const HttpRequest &req) {
+        return req.method == "GET" ? RequestCost::Cheap
+                                   : RequestCost::Expensive;
+    };
+    HttpServer server(
+        [&gate](const HttpRequest &req) {
+            if (req.method == "POST")
+                std::lock_guard<std::mutex> hold(gate);
+            HttpResponse resp;
+            resp.body = "done";
+            return resp;
+        },
+        opts);
+    server.start();
+
+    // Saturate: 3 gated POSTs reach the Expensive-tier shed point
+    // (3/4 of queueDepth); a 4th would itself be shed.
+    std::vector<std::unique_ptr<KeepAliveClient>> blocked;
+    for (int i = 0; i < 3; ++i) {
+        blocked.push_back(
+            std::make_unique<KeepAliveClient>(server.port()));
+        ASSERT_TRUE(blocked.back()->connected());
+        ASSERT_TRUE(blocked.back()->sendRaw(
+            postRequestKeepAlive("/slow", "x")));
+    }
+    for (int i = 0; i < 300 && server.stats().accepted < 3; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // A tier-2 request is shed with 503 + Retry-After...
+    std::string resp =
+        httpExchange(server.port(), postRequest("/slow", "y"));
+    EXPECT_EQ(statusOf(resp), 503);
+    EXPECT_NE(resp.find("Retry-After: 1\r\n"), std::string::npos);
+    // ...while a tier-0 health probe still gets through.
+    resp = httpExchange(server.port(), getRequest("/health"));
+    EXPECT_EQ(statusOf(resp), 200);
+    EXPECT_EQ(bodyOf(resp), "done");
+
+    HttpServerStats stats = server.stats();
+    EXPECT_GE(stats.shedExpensive, 1);
+    EXPECT_EQ(stats.shedCached, 0);
+
+    gate.unlock(); // Release the parked handlers.
+    for (auto &c : blocked)
+        EXPECT_EQ(statusOf(c->readResponse()), 200);
+    server.stop();
+}
+
+} // namespace madmax

@@ -12,7 +12,9 @@
  *       [--nodes N]] [--strategy NAME] [--budget N] [--seed N]
  *       [--jobs N] [--top N] [--format json|text]
  *   madmax describe --model m.json
- *   madmax serve    [--port N] [--jobs N]
+ *   madmax serve    [--port N] [--jobs N] [--workers N]
+ *       [--queue-depth N] [--idle-timeout SEC] [--keep-alive-max N]
+ *       [--batch-window-us N] [--batch-max N] [--config-cache N]
  *
  * Exit codes: 0 success, 1 usage/configuration error (including
  * unknown flags), 2 evaluated but the plan does not fit device
@@ -64,7 +66,10 @@ usage()
         "                  [--jobs N] [--top N] [--no-baselines]\n"
         "                  [--format json|text]\n"
         "  madmax describe --model M.json\n"
-        "  madmax serve    [--port N] [--jobs N]\n"
+        "  madmax serve    [--port N] [--jobs N] [--workers N]\n"
+        "                  [--queue-depth N] [--idle-timeout SEC]\n"
+        "                  [--keep-alive-max N] [--batch-window-us N]\n"
+        "                  [--batch-max N] [--config-cache N]\n"
         "see docs/cli.md for the full flag and exit-code reference\n";
     return 1;
 }
@@ -409,11 +414,28 @@ cmdServe(const std::map<std::string, std::string> &flags)
 {
     ServiceOptions sopts;
     sopts.jobs = static_cast<int>(intFlag(flags, "jobs", 0, 0, 4096));
+    sopts.batchWindowMicros =
+        intFlag(flags, "batch-window-us", 100, 0, 1000000);
+    sopts.batchMax = static_cast<size_t>(
+        intFlag(flags, "batch-max", 64, 1, 4096));
+    sopts.configCacheCapacity = static_cast<size_t>(
+        intFlag(flags, "config-cache", 1024, 1, 1L << 20));
     EvalService service(sopts);
 
     HttpServerOptions hopts;
     hopts.port =
         static_cast<int>(intFlag(flags, "port", 8080, 0, 65535));
+    hopts.workers =
+        static_cast<int>(intFlag(flags, "workers", 4, 1, 256));
+    hopts.queueDepth = static_cast<int>(
+        intFlag(flags, "queue-depth", 64, 1, 1 << 16));
+    hopts.idleTimeoutSeconds = static_cast<int>(
+        intFlag(flags, "idle-timeout", 30, 1, 86400));
+    hopts.keepAliveMaxRequests = static_cast<long>(
+        intFlag(flags, "keep-alive-max", 1000, 1, 1L << 30));
+    hopts.classifier = [&service](const HttpRequest &r) {
+        return service.classify(r);
+    };
     HttpServer server(
         [&service](const HttpRequest &r) { return service.handle(r); },
         hopts);
@@ -428,7 +450,8 @@ cmdServe(const std::map<std::string, std::string> &flags)
               << server.port() << " ("
               << service.engine().jobs() << " jobs)\n"
               << "endpoints: POST /v1/evaluate, POST /v1/explore, "
-                 "GET /v1/health, GET /v1/stats — see docs/serving.md\n";
+                 "POST /v1/pareto, GET /v1/health, GET /v1/stats, "
+                 "GET /v1/metrics — see docs/serving.md\n";
 
     while (!g_shutdown.load())
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -471,7 +494,10 @@ main(int argc, char **argv)
             return cmdDescribe(parseFlags(argc, argv, 2, cmd, spec));
         }
         if (cmd == "serve") {
-            spec.value = {"port", "jobs"};
+            spec.value = {"port", "jobs", "workers", "queue-depth",
+                          "idle-timeout", "keep-alive-max",
+                          "batch-window-us", "batch-max",
+                          "config-cache"};
             return cmdServe(parseFlags(argc, argv, 2, cmd, spec));
         }
         std::cerr << "unknown command: " << cmd << "\n";
