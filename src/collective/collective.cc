@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
 
+#include "hw/topology.hh"
 #include "util/logging.hh"
 #include "util/strfmt.hh"
 
@@ -263,13 +267,147 @@ CollectiveModel::time(Collective kind, CommScope scope, double bytes) const
 }
 
 double
-CollectiveModel::effectiveBandwidth(Collective kind, CommScope scope,
-                                    double bytes) const
+CollectiveCostModel::effectiveBandwidth(Collective kind, CommScope scope,
+                                        double bytes) const
 {
     double t = time(kind, scope, bytes);
     if (t <= 0.0)
         return 0.0;
     return bytes / t;
+}
+
+uint64_t
+CollectiveModel::identity() const
+{
+    // FNV-1a over everything the closed forms read, salted with the
+    // model kind so a flat model and a numerically flat-equivalent
+    // topology model still have distinct identities (memo / cache
+    // entries must never alias across implementations).
+    uint64_t h = 1469598103934665603ull;
+    auto mixU64 = [&h](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    auto mixDouble = [&](double v) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        mixU64(bits);
+    };
+    mixU64(0xf1a7ull); // "flat" salt.
+    mixU64(static_cast<uint64_t>(algorithm_));
+    mixU64(static_cast<uint64_t>(cluster_.devicesPerNode));
+    mixU64(static_cast<uint64_t>(cluster_.numNodes));
+    mixDouble(cluster_.effIntraBandwidth());
+    mixDouble(cluster_.effInterBandwidth());
+    mixDouble(latency_.intraAlpha);
+    mixDouble(latency_.interAlpha);
+    return h;
+}
+
+namespace
+{
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, CollectiveModelFactory> factories;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::unique_ptr<const CollectiveCostModel>
+makeFlatModel(const ClusterSpec &cluster, CollectiveLatency latency,
+              AllReduceAlgorithm algorithm)
+{
+    return std::make_unique<CollectiveModel>(cluster, latency, algorithm);
+}
+
+/** Seeds the default entry before any registration or lookup. */
+std::once_flag seed_flag;
+
+void
+seedRegistry()
+{
+    std::call_once(seed_flag, [] {
+        std::lock_guard<std::mutex> lock(registry().mutex);
+        registry().factories.emplace("flat", &makeFlatModel);
+    });
+}
+
+} // namespace
+
+bool
+registerCollectiveModel(const std::string &name,
+                        CollectiveModelFactory factory)
+{
+    seedRegistry();
+    if (factory == nullptr)
+        fatal("registerCollectiveModel: null factory for '" + name + "'");
+    std::lock_guard<std::mutex> lock(registry().mutex);
+    return registry().factories.emplace(name, factory).second;
+}
+
+std::vector<std::string>
+collectiveModelNames()
+{
+    seedRegistry();
+    std::lock_guard<std::mutex> lock(registry().mutex);
+    std::vector<std::string> names;
+    names.reserve(registry().factories.size());
+    for (const auto &[name, factory] : registry().factories)
+        names.push_back(name);
+    return names; // std::map iteration order is already sorted.
+}
+
+std::unique_ptr<const CollectiveCostModel>
+makeCollectiveModel(const std::string &name, const ClusterSpec &cluster,
+                    CollectiveLatency latency,
+                    AllReduceAlgorithm algorithm)
+{
+    seedRegistry();
+    CollectiveModelFactory factory = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(registry().mutex);
+        auto it = registry().factories.find(name);
+        if (it != registry().factories.end())
+            factory = it->second;
+    }
+    if (factory == nullptr) {
+        std::string known;
+        for (const std::string &n : collectiveModelNames())
+            known += known.empty() ? n : ", " + n;
+        fatal(strfmt("unknown collective model '%s' (registered: %s)",
+                     name.c_str(), known.c_str()));
+    }
+    return factory(cluster, latency, algorithm);
+}
+
+int
+scopeSpan(const ClusterSpec &cluster, CommScope scope)
+{
+    if (cluster.topology) {
+        const TopologySpec &t = *cluster.topology;
+        switch (scope) {
+          case CommScope::Intra: return t.levels[0].fan;
+          case CommScope::Inter: return t.scaleOutFan();
+          case CommScope::Global: return t.totalDevices();
+        }
+        panic("scopeSpan: unknown CommScope");
+    }
+    switch (scope) {
+      case CommScope::Intra: return cluster.devicesPerNode;
+      case CommScope::Inter: return cluster.numNodes;
+      case CommScope::Global: return cluster.numDevices();
+    }
+    panic("scopeSpan: unknown CommScope");
 }
 
 } // namespace madmax

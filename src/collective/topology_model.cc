@@ -1,0 +1,404 @@
+#include "collective/topology_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/** Ring traffic fraction: each device moves (g-1)/g of the tensor. */
+double
+ringFactor(int group)
+{
+    return group <= 1
+        ? 0.0
+        : static_cast<double>(group - 1) / static_cast<double>(group);
+}
+
+const TopologySpec &
+requireTopology(const ClusterSpec &cluster)
+{
+    if (!cluster.topology) {
+        fatal(strfmt("cluster '%s' carries no TopologySpec; attach one "
+                     "or use the flat collective model",
+                     cluster.name.c_str()));
+    }
+    cluster.validate(); // Includes topology shape consistency.
+    return *cluster.topology;
+}
+
+} // namespace
+
+TopologyCollectiveModel::TopologyCollectiveModel(
+    const TopologySpec &spec, CollectiveLatency latency,
+    AllReduceAlgorithm algorithm)
+    : spec_(spec), algorithm_(algorithm)
+{
+    spec_.validate();
+    bw_.reserve(spec_.levels.size());
+    alpha_.reserve(spec_.levels.size());
+    for (size_t i = 0; i < spec_.levels.size(); ++i) {
+        const TopologyLevel &lv = spec_.levels[i];
+        bw_.push_back(lv.effBandwidth());
+        // Inherit-latency levels resolve to the flat constants: the
+        // scale-up tier pays intraAlpha, scale-out tiers interAlpha.
+        if (lv.linkLatency >= 0.0)
+            alpha_.push_back(lv.linkLatency);
+        else
+            alpha_.push_back(i == 0 ? latency.intraAlpha
+                                    : latency.interAlpha);
+    }
+}
+
+TopologyCollectiveModel::TopologyCollectiveModel(
+    const ClusterSpec &cluster, CollectiveLatency latency,
+    AllReduceAlgorithm algorithm)
+    : TopologyCollectiveModel(requireTopology(cluster), latency,
+                              algorithm)
+{}
+
+TopologyCollectiveModel::Span
+TopologyCollectiveModel::spanOf(CommScope scope) const
+{
+    switch (scope) {
+      case CommScope::Intra: return Span{0, 1};
+      case CommScope::Inter: return Span{1, spec_.levels.size()};
+      case CommScope::Global: return Span{0, spec_.levels.size()};
+    }
+    panic("spanOf: unknown CommScope");
+}
+
+double
+TopologyCollectiveModel::bwAt(size_t level, double congestion) const
+{
+    // congestion == 1.0 divides exactly, preserving flat-equivalence
+    // bit for bit.
+    return bw_[level] / congestion;
+}
+
+double
+TopologyCollectiveModel::alphaSteps(size_t level, int steps) const
+{
+    if (steps <= 0)
+        return 0.0;
+    return alpha_[level] * static_cast<double>(steps);
+}
+
+int
+TopologyCollectiveModel::spanSize(size_t lo, size_t hi) const
+{
+    int n = 1;
+    for (size_t k = lo; k < hi; ++k)
+        n *= spec_.levels[k].fan;
+    return n;
+}
+
+int
+TopologyCollectiveModel::maxFan(size_t lo, size_t hi) const
+{
+    int f = 1;
+    for (size_t k = lo; k < hi; ++k)
+        f = std::max(f, spec_.levels[k].fan);
+    return f;
+}
+
+double
+TopologyCollectiveModel::minBw(size_t lo, size_t hi,
+                               double congestion) const
+{
+    double bw = bwAt(lo, congestion);
+    for (size_t k = lo + 1; k < hi; ++k)
+        bw = std::min(bw, bwAt(k, congestion));
+    return bw;
+}
+
+size_t
+TopologyCollectiveModel::topAlphaLevel(size_t lo, size_t hi) const
+{
+    for (size_t k = hi; k-- > lo + 1;) {
+        if (spec_.levels[k].fan > 1)
+            return k;
+    }
+    // No populated tier above lo: still charge the first scale-out
+    // tier's alpha (the flat model's Global-scope behavior).
+    return lo + 1;
+}
+
+double
+TopologyCollectiveModel::agLevel(size_t level, double bytes,
+                                 double congestion) const
+{
+    const int g = spec_.levels[level].fan;
+    if (g <= 1)
+        return 0.0;
+    return bytes * ringFactor(g) / bwAt(level, congestion) +
+        alphaSteps(level, g - 1);
+}
+
+double
+TopologyCollectiveModel::arLevel(size_t level, double bytes,
+                                 double congestion,
+                                 CollAlgo *chosen) const
+{
+    const int g = spec_.levels[level].fan;
+    if (g <= 1)
+        return 0.0;
+    const double bandwidth = bwAt(level, congestion);
+    // Ring: bandwidth-optimal volume, (g-1)-step latency.
+    double ring = 2.0 * bytes * ringFactor(g) / bandwidth +
+        alphaSteps(level, 2 * (g - 1));
+    if (algorithm_ == AllReduceAlgorithm::Ring) {
+        *chosen = CollAlgo::Ring;
+        return ring;
+    }
+    // Tree: logarithmic latency at ~90% of the ring's bus bandwidth
+    // (same constants as the flat model).
+    int log_steps = static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(g))));
+    double tree = 2.0 * bytes / (bandwidth * 0.9) +
+        alphaSteps(level, 2 * log_steps);
+    if (algorithm_ == AllReduceAlgorithm::Tree) {
+        *chosen = CollAlgo::Tree;
+        return tree;
+    }
+    // Auto: the NCCL tuner picks per message size — small messages
+    // are latency-bound (tree), large ones bandwidth-bound (ring).
+    *chosen = ring <= tree ? CollAlgo::Ring : CollAlgo::Tree;
+    return std::min(ring, tree);
+}
+
+double
+TopologyCollectiveModel::agSpan(size_t lo, size_t hi, double bytes,
+                                double congestion) const
+{
+    if (hi - lo == 1)
+        return agLevel(lo, bytes, congestion);
+    // Bandwidth-optimal multi-tier shape: the fan parallel rails of a
+    // tier each gather a 1/fan stripe across the outer tiers, then
+    // children exchange stripes within the tier.
+    double t = 0.0;
+    const int fan = spec_.levels[lo].fan;
+    if (spanSize(lo + 1, hi) > 1)
+        t += agSpan(lo + 1, hi, bytes / fan, congestion);
+    t += agLevel(lo, bytes, congestion);
+    return t;
+}
+
+double
+TopologyCollectiveModel::rsSpan(size_t lo, size_t hi, double bytes,
+                                double congestion) const
+{
+    // Ring ReduceScatter moves the same volume as AllGather; the
+    // multi-tier shape mirrors agSpan with the tier order reversed
+    // (scatter inward first, then rail-parallel across outer tiers).
+    if (hi - lo == 1)
+        return agLevel(lo, bytes, congestion);
+    double t = agLevel(lo, bytes, congestion);
+    const int fan = spec_.levels[lo].fan;
+    if (spanSize(lo + 1, hi) > 1)
+        t += rsSpan(lo + 1, hi, bytes / fan, congestion);
+    return t;
+}
+
+double
+TopologyCollectiveModel::arSpan(size_t lo, size_t hi, double bytes,
+                                double congestion,
+                                CollAlgo *chosen) const
+{
+    if (hi - lo == 1)
+        return arLevel(lo, bytes, congestion, chosen);
+    // Hierarchical: ReduceScatter on the innermost tier, AllReduce
+    // across the outer tiers on the 1/fan-sized shard, AllGather back
+    // on the innermost tier.
+    *chosen = CollAlgo::Hierarchical;
+    const int fan = spec_.levels[lo].fan;
+    double t = agLevel(lo, bytes, congestion);
+    CollAlgo sub = CollAlgo::None;
+    t += arSpan(lo + 1, hi, fan > 1 ? bytes / fan : bytes, congestion,
+                &sub);
+    t += agLevel(lo, bytes, congestion);
+    return t;
+}
+
+double
+TopologyCollectiveModel::a2aSpan(size_t lo, size_t hi, double bytes,
+                                 double congestion) const
+{
+    const int n = spanSize(lo, hi);
+    if (n <= 1)
+        return 0.0;
+    if (hi - lo == 1) {
+        return bytes * ringFactor(n) / bwAt(lo, congestion) +
+            alphaSteps(lo, n - 1);
+    }
+    // Point-to-point Send/Recv pairs: bound by the slowest fabric
+    // spanned; spans confined to one node ride the scale-up tier.
+    const int upper = spanSize(lo + 1, hi);
+    const double bw = upper > 1 ? minBw(lo, hi, congestion)
+                                : bwAt(lo, congestion);
+    const size_t alpha_level = upper > 1 ? topAlphaLevel(lo, hi) : lo;
+    return bytes * ringFactor(n) / bw +
+        alphaSteps(alpha_level, maxFan(lo, hi) - 1);
+}
+
+double
+TopologyCollectiveModel::bcastSpan(size_t lo, size_t hi, double bytes,
+                                   double congestion) const
+{
+    const int g = spanSize(lo, hi);
+    if (g <= 1)
+        return 0.0;
+    double bw;
+    size_t alpha_level;
+    if (hi - lo == 1) {
+        bw = bwAt(lo, congestion);
+        alpha_level = lo;
+    } else {
+        const int upper = spanSize(lo + 1, hi);
+        bw = upper > 1 ? minBw(lo, hi, congestion)
+                       : bwAt(lo, congestion);
+        // Multi-tier spans always pay a scale-out alpha, even when
+        // the outer tiers are unpopulated (the flat model's Global
+        // broadcast behavior).
+        alpha_level = topAlphaLevel(lo, hi);
+    }
+    int steps = static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(g))));
+    return bytes / bw + alphaSteps(alpha_level, steps);
+}
+
+double
+TopologyCollectiveModel::time(Collective kind, CommScope scope,
+                              double bytes) const
+{
+    return estimate(kind, scope, bytes).seconds;
+}
+
+CollectiveEstimate
+TopologyCollectiveModel::estimate(Collective kind, CommScope scope,
+                                  double bytes) const
+{
+    return estimateCongested(kind, scope, bytes, 1.0);
+}
+
+CollectiveEstimate
+TopologyCollectiveModel::estimateCongested(Collective kind,
+                                           CommScope scope, double bytes,
+                                           double concurrent) const
+{
+    if (bytes < 0.0) {
+        fatal(strfmt("collective %s: negative byte count",
+                     madmax::toString(kind).c_str()));
+    }
+    if (!(concurrent >= 1.0)) {
+        fatal(strfmt("collective %s: concurrent sharers %.3f < 1",
+                     madmax::toString(kind).c_str(), concurrent));
+    }
+    CollectiveEstimate est;
+    if (bytes == 0.0 || groupSize(scope) <= 1)
+        return est;
+    const Span sp = spanOf(scope);
+    switch (kind) {
+      case Collective::AllReduce:
+        est.seconds = arSpan(sp.lo, sp.hi, bytes, concurrent, &est.algo);
+        return est;
+      case Collective::AllGather:
+        est.seconds = agSpan(sp.lo, sp.hi, bytes, concurrent);
+        est.algo = sp.hi - sp.lo == 1 ? CollAlgo::Ring
+                                      : CollAlgo::Hierarchical;
+        return est;
+      case Collective::ReduceScatter:
+        est.seconds = rsSpan(sp.lo, sp.hi, bytes, concurrent);
+        est.algo = sp.hi - sp.lo == 1 ? CollAlgo::Ring
+                                      : CollAlgo::Hierarchical;
+        return est;
+      case Collective::All2All:
+        est.seconds = a2aSpan(sp.lo, sp.hi, bytes, concurrent);
+        est.algo = CollAlgo::PointToPoint;
+        return est;
+      case Collective::Broadcast:
+        est.seconds = bcastSpan(sp.lo, sp.hi, bytes, concurrent);
+        est.algo = CollAlgo::Tree;
+        return est;
+    }
+    panic("estimateCongested: unknown Collective");
+}
+
+int
+TopologyCollectiveModel::groupSize(CommScope scope) const
+{
+    switch (scope) {
+      case CommScope::Intra: return spec_.levels[0].fan;
+      case CommScope::Inter: return spec_.scaleOutFan();
+      case CommScope::Global: return spec_.totalDevices();
+    }
+    panic("groupSize: unknown CommScope");
+}
+
+uint64_t
+TopologyCollectiveModel::identity() const
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mixU64 = [&h](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    auto mixDouble = [&](double v) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        mixU64(bits);
+    };
+    mixU64(0x70b0ull); // "topology" salt — never collides with flat.
+    mixU64(static_cast<uint64_t>(algorithm_));
+    mixU64(spec_.fingerprint());
+    // The resolved per-level rates and alphas (the fingerprint alone
+    // cannot see which CollectiveLatency inherit-levels resolved to).
+    for (size_t i = 0; i < bw_.size(); ++i) {
+        mixDouble(bw_[i]);
+        mixDouble(alpha_[i]);
+    }
+    return h;
+}
+
+namespace
+{
+
+std::unique_ptr<const CollectiveCostModel>
+makeTopologyModel(const ClusterSpec &cluster, CollectiveLatency latency,
+                  AllReduceAlgorithm algorithm)
+{
+    return std::make_unique<TopologyCollectiveModel>(cluster, latency,
+                                                     algorithm);
+}
+
+const bool topology_registered [[maybe_unused]] =
+    registerCollectiveModel("topology", &makeTopologyModel);
+
+} // namespace
+
+std::unique_ptr<const CollectiveCostModel>
+makeCollectiveModelFor(const ClusterSpec &cluster,
+                       CollectiveLatency latency,
+                       AllReduceAlgorithm algorithm,
+                       const std::string &override)
+{
+    if (!override.empty())
+        return makeCollectiveModel(override, cluster, latency, algorithm);
+    if (cluster.topology) {
+        return std::make_unique<TopologyCollectiveModel>(cluster, latency,
+                                                         algorithm);
+    }
+    return std::make_unique<CollectiveModel>(cluster, latency, algorithm);
+}
+
+} // namespace madmax

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Topology-aware collective cost model: prices collectives on an
+ * explicit hierarchical tier stack (hw/topology.hh) instead of the
+ * flat two-scope closed forms.
+ *
+ * Scope mapping: CommScope::Intra spans level 0 (the scale-up tier),
+ * CommScope::Inter spans levels 1.. (one device per node, across the
+ * scale-out tiers), CommScope::Global spans the whole stack.
+ *
+ * Per-collective algorithm choice:
+ *  - AllReduce within one tier: ring vs tree by message size (the
+ *    flat model's NCCL-tuner behavior, AllReduceAlgorithm::Auto) —
+ *    the estimate reports which one won.
+ *  - AllReduce / AllGather / ReduceScatter across tiers: hierarchical
+ *    decomposition (reduce-scatter up, all-gather down), shard sizes
+ *    shrinking by each tier's fan.
+ *  - All2All: point-to-point Send/Recv bound by the slowest spanned
+ *    tier.
+ *  - Broadcast: pipelined tree over the spanned tiers.
+ *
+ * Congestion: each tier's `sharers` statically derates its links, and
+ * estimateCongested() additionally prices a collective under N
+ * concurrent collectives sharing every spanned link (completion time
+ * is non-decreasing in N — pinned by the property suite).
+ *
+ * Flat equivalence: on TopologySpec::flatEquivalent(cluster) every
+ * recursion below reduces term-for-term — same expression shapes,
+ * same accumulation order — to the flat CollectiveModel's closed
+ * forms, so the price of every (kind, scope, bytes) is bitwise
+ * identical to the flat model. tests/collective/
+ * test_topology_differential.cc enforces this across the model zoo.
+ */
+
+#ifndef MADMAX_COLLECTIVE_TOPOLOGY_MODEL_HH
+#define MADMAX_COLLECTIVE_TOPOLOGY_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "collective/collective.hh"
+#include "hw/topology.hh"
+
+namespace madmax
+{
+
+class TopologyCollectiveModel : public CollectiveCostModel
+{
+  public:
+    /** Price against @p spec directly (validated here). Inherit-
+     *  latency levels (linkLatency < 0) resolve from @p latency. */
+    explicit TopologyCollectiveModel(const TopologySpec &spec,
+                                     CollectiveLatency latency = {},
+                                     AllReduceAlgorithm algorithm =
+                                         AllReduceAlgorithm::Auto);
+
+    /** Price @p cluster's attached topology (fatal when none). */
+    TopologyCollectiveModel(const ClusterSpec &cluster,
+                            CollectiveLatency latency,
+                            AllReduceAlgorithm algorithm);
+
+    double time(Collective kind, CommScope scope,
+                double bytes) const override;
+
+    CollectiveEstimate estimate(Collective kind, CommScope scope,
+                                double bytes) const override;
+
+    /**
+     * estimate() under @p concurrent collectives sharing every link
+     * of the spanned tiers (>= 1; 1 is estimate() exactly, bit for
+     * bit). Completion time never decreases in @p concurrent.
+     */
+    CollectiveEstimate estimateCongested(Collective kind, CommScope scope,
+                                         double bytes,
+                                         double concurrent) const;
+
+    int groupSize(CommScope scope) const override;
+
+    uint64_t identity() const override;
+
+    std::string name() const override { return "topology"; }
+
+    const TopologySpec &spec() const { return spec_; }
+
+  private:
+    /** Half-open level range a scope spans. */
+    struct Span
+    {
+        size_t lo;
+        size_t hi;
+    };
+
+    Span spanOf(CommScope scope) const;
+
+    double bwAt(size_t level, double congestion) const;
+    double alphaSteps(size_t level, int steps) const;
+    int spanSize(size_t lo, size_t hi) const;
+    int maxFan(size_t lo, size_t hi) const;
+    double minBw(size_t lo, size_t hi, double congestion) const;
+
+    /** Topmost level in (lo, hi) with fan > 1, else lo + 1 — the tier
+     *  whose alpha a span-wide step pays. */
+    size_t topAlphaLevel(size_t lo, size_t hi) const;
+
+    /** Ring AllGather / ReduceScatter confined to one tier. */
+    double agLevel(size_t level, double bytes, double congestion) const;
+
+    /** One-tier AllReduce under the configured algorithm. */
+    double arLevel(size_t level, double bytes, double congestion,
+                   CollAlgo *chosen) const;
+
+    double agSpan(size_t lo, size_t hi, double bytes,
+                  double congestion) const;
+    double rsSpan(size_t lo, size_t hi, double bytes,
+                  double congestion) const;
+    double arSpan(size_t lo, size_t hi, double bytes, double congestion,
+                  CollAlgo *chosen) const;
+    double a2aSpan(size_t lo, size_t hi, double bytes,
+                   double congestion) const;
+    double bcastSpan(size_t lo, size_t hi, double bytes,
+                     double congestion) const;
+
+    TopologySpec spec_;
+    AllReduceAlgorithm algorithm_;
+    std::vector<double> bw_;    ///< Per-level effective bytes/s.
+    std::vector<double> alpha_; ///< Per-level resolved alpha, s/step.
+};
+
+} // namespace madmax
+
+#endif // MADMAX_COLLECTIVE_TOPOLOGY_MODEL_HH

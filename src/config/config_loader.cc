@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "hw/hw_zoo.hh"
+#include "hw/topology.hh"
 #include "model/model_zoo.hh"
 #include "util/logging.hh"
 #include "util/strfmt.hh"
@@ -260,6 +262,55 @@ loadCluster(const JsonValue &json)
     else
         fatal("unknown inter_fabric: " + fabric);
 
+    // Optional hierarchical topology: either a named preset derived
+    // from the flat bandwidths above, or an explicit tier stack (see
+    // docs/configs.md for the schema).
+    if (json.has("topology")) {
+        const JsonValue &topo = json.at("topology");
+        TopologySpec spec;
+        if (topo.has("preset")) {
+            std::string preset = lower(topo.at("preset").asString());
+            const int rail_nodes = static_cast<int>(
+                topo.has("rail_nodes") ? topo.at("rail_nodes").asLong()
+                                       : 4);
+            if (preset == "flat")
+                spec = hw_zoo::flatTopologyPreset(c);
+            else if (preset == "dc-rail")
+                spec = hw_zoo::dcRailTopology(c, rail_nodes);
+            else if (preset == "dc-pod-fleet")
+                spec = hw_zoo::dcPodFleetTopology(c, rail_nodes);
+            else
+                fatal("unknown topology preset: " + preset);
+        } else {
+            spec.name = topo.stringOr("name", "topology");
+            size_t i = 0;
+            for (const JsonValue &lv : topo.at("levels").asArray()) {
+                TopologyLevel level;
+                level.name =
+                    lv.stringOr("name", strfmt("tier%zu", i));
+                level.fan = static_cast<int>(lv.at("fan").asLong());
+                // Bandwidth defaults to the flat effective rate of
+                // the matching scope so partial descriptions stay
+                // consistent with the device datasheet.
+                level.linkBandwidth = gBps(lv.numberOr(
+                    "bandwidth_gbps",
+                    (i == 0 ? c.effIntraBandwidth()
+                            : c.effInterBandwidth()) /
+                        1e9));
+                if (lv.has("latency_us"))
+                    level.linkLatency =
+                        lv.at("latency_us").asDouble() * 1e-6;
+                level.rails = static_cast<int>(
+                    lv.has("rails") ? lv.at("rails").asLong() : 1);
+                level.sharers = lv.numberOr("sharers", 1.0);
+                spec.levels.push_back(std::move(level));
+                ++i;
+            }
+        }
+        c.topology =
+            std::make_shared<const TopologySpec>(std::move(spec));
+    }
+
     c.validate();
     return c;
 }
@@ -376,6 +427,27 @@ toJson(const ClusterSpec &cluster)
       default: fabric = "infiniband"; break;
     }
     out.set("inter_fabric", fabric);
+    if (cluster.topology) {
+        // Emit the resolved tier stack (not the preset name that may
+        // have produced it) so a round-trip re-parses to the same
+        // levels regardless of how they were specified.
+        JsonValue topo;
+        topo.set("name", cluster.topology->name);
+        JsonValue levels{JsonValue::Array{}};
+        for (const TopologyLevel &lv : cluster.topology->levels) {
+            JsonValue level;
+            level.set("name", lv.name);
+            level.set("fan", static_cast<long>(lv.fan));
+            level.set("bandwidth_gbps", lv.linkBandwidth / 1e9);
+            if (lv.linkLatency >= 0.0)
+                level.set("latency_us", lv.linkLatency * 1e6);
+            level.set("rails", static_cast<long>(lv.rails));
+            level.set("sharers", lv.sharers);
+            levels.append(std::move(level));
+        }
+        topo.set("levels", std::move(levels));
+        out.set("topology", std::move(topo));
+    }
     return out;
 }
 

@@ -27,8 +27,11 @@ EvalContext::EvalContext(const PerfModel &model, const ModelDesc &desc,
                          const TaskSpec &task)
     : model_(&model), desc_(&desc), task_(&task),
       taskName_(task.toString()),
-      collectives_(model.cluster(), model.options().latency,
-                   model.options().allReduceAlgorithm)
+      collectives_(makeCollectiveModelFor(
+          model.cluster(), model.options().latency,
+          model.options().allReduceAlgorithm,
+          model.options().collectiveModel)),
+      collectiveIdentity_(collectives_->identity())
 {
     // LayerProcessor validates the cluster and the model once; every
     // plan evaluated through this context reuses that validation.
@@ -60,21 +63,22 @@ EvalContext::encode(HierStrategy hs)
         static_cast<size_t>(hs.inter);
 }
 
-double
-EvalContext::collectiveTime(Collective kind, CommScope scope,
-                            double bytes) const
+CollectiveEstimate
+EvalContext::collectiveEstimate(Collective kind, CommScope scope,
+                                double bytes) const
 {
     uint64_t bits;
     static_assert(sizeof(bits) == sizeof(bytes), "double is 64-bit");
     std::memcpy(&bits, &bytes, sizeof(bits));
-    auto key = std::make_tuple(static_cast<int>(kind),
+    auto key = std::make_tuple(collectiveIdentity_,
+                               static_cast<int>(kind),
                                static_cast<int>(scope), bits);
     auto it = collectiveTable_.find(key);
     if (it != collectiveTable_.end())
         return it->second;
-    double t = collectives_.time(kind, scope, bytes);
-    collectiveTable_.emplace(key, t);
-    return t;
+    CollectiveEstimate est = collectives_->estimate(kind, scope, bytes);
+    collectiveTable_.emplace(key, est);
+    return est;
 }
 
 size_t
@@ -111,12 +115,13 @@ EvalContext::buildStrategyTable(size_t slot, HierStrategy hs) const
     for (int i = 0; i < num_layers; ++i) {
         std::vector<ResolvedCommOp> resolved;
         for (CommOp &op : planner.planLayer(i)) {
-            double dur = collectiveTime(op.kind, op.scope, op.bytes);
-            if (dur <= 0.0)
+            CollectiveEstimate est =
+                collectiveEstimate(op.kind, op.scope, op.bytes);
+            if (est.seconds <= 0.0)
                 continue;
             resolved.push_back(ResolvedCommOp{
                 op.phase, op.position, op.kind, commCategoryOf(op.kind),
-                op.blocking, dur, std::move(op.tag)});
+                op.blocking, est.seconds, std::move(op.tag), est.algo});
         }
         per_layer[static_cast<size_t>(i)] = std::move(resolved);
     }

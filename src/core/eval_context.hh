@@ -20,8 +20,8 @@
  *    HierStrategy — including their modeled durations — are resolved
  *    once per (layer, strategy) and shared by every plan that maps
  *    the layer's class to that strategy, with a memoized
- *    collective-time table keyed on (kind, scope, bytes) deduplicating
- *    the underlying CollectiveModel::time calls;
+ *    collective-time table keyed on (model identity, kind, scope,
+ *    bytes) deduplicating the underlying cost-model estimate calls;
  *  - trace-event names are owned here (stable storage), so the flat
  *    event graph only carries pointers and plans that do not retain a
  *    Timeline never copy a string.
@@ -44,6 +44,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <tuple>
@@ -79,6 +80,7 @@ struct ResolvedCommOp
     bool blocking = true;
     double duration = 0.0; ///< Seconds; > 0 by construction.
     std::string tag;       ///< Trace label (stable storage for graphs).
+    CollAlgo algo = CollAlgo::None; ///< Algorithm the cost model chose.
 };
 
 class EvalContext
@@ -103,6 +105,13 @@ class EvalContext
 
     /** task().toString(), computed once. */
     const std::string &taskName() const { return taskName_; }
+
+    /**
+     * The collective cost model this context prices with — selected by
+     * makeCollectiveModelFor from the cluster's topology and
+     * PerfModelOptions::collectiveModel. Immutable; safe to share.
+     */
+    const CollectiveCostModel &collectives() const { return *collectives_; }
 
     /**
      * Evaluate one plan. Produces a report bit-identical to
@@ -225,22 +234,30 @@ class EvalContext
     /** Rebuild @p state's graph for @p plan from cached templates. */
     void spliceGraph(DeltaState &state, const ParallelPlan &plan) const;
 
-    /** Memoized CollectiveModel::time (only called while holding
-     *  buildMutex_). */
-    double collectiveTime(Collective kind, CommScope scope,
-                          double bytes) const;
+    /** Memoized CollectiveCostModel::estimate (only called while
+     *  holding buildMutex_). */
+    CollectiveEstimate collectiveEstimate(Collective kind, CommScope scope,
+                                          double bytes) const;
 
     const PerfModel *model_;
     const ModelDesc *desc_;
     const TaskSpec *task_;
     std::string taskName_;
-    CollectiveModel collectives_;
+    std::unique_ptr<const CollectiveCostModel> collectives_;
+    uint64_t collectiveIdentity_; ///< collectives_->identity(), cached.
     std::vector<LayerCosts> costs_;
 
     /** Indexed by encode(hs); Strategy has 5 values per level. */
     mutable std::array<StrategyTable, 25> strategies_;
     mutable std::mutex buildMutex_;
-    mutable std::map<std::tuple<int, int, uint64_t>, double>
+
+    /** Keyed (model identity, kind, scope, bytes-bits): the identity
+     *  component keeps entries from aliasing if two cost models ever
+     *  price through one table (e.g. a future per-phase override) —
+     *  distinct models may legitimately disagree on the same
+     *  (kind, scope, bytes). */
+    mutable std::map<std::tuple<uint64_t, int, int, uint64_t>,
+                     CollectiveEstimate>
         collectiveTable_;
 };
 

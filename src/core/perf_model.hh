@@ -11,6 +11,7 @@
 #define MADMAX_CORE_PERF_MODEL_HH
 
 #include <optional>
+#include <string>
 
 #include "collective/collective.hh"
 #include "core/memory_model.hh"
@@ -38,6 +39,14 @@ struct PerfModelOptions
 
     /** AllReduce algorithm (ring / tree / NCCL-style auto). */
     AllReduceAlgorithm allReduceAlgorithm = AllReduceAlgorithm::Auto;
+
+    /**
+     * Collective cost-model registry name ("flat", "topology", or a
+     * custom registration). Empty picks automatically: "topology" when
+     * the cluster carries a TopologySpec, else the flat default — see
+     * makeCollectiveModelFor().
+     */
+    std::string collectiveModel;
 
     /** Schedule non-blocking collectives on a separate channel
      *  (disable only for the ablation study). */

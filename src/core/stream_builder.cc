@@ -101,7 +101,7 @@ emitLayerSegment(const SegmentSpec &s, Emitter &em)
         pre_ids.push_back(em.addEvent(&op.tag,
                                       StreamKind::Communication,
                                       op.category, op.duration,
-                                      op.blocking));
+                                      op.blocking, op.algo));
     }
 
     // The layer's compute block.
@@ -116,7 +116,8 @@ emitLayerSegment(const SegmentSpec &s, Emitter &em)
         stageDataDeps();
     }
     int32_t cid = em.addEvent(s.computeName, StreamKind::Compute,
-                              s.category, s.computeTime, true);
+                              s.category, s.computeTime, true,
+                              CollAlgo::None);
     em.markCompute(cid);
 
     // Post comms; blocking ones become the layer's visible output.
@@ -128,7 +129,7 @@ emitLayerSegment(const SegmentSpec &s, Emitter &em)
         em.depLocal(out);
         int32_t eid = em.addEvent(&op.tag, StreamKind::Communication,
                                   op.category, op.duration,
-                                  op.blocking);
+                                  op.blocking, op.algo);
         if (op.blocking)
             out = eid;
     }
@@ -184,12 +185,13 @@ class GraphEmitter
 
     int32_t addEvent(const std::string *name, StreamKind stream,
                      EventCategory category, double duration,
-                     bool blocking)
+                     bool blocking, CollAlgo algo)
     {
         EventNode node;
         node.name = name;
         node.stream = stream;
         node.category = category;
+        node.algo = algo;
         node.blocking = blocking;
         node.backward = backward_;
         node.layerIdx = idx_;
@@ -296,12 +298,13 @@ class TemplateEmitter
 
     int32_t addEvent(const std::string *name, StreamKind stream,
                      EventCategory category, double duration,
-                     bool blocking)
+                     bool blocking, CollAlgo algo)
     {
         EventNode ev;
         ev.name = name;
         ev.stream = stream;
         ev.category = category;
+        ev.algo = algo;
         ev.blocking = blocking;
         ev.backward = backward_;
         ev.layerIdx = idx_;
@@ -525,6 +528,7 @@ spliceSegmentRuns(const SpliceRun *runs, size_t numRuns, int numLayers,
     end.name = &iterEndEventName();
     end.stream = StreamKind::Compute;
     end.category = EventCategory::Other;
+    end.algo = CollAlgo::None; // nodes[] is reused — clear explicitly.
     end.blocking = true;
     end.backward = withBackward;
     end.layerIdx = -1;
@@ -569,7 +573,7 @@ StreamBuilder::StreamBuilder(const ModelDesc &desc, const TaskSpec &task,
                              const ParallelPlan &plan,
                              const ClusterSpec &cluster,
                              const LayerProcessor &processor,
-                             const CollectiveModel &collectives)
+                             const CollectiveCostModel &collectives)
     : desc_(desc), needsBackward_(task.needsBackward()),
       fsdpPrefetch_(plan.fsdpPrefetch)
 {
@@ -583,12 +587,13 @@ StreamBuilder::StreamBuilder(const ModelDesc &desc, const TaskSpec &task,
         ownedBwdNames_[static_cast<size_t>(i)] = layer.name() + "'";
         std::vector<ResolvedCommOp> resolved;
         for (CommOp &op : planner.planLayer(i)) {
-            double dur = collectives.time(op.kind, op.scope, op.bytes);
-            if (dur <= 0.0)
+            CollectiveEstimate est =
+                collectives.estimate(op.kind, op.scope, op.bytes);
+            if (est.seconds <= 0.0)
                 continue;
             resolved.push_back(ResolvedCommOp{
                 op.phase, op.position, op.kind, commCategoryOf(op.kind),
-                op.blocking, dur, std::move(op.tag)});
+                op.blocking, est.seconds, std::move(op.tag), est.algo});
         }
         ownedOps_[static_cast<size_t>(i)] = std::move(resolved);
     }

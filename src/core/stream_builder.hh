@@ -73,7 +73,7 @@ class StreamBuilder
     StreamBuilder(const ModelDesc &desc, const TaskSpec &task,
                   const ParallelPlan &plan, const ClusterSpec &cluster,
                   const LayerProcessor &processor,
-                  const CollectiveModel &collectives);
+                  const CollectiveCostModel &collectives);
 
     /** Build the iteration's flat event graph. */
     EventGraph buildGraph() const;

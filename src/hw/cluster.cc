@@ -1,5 +1,6 @@
 #include "hw/cluster.hh"
 
+#include "hw/topology.hh"
 #include "util/logging.hh"
 #include "util/strfmt.hh"
 
@@ -80,6 +81,8 @@ ClusterSpec::validate() const
     check_util(util.hbm, "hbm");
     check_util(util.intraLink, "intra-link");
     check_util(util.interLink, "inter-link");
+    if (topology)
+        topology->validateAgainst(*this);
 }
 
 ClusterSpec
@@ -129,6 +132,11 @@ ClusterSpec::withNumNodes(int nodes) const
 {
     ClusterSpec c = *this;
     c.numNodes = nodes;
+    // A tier stack sized for the old node count cannot describe the
+    // resized cluster; drop it rather than fail validation (node-count
+    // sweeps fall back to flat pricing).
+    if (c.topology && nodes != numNodes)
+        c.topology = nullptr;
     return c;
 }
 

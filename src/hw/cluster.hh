@@ -10,12 +10,15 @@
 #ifndef MADMAX_HW_CLUSTER_HH
 #define MADMAX_HW_CLUSTER_HH
 
+#include <memory>
 #include <string>
 
 #include "hw/device.hh"
 
 namespace madmax
 {
+
+struct TopologySpec;
 
 /** Interconnect technology; determines which fabric a collective rides. */
 enum class FabricKind
@@ -59,6 +62,21 @@ struct ClusterSpec
     FabricKind interFabric = FabricKind::InfiniBand;
     UtilizationSpec util;
 
+    /**
+     * Optional hierarchical topology (hw/topology.hh). When set, the
+     * collective layer prices communication on the explicit tier
+     * stack (TopologyCollectiveModel) instead of the flat two-scope
+     * model, and validate() additionally checks shape consistency
+     * (scale-up fan == devicesPerNode, scale-out fan product ==
+     * numNodes). Null means the flat default — every existing
+     * cluster, report, and golden is unchanged.
+     *
+     * Topology levels carry absolute link rates: the Fig. 19 scaling
+     * builders below derate only the flat device fields, never an
+     * attached explicit topology.
+     */
+    std::shared_ptr<const TopologySpec> topology;
+
     /** Total device count (= Table III "# nodes" x "devices per node"). */
     int numDevices() const { return devicesPerNode * numNodes; }
 
@@ -93,7 +111,9 @@ struct ClusterSpec
     ClusterSpec withInterBandwidthScale(double factor) const;
     /// @}
 
-    /** Copy with a different node count (e.g. 8- vs 128-GPU validation). */
+    /** Copy with a different node count (e.g. 8- vs 128-GPU
+     *  validation). An attached topology cannot describe the resized
+     *  cluster, so the copy drops it and falls back to flat pricing. */
     ClusterSpec withNumNodes(int nodes) const;
 };
 

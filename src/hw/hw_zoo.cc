@@ -1,5 +1,8 @@
 #include "hw/hw_zoo.hh"
 
+#include <algorithm>
+#include <memory>
+
 #include "util/units.hh"
 
 namespace madmax::hw_zoo
@@ -280,6 +283,81 @@ cloudInstances(int num_nodes)
     add("p5.48xlarge-H100", h100(), gbps(3200) / 8.0,
         FabricKind::Ethernet, 1);
     return out;
+}
+
+namespace
+{
+
+/** Largest divisor of @p n that is <= @p at_most (>= 1). */
+int
+divisorAtMost(int n, int at_most)
+{
+    int d = std::max(1, std::min(n, at_most));
+    while (n % d != 0)
+        --d;
+    return d;
+}
+
+} // namespace
+
+TopologySpec
+flatTopologyPreset(const ClusterSpec &cluster)
+{
+    return TopologySpec::flatEquivalent(cluster);
+}
+
+TopologySpec
+dcRailTopology(const ClusterSpec &cluster, int rail_nodes)
+{
+    const int rail = divisorAtMost(cluster.numNodes, rail_nodes);
+    TopologySpec t;
+    t.name = "dc-rail";
+    t.levels.push_back(TopologyLevel{
+        "node", cluster.devicesPerNode, cluster.effIntraBandwidth(),
+        -1.0, 1, 1.0});
+    t.levels.push_back(TopologyLevel{
+        "rail", rail, cluster.effInterBandwidth(), -1.0, 2, 1.0});
+    t.levels.push_back(TopologyLevel{
+        "pod", cluster.numNodes / rail, cluster.effInterBandwidth(),
+        -1.0, 1, 2.0});
+    return t;
+}
+
+TopologySpec
+dcPodFleetTopology(const ClusterSpec &cluster, int rail_nodes)
+{
+    const int rail = divisorAtMost(cluster.numNodes, rail_nodes);
+    const int rest = cluster.numNodes / rail;
+    // Split the remainder into pod x fleet, pod taking the larger
+    // half-ish factor (largest divisor whose square fits).
+    int pod = 1;
+    for (int f = 1; f * f <= rest; ++f) {
+        if (rest % f == 0)
+            pod = f;
+    }
+    pod = rest / pod; // Prefer the bigger cofactor for the pod tier.
+    TopologySpec t;
+    t.name = "dc-pod-fleet";
+    t.levels.push_back(TopologyLevel{
+        "node", cluster.devicesPerNode, cluster.effIntraBandwidth(),
+        -1.0, 1, 1.0});
+    t.levels.push_back(TopologyLevel{
+        "rail", rail, cluster.effInterBandwidth(), -1.0, 2, 1.0});
+    t.levels.push_back(TopologyLevel{
+        "pod", pod, cluster.effInterBandwidth(), -1.0, 1, 1.0});
+    t.levels.push_back(TopologyLevel{
+        "fleet", rest / pod, cluster.effInterBandwidth(), -1.0, 1,
+        4.0});
+    return t;
+}
+
+ClusterSpec
+withTopology(ClusterSpec cluster, TopologySpec topology)
+{
+    topology.validateAgainst(cluster);
+    cluster.topology =
+        std::make_shared<const TopologySpec>(std::move(topology));
+    return cluster;
 }
 
 } // namespace madmax::hw_zoo

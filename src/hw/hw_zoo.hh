@@ -14,6 +14,7 @@
 
 #include "hw/cluster.hh"
 #include "hw/device.hh"
+#include "hw/topology.hh"
 
 namespace madmax::hw_zoo
 {
@@ -77,6 +78,43 @@ std::vector<CloudInstance> cloudInstances(int num_nodes = 16);
 
 /** AWS p4d.24xlarge (8x A100 40 GB, 400 Gbps EFA) used by Fig. 8. */
 ClusterSpec awsP4d(int num_nodes);
+
+/** @name Datacenter-class topology presets
+ *
+ * Tier stacks shaped like production training fabrics, derived from a
+ * cluster's flat bandwidths so they attach to any zoo system. All
+ * presets keep level 0 = the cluster's scale-up domain and multiply
+ * the scale-out fans to exactly numNodes (rail size is clamped to the
+ * nearest divisor).
+ */
+/// @{
+
+/** The two-tier stack that reproduces the flat model bit-for-bit
+ *  (TopologySpec::flatEquivalent under a zoo-friendly name). */
+TopologySpec flatTopologyPreset(const ClusterSpec &cluster);
+
+/**
+ * Three tiers: node -> rail -> pod. Rail groups of @p rail_nodes nodes
+ * get doubled-up links (rails = 2, the rail-optimized leaf switches);
+ * the pod tier carries the same per-device fabric bandwidth but is
+ * 2:1 oversubscribed (sharers = 2).
+ */
+TopologySpec dcRailTopology(const ClusterSpec &cluster,
+                            int rail_nodes = 4);
+
+/**
+ * Four tiers: node -> rail -> pod -> fleet. Rails as in
+ * dcRailTopology; the remaining scale-out fan splits into pod x fleet
+ * (pod = largest divisor <= sqrt of the remainder) with the fleet
+ * spine 4:1 oversubscribed (sharers = 4).
+ */
+TopologySpec dcPodFleetTopology(const ClusterSpec &cluster,
+                                int rail_nodes = 4);
+
+/** @p cluster with @p topology attached (validated against it). */
+ClusterSpec withTopology(ClusterSpec cluster, TopologySpec topology);
+
+/// @}
 
 } // namespace madmax::hw_zoo
 

@@ -1,0 +1,140 @@
+#include "hw/topology.hh"
+
+#include <cstring>
+
+#include "hw/cluster.hh"
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+
+namespace madmax
+{
+
+int
+TopologySpec::totalDevices() const
+{
+    int n = 1;
+    for (const TopologyLevel &lv : levels)
+        n *= lv.fan;
+    return n;
+}
+
+int
+TopologySpec::scaleOutFan() const
+{
+    int n = 1;
+    for (size_t i = 1; i < levels.size(); ++i)
+        n *= levels[i].fan;
+    return n;
+}
+
+void
+TopologySpec::validate() const
+{
+    if (levels.size() < 2 || levels.size() > 8) {
+        fatal(strfmt("topology '%s': %zu levels outside [2, 8] (level 0 "
+                     "is the scale-up tier, 1.. the scale-out tiers)",
+                     name.c_str(), levels.size()));
+    }
+    for (size_t i = 0; i < levels.size(); ++i) {
+        const TopologyLevel &lv = levels[i];
+        if (lv.fan < 1) {
+            fatal(strfmt("topology '%s' level %zu ('%s'): fan %d < 1",
+                         name.c_str(), i, lv.name.c_str(), lv.fan));
+        }
+        if (lv.rails < 1) {
+            fatal(strfmt("topology '%s' level %zu ('%s'): rails %d < 1",
+                         name.c_str(), i, lv.name.c_str(), lv.rails));
+        }
+        if (lv.sharers < 1.0) {
+            fatal(strfmt("topology '%s' level %zu ('%s'): sharers %.3f "
+                         "< 1 (a link cannot be shared by less than one "
+                         "collective)",
+                         name.c_str(), i, lv.name.c_str(), lv.sharers));
+        }
+        // Mirrors ClusterSpec::validate: a tier only needs links when
+        // it actually connects more than one child.
+        if (lv.fan > 1 && lv.linkBandwidth <= 0.0) {
+            fatal(strfmt("topology '%s' level %zu ('%s'): fan %d needs "
+                         "positive link bandwidth",
+                         name.c_str(), i, lv.name.c_str(), lv.fan));
+        }
+        if (lv.linkBandwidth < 0.0) {
+            fatal(strfmt("topology '%s' level %zu ('%s'): negative link "
+                         "bandwidth",
+                         name.c_str(), i, lv.name.c_str()));
+        }
+    }
+}
+
+void
+TopologySpec::validateAgainst(const ClusterSpec &cluster) const
+{
+    validate();
+    if (levels[0].fan != cluster.devicesPerNode) {
+        fatal(strfmt("topology '%s': scale-up fan %d != cluster '%s' "
+                     "devicesPerNode %d",
+                     name.c_str(), levels[0].fan, cluster.name.c_str(),
+                     cluster.devicesPerNode));
+    }
+    if (scaleOutFan() != cluster.numNodes) {
+        fatal(strfmt("topology '%s': scale-out fan product %d != "
+                     "cluster '%s' numNodes %d",
+                     name.c_str(), scaleOutFan(), cluster.name.c_str(),
+                     cluster.numNodes));
+    }
+}
+
+uint64_t
+TopologySpec::fingerprint() const
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mixByte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    auto mixString = [&](const std::string &s) {
+        for (char c : s)
+            mixByte(static_cast<unsigned char>(c));
+        mixByte(0xffu); // Field separator.
+    };
+    auto mixU64 = [&](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte)
+            mixByte(static_cast<unsigned char>((v >> (byte * 8)) & 0xffu));
+    };
+    auto mixDouble = [&](double v) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        mixU64(bits);
+    };
+    mixString(name);
+    mixU64(levels.size());
+    for (const TopologyLevel &lv : levels) {
+        mixString(lv.name);
+        mixU64(static_cast<uint64_t>(lv.fan));
+        mixU64(static_cast<uint64_t>(lv.rails));
+        mixDouble(lv.linkBandwidth);
+        mixDouble(lv.linkLatency);
+        mixDouble(lv.sharers);
+    }
+    return h;
+}
+
+TopologySpec
+TopologySpec::flatEquivalent(const ClusterSpec &cluster)
+{
+    TopologySpec t;
+    t.name = "flat-equivalent";
+    TopologyLevel node;
+    node.name = "node";
+    node.fan = cluster.devicesPerNode;
+    node.linkBandwidth = cluster.effIntraBandwidth();
+    TopologyLevel fabric;
+    fabric.name = "cluster";
+    fabric.fan = cluster.numNodes;
+    fabric.linkBandwidth = cluster.effInterBandwidth();
+    t.levels = {node, fabric};
+    return t;
+}
+
+} // namespace madmax

@@ -44,15 +44,23 @@ writeChromeTrace(const Timeline &timeline, std::ostream &os)
         first = false;
         // tid 0 = compute stream, tid 1 = communication stream.
         int tid = se.event.stream == StreamKind::Compute ? 0 : 1;
+        // The chosen collective algorithm rides along only when a cost
+        // model annotated one (the topology-aware model); flat-default
+        // traces keep their exact historical byte shape.
+        std::string algo;
+        if (se.event.algo != CollAlgo::None) {
+            algo = strfmt(",\"algo\":\"%s\"",
+                          toString(se.event.algo).c_str());
+        }
         os << strfmt(
             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
             "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,"
-            "\"args\":{\"layer\":%d,\"phase\":\"%s\",\"blocking\":%s}}",
+            "\"args\":{\"layer\":%d,\"phase\":\"%s\",\"blocking\":%s%s}}",
             jsonEscape(se.event.name).c_str(),
             toString(se.event.category).c_str(),
             se.start * 1e6, (se.finish - se.start) * 1e6, tid,
             se.event.layerIdx, se.event.backward ? "bwd" : "fwd",
-            se.event.blocking ? "true" : "false");
+            se.event.blocking ? "true" : "false", algo.c_str());
     }
     os << "],\"displayTimeUnit\":\"ms\"}";
 }

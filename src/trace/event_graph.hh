@@ -44,6 +44,7 @@ struct EventNode
 
     StreamKind stream = StreamKind::Compute;
     EventCategory category = EventCategory::Other;
+    CollAlgo algo = CollAlgo::None;
     bool blocking = true;
     bool backward = false;
     int layerIdx = -1;
@@ -82,6 +83,7 @@ struct EventGraph
         ev.blocking = node.blocking;
         ev.layerIdx = node.layerIdx;
         ev.backward = node.backward;
+        ev.algo = node.algo;
         return ev;
     }
 };

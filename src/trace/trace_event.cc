@@ -31,4 +31,17 @@ toString(EventCategory cat)
     panic("toString: unknown EventCategory");
 }
 
+std::string
+toString(CollAlgo algo)
+{
+    switch (algo) {
+      case CollAlgo::None: return "none";
+      case CollAlgo::Ring: return "ring";
+      case CollAlgo::Tree: return "tree";
+      case CollAlgo::Hierarchical: return "hierarchical";
+      case CollAlgo::PointToPoint: return "p2p";
+    }
+    panic("toString: unknown CollAlgo");
+}
+
 } // namespace madmax

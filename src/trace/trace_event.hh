@@ -40,8 +40,25 @@ enum class EventCategory
     Other,
 };
 
+/**
+ * Which algorithm a collective cost model chose for a communication
+ * event. The flat model reports None (it commits to no shape in its
+ * closed forms), so flat-default traces are unchanged; the
+ * topology-aware model annotates each priced collective and
+ * keepTimeline traces / Chrome traces surface the choice per comm op.
+ */
+enum class CollAlgo
+{
+    None,          ///< No algorithm annotation (flat model, compute).
+    Ring,          ///< Bandwidth-optimal ring within one tier.
+    Tree,          ///< Pipelined binary tree (latency-optimal).
+    Hierarchical,  ///< Multi-tier decomposition across fabric levels.
+    PointToPoint,  ///< Send/Recv pairs (All2All), slowest-link bound.
+};
+
 std::string toString(StreamKind kind);
 std::string toString(EventCategory cat);
+std::string toString(CollAlgo algo);
 
 /** One block on a stream. */
 struct TraceEvent
@@ -62,6 +79,10 @@ struct TraceEvent
 
     int layerIdx = -1;         ///< Originating layer (-1 for barriers).
     bool backward = false;     ///< Phase tag for reporting.
+
+    /** Collective algorithm the cost model chose (None for compute
+     *  events and for the flat model's collectives). */
+    CollAlgo algo = CollAlgo::None;
 };
 
 /** An event with its scheduled interval. */

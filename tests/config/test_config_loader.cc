@@ -154,6 +154,130 @@ TEST(ConfigLoader, ClusterRoundTripsThroughJson)
     EXPECT_DOUBLE_EQ(back.util.interLink, original.util.interLink);
 }
 
+TEST(ConfigLoader, ClusterTopologyExplicitLevels)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "name": "topo-cluster",
+        "device": {"name": "A100", "peak_tflops_16": 312,
+                   "peak_tflops_tf32": 156, "hbm_gib": 40,
+                   "hbm_gbps": 1600, "intra_node_gbps": 300,
+                   "inter_node_gbps": 25},
+        "devices_per_node": 8,
+        "num_nodes": 16,
+        "inter_fabric": "roce",
+        "topology": {
+            "name": "my-topo",
+            "levels": [
+                {"name": "node", "fan": 8},
+                {"fan": 4, "bandwidth_gbps": 12.5, "latency_us": 5,
+                 "rails": 2},
+                {"name": "pod", "fan": 4, "sharers": 2.0}
+            ]
+        }
+    })json");
+    ClusterSpec c = loadCluster(j);
+    ASSERT_NE(c.topology, nullptr);
+    const TopologySpec &t = *c.topology;
+    EXPECT_EQ(t.name, "my-topo");
+    ASSERT_EQ(t.levels.size(), 3u);
+    // Omitted bandwidth inherits the flat effective rate of the
+    // matching scope; omitted names get positional defaults.
+    EXPECT_EQ(t.levels[0].name, "node");
+    EXPECT_NEAR(t.levels[0].linkBandwidth, c.effIntraBandwidth(), 1.0);
+    EXPECT_LT(t.levels[0].linkLatency, 0.0); // Inherits alpha default.
+    EXPECT_EQ(t.levels[1].name, "tier1");
+    EXPECT_DOUBLE_EQ(t.levels[1].linkBandwidth, 12.5e9);
+    EXPECT_DOUBLE_EQ(t.levels[1].linkLatency, 5e-6);
+    EXPECT_EQ(t.levels[1].rails, 2);
+    EXPECT_NEAR(t.levels[2].linkBandwidth, c.effInterBandwidth(), 1.0);
+    EXPECT_DOUBLE_EQ(t.levels[2].sharers, 2.0);
+    EXPECT_EQ(t.totalDevices(), c.numDevices());
+}
+
+TEST(ConfigLoader, ClusterTopologyPresets)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "name": "preset-cluster",
+        "device": {"name": "A100", "peak_tflops_16": 312,
+                   "peak_tflops_tf32": 156, "hbm_gib": 40,
+                   "hbm_gbps": 1600, "intra_node_gbps": 300,
+                   "inter_node_gbps": 25},
+        "devices_per_node": 8,
+        "num_nodes": 16,
+        "topology": {"preset": "dc-rail", "rail_nodes": 4}
+    })json");
+    ClusterSpec c = loadCluster(j);
+    ASSERT_NE(c.topology, nullptr);
+    EXPECT_EQ(c.topology->name, "dc-rail");
+    ASSERT_EQ(c.topology->levels.size(), 3u);
+    EXPECT_EQ(c.topology->levels[0].fan, 8);
+    EXPECT_EQ(c.topology->levels[1].fan, 4);
+    EXPECT_EQ(c.topology->levels[2].fan, 4);
+
+    JsonValue bad = JsonValue::parse(R"json({
+        "name": "preset-cluster",
+        "device": {"name": "A100", "peak_tflops_16": 312,
+                   "peak_tflops_tf32": 156, "hbm_gib": 40,
+                   "hbm_gbps": 1600, "intra_node_gbps": 300,
+                   "inter_node_gbps": 25},
+        "devices_per_node": 8,
+        "num_nodes": 16,
+        "topology": {"preset": "torus"}
+    })json");
+    EXPECT_THROW(loadCluster(bad), ConfigError);
+}
+
+TEST(ConfigLoader, ClusterTopologyRoundTripsThroughJson)
+{
+    ClusterSpec original = hw_zoo::withTopology(
+        hw_zoo::dlrmTrainingSystem(),
+        hw_zoo::dcPodFleetTopology(hw_zoo::dlrmTrainingSystem()));
+    ClusterSpec back = loadCluster(toJson(original));
+    ASSERT_NE(back.topology, nullptr);
+    const TopologySpec &a = *original.topology;
+    const TopologySpec &b = *back.topology;
+    EXPECT_EQ(b.name, a.name);
+    ASSERT_EQ(b.levels.size(), a.levels.size());
+    for (size_t i = 0; i < a.levels.size(); ++i) {
+        EXPECT_EQ(b.levels[i].name, a.levels[i].name);
+        EXPECT_EQ(b.levels[i].fan, a.levels[i].fan);
+        EXPECT_EQ(b.levels[i].rails, a.levels[i].rails);
+        EXPECT_DOUBLE_EQ(b.levels[i].sharers, a.levels[i].sharers);
+        EXPECT_NEAR(b.levels[i].linkBandwidth,
+                    a.levels[i].linkBandwidth,
+                    a.levels[i].linkBandwidth * 1e-12 + 1.0);
+    }
+}
+
+TEST(ConfigLoader, ClusterTopologyShapeMismatchIsFatal)
+{
+    // Scale-out fan product 3 x 4 != 16 nodes: loadCluster's final
+    // validate() must reject the stack.
+    JsonValue j = JsonValue::parse(R"json({
+        "name": "bad-topo",
+        "device": {"name": "A100", "peak_tflops_16": 312,
+                   "peak_tflops_tf32": 156, "hbm_gib": 40,
+                   "hbm_gbps": 1600, "intra_node_gbps": 300,
+                   "inter_node_gbps": 25},
+        "devices_per_node": 8,
+        "num_nodes": 16,
+        "topology": {"levels": [{"fan": 8}, {"fan": 3}, {"fan": 4}]}
+    })json");
+    EXPECT_THROW(loadCluster(j), ConfigError);
+}
+
+TEST(ConfigLoader, ShippedTopologyConfigLoads)
+{
+    ClusterSpec c = loadClusterFile(std::string(MADMAX_CONFIG_DIR) +
+                                    "/system_zionex_topo.json");
+    EXPECT_EQ(c.numDevices(), 128);
+    ASSERT_NE(c.topology, nullptr);
+    EXPECT_EQ(c.topology->name, "zionex-rail");
+    ASSERT_EQ(c.topology->levels.size(), 3u);
+    EXPECT_EQ(c.topology->levels[1].rails, 2);
+    EXPECT_DOUBLE_EQ(c.topology->levels[2].sharers, 2.0);
+}
+
 TEST(ConfigLoader, TaskFromJson)
 {
     JsonValue j = JsonValue::parse(R"json({

@@ -103,6 +103,37 @@ TEST(ClusterSpec, ScaledVariantsAreIndependentCopies)
     EXPECT_EQ(nodes.numDevices(), 8);
 }
 
+TEST(ClusterSpec, ValidateCoversAttachedTopology)
+{
+    ClusterSpec c = hw_zoo::withTopology(
+        testCluster(), TopologySpec::flatEquivalent(testCluster()));
+    c.validate(); // Consistent stack passes.
+
+    // Mutating the cluster shape out from under the stack must fail
+    // cluster validation (the topology can no longer describe it).
+    ClusterSpec narrowed = c;
+    narrowed.devicesPerNode = 4;
+    EXPECT_THROW(narrowed.validate(), ConfigError);
+}
+
+TEST(ClusterSpec, WithNumNodesDropsStaleTopology)
+{
+    ClusterSpec c = hw_zoo::withTopology(
+        testCluster(), hw_zoo::dcRailTopology(testCluster()));
+    ASSERT_NE(c.topology, nullptr);
+
+    // Resizing invalidates the tier stack: node-count sweeps fall
+    // back to flat pricing instead of failing validation.
+    ClusterSpec resized = c.withNumNodes(4);
+    EXPECT_EQ(resized.topology, nullptr);
+    resized.validate();
+
+    // A no-op resize keeps the stack.
+    ClusterSpec same = c.withNumNodes(c.numNodes);
+    EXPECT_NE(same.topology, nullptr);
+    same.validate();
+}
+
 TEST(FabricKind, Names)
 {
     EXPECT_EQ(toString(FabricKind::NVLink), "NVLink");
