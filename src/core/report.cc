@@ -5,6 +5,18 @@
 namespace madmax
 {
 
+const char *
+evalErrorKindName(EvalErrorKind kind)
+{
+    switch (kind) {
+    case EvalErrorKind::None: return "none";
+    case EvalErrorKind::Config: return "config";
+    case EvalErrorKind::Resource: return "resource";
+    case EvalErrorKind::Internal: return "internal";
+    }
+    return "none";
+}
+
 double
 PerfReport::throughput() const
 {
@@ -49,6 +61,11 @@ PerfReport::summary() const
     out += strfmt("model: %s  cluster: %s  task: %s\n", modelName.c_str(),
                   clusterName.c_str(), taskName.c_str());
     out += strfmt("plan: %s\n", plan.toString().c_str());
+    if (failed()) {
+        out += strfmt("FAILED (%s): %s\n", evalErrorKindName(errorKind),
+                      errorMessage.c_str());
+        return out;
+    }
     if (!valid) {
         out += strfmt("INVALID (OOM): needs %s of %s usable per device\n",
                       formatBytes(memory.total()).c_str(),
@@ -85,6 +102,14 @@ toJson(const PerfReport &r)
     out.set("task", r.taskName);
     out.set("plan", r.plan.toString());
     out.set("valid", r.valid);
+    // Failed evaluations (an exception, not an OOM verdict) carry the
+    // error pair; successful ones omit it entirely so the historical
+    // schema — pinned byte-for-byte by goldens and the serve-smoke
+    // byte-compare — is unchanged.
+    if (r.failed()) {
+        out.set("error", r.errorMessage);
+        out.set("error_kind", evalErrorKindName(r.errorKind));
+    }
     out.set("memory_bytes_per_device", r.memory.total());
     out.set("memory_usable_bytes", r.memory.usableCapacity);
     if (r.valid) {

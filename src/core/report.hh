@@ -21,6 +21,25 @@
 namespace madmax
 {
 
+/**
+ * Why one request's evaluation failed, when it did. The engine
+ * isolates per-request exceptions (see EvalEngine::evaluateAll): a
+ * throwing plan evaluation produces a report with `errorKind` set
+ * instead of taking down its whole batch. The serving layer maps the
+ * kinds onto its error taxonomy (Config -> 400, Resource -> 503,
+ * Internal -> 500).
+ */
+enum class EvalErrorKind
+{
+    None,     ///< The evaluation completed (report is meaningful).
+    Config,   ///< ConfigError: the request's own input is at fault.
+    Resource, ///< std::bad_alloc during evaluation.
+    Internal, ///< Any other exception (a model bug, injected fault).
+};
+
+/** Stable lower-case name for an EvalErrorKind ("config", ...). */
+const char *evalErrorKindName(EvalErrorKind kind);
+
 /** Result of one performance-model evaluation. */
 struct PerfReport
 {
@@ -31,6 +50,14 @@ struct PerfReport
 
     /** False when the plan exceeds per-device memory (OOM). */
     bool valid = false;
+
+    /** Set when the evaluation threw instead of completing; every
+     *  other field except the identity ones is meaningless then. */
+    EvalErrorKind errorKind = EvalErrorKind::None;
+    std::string errorMessage;
+
+    /** Did this evaluation throw? (Distinct from OOM-invalid.) */
+    bool failed() const { return errorKind != EvalErrorKind::None; }
 
     /** Per-device memory verdict. */
     MemoryFootprint memory;

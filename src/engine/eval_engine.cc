@@ -11,6 +11,7 @@
 
 #include "core/eval_context.hh"
 #include "hw/topology.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 #include "util/strfmt.hh"
 #include "util/thread_pool.hh"
@@ -158,6 +159,45 @@ keyPrefix(const PerfModel &model, const ModelDesc &desc,
     key += task.toString();
     key += '|';
     return key;
+}
+
+/**
+ * Identity-only report for a request whose evaluation threw. Carries
+ * the error pair instead of timings; never cached (the failure may be
+ * transient — an allocation failure or injected fault must not poison
+ * the memo cache for the plan's lifetime).
+ */
+PerfReport
+failureReport(const PlanRequest &req, EvalErrorKind kind,
+              std::string message)
+{
+    PerfReport r;
+    r.modelName = req.desc->name;
+    r.clusterName = req.model->cluster().name;
+    r.taskName = req.task->toString();
+    r.plan = req.plan;
+    r.errorKind = kind;
+    r.errorMessage = std::move(message);
+    return r;
+}
+
+/** Map the in-flight exception to a failure report for @p req. */
+PerfReport
+failureFromCurrentException(const PlanRequest &req)
+{
+    try {
+        throw;
+    } catch (const std::bad_alloc &) {
+        return failureReport(req, EvalErrorKind::Resource,
+                             "allocation failed during plan evaluation");
+    } catch (const ConfigError &e) {
+        return failureReport(req, EvalErrorKind::Config, e.what());
+    } catch (const std::exception &e) {
+        return failureReport(req, EvalErrorKind::Internal, e.what());
+    } catch (...) {
+        return failureReport(req, EvalErrorKind::Internal,
+                             "unknown error during plan evaluation");
+    }
 }
 
 /** The per-plan portion of the canonical key (see cacheKey). */
@@ -425,56 +465,89 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
                 continue;
             }
         }
-        if (options_.pruneInfeasible &&
-            !req.model->options().ignoreMemory) {
-            PerfReport v = req.model->verdict(*req.desc, *req.task,
-                                              req.plan);
-            if (!v.valid) {
-                ++local.pruned;
-                // Cache the verdict-only report: later duplicates
-                // (same batch or later calls) hit cacheGet above.
-                if (options_.memoize)
-                    cachePut(keys[i], v);
-                results[i] = std::move(v);
-                continue;
+        // Per-request isolation starts here: the memory verdict and
+        // context construction evaluate the request's own input, so a
+        // throw (or an injected fault) fails this slot only instead of
+        // propagating out of the batch.
+        EvalContext::DeltaState *delta = nullptr;
+        std::shared_ptr<EvalContext> ctx;
+        try {
+            if (options_.pruneInfeasible &&
+                !req.model->options().ignoreMemory) {
+                PerfReport v = req.model->verdict(*req.desc, *req.task,
+                                                  req.plan);
+                if (!v.valid) {
+                    ++local.pruned;
+                    // Cache the verdict-only report: later duplicates
+                    // (same batch or later calls) hit cacheGet above.
+                    if (options_.memoize)
+                        cachePut(keys[i], v);
+                    results[i] = std::move(v);
+                    continue;
+                }
+                // Feasible: fall through to a full evaluation. (The
+                // footprint is recomputed there; MemoryModel is a
+                // per-layer sum, noise next to stream building.)
             }
-            // Feasible: fall through to a full evaluation. (The
-            // footprint is recomputed there; MemoryModel is a
-            // per-layer sum, noise next to stream building.)
+            if (session) {
+                // The session owns the context and its splice buffers:
+                // reusing the slot across evaluateAll calls is what
+                // keeps the delta path incremental over a whole search
+                // run.
+                auto &slot = session->impl_->slots[std::make_tuple(
+                    static_cast<const void *>(req.model),
+                    static_cast<const void *>(req.desc),
+                    static_cast<const void *>(req.task))];
+                if (!slot.ctx) {
+                    slot.ctx = std::make_shared<EvalContext>(
+                        *req.model, *req.desc, *req.task);
+                }
+                group.ctx = slot.ctx;
+                delta = &slot.state;
+            } else if (!group.ctx) {
+                group.ctx = std::make_shared<EvalContext>(
+                    *req.model, *req.desc, *req.task);
+            }
+            ctx = group.ctx;
+        } catch (...) {
+            ++local.evaluations;
+            ++local.failed;
+            results[i] = failureFromCurrentException(req);
+            continue;
         }
         ++local.evaluations;
         if (options_.memoize)
             keyToPending.emplace(keys[i], pending.size());
-        EvalContext::DeltaState *delta = nullptr;
-        if (session) {
-            // The session owns the context and its splice buffers:
-            // reusing the slot across evaluateAll calls is what keeps
-            // the delta path incremental over a whole search run.
-            auto &slot = session->impl_->slots[std::make_tuple(
-                static_cast<const void *>(req.model),
-                static_cast<const void *>(req.desc),
-                static_cast<const void *>(req.task))];
-            if (!slot.ctx) {
-                slot.ctx = std::make_shared<EvalContext>(
-                    *req.model, *req.desc, *req.task);
-            }
-            group.ctx = slot.ctx;
-            delta = &slot.state;
-        } else if (!group.ctx) {
-            group.ctx = std::make_shared<EvalContext>(
-                *req.model, *req.desc, *req.task);
-        }
-        pending.push_back(Pending{i, {}, keys[i], group.ctx, delta});
+        pending.push_back(Pending{i, {}, keys[i], std::move(ctx), delta});
     }
 
     auto evaluateAt = [&](size_t p) {
         const PlanRequest &req = requests[pending[p].firstIdx];
-        if (pending[p].delta) {
-            results[pending[p].firstIdx] = pending[p].ctx->evaluateDelta(
-                *pending[p].delta, req.plan);
-        } else {
+        try {
+            faultPointThrow("engine.eval");
+            if (pending[p].delta) {
+                results[pending[p].firstIdx] =
+                    pending[p].ctx->evaluateDelta(*pending[p].delta,
+                                                  req.plan);
+            } else {
+                results[pending[p].firstIdx] =
+                    pending[p].ctx->evaluate(req.plan);
+            }
+        } catch (...) {
+            // One throwing evaluation (bad_alloc, a model bug, an
+            // injected fault) fails its own slot only — the rest of
+            // the batch completes, and a micro-batched server keeps
+            // its other riders.
             results[pending[p].firstIdx] =
-                pending[p].ctx->evaluate(req.plan);
+                failureFromCurrentException(req);
+            if (pending[p].delta) {
+                // A throw mid-splice leaves the DeltaState's buffers
+                // unspecified; unbind so the next evaluation through
+                // this slot rebinds and takes the full-build path.
+                pending[p].delta->context = nullptr;
+                pending[p].delta->hasPlan = false;
+                pending[p].delta->lastUsedDelta = false;
+            }
         }
     };
     if (!session && pool_ && pending.size() > 1) {
@@ -488,13 +561,17 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
                 ++local.deltaEvals;
         }
     }
-    local.fullEvals = local.evaluations - local.deltaEvals;
 
     for (const Pending &p : pending) {
-        if (options_.memoize) {
+        const bool bad = results[p.firstIdx].failed();
+        if (bad)
+            ++local.failed;
+        if (options_.memoize && !bad) {
             // The cache stores reports timeline-stripped; park the
             // (potentially ~100 KB) timeline in a local so the copy
-            // passed to cachePut never duplicates it.
+            // passed to cachePut never duplicates it. Failed reports
+            // are never cached: the failure may be transient and must
+            // not poison the memo for the plan's lifetime.
             Timeline parked;
             std::swap(results[p.firstIdx].timeline, parked);
             cachePut(p.key, results[p.firstIdx]);
@@ -505,6 +582,10 @@ EvalEngine::evaluateAll(const std::vector<PlanRequest> &requests,
             results[dup].plan = requests[dup].plan;
         }
     }
+    // Failed attempts count as full evals: deltaEvals + fullEvals ==
+    // evaluations stays invariant (failed is a subset, not a third
+    // bucket).
+    local.fullEvals = local.evaluations - local.deltaEvals;
 
     local.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -538,6 +619,10 @@ toJson(const EvalStats &stats)
         out.set("delta_evals", stats.deltaEvals);
         out.set("full_evals", stats.fullEvals);
     }
+    // Same pattern for failures: only chaos makes this nonzero, and
+    // healthy consumers keep the historical schema.
+    if (stats.failed != 0)
+        out.set("failed", stats.failed);
     return out;
 }
 

@@ -69,6 +69,14 @@ struct EvalStats
     long deltaEvals = 0;
     long fullEvals = 0;
 
+    /**
+     * Evaluations that threw instead of completing (per-request
+     * exception isolation — see EvalEngine::evaluateAll). A subset of
+     * `evaluations`: a failed request still occupied an evaluation
+     * slot. 0 in healthy operation.
+     */
+    long failed = 0;
+
     /** Total points requested (evaluations + cacheHits + pruned). */
     long requests() const { return evaluations + cacheHits + pruned; }
 
@@ -80,6 +88,7 @@ struct EvalStats
         wallSeconds += o.wallSeconds;
         deltaEvals += o.deltaEvals;
         fullEvals += o.fullEvals;
+        failed += o.failed;
         return *this;
     }
 };
@@ -228,6 +237,14 @@ class EvalEngine
      * incremental delta path (serial, session-resident contexts — see
      * DeltaSession); results are bit-identical either way, and
      * EvalStats::deltaEvals / fullEvals record the split.
+     *
+     * Exception isolation: a throwing evaluation (ConfigError,
+     * std::bad_alloc, a model bug) fails only its own request — the
+     * slot comes back as a failure report (PerfReport::failed(), with
+     * errorKind/errorMessage set) while the rest of the batch
+     * completes normally. Failure reports are never memoized.
+     * EvalStats::failed counts them. Only caller-contract violations
+     * (null model/desc/task pointers) still throw out of the call.
      */
     std::vector<PerfReport>
     evaluateAll(const std::vector<PlanRequest> &requests,

@@ -31,6 +31,7 @@
 #ifndef MADMAX_SERVE_BATCH_DISPATCHER_HH
 #define MADMAX_SERVE_BATCH_DISPATCHER_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -60,6 +61,17 @@ struct BatchDispatcherOptions
 
     /** Window occupancy that cuts the wait short and submits. */
     size_t maxBatch = 64;
+
+    /**
+     * Wedged-leader watchdog, microseconds; 0 disables. When the
+     * current leader has been busy longer than this and requests are
+     * queued behind it, a waiting request takes over as a rescue
+     * leader and submits the queued work as its own batch — a wedged
+     * evaluation stalls only the requests already inside its batch,
+     * never the ones behind it. Successive takeovers are throttled to
+     * one per watchdog period.
+     */
+    long watchdogMicros = 0;
 };
 
 struct BatchDispatcherStats
@@ -72,6 +84,10 @@ struct BatchDispatcherStats
     long maxOccupancy = 0;  ///< Largest window submitted.
     long memoFastPath = 0;  ///< Requests answered from the engine memo
                             ///< cache without entering a window.
+    long watchdogTakeovers = 0; ///< Rescue leaders spawned past a
+                                ///< wedged one.
+    long deadlineTimeouts = 0;  ///< Requests abandoned at their
+                                ///< deadline (DeadlineError thrown).
 };
 
 class BatchDispatcher
@@ -85,15 +101,31 @@ class BatchDispatcher
 
     /**
      * Evaluate one resolved request, riding whatever batch forms.
-     * Blocking; safe from any number of threads. Engine failures are
-     * rethrown on every request of the affected batch.
+     * Blocking; safe from any number of threads.
+     *
+     * Per-request engine failures come back as failure reports
+     * (PerfReport::failed() — see EvalEngine exception isolation);
+     * only a catastrophic evaluateAll throw is rethrown to every
+     * request of the affected batch.
+     *
+     * @p deadlineMicros > 0 bounds the wait: past it the request is
+     * abandoned (removed from the queue if still there; its batch
+     * slot outlives it via shared ownership if not) and DeadlineError
+     * is thrown with the partial-work stage. A request that has
+     * already become the window leader runs its batch to completion —
+     * the deadline gates waiting, not evaluating.
      */
-    PerfReport evaluate(const CachedRequest &request);
+    PerfReport evaluate(const CachedRequest &request,
+                        long deadlineMicros = 0);
 
     BatchDispatcherStats stats() const;
 
   private:
-    /** One waiting request; lives on its submitter's stack. */
+    using Clock = std::chrono::steady_clock;
+
+    /** One waiting request. Shared ownership: a deadline-abandoned
+     *  request's slot must stay writable for the leader that took it
+     *  into a batch after the submitter has thrown out. */
     struct Pending
     {
         const CachedRequest *request = nullptr;
@@ -102,13 +134,21 @@ class BatchDispatcher
         bool done = false;
     };
 
+    /** Take the current queue as one batch, evaluate it with the lock
+     *  dropped, distribute results, notify. Lock held on entry and
+     *  exit. Used by both the window leader and watchdog rescuers
+     *  (which is why it does not touch leaderBusy_). */
+    void runBatch(std::unique_lock<std::mutex> &lock);
+
     EvalEngine &engine_;
     BatchDispatcherOptions options_;
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<Pending *> queue_;
+    std::deque<std::shared_ptr<Pending>> queue_;
     bool leaderBusy_ = false; ///< A window is open or evaluating.
+    Clock::time_point leaderSince_{}; ///< When leaderBusy_ last rose
+                                      ///< (or a rescuer took over).
     BatchDispatcherStats stats_;
 };
 

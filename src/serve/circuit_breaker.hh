@@ -1,0 +1,94 @@
+#pragma once
+
+/**
+ * @file
+ * Per-config-fingerprint circuit breaker for the serving stack.
+ *
+ * A poisoned configuration — one whose plan evaluation reliably throws
+ * — would otherwise burn an evaluation slot on every retry a client
+ * sends. The breaker tracks consecutive eval failures per config
+ * fingerprint (FNV-1a of the canonical request triple, the same
+ * identity the config cache dedups on) and fast-fails once a key
+ * trips:
+ *
+ *   Closed    — normal operation; a success resets the failure streak,
+ *               `failureThreshold` consecutive failures trip to Open.
+ *   Open      — admit() rejects instantly (503 circuit_open +
+ *               Retry-After) until `openMillis` have passed.
+ *   Half-open — after the cool-down, exactly one probe request is let
+ *               through; its success closes the breaker, its failure
+ *               re-opens the cool-down. Concurrent requests keep
+ *               fast-failing while the probe is in flight.
+ *
+ * Keys are independent: one poisoned config never blocks the others.
+ * Bookkeeping is dropped as soon as a key returns to a clean Closed
+ * state, so the table only holds currently-troubled fingerprints.
+ */
+
+#include <cstdint>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+namespace madmax
+{
+
+struct CircuitBreakerOptions
+{
+    /** Consecutive failures that trip a key from Closed to Open. */
+    int failureThreshold = 5;
+
+    /** Cool-down before an Open key admits its half-open probe. */
+    long openMillis = 1000;
+};
+
+/** Aggregate transition counters, exposed via /v1/stats + /v1/metrics. */
+struct CircuitBreakerStats
+{
+    long trips = 0;      ///< Closed/half-open -> Open transitions.
+    long rejects = 0;    ///< Requests fast-failed while Open.
+    long probes = 0;     ///< Half-open probe requests admitted.
+    long recoveries = 0; ///< Half-open -> Closed transitions.
+    long openNow = 0;    ///< Keys currently Open or half-open.
+};
+
+class CircuitBreaker
+{
+  public:
+    explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+    /**
+     * Gate one request for @p key. Returns true to admit; on false the
+     * caller must fast-fail and @p retryAfterSeconds (>= 1) says how
+     * long the client should wait.
+     */
+    bool admit(uint64_t key, long *retryAfterSeconds);
+
+    /** Record the outcome of an admitted request. */
+    void recordSuccess(uint64_t key);
+    void recordFailure(uint64_t key);
+
+    CircuitBreakerStats stats() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    enum class State { Closed, Open, HalfOpen };
+
+    struct Entry
+    {
+        State state = State::Closed;
+        int consecutiveFailures = 0;
+        bool probeInFlight = false;
+        Clock::time_point openedAt;
+        Clock::time_point probeStartedAt;
+    };
+
+    CircuitBreakerOptions options_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    CircuitBreakerStats stats_;
+};
+
+} // namespace madmax

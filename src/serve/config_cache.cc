@@ -2,6 +2,7 @@
 
 #include "config/config_loader.hh"
 #include "engine/eval_engine.hh"
+#include "util/fault_injection.hh"
 #include "util/fingerprint.hh"
 #include "util/logging.hh"
 
@@ -31,7 +32,10 @@ ConfigCache::lookup(const std::string &body)
     // Cold body: parse outside the lock, so concurrent cold requests
     // for different configs parse in parallel. Validation errors and
     // messages are identical to the historical uncached path (tests
-    // pin them).
+    // pin them). The fault point sits on the cold path only — a
+    // cached body deliberately cannot fault here, mirroring where
+    // real parse/alloc failures can occur.
+    faultPointThrow("config.load");
     JsonValue doc = JsonValue::parse(body);
     if (!doc.isObject())
         fatal("request body must be a JSON object with \"model\", "

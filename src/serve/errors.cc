@@ -1,0 +1,102 @@
+#include "serve/errors.hh"
+
+#include <new>
+
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+const ServeErrorSpec &
+serveErrorSpec(ServeError kind)
+{
+    // The one status/code table. Codes are wire contract: clients
+    // dispatch on them, the taxonomy test pins the rendered bodies
+    // byte-for-byte, and docs/serving.md documents each one.
+    static const ServeErrorSpec kSpecs[] = {
+        /* BadRequest        */ {400, "bad_request"},
+        /* NotFound          */ {404, "not_found"},
+        /* MethodNotAllowed  */ {405, "method_not_allowed"},
+        /* PayloadTooLarge   */ {413, "payload_too_large"},
+        /* HeaderTooLarge    */ {431, "bad_request"},
+        /* Internal          */ {500, "internal"},
+        /* EvalFailed        */ {500, "eval_failed"},
+        /* NotImplemented    */ {501, "not_implemented"},
+        /* Overloaded        */ {503, "overloaded"},
+        /* ResourceExhausted */ {503, "resource_exhausted"},
+        /* FdExhausted       */ {503, "fd_exhausted"},
+        /* CircuitOpen       */ {503, "circuit_open"},
+        /* DeadlineExceeded  */ {504, "deadline_exceeded"},
+    };
+    return kSpecs[static_cast<size_t>(kind)];
+}
+
+HttpResponse
+makeError(ServeError kind, const std::string &message)
+{
+    const ServeErrorSpec &spec = serveErrorSpec(kind);
+    return errorResponse(spec.status, spec.code, message);
+}
+
+HttpResponse
+makeError(ServeError kind, const std::string &message, JsonValue detail)
+{
+    const ServeErrorSpec &spec = serveErrorSpec(kind);
+    JsonValue err;
+    err.set("code", spec.code);
+    if (!detail.isNull())
+        err.set("detail", std::move(detail));
+    err.set("message", message);
+    JsonValue doc;
+    doc.set("error", std::move(err));
+    HttpResponse resp;
+    resp.status = spec.status;
+    resp.body = doc.dump(2) + "\n";
+    return resp;
+}
+
+HttpResponse
+errorFromCurrentException()
+{
+    try {
+        throw;
+    } catch (const DeadlineError &e) {
+        JsonValue detail;
+        detail.set("stage", e.stage);
+        detail.set("waited_ms", e.waitedMillis);
+        return makeError(ServeError::DeadlineExceeded, e.what(),
+                         std::move(detail));
+    } catch (const CircuitOpenError &e) {
+        HttpResponse resp = makeError(ServeError::CircuitOpen, e.what());
+        resp.headers["Retry-After"] =
+            std::to_string(e.retryAfterSeconds);
+        return resp;
+    } catch (const ConfigError &e) {
+        return makeError(ServeError::BadRequest, e.what());
+    } catch (const std::bad_alloc &) {
+        return makeError(ServeError::ResourceExhausted,
+                         "allocation failed while serving the request");
+    } catch (const std::exception &e) {
+        return makeError(ServeError::Internal, e.what());
+    } catch (...) {
+        return makeError(ServeError::Internal, "unknown error");
+    }
+}
+
+DeadlineError::DeadlineError(long waitedMillis_, std::string stage_)
+    : std::runtime_error("request deadline exceeded after " +
+                         std::to_string(waitedMillis_) + " ms (" +
+                         stage_ + ")"),
+      waitedMillis(waitedMillis_), stage(std::move(stage_))
+{
+}
+
+CircuitOpenError::CircuitOpenError(long retryAfterSeconds_)
+    : std::runtime_error(
+          "circuit breaker is open for this configuration; retry in " +
+          std::to_string(retryAfterSeconds_) + " s"),
+      retryAfterSeconds(retryAfterSeconds_)
+{
+}
+
+} // namespace madmax

@@ -15,6 +15,8 @@
 #include <cstring>
 
 #include "config/json.hh"
+#include "serve/errors.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 
 namespace madmax
@@ -24,6 +26,58 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+/// @name Syscall shims with fault points
+/// Chaos scenarios inject EMFILE storms, connection resets, and short
+/// writes exactly where the kernel would produce them, so the
+/// recovery paths under test are the real ones. With no script armed
+/// each shim is the raw syscall plus one relaxed atomic load.
+/// @{
+
+int
+xaccept4(int fd, int flags)
+{
+    if (int f = faultPoint("http.accept"); f > 0) {
+        errno = f;
+        return -1;
+    }
+    return ::accept4(fd, nullptr, nullptr, flags);
+}
+
+ssize_t
+xrecv(int fd, void *buf, size_t len)
+{
+    if (int f = faultPoint("http.read"); f > 0) {
+        errno = f;
+        return -1;
+    }
+    return ::recv(fd, buf, len, 0);
+}
+
+ssize_t
+xsend(int fd, const void *buf, size_t len)
+{
+    int f = faultPoint("http.write");
+    if (f > 0) {
+        errno = f;
+        return -1;
+    }
+    if (f == FaultInjection::kShortIo && len > 1)
+        len = 1; // Short write: the flush loop must resume correctly.
+    return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+int
+xepoll_ctl(int epfd, int op, int fd, epoll_event *ev)
+{
+    if (int f = faultPoint("http.epoll_ctl"); f > 0) {
+        errno = f;
+        return -1;
+    }
+    return ::epoll_ctl(epfd, op, fd, ev);
+}
+
+/// @}
 
 /** Inbound-buffer cap while a handler is busy: pipelined requests
  *  beyond it pause reading (TCP backpressure) instead of buffering
@@ -263,6 +317,7 @@ statusReason(int status)
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
     }
 }
@@ -390,6 +445,11 @@ HttpServer::start()
         fatal("HttpServer: epoll/eventfd: " + err);
     }
 
+    // Reserve the emergency fd up front, while descriptors are still
+    // plentiful (see emergencyReject). Failing to open it is fine —
+    // the EMFILE path then degrades to backlog-until-timeout.
+    emergencyFd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
     // ids 0/1 are reserved for the listen socket and the wake fd;
     // connections start at 16.
     epoll_event ev{};
@@ -435,6 +495,10 @@ HttpServer::stop()
     ::close(epollFd_);
     ::close(wakeFd_);
     epollFd_ = wakeFd_ = -1;
+    if (emergencyFd_ >= 0) {
+        ::close(emergencyFd_);
+        emergencyFd_ = -1;
+    }
     conns_.clear();
     completions_.clear();
     dispatchQueue_.clear();
@@ -473,10 +537,11 @@ HttpServer::workerLoop()
         HttpResponse resp;
         try {
             resp = handler_(work.request);
-        } catch (const ConfigError &e) {
-            resp = errorResponse(400, "bad_request", e.what());
-        } catch (const std::exception &e) {
-            resp = errorResponse(500, "internal", e.what());
+        } catch (...) {
+            // One mapping for every exception class the handler can
+            // leak (serve/errors.hh) — ConfigError -> 400, bad_alloc
+            // -> 503 resource_exhausted, DeadlineError -> 504, ...
+            resp = errorFromCurrentException();
         }
         {
             std::lock_guard<std::mutex> lock(completionMutex_);
@@ -498,7 +563,10 @@ HttpServer::setWantWrite(Conn &conn, bool want)
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLET | (want ? EPOLLOUT : 0u);
     ev.data.u64 = conn.id;
-    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    // A failing MOD (injectable via http.epoll_ctl) leaves the conn
+    // with stale interest; it is not wedged forever — the idle /
+    // request deadline sweep still evicts it.
+    xepoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
 void
@@ -522,9 +590,8 @@ bool
 HttpServer::flushWrite(Conn &conn)
 {
     while (conn.outOff < conn.out.size()) {
-        ssize_t n = ::send(conn.fd, conn.out.data() + conn.outOff,
-                           conn.out.size() - conn.outOff,
-                           MSG_NOSIGNAL);
+        ssize_t n = xsend(conn.fd, conn.out.data() + conn.outOff,
+                          conn.out.size() - conn.outOff);
         if (n > 0) {
             conn.outOff += static_cast<size_t>(n);
             continue;
@@ -698,7 +765,7 @@ HttpServer::onReadable(Conn &conn)
     while (true) {
         if (conn.readPaused)
             break;
-        ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        ssize_t n = xrecv(conn.fd, chunk, sizeof(chunk));
         if (n > 0) {
             if (conn.draining) {
                 conn.drained += static_cast<size_t>(n);
@@ -753,17 +820,57 @@ HttpServer::onWritable(Conn &conn)
     return flushWrite(conn);
 }
 
+bool
+HttpServer::emergencyReject()
+{
+    bumpStat(&HttpServerStats::fdExhausted);
+    if (emergencyFd_ >= 0) {
+        ::close(emergencyFd_);
+        emergencyFd_ = -1;
+    }
+    // The freed descriptor slot lets this accept succeed where the
+    // caller's just failed; the client gets a prompt 503 instead of
+    // hanging in the backlog until its own timeout.
+    bool rejected = false;
+    int fd = ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+        HttpResponse resp =
+            makeError(ServeError::FdExhausted,
+                      "server is out of file descriptors, retry");
+        resp.headers["Retry-After"] = "1";
+        std::string wire = renderResponse(resp, /*keepAlive=*/false);
+        // Blocking best-effort send: the response is a few hundred
+        // bytes, far under any socket buffer.
+        [[maybe_unused]] ssize_t n =
+            ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        bumpStat(&HttpServerStats::fdRejects);
+        rejected = true;
+    }
+    emergencyFd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    return rejected;
+}
+
 void
 HttpServer::acceptReady()
 {
     while (true) {
-        int fd = ::accept4(listenFd_, nullptr, nullptr,
-                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        int fd = xaccept4(listenFd_, SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (fd < 0) {
-            // EAGAIN: drained. Resource exhaustion (EMFILE/ENFILE)
-            // persists until connections finish; the loop's next tick
-            // retries, so unlike the old dedicated acceptor there is
-            // no spin to back off from.
+            if (errno == EMFILE || errno == ENFILE) {
+                // Out of descriptors: burn the reserve to
+                // accept-then-reject one waiting client, then keep
+                // draining the backlog (each pass rejects one more;
+                // an empty backlog ends the pass, so a persistent
+                // EMFILE cannot spin the loop).
+                if (!emergencyReject())
+                    return;
+                continue;
+            }
+            if (errno == ECONNABORTED || errno == EINTR)
+                continue; // Transient per-connection hiccup.
+            // EAGAIN: drained. Anything else: give up this tick; the
+            // loop's next event retries.
             return;
         }
         int one = 1;
@@ -779,7 +886,7 @@ HttpServer::acceptReady()
         epoll_event ev{};
         ev.events = EPOLLIN | EPOLLET;
         ev.data.u64 = id;
-        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        if (xepoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
             ::close(fd);
             continue;
         }

@@ -158,6 +158,10 @@ struct HttpServerStats
     long idleClosed = 0;        ///< Keep-alive conns evicted idle.
     long deadlineClosed = 0;    ///< Slow-loris request deadline cuts.
     long partialWrites = 0;     ///< Responses resumed after EAGAIN.
+
+    long fdExhausted = 0; ///< accept() failures on EMFILE/ENFILE.
+    long fdRejects = 0;   ///< Clients answered 503 fd_exhausted via
+                          ///< the emergency fd (accept-then-reject).
 };
 
 /**
@@ -228,12 +232,24 @@ class HttpServer
     void setWantWrite(Conn &conn, bool want);
     void bumpStat(long HttpServerStats::*field);
 
+    /** Close the reserved fd, accept one waiting client, send it a
+     *  synchronous 503 fd_exhausted, close it, re-reserve. Keeps
+     *  clients from hanging to their own timeout when accept() hits
+     *  EMFILE/ENFILE (see acceptReady). Returns true iff a client
+     *  was actually rejected (false = backlog empty; stop looping). */
+    bool emergencyReject();
+
     HttpHandler handler_;
     HttpServerOptions options_;
 
     int listenFd_ = -1;
     int epollFd_ = -1;
     int wakeFd_ = -1;
+    /// Reserved "emergency fd" (an open /dev/null): on EMFILE/ENFILE
+    /// it is closed to free one descriptor slot so the server can
+    /// accept-then-reject a waiting client with 503 instead of
+    /// leaving it to hang (satellite of the resilience layer).
+    int emergencyFd_ = -1;
     int port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};

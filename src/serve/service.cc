@@ -3,6 +3,9 @@
 #include "config/config_loader.hh"
 #include "core/strategy_explorer.hh"
 #include "dse/pareto_engine.hh"
+#include "serve/errors.hh"
+#include "util/fault_injection.hh"
+#include "util/fingerprint.hh"
 #include "util/logging.hh"
 
 namespace madmax
@@ -66,7 +69,8 @@ promSample(std::string &out, const std::string &name,
 } // namespace
 
 EvalService::EvalService(ServiceOptions options)
-    : engine_([&options] {
+    : options_(options),
+      engine_([&options] {
           EvalEngineOptions eo;
           eo.jobs = options.jobs;
           eo.cacheCapacity = options.cacheCapacity;
@@ -78,8 +82,16 @@ EvalService::EvalService(ServiceOptions options)
                       BatchDispatcherOptions bo;
                       bo.windowMicros = options.batchWindowMicros;
                       bo.maxBatch = options.batchMax;
+                      bo.watchdogMicros =
+                          options.batchWatchdogMillis * 1000;
                       return bo;
                   }()),
+      breaker_([&options] {
+          CircuitBreakerOptions co;
+          co.failureThreshold = options.breakerFailureThreshold;
+          co.openMillis = options.breakerOpenMillis;
+          return co;
+      }()),
       start_(std::chrono::steady_clock::now())
 {
     router_.add("POST", "/v1/evaluate", [this](const HttpRequest &r) {
@@ -127,10 +139,12 @@ EvalService::handle(const HttpRequest &request)
     HttpResponse resp;
     try {
         resp = router_.route(request);
-    } catch (const ConfigError &e) {
-        resp = errorResponse(400, "bad_request", e.what());
-    } catch (const std::exception &e) {
-        resp = errorResponse(500, "internal", e.what());
+    } catch (...) {
+        // One mapping for every exception type the stack can throw
+        // (serve/errors.hh): ConfigError -> 400, DeadlineError -> 504,
+        // CircuitOpenError -> 503 + Retry-After, bad_alloc -> 503,
+        // anything else -> 500.
+        resp = errorFromCurrentException();
     }
     if (resp.status >= 400)
         ++errorCount_;
@@ -164,7 +178,46 @@ EvalService::handleEvaluate(const HttpRequest &request)
     // ride whatever evaluation batch forms. Engine memo hits return
     // straight from the dispatcher's fast path.
     CachedRequest parsed = configCache_.lookup(request.body);
-    PerfReport report = dispatcher_.evaluate(parsed);
+
+    // The breaker key is the canonical triple — the same identity the
+    // config cache dedups on — so every body spelling of a poisoned
+    // config shares one breaker entry.
+    uint64_t breakerKey = fnv1a(parsed.triple->canon);
+    long retryAfter = 0;
+    if (!breaker_.admit(breakerKey, &retryAfter))
+        throw CircuitOpenError(retryAfter);
+
+    PerfReport report;
+    try {
+        report = dispatcher_.evaluate(
+            parsed, options_.requestTimeoutMillis * 1000);
+    } catch (const DeadlineError &) {
+        // A deadline says nothing about the config's health — the
+        // breaker records neither success nor failure. A half-open
+        // probe that deadlines forfeits its slot via the breaker's
+        // probe timeout.
+        throw;
+    } catch (...) {
+        breaker_.recordFailure(breakerKey);
+        throw;
+    }
+
+    if (report.failed()) {
+        ++evalFailures_;
+        breaker_.recordFailure(breakerKey);
+        switch (report.errorKind) {
+        case EvalErrorKind::Config:
+            return makeError(ServeError::BadRequest,
+                             report.errorMessage);
+        case EvalErrorKind::Resource:
+            return makeError(ServeError::ResourceExhausted,
+                             report.errorMessage);
+        default:
+            return makeError(ServeError::EvalFailed,
+                             report.errorMessage);
+        }
+    }
+    breaker_.recordSuccess(breakerKey);
     return jsonResponse(toJson(report));
 }
 
@@ -348,6 +401,8 @@ EvalService::handleStats(const HttpRequest &request)
     batching.set("coalesced_requests", b.coalesced);
     batching.set("max_occupancy", b.maxOccupancy);
     batching.set("memo_fast_path", b.memoFastPath);
+    batching.set("watchdog_takeovers", b.watchdogTakeovers);
+    batching.set("deadline_timeouts", b.deadlineTimeouts);
 
     ConfigCache::Stats cc = configCache_.stats();
     JsonValue configCache;
@@ -358,13 +413,39 @@ EvalService::handleStats(const HttpRequest &request)
     configCache.set("evictions", cc.evictions);
     configCache.set("triple_shares", cc.tripleShares);
 
+    CircuitBreakerStats br = breaker_.stats();
+    JsonValue breaker;
+    breaker.set("trips", br.trips);
+    breaker.set("rejects", br.rejects);
+    breaker.set("probes", br.probes);
+    breaker.set("recoveries", br.recoveries);
+    breaker.set("open_now", br.openNow);
+
     JsonValue server;
     server.set("requests", std::move(requests));
     server.set("requests_total", s.total());
     server.set("errors", s.errors);
+    server.set("eval_failures", s.evalFailures);
     server.set("batching", std::move(batching));
+    server.set("circuit_breaker", std::move(breaker));
     server.set("config_cache", std::move(configCache));
     server.set("pareto_coalesced", paretoShared_.load());
+
+    // Fault-injection accounting: present only when points are armed,
+    // so production scrapes of an uninstrumented server see no
+    // "faults" member at all.
+    std::vector<FaultPointStats> faults = FaultInjection::stats();
+    if (!faults.empty()) {
+        JsonValue arr;
+        for (const FaultPointStats &f : faults) {
+            JsonValue one;
+            one.set("point", f.point);
+            one.set("hits", f.hits);
+            one.set("injected", f.injected);
+            arr.append(std::move(one));
+        }
+        server.set("faults", std::move(arr));
+    }
 
     JsonValue out;
     out.set("engine", std::move(eng));
@@ -383,6 +464,8 @@ EvalService::handleStats(const HttpRequest &request)
         transport.set("idle_closed", t.idleClosed);
         transport.set("deadline_closed", t.deadlineClosed);
         transport.set("partial_writes", t.partialWrites);
+        transport.set("fd_exhausted", t.fdExhausted);
+        transport.set("fd_rejects", t.fdRejects);
         out.set("transport", std::move(transport));
     }
     out.set("uptime_seconds",
@@ -446,6 +529,54 @@ EvalService::handleMetrics(const HttpRequest &request)
     promSample(out, "madmax_errors_total", "",
                static_cast<double>(s.errors));
 
+    promHeader(out, "madmax_eval_failures_total",
+               "Evaluate requests whose report came back failed.",
+               "counter");
+    promSample(out, "madmax_eval_failures_total", "",
+               static_cast<double>(s.evalFailures));
+
+    CircuitBreakerStats br = breaker_.stats();
+    promHeader(out, "madmax_breaker_trips_total",
+               "Circuit-breaker keys tripped open.", "counter");
+    promSample(out, "madmax_breaker_trips_total", "",
+               static_cast<double>(br.trips));
+    promHeader(out, "madmax_breaker_rejects_total",
+               "Requests fast-failed by an open breaker.", "counter");
+    promSample(out, "madmax_breaker_rejects_total", "",
+               static_cast<double>(br.rejects));
+    promHeader(out, "madmax_breaker_probes_total",
+               "Half-open probe requests admitted.", "counter");
+    promSample(out, "madmax_breaker_probes_total", "",
+               static_cast<double>(br.probes));
+    promHeader(out, "madmax_breaker_recoveries_total",
+               "Breaker keys recovered to closed.", "counter");
+    promSample(out, "madmax_breaker_recoveries_total", "",
+               static_cast<double>(br.recoveries));
+    promHeader(out, "madmax_breaker_open",
+               "Keys currently open or half-open.", "gauge");
+    promSample(out, "madmax_breaker_open", "",
+               static_cast<double>(br.openNow));
+
+    // Fault-injection counters, one sample per armed point; families
+    // are omitted entirely on an uninstrumented server.
+    std::vector<FaultPointStats> faults = FaultInjection::stats();
+    if (!faults.empty()) {
+        promHeader(out, "madmax_fault_hits_total",
+                   "Times an armed fault point was reached.",
+                   "counter");
+        for (const FaultPointStats &f : faults)
+            promSample(out, "madmax_fault_hits_total",
+                       "point=\"" + f.point + "\"",
+                       static_cast<double>(f.hits));
+        promHeader(out, "madmax_fault_injected_total",
+                   "Times an armed fault point actually fired.",
+                   "counter");
+        for (const FaultPointStats &f : faults)
+            promSample(out, "madmax_fault_injected_total",
+                       "point=\"" + f.point + "\"",
+                       static_cast<double>(f.injected));
+    }
+
     promHeader(out, "madmax_engine_evaluations_total",
                "Fresh model evaluations executed.", "counter");
     promSample(out, "madmax_engine_evaluations_total", "",
@@ -496,6 +627,15 @@ EvalService::handleMetrics(const HttpRequest &request)
                "counter");
     promSample(out, "madmax_batch_memo_fast_path_total", "",
                static_cast<double>(b.memoFastPath));
+    promHeader(out, "madmax_batch_watchdog_takeovers_total",
+               "Rescue leaders spawned past a wedged batch leader.",
+               "counter");
+    promSample(out, "madmax_batch_watchdog_takeovers_total", "",
+               static_cast<double>(b.watchdogTakeovers));
+    promHeader(out, "madmax_batch_deadline_timeouts_total",
+               "Requests abandoned at their deadline.", "counter");
+    promSample(out, "madmax_batch_deadline_timeouts_total", "",
+               static_cast<double>(b.deadlineTimeouts));
 
     promHeader(out, "madmax_config_cache_hits_total",
                "Request bodies whose parse was reused.", "counter");
@@ -561,6 +701,15 @@ EvalService::handleMetrics(const HttpRequest &request)
                    "counter");
         promSample(out, "madmax_http_partial_writes_total", "",
                    static_cast<double>(t.partialWrites));
+        promHeader(out, "madmax_http_fd_exhausted_total",
+                   "accept() failures on EMFILE/ENFILE.", "counter");
+        promSample(out, "madmax_http_fd_exhausted_total", "",
+                   static_cast<double>(t.fdExhausted));
+        promHeader(out, "madmax_http_fd_rejects_total",
+                   "Clients answered 503 via the emergency fd.",
+                   "counter");
+        promSample(out, "madmax_http_fd_rejects_total", "",
+                   static_cast<double>(t.fdRejects));
     }
 
     HttpResponse resp;
@@ -580,6 +729,7 @@ EvalService::stats() const
     s.stats = statsCount_.load();
     s.metrics = metricsCount_.load();
     s.errors = errorCount_.load();
+    s.evalFailures = evalFailures_.load();
     return s;
 }
 

@@ -48,9 +48,13 @@
  *   GET  /v1/metrics   the same counters in Prometheus text
  *                      exposition format (text/plain; version=0.0.4).
  *
- * Errors use the uniform {"error": {code, message}} shape: 400 for
+ * Errors use the uniform {"error": {code, detail?, message}} shape
+ * with the machine-readable codes of serve/errors.hh: 400 for
  * malformed JSON / missing fields / bad configs, 404/405 from the
- * router, 500 for internal failures.
+ * router, 500 for internal failures, plus the graceful-degradation
+ * responses (503 circuit_open / resource_exhausted / fd_exhausted,
+ * 504 deadline_exceeded) — full table in docs/serving.md, semantics
+ * in docs/resilience.md.
  */
 
 #ifndef MADMAX_SERVE_SERVICE_HH
@@ -62,6 +66,7 @@
 
 #include "engine/eval_engine.hh"
 #include "serve/batch_dispatcher.hh"
+#include "serve/circuit_breaker.hh"
 #include "serve/config_cache.hh"
 #include "serve/request_router.hh"
 
@@ -87,6 +92,24 @@ struct ServiceOptions
 
     /** Parsed-config cache entry cap (serve/config_cache.hh). */
     size_t configCacheCapacity = 1024;
+
+    /** Per-request evaluation deadline, milliseconds; 0 disables.
+     *  Past it the request is abandoned (BatchDispatcher::evaluate)
+     *  and answered 504 deadline_exceeded with {stage, waited_ms}
+     *  partial-work detail. */
+    long requestTimeoutMillis = 0;
+
+    /** Circuit breaker: consecutive eval failures per config
+     *  fingerprint that trip it (serve/circuit_breaker.hh). */
+    int breakerFailureThreshold = 5;
+
+    /** Circuit breaker cool-down before the half-open probe. */
+    long breakerOpenMillis = 1000;
+
+    /** Wedged-leader watchdog for the micro-batching dispatcher,
+     *  milliseconds; 0 disables
+     *  (BatchDispatcherOptions::watchdogMicros). */
+    long batchWatchdogMillis = 2000;
 };
 
 /** Per-endpoint request accounting, reported by `GET /v1/stats`. */
@@ -99,6 +122,8 @@ struct ServiceStats
     long stats = 0;
     long metrics = 0;
     long errors = 0; ///< Responses with status >= 400 (any endpoint).
+    long evalFailures = 0; ///< Evaluate requests whose report came
+                           ///< back failed (engine isolation).
 
     long total() const
     {
@@ -138,6 +163,7 @@ class EvalService
     /** The serving-side coalescing layers (tests inspect counters). */
     const BatchDispatcher &dispatcher() const { return dispatcher_; }
     const ConfigCache &configCache() const { return configCache_; }
+    const CircuitBreaker &breaker() const { return breaker_; }
 
     ServiceStats stats() const;
 
@@ -169,9 +195,11 @@ class EvalService
      *  null for unrouted targets. */
     std::atomic<long> *latencySlot(const std::string &target);
 
+    ServiceOptions options_;
     EvalEngine engine_;
     ConfigCache configCache_;
     BatchDispatcher dispatcher_;
+    CircuitBreaker breaker_;
     SingleFlight paretoFlight_;
     RequestRouter router_;
     std::function<HttpServerStats()> transportStats_;
@@ -184,6 +212,8 @@ class EvalService
     std::atomic<long> statsCount_{0};
     std::atomic<long> metricsCount_{0};
     std::atomic<long> errorCount_{0};
+    std::atomic<long> evalFailures_{0}; ///< Failed reports mapped to
+                                        ///< taxonomy errors.
     std::atomic<long> paretoShared_{0}; ///< Single-flight dedups.
 
     /// Cumulative handler nanoseconds per endpoint (same order as the

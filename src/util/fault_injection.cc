@@ -1,0 +1,286 @@
+#include "util/fault_injection.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <random>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/strfmt.hh"
+
+namespace madmax {
+
+std::atomic<bool> FaultInjection::armed_{false};
+
+namespace {
+
+struct Trigger {
+    enum class Kind { Always, Nth, First, Every, Range, Prob };
+    Kind kind = Kind::Always;
+    long a = 0, b = 0; ///< nth/first/every/range parameters
+    double p = 0.0;    ///< prob parameter
+    std::mt19937_64 rng;
+};
+
+struct Action {
+    enum class Kind { Errno, Throw, BadAlloc, Delay, Short };
+    Kind kind = Kind::Throw;
+    int errnoValue = 0;
+    long delayMicros = 0;
+    std::string message;
+};
+
+struct PointState {
+    Trigger trigger;
+    Action action;
+    long hits = 0;
+    long injected = 0;
+};
+
+// All mutable state lives behind this mutex; the hot path never takes
+// it because faultPoint() checks the armed_ flag first.
+std::mutex &registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, PointState> &registry()
+{
+    static std::map<std::string, PointState> r;
+    return r;
+}
+
+int errnoByName(const std::string &name)
+{
+    static const std::map<std::string, int> kNames = {
+        {"EAGAIN", EAGAIN},   {"ECONNABORTED", ECONNABORTED},
+        {"ECONNRESET", ECONNRESET},
+        {"EINTR", EINTR},     {"EINVAL", EINVAL},
+        {"EIO", EIO},         {"EMFILE", EMFILE},
+        {"ENFILE", ENFILE},   {"ENOMEM", ENOMEM},
+        {"EPIPE", EPIPE},     {"ETIMEDOUT", ETIMEDOUT},
+    };
+    auto it = kNames.find(name);
+    if (it != kNames.end())
+        return it->second;
+    char *end = nullptr;
+    long v = std::strtol(name.c_str(), &end, 10);
+    if (end == name.c_str() || *end != '\0' || v <= 0)
+        fatal(strfmt("fault script: unknown errno '%s'", name.c_str()));
+    return static_cast<int>(v);
+}
+
+long parsePositive(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v <= 0)
+        fatal(strfmt("fault script: bad %s '%s'", what, text.c_str()));
+    return v;
+}
+
+std::string stripSpaces(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        if (c != ' ' && c != '\t')
+            out += c;
+    return out;
+}
+
+Trigger parseTrigger(const std::string &spec)
+{
+    Trigger t;
+    if (spec.rfind("nth:", 0) == 0) {
+        t.kind = Trigger::Kind::Nth;
+        t.a = parsePositive(spec.substr(4), "nth count");
+    } else if (spec.rfind("first:", 0) == 0) {
+        t.kind = Trigger::Kind::First;
+        t.a = parsePositive(spec.substr(6), "first count");
+    } else if (spec.rfind("every:", 0) == 0) {
+        t.kind = Trigger::Kind::Every;
+        t.a = parsePositive(spec.substr(6), "every period");
+    } else if (spec.rfind("range:", 0) == 0) {
+        std::string body = spec.substr(6);
+        size_t dash = body.find('-');
+        if (dash == std::string::npos)
+            fatal(strfmt("fault script: range trigger needs A-B, got '%s'",
+                  body.c_str()));
+        t.kind = Trigger::Kind::Range;
+        t.a = parsePositive(body.substr(0, dash), "range start");
+        t.b = parsePositive(body.substr(dash + 1), "range end");
+        if (t.b < t.a)
+            fatal(strfmt("fault script: empty range %ld-%ld", t.a, t.b));
+    } else if (spec.rfind("prob:", 0) == 0) {
+        std::string body = spec.substr(5);
+        uint64_t seed = 1;
+        size_t comma = body.find(",seed:");
+        if (comma != std::string::npos) {
+            seed = static_cast<uint64_t>(
+                parsePositive(body.substr(comma + 6), "prob seed"));
+            body = body.substr(0, comma);
+        }
+        char *end = nullptr;
+        t.p = std::strtod(body.c_str(), &end);
+        if (end == body.c_str() || *end != '\0' || t.p < 0.0 || t.p > 1.0)
+            fatal(strfmt("fault script: probability must be in [0,1], got '%s'",
+                        body.c_str()));
+        t.kind = Trigger::Kind::Prob;
+        t.rng.seed(seed);
+    } else {
+        fatal(strfmt("fault script: unknown trigger '%s'", spec.c_str()));
+    }
+    return t;
+}
+
+Action parseAction(const std::string &spec, const std::string &point)
+{
+    Action a;
+    if (spec.rfind("errno:", 0) == 0) {
+        a.kind = Action::Kind::Errno;
+        a.errnoValue = errnoByName(spec.substr(6));
+    } else if (spec == "throw" || spec.rfind("throw:", 0) == 0) {
+        a.kind = Action::Kind::Throw;
+        a.message = spec.size() > 6 ? spec.substr(6)
+                                    : "injected fault at " + point;
+    } else if (spec == "badalloc") {
+        a.kind = Action::Kind::BadAlloc;
+    } else if (spec.rfind("delay:", 0) == 0) {
+        a.kind = Action::Kind::Delay;
+        a.delayMicros = parsePositive(spec.substr(6), "delay micros");
+    } else if (spec == "short") {
+        a.kind = Action::Kind::Short;
+    } else {
+        fatal(strfmt("fault script: unknown action '%s'", spec.c_str()));
+    }
+    return a;
+}
+
+// Deterministic uniform draw in [0,1): top 53 bits of the engine
+// output, independent of libstdc++'s distribution implementation.
+double drawUniform(std::mt19937_64 &rng)
+{
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+bool triggerFires(Trigger &t, long hit)
+{
+    switch (t.kind) {
+      case Trigger::Kind::Always: return true;
+      case Trigger::Kind::Nth:    return hit == t.a;
+      case Trigger::Kind::First:  return hit <= t.a;
+      case Trigger::Kind::Every:  return hit % t.a == 0;
+      case Trigger::Kind::Range:  return hit >= t.a && hit <= t.b;
+      case Trigger::Kind::Prob:   return drawUniform(t.rng) < t.p;
+    }
+    return false;
+}
+
+} // namespace
+
+void FaultInjection::configure(const std::string &script)
+{
+    const std::string clean = stripSpaces(script);
+    if (clean.empty())
+        return;
+    // Parse the whole script before touching the registry so a
+    // malformed clause cannot leave a half-armed configuration.
+    std::vector<std::pair<std::string, PointState>> parsed;
+    size_t pos = 0;
+    while (pos < clean.size()) {
+        size_t semi = clean.find(';', pos);
+        std::string clause = clean.substr(
+            pos, semi == std::string::npos ? std::string::npos : semi - pos);
+        pos = semi == std::string::npos ? clean.size() : semi + 1;
+        if (clause.empty())
+            continue;
+        size_t eq = clause.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal(strfmt("fault script: clause '%s' is not point=action",
+                  clause.c_str()));
+        std::string point = clause.substr(0, eq);
+        std::string rest = clause.substr(eq + 1);
+        PointState state;
+        size_t at = rest.find('@');
+        if (at != std::string::npos) {
+            state.trigger = parseTrigger(rest.substr(at + 1));
+            rest = rest.substr(0, at);
+        }
+        state.action = parseAction(rest, point);
+        parsed.emplace_back(std::move(point), std::move(state));
+    }
+    if (parsed.empty())
+        return;
+    std::lock_guard<std::mutex> lock(registryMutex());
+    for (auto &entry : parsed)
+        registry()[entry.first] = std::move(entry.second);
+    armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjection::configureFromEnv()
+{
+    const char *env = std::getenv("MADMAX_FAULTS");
+    if (env != nullptr && *env != '\0')
+        configure(env);
+}
+
+void FaultInjection::clearAll()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registry().clear();
+    armed_.store(false, std::memory_order_relaxed);
+}
+
+int FaultInjection::fire(const char *point)
+{
+    Action action;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto it = registry().find(point);
+        if (it == registry().end())
+            return 0;
+        PointState &state = it->second;
+        ++state.hits;
+        if (!triggerFires(state.trigger, state.hits))
+            return 0;
+        ++state.injected;
+        action = state.action;
+    }
+    switch (action.kind) {
+      case Action::Kind::Errno:
+        return action.errnoValue;
+      case Action::Kind::Throw:
+        throw InjectedFault(action.message);
+      case Action::Kind::BadAlloc:
+        throw std::bad_alloc();
+      case Action::Kind::Delay:
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(action.delayMicros));
+        return 0;
+      case Action::Kind::Short:
+        return kShortIo;
+    }
+    return 0;
+}
+
+std::vector<FaultPointStats> FaultInjection::stats()
+{
+    std::vector<FaultPointStats> out;
+    std::lock_guard<std::mutex> lock(registryMutex());
+    for (const auto &entry : registry()) {
+        FaultPointStats s;
+        s.point = entry.first;
+        s.hits = entry.second.hits;
+        s.injected = entry.second.injected;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace madmax

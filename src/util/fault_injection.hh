@@ -1,0 +1,139 @@
+#pragma once
+
+// Deterministic, seeded fault injection.
+//
+// The serving stack names the places where production fails — accept(2)
+// running out of fds, recv(2) seeing a reset, an allocation failing mid
+// batch, a plan evaluation throwing — as *fault points*. A scenario
+// script arms a subset of those points with an action (errno payload,
+// exception, latency, short I/O) and a trigger (always, Nth call, every
+// Nth, a probability with a fixed seed). Everything is deterministic:
+// the same script against the same call sequence injects the same
+// faults, which is what lets the chaos suite assert exact counters.
+//
+// Cost model: when no script is armed, a fault point is a single
+// relaxed atomic load of a process-global flag — no lock, no map
+// lookup, no branch beyond the one `if`. The slow path (armed) takes a
+// mutex; chaos runs are not benchmarks.
+//
+// Script grammar (clauses separated by ';', spaces ignored):
+//
+//   clause  := point '=' action ['@' trigger]
+//   action  := 'errno:' NAME_OR_NUMBER   return that errno from the shim
+//            | 'throw' [':' MESSAGE]     throw InjectedFault
+//            | 'badalloc'                throw std::bad_alloc
+//            | 'delay:' MICROS           sleep, then continue normally
+//            | 'short'                   short I/O (write 1 byte)
+//   trigger := 'nth:' N                  fire only on the Nth hit (1-based)
+//            | 'first:' N                fire on hits 1..N
+//            | 'every:' N                fire on hits N, 2N, 3N, ...
+//            | 'range:' A '-' B          fire on hits A..B inclusive
+//            | 'prob:' P [',seed:' S]    fire with probability P (0..1),
+//                                        per-point RNG seeded with S
+//            | (absent)                  fire on every hit
+//
+// Example: "http.accept=errno:EMFILE@nth:1;engine.eval=throw@prob:0.3,seed:42"
+//
+// Configuration surfaces: `madmax serve --faults SPEC`, the
+// MADMAX_FAULTS environment variable, and the RAII FaultScope guard for
+// tests. Arming is process-global; FaultScope clears *all* scripts on
+// destruction, so scopes do not nest.
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace madmax {
+
+/** Exception thrown by `throw`-action fault points. */
+class InjectedFault : public std::runtime_error {
+  public:
+    explicit InjectedFault(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Per-point counters, snapshot via FaultInjection::stats(). */
+struct FaultPointStats {
+    std::string point;
+    long hits = 0;     ///< times the armed point was reached
+    long injected = 0; ///< times a fault actually fired
+};
+
+class FaultInjection {
+  public:
+    /** True when any scenario script is armed (relaxed load). */
+    static bool active() {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Parse a scenario script and arm its clauses. Clauses add to the
+     * current configuration; a second clause for the same point
+     * replaces the first. Throws ConfigError on a malformed script.
+     */
+    static void configure(const std::string &script);
+
+    /** Arm from the MADMAX_FAULTS environment variable, if set. */
+    static void configureFromEnv();
+
+    /** Disarm everything and reset all counters. */
+    static void clearAll();
+
+    /**
+     * Evaluate the named point. Returns 0 when the point is not armed
+     * or its trigger does not fire; a positive errno payload for
+     * `errno:` actions; kShortIo for `short` actions. `throw` and
+     * `badalloc` actions throw; `delay` sleeps and returns 0.
+     */
+    static int fire(const char *point);
+
+    /** Sentinel returned by fire() for `short` (short-I/O) actions. */
+    static constexpr int kShortIo = -1;
+
+    /** Counters for every configured point, sorted by point name. */
+    static std::vector<FaultPointStats> stats();
+
+  private:
+    static std::atomic<bool> armed_;
+};
+
+/**
+ * Hot-path guard: zero work when no script is armed. Returns the
+ * fire() payload (0 / errno / kShortIo), or throws for exception
+ * actions.
+ */
+inline int faultPoint(const char *point) {
+    if (!FaultInjection::active())
+        return 0;
+    return FaultInjection::fire(point);
+}
+
+/**
+ * Variant for non-syscall layers (engine, config loading) where an
+ * errno has no meaning: any non-zero payload is promoted to an
+ * InjectedFault throw, so every armed action at such a point is an
+ * exception, a delay, or a no-op.
+ */
+inline void faultPointThrow(const char *point) {
+    if (!FaultInjection::active())
+        return;
+    if (FaultInjection::fire(point) != 0)
+        throw InjectedFault(std::string("injected fault at ") + point);
+}
+
+/**
+ * RAII scenario guard for tests: arms `script` on construction, clears
+ * all fault configuration (and counters) on destruction.
+ */
+class FaultScope {
+  public:
+    explicit FaultScope(const std::string &script) {
+        FaultInjection::configure(script);
+    }
+    ~FaultScope() { FaultInjection::clearAll(); }
+    FaultScope(const FaultScope &) = delete;
+    FaultScope &operator=(const FaultScope &) = delete;
+};
+
+} // namespace madmax

@@ -38,7 +38,27 @@ class ThreadPool
      */
     explicit ThreadPool(int threads = 0);
 
-    /** Joins all workers; pending tasks are drained first. */
+    /**
+     * Joins all workers; pending tasks are DRAINED, never abandoned.
+     *
+     * Shutdown sequence, deterministic by construction:
+     *   1. waitIdle() — blocks until inflight_ hits 0, i.e. every
+     *      task submitted before the destructor began (including
+     *      tasks that other tasks submitted while draining) has run
+     *      to completion;
+     *   2. stop_ is raised under the lock and every worker woken;
+     *   3. workers exit only on `stop_ && queued_ == 0`, so a task
+     *      racing step 2 is still taken and finished before its
+     *      worker returns — there is no window in which a queued
+     *      task is dropped.
+     *
+     * Consequently destruction cannot deadlock on pending work, but
+     * it DOES wait for it: a wedged task wedges the destructor (the
+     * serving stack bounds this with its own watchdog/deadline layer
+     * — see docs/resilience.md). Submitting from another thread
+     * concurrently with destruction is a caller bug, as with any
+     * standard container.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;

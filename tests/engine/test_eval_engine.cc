@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/strategy_explorer.hh"
 #include "engine/eval_engine.hh"
 #include "fleet/fleet_sim.hh"
 #include "hw/hw_zoo.hh"
 #include "model/model_zoo.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 
 namespace madmax
@@ -335,6 +338,119 @@ TEST(EvalEngine, RejectsNegativeJobs)
     EvalEngineOptions eo;
     eo.jobs = -1;
     EXPECT_THROW(EvalEngine{eo}, ConfigError);
+}
+
+TEST(EvalEngine, InjectedFailureIsIsolatedToItsSlot)
+{
+    // jobs=1 makes the evaluation order the submission order, so an
+    // nth-trigger fault lands on a known slot.
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    ModelDesc dlrm = model_zoo::dlrmA();
+    TaskSpec task = TaskSpec::preTraining();
+
+    // All three plans are memory-feasible on dlrmA (DDP/DDP is not —
+    // it would be verdict-pruned and never occupy an evaluation
+    // slot, shifting the nth trigger).
+    ParallelPlan a, b, c;
+    a.set(LayerClass::BaseDense,
+          HierStrategy{Strategy::TP, Strategy::DDP});
+    b.set(LayerClass::BaseDense,
+          HierStrategy{Strategy::DDP, Strategy::TP});
+    c.set(LayerClass::BaseDense,
+          HierStrategy{Strategy::TP, Strategy::TP});
+
+    std::vector<PlanRequest> requests;
+    for (const ParallelPlan *plan : {&a, &b, &c})
+        requests.push_back(PlanRequest{&model, &dlrm, &task, *plan});
+
+    EvalEngineOptions eo;
+    eo.jobs = 1;
+    EvalEngine engine(eo);
+    EvalStats stats;
+    std::vector<PerfReport> results;
+    {
+        FaultScope scope("engine.eval=throw@nth:2");
+        results = engine.evaluateAll(requests, &stats);
+    }
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].failed());
+    ASSERT_TRUE(results[1].failed());
+    EXPECT_FALSE(results[2].failed());
+
+    // The failure report keeps its identity fields and carries the
+    // taxonomy kind for an unexpected exception.
+    EXPECT_EQ(results[1].errorKind, EvalErrorKind::Internal);
+    EXPECT_FALSE(results[1].errorMessage.empty());
+    EXPECT_EQ(results[1].modelName, dlrm.name);
+    EXPECT_FALSE(results[1].valid);
+
+    // Failed requests still occupy evaluation slots; the invariant
+    // deltaEvals + fullEvals == evaluations holds with failures.
+    EXPECT_EQ(stats.evaluations, 3);
+    EXPECT_EQ(stats.failed, 1);
+    EXPECT_EQ(stats.deltaEvals + stats.fullEvals, stats.evaluations);
+
+    // Healthy slots match an engine-free evaluation bit for bit.
+    expectReportsEqual(results[0], model.evaluate(dlrm, task, a));
+    expectReportsEqual(results[2], model.evaluate(dlrm, task, c));
+}
+
+TEST(EvalEngine, FailedReportsAreNeverMemoized)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    ModelDesc dlrm = model_zoo::dlrmA();
+    TaskSpec task = TaskSpec::preTraining();
+    ParallelPlan plan;
+    plan.set(LayerClass::BaseDense,
+             HierStrategy{Strategy::TP, Strategy::DDP});
+
+    EvalEngineOptions eo;
+    eo.jobs = 1;
+    EvalEngine engine(eo);
+
+    EvalStats first;
+    PerfReport failed;
+    {
+        FaultScope scope("engine.eval=throw@nth:1");
+        failed = engine.evaluateOne(model, dlrm, task, plan, &first);
+    }
+    ASSERT_TRUE(failed.failed());
+    EXPECT_EQ(first.failed, 1);
+
+    // The retry must re-evaluate (no poisoned cache entry) and
+    // succeed now that the fault is disarmed.
+    EvalStats second;
+    PerfReport retried =
+        engine.evaluateOne(model, dlrm, task, plan, &second);
+    EXPECT_FALSE(retried.failed());
+    EXPECT_EQ(second.cacheHits, 0);
+    EXPECT_EQ(second.evaluations, 1);
+    EXPECT_EQ(second.failed, 0);
+    expectReportsEqual(retried, model.evaluate(dlrm, task, plan));
+
+    // And the healthy report memoizes as usual.
+    EvalStats third;
+    engine.evaluateOne(model, dlrm, task, plan, &third);
+    EXPECT_EQ(third.cacheHits, 1);
+}
+
+TEST(EvalEngine, BadAllocMapsToResourceKind)
+{
+    PerfModel model(hw_zoo::dlrmTrainingSystem());
+    ModelDesc dlrm = model_zoo::dlrmA();
+    TaskSpec task = TaskSpec::preTraining();
+    ParallelPlan plan;
+    plan.set(LayerClass::BaseDense,
+             HierStrategy{Strategy::TP, Strategy::DDP});
+
+    EvalEngineOptions eo;
+    eo.jobs = 1;
+    EvalEngine engine(eo);
+    FaultScope scope("engine.eval=badalloc");
+    PerfReport report = engine.evaluateOne(model, dlrm, task, plan);
+    ASSERT_TRUE(report.failed());
+    EXPECT_EQ(report.errorKind, EvalErrorKind::Resource);
 }
 
 } // namespace madmax

@@ -5,7 +5,9 @@
  * byte-identical responses, repeat bodies skip parsing via the
  * config cache, whitespace-variant bodies share one ParsedTriple,
  * /v1/metrics speaks Prometheus, admission classification tiers
- * requests, and SingleFlight deduplicates identical in-flight work.
+ * requests, SingleFlight deduplicates identical in-flight work, the
+ * watchdog rescues requests queued behind a wedged batch leader, and
+ * per-request deadlines abandon cleanly from either wait stage.
  */
 
 #include <gtest/gtest.h>
@@ -19,6 +21,7 @@
 #include "serve/batch_dispatcher.hh"
 #include "serve/service.hh"
 #include "serve_test_util.hh"
+#include "util/fault_injection.hh"
 #include "util/lru_cache.hh"
 
 namespace madmax
@@ -266,6 +269,76 @@ TEST(Batching, SingleFlightDeduplicatesIdenticalInFlightWork)
         &sharedOther);
     EXPECT_FALSE(sharedOther);
     EXPECT_EQ(other.body, "fresh");
+}
+
+TEST(Batching, WatchdogRescuesRequestsBehindAWedgedLeader)
+{
+    // Thread A's evaluation wedges on an injected 600 ms delay while
+    // it is the batch leader. A request arriving behind it must not
+    // wait the full 600 ms: past the watchdog period it takes over as
+    // a rescue leader and submits the queued work as its own batch.
+    ServiceOptions opts = testOptions();
+    opts.jobs = 1;
+    opts.batchWindowMicros = 0;
+    opts.batchWatchdogMillis = 40;
+    EvalService service(opts);
+    FaultScope scope("engine.eval=delay:600000@nth:1");
+
+    HttpResponse wedgedResp;
+    std::thread wedged([&] {
+        wedgedResp =
+            service.handle(evaluateRequest(shippedTripleBody()));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    // Well past the 40 ms watchdog: this request rescues itself.
+    HttpResponse rescued =
+        service.handle(evaluateRequest(shippedTripleBody()));
+    EXPECT_EQ(rescued.status, 200);
+    EXPECT_EQ(service.dispatcher().stats().watchdogTakeovers, 1);
+
+    wedged.join();
+    // The wedged leader's own batch still completed normally.
+    EXPECT_EQ(wedgedResp.status, 200);
+}
+
+TEST(Batching, DeadlineAbandonsARequestMidBatchEvaluation)
+{
+    // A leader's open window pulls the deadlined request into its
+    // batch; the injected delay then holds the batch past the
+    // deadline. The request abandons with stage "evaluating" — its
+    // shared slot outlives it for the leader to write into — and the
+    // leader itself, which never waits, completes normally.
+    ServiceOptions opts = testOptions();
+    opts.jobs = 1;
+    opts.batchWindowMicros = 200000;
+    opts.requestTimeoutMillis = 300;
+    EvalService service(opts);
+    FaultScope scope("engine.eval=delay:900000@nth:1");
+
+    HttpResponse leaderResp;
+    std::thread leader([&] {
+        leaderResp =
+            service.handle(evaluateRequest(shippedTripleBody()));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    HttpResponse resp =
+        service.handle(evaluateRequest(shippedTripleBody()));
+    EXPECT_EQ(resp.status, 504);
+    JsonValue doc = JsonValue::parse(resp.body);
+    EXPECT_EQ(doc.at("error").at("code").asString(),
+              "deadline_exceeded");
+    EXPECT_EQ(doc.at("error").at("detail").at("stage").asString(),
+              "evaluating");
+
+    leader.join();
+    EXPECT_EQ(leaderResp.status, 200);
+
+    BatchDispatcherStats b = service.dispatcher().stats();
+    EXPECT_EQ(b.deadlineTimeouts, 1);
+    EXPECT_EQ(b.windows, 1);     // One coalesced batch served both.
+    EXPECT_EQ(b.coalesced, 2);
 }
 
 TEST(Batching, LruCacheEvictsLeastRecentlyUsed)

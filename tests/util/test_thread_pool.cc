@@ -131,4 +131,26 @@ TEST(ThreadPool, DestructorDrainsPendingTasks)
     EXPECT_EQ(ran.load(), 50);
 }
 
+TEST(ThreadPool, DestructorDrainsTasksSubmittedWhileDraining)
+{
+    // The documented shutdown contract (see ~ThreadPool): destruction
+    // waits for every task, INCLUDING tasks that running tasks submit
+    // while the drain is in progress, and cannot deadlock doing so.
+    // The parent tasks sleep so the destructor reliably begins while
+    // they are still queued or running.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 8; ++i) {
+            pool.submit([&ran, &pool] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+                pool.submit([&ran] { ran.fetch_add(1); });
+                ran.fetch_add(1);
+            });
+        }
+    }
+    EXPECT_EQ(ran.load(), 16);
+}
+
 } // namespace madmax

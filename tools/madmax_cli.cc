@@ -15,6 +15,9 @@
  *   madmax serve    [--port N] [--jobs N] [--workers N]
  *       [--queue-depth N] [--idle-timeout SEC] [--keep-alive-max N]
  *       [--batch-window-us N] [--batch-max N] [--config-cache N]
+ *       [--request-timeout-ms N] [--breaker-threshold N]
+ *       [--breaker-open-ms N] [--batch-watchdog-ms N]
+ *       [--faults SPEC]
  *
  * Exit codes: 0 success, 1 usage/configuration error (including
  * unknown flags), 2 evaluated but the plan does not fit device
@@ -39,6 +42,7 @@
 #include "dse/pareto_engine.hh"
 #include "serve/service.hh"
 #include "trace/chrome_trace.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 #include "util/strfmt.hh"
 #include "util/table.hh"
@@ -70,6 +74,9 @@ usage()
         "                  [--queue-depth N] [--idle-timeout SEC]\n"
         "                  [--keep-alive-max N] [--batch-window-us N]\n"
         "                  [--batch-max N] [--config-cache N]\n"
+        "                  [--request-timeout-ms N] [--breaker-threshold N]\n"
+        "                  [--breaker-open-ms N] [--batch-watchdog-ms N]\n"
+        "                  [--faults SPEC]  (docs/resilience.md)\n"
         "see docs/cli.md for the full flag and exit-code reference\n";
     return 1;
 }
@@ -420,6 +427,24 @@ cmdServe(const std::map<std::string, std::string> &flags)
         intFlag(flags, "batch-max", 64, 1, 4096));
     sopts.configCacheCapacity = static_cast<size_t>(
         intFlag(flags, "config-cache", 1024, 1, 1L << 20));
+    sopts.requestTimeoutMillis =
+        intFlag(flags, "request-timeout-ms", 0, 0, 3600000);
+    sopts.breakerFailureThreshold = static_cast<int>(
+        intFlag(flags, "breaker-threshold", 5, 1, 1 << 20));
+    sopts.breakerOpenMillis =
+        intFlag(flags, "breaker-open-ms", 1000, 1, 3600000);
+    sopts.batchWatchdogMillis =
+        intFlag(flags, "batch-watchdog-ms", 2000, 0, 3600000);
+
+    // Fault injection (docs/resilience.md): the flag wins over the
+    // MADMAX_FAULTS environment variable; either arms the same
+    // process-global registry before any request is served.
+    auto faultsFlag = flags.find("faults");
+    if (faultsFlag != flags.end())
+        FaultInjection::configure(faultsFlag->second);
+    else
+        FaultInjection::configureFromEnv();
+
     EvalService service(sopts);
 
     HttpServerOptions hopts;
@@ -497,7 +522,9 @@ main(int argc, char **argv)
             spec.value = {"port", "jobs", "workers", "queue-depth",
                           "idle-timeout", "keep-alive-max",
                           "batch-window-us", "batch-max",
-                          "config-cache"};
+                          "config-cache", "request-timeout-ms",
+                          "breaker-threshold", "breaker-open-ms",
+                          "batch-watchdog-ms", "faults"};
             return cmdServe(parseFlags(argc, argv, 2, cmd, spec));
         }
         std::cerr << "unknown command: " << cmd << "\n";
