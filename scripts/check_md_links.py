@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Check relative markdown links and heading anchors in the docs.
+
+Scans README.md and docs/*.md for inline links `[text](target)` and
+verifies that
+
+  - relative file/directory targets exist in the repository, and
+  - `#fragment` anchors (same-file or on a linked .md file) match a
+    heading in the target file, using GitHub's slugification rules.
+
+External links (http/https/mailto) are not fetched. Links inside
+fenced code blocks are ignored. Exits non-zero listing every broken
+link as `file:line: message`.
+
+Usage: python3 scripts/check_md_links.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor id for a heading text, deduplicated via `seen`."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)           # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_~]", "", text)                     # emphasis markers
+    slug = re.sub(r"[^\w\s-]", "", text.lower(), flags=re.UNICODE)
+    slug = re.sub(r"\s", "-", slug)
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        seen = {}
+        anchors = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2), seen))
+        cache[path] = anchors
+    return cache[path]
+
+
+def iter_links(path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path, root, cache):
+    errors = []
+    for lineno, target in iter_links(path):
+        if EXTERNAL_RE.match(target):
+            continue  # http(s):, mailto:, etc.
+        ref, _, fragment = target.partition("#")
+        if ref:
+            dest = (path.parent / ref).resolve()
+            try:
+                dest.relative_to(root)
+            except ValueError:
+                errors.append((lineno, f"link escapes the repo: {target}"))
+                continue
+            if not dest.exists():
+                errors.append((lineno, f"broken link: {target}"))
+                continue
+        else:
+            dest = path  # pure '#fragment' self-reference
+        if fragment:
+            if dest.is_dir() or dest.suffix != ".md":
+                errors.append(
+                    (lineno, f"anchor on a non-markdown target: {target}")
+                )
+            elif fragment not in anchors_of(dest, cache):
+                errors.append((lineno, f"missing anchor: {target}"))
+    return errors
+
+
+def main():
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = sorted([root / "README.md", *(root / "docs").glob("*.md")])
+    cache = {}
+    failures = 0
+    checked = 0
+    for path in files:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        checked += 1
+        for lineno, message in check_file(path, root, cache):
+            rel = path.relative_to(root)
+            print(f"{rel}:{lineno}: {message}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"check_md_links: {failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"check_md_links: {checked} files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,57 @@ parseDtype(const std::string &raw)
     fatal("unknown dtype: " + raw);
 }
 
+FabricKind
+parseFabric(const std::string &raw, const char *field)
+{
+    std::string s = lower(raw);
+    if (s == "roce")
+        return FabricKind::RoCE;
+    if (s == "infiniband" || s == "ib")
+        return FabricKind::InfiniBand;
+    if (s == "ethernet" || s == "efa")
+        return FabricKind::Ethernet;
+    if (s == "nvlink")
+        return FabricKind::NVLink;
+    if (s == "xgmi")
+        return FabricKind::XGMI;
+    if (s == "pcie")
+        return FabricKind::PCIe;
+    fatal(strfmt("unknown %s: %s", field, raw.c_str()));
+}
+
+std::string
+fabricName(FabricKind kind)
+{
+    switch (kind) {
+      case FabricKind::RoCE: return "roce";
+      case FabricKind::InfiniBand: return "infiniband";
+      case FabricKind::Ethernet: return "ethernet";
+      case FabricKind::NVLink: return "nvlink";
+      case FabricKind::XGMI: return "xgmi";
+      case FabricKind::PCIe: return "pcie";
+    }
+    return "infiniband";
+}
+
+DeviceSpec
+loadDevice(const JsonValue &dev)
+{
+    using namespace units;
+    DeviceSpec d;
+    d.name = dev.stringOr("name", "custom-device");
+    d.peakFlopsTensor16 = tflops(dev.at("peak_tflops_16").asDouble());
+    d.peakFlopsTf32 =
+        tflops(dev.numberOr("peak_tflops_tf32",
+                            dev.at("peak_tflops_16").asDouble() / 2.0));
+    d.peakFlopsFp32 = tflops(dev.numberOr("peak_tflops_fp32", 0.0));
+    d.hbmCapacity = gib(dev.at("hbm_gib").asDouble());
+    d.hbmBandwidth = gBps(dev.at("hbm_gbps").asDouble());
+    d.intraNodeBandwidth = gBps(dev.at("intra_node_gbps").asDouble());
+    d.interNodeBandwidth = gBps(dev.at("inter_node_gbps").asDouble());
+    return d;
+}
+
 ModelDesc
 loadZooModel(const JsonValue &json)
 {
@@ -85,6 +136,16 @@ loadZooModel(const JsonValue &json)
         return model_zoo::llama65b();
     if (name == "llama2-70b")
         return model_zoo::llama2_70b();
+    // The serving-class models take an optional prompt/context length
+    // (the default matches the published 4096-token context).
+    if (name == "llama2-7b") {
+        return model_zoo::llama2_7b(
+            static_cast<long>(json.numberOr("context", 4096)));
+    }
+    if (name == "llama2-13b") {
+        return model_zoo::llama2_13b(
+            static_cast<long>(json.numberOr("context", 4096)));
+    }
     if (name == "llm-moe")
         return model_zoo::llmMoe();
     fatal("unknown zoo model: " + json.at("name").asString());
@@ -166,6 +227,13 @@ loadLlmModel(const JsonValue &json)
     m.name = json.stringOr("name", "custom-llm");
     m.globalBatchSize = json.at("global_batch").asLong();
     m.contextLength = json.at("context").asLong();
+    if (m.contextLength < 1) {
+        fatal(strfmt("llm model \"%s\": context %ld must be >= 1 — "
+                     "the context length sets the attention geometry "
+                     "and the serving prompt length (e.g. 4096 for a "
+                     "Llama-2-class model)",
+                     m.name.c_str(), m.contextLength));
+    }
     m.isRecommendation = false;
     m.computeDtype =
         parseDtype(json.stringOr("compute_dtype", "bf16"));
@@ -226,41 +294,35 @@ loadCluster(const JsonValue &json)
     ClusterSpec c;
     c.name = json.stringOr("name", "custom-cluster");
 
-    const JsonValue &dev = json.at("device");
-    c.device.name = dev.stringOr("name", "custom-device");
-    c.device.peakFlopsTensor16 = tflops(dev.at("peak_tflops_16").asDouble());
-    c.device.peakFlopsTf32 =
-        tflops(dev.numberOr("peak_tflops_tf32",
-                            dev.at("peak_tflops_16").asDouble() / 2.0));
-    c.device.peakFlopsFp32 =
-        tflops(dev.numberOr("peak_tflops_fp32", 0.0));
-    c.device.hbmCapacity = gib(dev.at("hbm_gib").asDouble());
-    c.device.hbmBandwidth = gBps(dev.at("hbm_gbps").asDouble());
-    c.device.intraNodeBandwidth =
-        gBps(dev.at("intra_node_gbps").asDouble());
-    c.device.interNodeBandwidth =
-        gBps(dev.at("inter_node_gbps").asDouble());
-
-    c.devicesPerNode =
-        static_cast<int>(json.at("devices_per_node").asLong());
-    c.numNodes = static_cast<int>(json.at("num_nodes").asLong());
+    // Mixed-generation clusters describe their pools under
+    // "device_groups" and have no flat device fields of their own.
+    const bool heterogeneous = json.has("device_groups");
+    if (!heterogeneous) {
+        c.device = loadDevice(json.at("device"));
+        c.devicesPerNode =
+            static_cast<int>(json.at("devices_per_node").asLong());
+        c.numNodes = static_cast<int>(json.at("num_nodes").asLong());
+    } else {
+        for (const JsonValue &g : json.at("device_groups").asArray()) {
+            DeviceGroup group;
+            group.name = g.at("name").asString();
+            group.device = loadDevice(g.at("device"));
+            group.devicesPerNode =
+                static_cast<int>(g.at("devices_per_node").asLong());
+            group.numNodes = static_cast<int>(g.at("num_nodes").asLong());
+            group.intraFabric = parseFabric(
+                g.stringOr("intra_fabric", "nvlink"), "intra_fabric");
+            c.groups.push_back(std::move(group));
+        }
+    }
 
     c.util.compute = json.numberOr("compute_utilization", 0.70);
     c.util.hbm = json.numberOr("hbm_utilization", 0.80);
     c.util.intraLink = json.numberOr("intra_link_utilization", 0.80);
     c.util.interLink = json.numberOr("inter_link_utilization", 0.65);
 
-    std::string fabric = lower(json.stringOr("inter_fabric", "infiniband"));
-    if (fabric == "roce")
-        c.interFabric = FabricKind::RoCE;
-    else if (fabric == "infiniband" || fabric == "ib")
-        c.interFabric = FabricKind::InfiniBand;
-    else if (fabric == "ethernet" || fabric == "efa")
-        c.interFabric = FabricKind::Ethernet;
-    else if (fabric == "nvlink")
-        c.interFabric = FabricKind::NVLink;
-    else
-        fatal("unknown inter_fabric: " + fabric);
+    c.interFabric = parseFabric(
+        json.stringOr("inter_fabric", "infiniband"), "inter_fabric");
 
     // Optional hierarchical topology: either a named preset derived
     // from the flat bandwidths above, or an explicit tier stack (see
@@ -341,8 +403,44 @@ loadTask(const JsonValue &json)
     if (kind == "pre-training" || kind == "pretraining" ||
         kind == "training") {
         cfg.task = TaskSpec::preTraining();
-    } else if (kind == "inference") {
-        cfg.task = TaskSpec::inference();
+    } else if (kind == "inference" || kind == "prefill" ||
+               kind == "decode") {
+        // The serving phases parse either as a task shorthand
+        // ("task": "prefill") or as "task": "inference" plus an
+        // explicit "phase" key; "batch" is the classic whole-context
+        // inference pass and stays the default.
+        std::string phase =
+            kind == "inference" ? lower(json.stringOr("phase", "batch"))
+                                : kind;
+        if (phase == "batch") {
+            cfg.task = TaskSpec::inference();
+        } else if (phase == "prefill") {
+            cfg.task = TaskSpec::prefill();
+        } else if (phase == "decode") {
+            cfg.task = TaskSpec::decode(static_cast<long>(
+                json.numberOr("decode_kv_tokens", 0)));
+        } else {
+            fatal("unknown inference phase: " + phase +
+                  " (expected batch, prefill, or decode)");
+        }
+        if (cfg.task.usesKvCache()) {
+            cfg.task.kvCapacityTokens = static_cast<long>(
+                json.numberOr("kv_capacity_tokens", 0));
+            cfg.task.kvBytesPerElement =
+                json.numberOr("kv_bytes_per_element", 2.0);
+            if (cfg.task.kvCapacityTokens < 0) {
+                fatal(strfmt("task kv_capacity_tokens %ld is negative; "
+                             "give the KV budget in tokens (prompt + "
+                             "generated), or 0 for the model's context "
+                             "length",
+                             cfg.task.kvCapacityTokens));
+            }
+            if (cfg.task.kvBytesPerElement <= 0.0) {
+                fatal(strfmt("task kv_bytes_per_element %.3g must be "
+                             "positive (2 = fp16/bf16 cache, 1 = fp8)",
+                             cfg.task.kvBytesPerElement));
+            }
+        }
     } else if (kind == "fine-tuning" || kind == "finetuning") {
         std::string scope = lower(json.stringOr("finetune_scope", "dense"));
         cfg.task = TaskSpec::fineTuning(
@@ -377,6 +475,35 @@ loadTask(const JsonValue &json)
     return cfg;
 }
 
+InferenceWorkload
+loadWorkload(const JsonValue &json)
+{
+    InferenceWorkload w;
+    w.promptTokens =
+        static_cast<long>(json.numberOr("prompt_tokens", 0));
+    w.generateTokens =
+        static_cast<long>(json.numberOr("generate_tokens", 256));
+    w.kvBytesPerElement = json.numberOr("kv_bytes_per_element", 2.0);
+    w.prefillGroup = json.stringOr("prefill_group", "");
+    w.decodeGroup = json.stringOr("decode_group", "");
+    if (w.promptTokens < 0) {
+        fatal(strfmt("workload prompt_tokens %ld is negative; use 0 "
+                     "to take the model's context length",
+                     w.promptTokens));
+    }
+    if (w.generateTokens < 1) {
+        fatal(strfmt("workload generate_tokens %ld must be >= 1 (a "
+                     "serving request decodes at least one token)",
+                     w.generateTokens));
+    }
+    if (w.kvBytesPerElement <= 0.0) {
+        fatal(strfmt("workload kv_bytes_per_element %.3g must be "
+                     "positive (2 = fp16/bf16 cache, 1 = fp8)",
+                     w.kvBytesPerElement));
+    }
+    return w;
+}
+
 ModelDesc
 loadModelFile(const std::string &path)
 {
@@ -395,38 +522,62 @@ loadTaskFile(const std::string &path)
     return loadTask(JsonValue::parseFile(path));
 }
 
+InferenceWorkload
+loadWorkloadFile(const std::string &path)
+{
+    return loadWorkload(JsonValue::parseFile(path));
+}
+
+namespace
+{
+
 JsonValue
-toJson(const ClusterSpec &cluster)
+deviceJson(const DeviceSpec &device)
 {
     using namespace units;
     JsonValue dev;
-    dev.set("name", cluster.device.name);
-    dev.set("peak_tflops_16", cluster.device.peakFlopsTensor16 / 1e12);
-    dev.set("peak_tflops_tf32", cluster.device.peakFlopsTf32 / 1e12);
-    dev.set("peak_tflops_fp32", cluster.device.peakFlopsFp32 / 1e12);
-    dev.set("hbm_gib", cluster.device.hbmCapacity / GiB);
-    dev.set("hbm_gbps", cluster.device.hbmBandwidth / 1e9);
-    dev.set("intra_node_gbps", cluster.device.intraNodeBandwidth / 1e9);
-    dev.set("inter_node_gbps", cluster.device.interNodeBandwidth / 1e9);
+    dev.set("name", device.name);
+    dev.set("peak_tflops_16", device.peakFlopsTensor16 / 1e12);
+    dev.set("peak_tflops_tf32", device.peakFlopsTf32 / 1e12);
+    dev.set("peak_tflops_fp32", device.peakFlopsFp32 / 1e12);
+    dev.set("hbm_gib", device.hbmCapacity / GiB);
+    dev.set("hbm_gbps", device.hbmBandwidth / 1e9);
+    dev.set("intra_node_gbps", device.intraNodeBandwidth / 1e9);
+    dev.set("inter_node_gbps", device.interNodeBandwidth / 1e9);
+    return dev;
+}
 
+} // namespace
+
+JsonValue
+toJson(const ClusterSpec &cluster)
+{
     JsonValue out;
     out.set("name", cluster.name);
-    out.set("device", std::move(dev));
-    out.set("devices_per_node", static_cast<long>(cluster.devicesPerNode));
-    out.set("num_nodes", static_cast<long>(cluster.numNodes));
+    if (cluster.isHeterogeneous()) {
+        JsonValue groups{JsonValue::Array{}};
+        for (const DeviceGroup &g : cluster.groups) {
+            JsonValue entry;
+            entry.set("name", g.name);
+            entry.set("device", deviceJson(g.device));
+            entry.set("devices_per_node",
+                      static_cast<long>(g.devicesPerNode));
+            entry.set("num_nodes", static_cast<long>(g.numNodes));
+            entry.set("intra_fabric", fabricName(g.intraFabric));
+            groups.append(std::move(entry));
+        }
+        out.set("device_groups", std::move(groups));
+    } else {
+        out.set("device", deviceJson(cluster.device));
+        out.set("devices_per_node",
+                static_cast<long>(cluster.devicesPerNode));
+        out.set("num_nodes", static_cast<long>(cluster.numNodes));
+    }
     out.set("compute_utilization", cluster.util.compute);
     out.set("hbm_utilization", cluster.util.hbm);
     out.set("intra_link_utilization", cluster.util.intraLink);
     out.set("inter_link_utilization", cluster.util.interLink);
-    std::string fabric;
-    switch (cluster.interFabric) {
-      case FabricKind::RoCE: fabric = "roce"; break;
-      case FabricKind::InfiniBand: fabric = "infiniband"; break;
-      case FabricKind::Ethernet: fabric = "ethernet"; break;
-      case FabricKind::NVLink: fabric = "nvlink"; break;
-      default: fabric = "infiniband"; break;
-    }
-    out.set("inter_fabric", fabric);
+    out.set("inter_fabric", fabricName(cluster.interFabric));
     if (cluster.topology) {
         // Emit the resolved tier stack (not the preset name that may
         // have produced it) so a round-trip re-parses to the same
@@ -461,6 +612,21 @@ toJson(const TaskConfig &config)
         break;
       case TaskKind::Inference:
         out.set("task", "inference");
+        // Batch (the classic whole-context pass) keeps the legacy
+        // shape; the serving phases round-trip their KV knobs.
+        if (config.task.usesKvCache()) {
+            out.set("phase", toString(config.task.phase));
+            if (config.task.decodeKvLength > 0)
+                out.set("decode_kv_tokens", config.task.decodeKvLength);
+            if (config.task.kvCapacityTokens > 0) {
+                out.set("kv_capacity_tokens",
+                        config.task.kvCapacityTokens);
+            }
+            if (config.task.kvBytesPerElement != 2.0) {
+                out.set("kv_bytes_per_element",
+                        config.task.kvBytesPerElement);
+            }
+        }
         break;
       case TaskKind::FineTuning:
         out.set("task", "fine-tuning");
@@ -484,6 +650,20 @@ toJson(const TaskConfig &config)
     }
     out.set("strategies", std::move(strategies));
     out.set("fsdp_prefetch", config.plan.fsdpPrefetch);
+    return out;
+}
+
+JsonValue
+toJson(const InferenceWorkload &workload)
+{
+    JsonValue out;
+    out.set("prompt_tokens", workload.promptTokens);
+    out.set("generate_tokens", workload.generateTokens);
+    out.set("kv_bytes_per_element", workload.kvBytesPerElement);
+    if (!workload.prefillGroup.empty())
+        out.set("prefill_group", workload.prefillGroup);
+    if (!workload.decodeGroup.empty())
+        out.set("decode_group", workload.decodeGroup);
     return out;
 }
 

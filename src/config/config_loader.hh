@@ -16,6 +16,7 @@
 #include <string>
 
 #include "config/json.hh"
+#include "core/inference_model.hh"
 #include "hw/cluster.hh"
 #include "model/model_desc.hh"
 #include "parallel/strategy.hh"
@@ -47,20 +48,43 @@ struct TaskConfig
  */
 ModelDesc loadModel(const JsonValue &json);
 
-/** Build a ClusterSpec from a system-specification JSON object. */
+/**
+ * Build a ClusterSpec from a system-specification JSON object.
+ *
+ * Homogeneous clusters give "device" + "devices_per_node" +
+ * "num_nodes" (plus optional "topology"). Mixed-generation clusters
+ * give "device_groups" instead: an array of {name, device,
+ * devices_per_node, num_nodes, optional intra_fabric}, stitched at
+ * the cluster-level "inter_fabric" (docs/inference.md §schema).
+ */
 ClusterSpec loadCluster(const JsonValue &json);
 
-/** Build task + parallelization plan from a task JSON object. */
+/**
+ * Build task + parallelization plan from a task JSON object. The
+ * inference task takes an optional "phase" ("batch" | "prefill" |
+ * "decode") plus KV knobs ("decode_kv_tokens", "kv_capacity_tokens",
+ * "kv_bytes_per_element").
+ */
 TaskConfig loadTask(const JsonValue &json);
+
+/**
+ * Build an InferenceWorkload from a serving-workload JSON object:
+ * optional "prompt_tokens", "generate_tokens", "kv_bytes_per_element",
+ * "prefill_group", "decode_group". @throws ConfigError on
+ * non-positive generate_tokens or KV bytes.
+ */
+InferenceWorkload loadWorkload(const JsonValue &json);
 
 /** File-path conveniences. */
 ModelDesc loadModelFile(const std::string &path);
 ClusterSpec loadClusterFile(const std::string &path);
 TaskConfig loadTaskFile(const std::string &path);
+InferenceWorkload loadWorkloadFile(const std::string &path);
 
 /** Serializers (round-trip with the loaders). */
 JsonValue toJson(const ClusterSpec &cluster);
 JsonValue toJson(const TaskConfig &config);
+JsonValue toJson(const InferenceWorkload &workload);
 
 /**
  * Parse a strategy string in paper notation: "(TP, DDP)", "(FSDP)",

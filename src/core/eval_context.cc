@@ -42,7 +42,7 @@ EvalContext::EvalContext(const PerfModel &model, const ModelDesc &desc,
     for (int i = 0; i < num_layers; ++i) {
         const Layer &layer = desc.graph.layer(i);
         LayerCosts &lc = costs_[static_cast<size_t>(i)];
-        lc.fwdTime = processor.forwardTime(layer);
+        lc.fwdTime = processor.forwardTime(layer, task);
         lc.bwdTime = processor.backwardTime(layer, task);
         lc.category = processor.categoryOf(layer);
         lc.fwdName = &layer.name();

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * LLM serving model: composes two phase-level PerfModel evaluations —
+ * a compute-bound prefill pass over the prompt and a memory-bound
+ * decode step against the KV cache — into continuous-batching
+ * throughput and latency for a serving deployment.
+ *
+ * The two phases may run colocated (one device pool alternates
+ * phases; rates compose harmonically because the same silicon does
+ * both jobs) or disaggregated across two islands of a heterogeneous
+ * cluster (DistServe/Splitwise-style; the pipeline rate is the
+ * bottleneck phase, plus the KV-cache shipment from the prefill pool
+ * to the decode pool over the scale-out fabric). Full semantics:
+ * docs/inference.md.
+ */
+
+#ifndef MADMAX_CORE_INFERENCE_MODEL_HH
+#define MADMAX_CORE_INFERENCE_MODEL_HH
+
+#include <string>
+
+#include "core/perf_model.hh"
+
+namespace madmax
+{
+
+/**
+ * One serving workload: requests arrive with promptTokens-long
+ * prompts and stream out generateTokens tokens each. The model desc's
+ * own contextLength is the prompt length; globalBatchSize is the
+ * number of in-flight sequences the deployment batches.
+ */
+struct InferenceWorkload
+{
+    /**
+     * Prompt length in tokens. 0 means "the model's contextLength";
+     * any other value must equal it (the prompt pass is priced by the
+     * model graph, which bakes the context into its attention
+     * geometry — build the model at the prompt length instead).
+     */
+    long promptTokens = 0;
+
+    /** Tokens generated (decoded) per request. */
+    long generateTokens = 256;
+
+    /** KV-cache bytes per element (2 = fp16/bf16 cache). */
+    double kvBytesPerElement = 2.0;
+
+    /**
+     * @name Placement pins
+     * Optional device-group names restricting the placement search
+     * (dse/pareto_engine.hh): empty means "search every island"; a
+     * name pins that phase to the named group (pin both to the same
+     * group for a forced-colocated study). Resolution against the
+     * cluster happens in exploreInferencePlacements(), which rejects
+     * names the cluster does not define.
+     */
+    /// @{
+    std::string prefillGroup;
+    std::string decodeGroup;
+    /// @}
+
+    /** Validate against @p desc. @throws ConfigError */
+    void validate(const ModelDesc &desc) const;
+
+    /** Effective prompt length for @p desc. */
+    long effectivePrompt(const ModelDesc &desc) const;
+};
+
+/**
+ * The result of one serving-deployment evaluation: the two phase
+ * reports plus the composed continuous-batching metrics.
+ */
+struct InferenceReport
+{
+    std::string modelName;
+    std::string clusterName;     ///< The deployment's cluster.
+    std::string prefillCluster;  ///< Island running prefill.
+    std::string decodeCluster;   ///< Island running decode.
+    bool disaggregated = false;  ///< Phases on distinct islands?
+
+    /** False when either phase's plan does not fit in memory. */
+    bool valid = false;
+
+    PerfReport prefill; ///< Prompt pass (one in-flight batch).
+    PerfReport decode;  ///< One token step (one in-flight batch).
+
+    long promptTokens = 0;
+    long generateTokens = 0;
+
+    /** @name Sustained request rates, requests/s
+     * What each stage could sustain alone; requestRate is the
+     * composition (harmonic when colocated, bottleneck-min when
+     * disaggregated, KV shipment included).
+     */
+    /// @{
+    double prefillRate = 0.0;
+    double decodeRate = 0.0;
+    double kvTransferRate = 0.0; ///< 0 when colocated (no shipment).
+    double requestRate = 0.0;
+    /// @}
+
+    /** Generated tokens per second (= requestRate x generateTokens). */
+    double tokensPerSecond = 0.0;
+
+    /** Time-to-first-token: batch prefill + KV shipment, seconds. */
+    double ttftSeconds = 0.0;
+
+    /** Time-per-output-token: one decode step, seconds. */
+    double tpotSeconds = 0.0;
+
+    /** End-to-end request latency, seconds. */
+    double e2eSeconds = 0.0;
+
+    /** KV-cache bytes one request ships prefill -> decode. */
+    double kvBytesPerRequest = 0.0;
+
+    /**
+     * KV-capacity bound on concurrency: how many sequences the decode
+     * pool can keep resident before the cache eats the headroom
+     * (admission-control ceiling; 0 when the plan is invalid).
+     */
+    double maxConcurrentSequences = 0.0;
+
+    /** Render a human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+/** Machine-readable rendering (CLI --format json and /v1/pareto). */
+JsonValue toJson(const InferenceReport &report);
+
+/**
+ * Prices serving deployments. Stateless apart from the PerfModel
+ * options applied to both phase evaluations; thread-safe.
+ */
+class InferenceModel
+{
+  public:
+    explicit InferenceModel(PerfModelOptions options = {});
+
+    /**
+     * Evaluate @p workload with prefill running @p prefill_plan on
+     * @p prefill_cluster and decode running @p decode_plan on
+     * @p decode_cluster. Pass the same cluster twice for a colocated
+     * deployment. Both clusters must be homogeneous (islands of a
+     * heterogeneous fleet come from ClusterSpec::groupCluster).
+     *
+     * @param deployment_name Cluster name reported for the whole
+     *        deployment (defaults to the prefill cluster's name).
+     */
+    InferenceReport evaluate(const ModelDesc &desc,
+                             const InferenceWorkload &workload,
+                             const ClusterSpec &prefill_cluster,
+                             const ParallelPlan &prefill_plan,
+                             const ClusterSpec &decode_cluster,
+                             const ParallelPlan &decode_plan,
+                             const std::string &deployment_name = "") const;
+
+    const PerfModelOptions &options() const { return options_; }
+
+    /** The prefill-phase task for @p workload on @p desc. */
+    static TaskSpec prefillTask(const ModelDesc &desc,
+                                const InferenceWorkload &workload);
+
+    /** The decode-phase task (KV at prompt + generate/2, capacity at
+     *  prompt + generate) for @p workload on @p desc. */
+    static TaskSpec decodeTask(const ModelDesc &desc,
+                               const InferenceWorkload &workload);
+
+    /** KV bytes one request accumulates over @p tokens tokens. */
+    static double kvBytesForTokens(const ModelDesc &desc, long tokens,
+                                   double bytes_per_element);
+
+  private:
+    PerfModelOptions options_;
+};
+
+} // namespace madmax
+
+#endif // MADMAX_CORE_INFERENCE_MODEL_HH

@@ -1,5 +1,7 @@
 #include "core/layer_processor.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace madmax
@@ -65,6 +67,74 @@ LayerProcessor::forwardTime(const Layer &layer) const
         // Compute-bound (§IV-B "Compute Blocks").
         return computeTime(deviceForwardFlops(layer));
     }
+}
+
+double
+LayerProcessor::decodeFlopsPerToken(const Layer &layer, long kv_length) const
+{
+    switch (layer.kind()) {
+      case LayerKind::Attention: {
+        // One token's projections are GEMVs against every weight
+        // element (2 FLOPs/param), and its scores + weighted values
+        // each read the full KV history: 2 x h x L for QK^T plus
+        // 2 x h x L for the value mix, independent of head count.
+        const auto &att = static_cast<const AttentionLayer &>(layer);
+        const double h = static_cast<double>(att.hidden());
+        const double L = static_cast<double>(kv_length);
+        return 2.0 * att.paramCount() + 4.0 * h * L;
+      }
+      case LayerKind::EmbeddingBag:
+      case LayerKind::TokenEmbedding:
+        return 0.0; // Lookup-bound; handled via lookup bytes.
+      default:
+        // Context-independent layers (FFN, MLP, MoE active experts,
+        // heads): one token's share of the per-sample forward.
+        return layer.forwardFlopsPerSample() /
+            static_cast<double>(desc_.contextLength);
+    }
+}
+
+double
+LayerProcessor::forwardTime(const Layer &layer, const TaskSpec &task) const
+{
+    if (task.kind != TaskKind::Inference ||
+        task.phase != InferencePhase::Decode)
+        return forwardTime(layer);
+
+    const double batch_share =
+        static_cast<double>(desc_.globalBatchSize) /
+        static_cast<double>(cluster_.numDevices());
+    const long kv_length = task.decodeKvLength > 0
+        ? task.decodeKvLength
+        : static_cast<long>(desc_.contextLength);
+
+    if (layer.kind() == LayerKind::EmbeddingBag ||
+        layer.kind() == LayerKind::TokenEmbedding) {
+        // One row per sequence per step instead of one per token.
+        const double bytes_per_token = layer.lookupBytesPerSample() /
+            static_cast<double>(desc_.contextLength);
+        return lookupTime(bytes_per_token * batch_share);
+    }
+
+    const double compute =
+        computeTime(decodeFlopsPerToken(layer, kv_length) * batch_share);
+
+    // Memory-bound floor: a decode step must stream the layer's
+    // weight shard (even-sharding: 1/numDevices of the parameters)
+    // and each resident sequence's KV slice for this layer out of
+    // HBM, however few FLOPs it spends on them. This is what makes
+    // decode throughput track HBM bandwidth instead of peak FLOPs.
+    double hbm_bytes = layer.paramCount() * desc_.paramBytes() /
+        static_cast<double>(cluster_.numDevices());
+    if (layer.kind() == LayerKind::Attention) {
+        const auto &att = static_cast<const AttentionLayer &>(layer);
+        hbm_bytes += att.kvBytesPerToken(task.kvBytesPerElement) *
+            static_cast<double>(kv_length) * batch_share;
+    }
+    const double floor_time =
+        hbm_bytes / (cluster_.device.hbmBandwidth * cluster_.util.hbm);
+
+    return std::max(compute, floor_time);
 }
 
 double

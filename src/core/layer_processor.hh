@@ -42,6 +42,24 @@ class LayerProcessor
     double forwardTime(const Layer &layer) const;
 
     /**
+     * Forward-pass time of @p layer on one device under @p task.
+     * Identical to forwardTime(layer) for every task except
+     * decode-phase inference, which swaps the whole-context forward
+     * for a single-token step: per-token GEMV compute against the
+     * resident weights plus attention over the accumulated KV cache,
+     * floored by the HBM time to stream the weight shard and the KV
+     * cache through the device (the memory-bound regime that makes
+     * decode want different hardware than prefill).
+     */
+    double forwardTime(const Layer &layer, const TaskSpec &task) const;
+
+    /**
+     * Decode-step FLOPs of @p layer for one token of one sequence
+     * attending over @p kv_length cached tokens.
+     */
+    double decodeFlopsPerToken(const Layer &layer, long kv_length) const;
+
+    /**
      * Backward-pass time of @p layer on one device under @p task
      * (0 for inference; frozen layers only propagate input
      * gradients; frozen embedding bags do no backward work at all).

@@ -115,6 +115,37 @@ MemoryModel::evaluate(const ModelDesc &desc, const TaskSpec &task,
             }
         }
         fp.activationBytes = (widest + second) * batch_share;
+
+        // Decode steps materialize one token's activations, not the
+        // whole context's (outputBytesPerSample counts contextLength
+        // tokens for transformer layers).
+        if (task.kind == TaskKind::Inference &&
+            task.phase == InferencePhase::Decode) {
+            fp.activationBytes /=
+                static_cast<double>(desc.contextLength);
+        }
+    }
+
+    // Phase-split LLM inference holds a KV cache: every attention
+    // layer retains K and V for up to kvCapacityTokens per resident
+    // sequence (the model's full context by default). The cache rides
+    // the batch split like activations do — each device holds the
+    // cache for its share of the in-flight sequences. Batch-phase
+    // inference and training leave this at zero, keeping every legacy
+    // footprint byte-identical.
+    if (task.usesKvCache()) {
+        const double kv_tokens = task.kvCapacityTokens > 0
+            ? static_cast<double>(task.kvCapacityTokens)
+            : static_cast<double>(desc.contextLength);
+        double kv_per_token = 0.0;
+        for (int i = 0; i < desc.graph.numLayers(); ++i) {
+            const Layer &layer = desc.graph.layer(i);
+            if (layer.kind() != LayerKind::Attention)
+                continue;
+            kv_per_token += static_cast<const AttentionLayer &>(layer)
+                                .kvBytesPerToken(task.kvBytesPerElement);
+        }
+        fp.kvCacheBytes = kv_per_token * kv_tokens * batch_share;
     }
     return fp;
 }

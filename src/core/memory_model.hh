@@ -30,12 +30,13 @@ struct MemoryFootprint
     double optimizerBytes = 0.0;  ///< Optimizer states (+ fp32 master).
     double activationBytes = 0.0; ///< Retained activations.
     double transientBytes = 0.0;  ///< Peak FSDP gathered layer.
+    double kvCacheBytes = 0.0;    ///< KV cache (phase-split inference).
     double usableCapacity = 0.0;  ///< HBM after reserves.
 
     double total() const
     {
         return paramBytes + gradBytes + optimizerBytes +
-            activationBytes + transientBytes;
+            activationBytes + transientBytes + kvCacheBytes;
     }
 
     bool fits() const { return total() <= usableCapacity; }

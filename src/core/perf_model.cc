@@ -1,6 +1,8 @@
 #include "core/perf_model.hh"
 
 #include "core/eval_context.hh"
+#include "util/logging.hh"
+#include "util/strfmt.hh"
 
 namespace madmax
 {
@@ -10,6 +12,16 @@ PerfModel::PerfModel(ClusterSpec cluster, PerfModelOptions options)
       memoryModel_(options_.memory)
 {
     cluster_.validate();
+    if (cluster_.isHeterogeneous()) {
+        fatal(strfmt(
+            "PerfModel: cluster '%s' is heterogeneous (%zu device "
+            "groups); the flat performance model prices one homogeneous "
+            "pool. Evaluate a single group via "
+            "ClusterSpec::groupCluster(i), or search phase placements "
+            "across groups with ParetoEngine::exploreInference "
+            "(`madmax pareto --workload ...`)",
+            cluster_.name.c_str(), cluster_.groups.size()));
+    }
 }
 
 PerfModel

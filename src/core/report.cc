@@ -87,9 +87,16 @@ PerfReport::summary() const
                   formatTime(commTime).c_str(),
                   formatTime(exposedCommTime).c_str(),
                   formatPercent(exposedFraction()).c_str());
-    out += strfmt("memory/device: %s of %s usable\n",
+    out += strfmt("memory/device: %s of %s usable",
                   formatBytes(memory.total()).c_str(),
                   formatBytes(memory.usableCapacity).c_str());
+    // KV cache is only non-zero for phase-split inference; legacy
+    // summaries keep their exact historical shape.
+    if (memory.kvCacheBytes > 0.0) {
+        out += strfmt("  (kv cache %s)",
+                      formatBytes(memory.kvCacheBytes).c_str());
+    }
+    out += "\n";
     return out;
 }
 
@@ -112,6 +119,10 @@ toJson(const PerfReport &r)
     }
     out.set("memory_bytes_per_device", r.memory.total());
     out.set("memory_usable_bytes", r.memory.usableCapacity);
+    // Emitted only when a KV cache exists so every pre-phase report
+    // (and golden) keeps its exact historical key set.
+    if (r.memory.kvCacheBytes > 0.0)
+        out.set("kv_cache_bytes_per_device", r.memory.kvCacheBytes);
     if (r.valid) {
         out.set("iteration_seconds", r.iterationTime);
         out.set("serialized_seconds", r.serializedTime);

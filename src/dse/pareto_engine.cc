@@ -1,7 +1,9 @@
 #include "dse/pareto_engine.hh"
 
 #include <algorithm>
+#include <map>
 
+#include "core/strategy_explorer.hh"
 #include "dse/pareto.hh"
 #include "hw/hw_zoo.hh"
 #include "util/logging.hh"
@@ -218,6 +220,273 @@ ParetoEngine::explore(const ModelDesc &desc, const TaskSpec &task,
                          return a.objectives.throughput >
                              b.objectives.throughput;
                      });
+    return out;
+}
+
+namespace
+{
+
+/** One island's phase-plan sweeps: every valid plan per phase, best
+ *  first, plus the island's projected homogeneous cluster. */
+struct IslandSweep
+{
+    ClusterSpec cluster;
+    Exploration prefill;
+    Exploration decode;
+};
+
+/** First valid result of a throughput-sorted exploration; null if
+ *  nothing fits. */
+const ExplorationResult *
+bestValid(const Exploration &exploration)
+{
+    for (const ExplorationResult &r : exploration.results) {
+        if (r.report.valid)
+            return &r;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+InferencePlacementFrontier
+exploreInferencePlacements(const ModelDesc &desc,
+                           const InferenceWorkload &workload,
+                           const ClusterSpec &cluster,
+                           const ParetoOptions &options,
+                           EvalEngine *engine)
+{
+    cluster.validate();
+    workload.validate(desc);
+
+    InferencePlacementFrontier out;
+
+    // The evaluable islands: each device group projected to a
+    // homogeneous cluster, or the cluster itself when homogeneous.
+    std::vector<IslandSweep> islands;
+    if (cluster.isHeterogeneous()) {
+        for (size_t i = 0; i < cluster.groups.size(); ++i) {
+            IslandSweep island;
+            island.cluster = cluster.groupCluster(static_cast<int>(i));
+            out.islands.push_back(cluster.groups[i].name);
+            islands.push_back(std::move(island));
+        }
+    } else {
+        IslandSweep island;
+        island.cluster = cluster;
+        out.islands.push_back(cluster.name);
+        islands.push_back(std::move(island));
+    }
+
+    // Resolve placement pins to island indices. An unknown name is a
+    // config error (typo'd group), not an empty search.
+    auto resolvePin = [&](const std::string &name,
+                          const char *phase) -> int {
+        if (name.empty())
+            return -1;
+        for (size_t i = 0; i < out.islands.size(); ++i) {
+            if (out.islands[i] == name)
+                return static_cast<int>(i);
+        }
+        std::string known;
+        for (const std::string &island : out.islands)
+            known += (known.empty() ? "\"" : ", \"") + island + "\"";
+        fatal(strfmt("inference workload pins %s to unknown device "
+                     "group \"%s\"; cluster \"%s\" defines: %s",
+                     phase, name.c_str(), cluster.name.c_str(),
+                     known.c_str()));
+    };
+    const int pin_p = resolvePin(workload.prefillGroup, "prefill");
+    const int pin_d = resolvePin(workload.decodeGroup, "decode");
+
+    // Whole-fleet rental rate: every placement is priced against all
+    // islands, used or not (see InferencePlacementObjectives).
+    double fleet_rate = 0.0;
+    for (const IslandSweep &island : islands) {
+        fleet_rate += island.cluster.numDevices() *
+            makeHardwarePoint(island.cluster).a100PeakRatio *
+            options.cost.dollarsPerA100Hour;
+    }
+
+    // Per-island, per-phase plan sweeps. The inference plan space is
+    // small enough that exhaustive enumeration is cheaper than any
+    // guided strategy's bookkeeping.
+    const TaskSpec prefill_task =
+        InferenceModel::prefillTask(desc, workload);
+    const TaskSpec decode_task =
+        InferenceModel::decodeTask(desc, workload);
+    PerfModelOptions model_opts;
+    model_opts.keepTimeline = false;
+    ExplorerOptions explorer_opts;
+    explorer_opts.keepInvalid = false;
+    for (size_t i = 0; i < islands.size(); ++i) {
+        IslandSweep &island = islands[i];
+        const bool runs_prefill =
+            pin_p < 0 || i == static_cast<size_t>(pin_p);
+        const bool runs_decode =
+            pin_d < 0 || i == static_cast<size_t>(pin_d);
+        if (!runs_prefill && !runs_decode)
+            continue; // Pinned out of every placement.
+        PerfModel model(island.cluster, model_opts);
+        StrategyExplorer explorer(model, engine);
+        if (runs_prefill) {
+            island.prefill =
+                explorer.explore(desc, prefill_task, explorer_opts);
+            out.stats += island.prefill.stats;
+        }
+        if (runs_decode) {
+            island.decode =
+                explorer.explore(desc, decode_task, explorer_opts);
+            out.stats += island.decode.stats;
+        }
+    }
+
+    const InferenceModel inference(model_opts);
+
+    // Enumerate placements. Colocated (p == d) deployments run both
+    // phases with ONE plan — the weights cannot be resharded between
+    // a prompt pass and the next token step — chosen to maximize the
+    // composed request rate. Disaggregated deployments pick each
+    // phase's throughput-best plan independently.
+    for (size_t p = 0; p < islands.size(); ++p) {
+        if (pin_p >= 0 && p != static_cast<size_t>(pin_p))
+            continue;
+        for (size_t d = 0; d < islands.size(); ++d) {
+            if (pin_d >= 0 && d != static_cast<size_t>(pin_d))
+                continue;
+            InferencePlacementCandidate cand;
+            cand.prefillIsland = static_cast<int>(p);
+            cand.decodeIsland = static_cast<int>(d);
+
+            if (p == d) {
+                // Compose per-plan: harmonic request rate over the
+                // plans valid for BOTH phases on this island.
+                std::map<std::string, const ExplorationResult *> decode_by;
+                for (const ExplorationResult &r :
+                     islands[d].decode.results) {
+                    if (r.report.valid)
+                        decode_by.emplace(r.plan.toString(), &r);
+                }
+                const ExplorationResult *best_p = nullptr;
+                double best_rate = 0.0;
+                for (const ExplorationResult &pr :
+                     islands[p].prefill.results) {
+                    if (!pr.report.valid)
+                        continue;
+                    auto it = decode_by.find(pr.plan.toString());
+                    if (it == decode_by.end())
+                        continue;
+                    const double rate = 1.0 /
+                        (pr.report.iterationTime +
+                         it->second->report.iterationTime *
+                             static_cast<double>(workload.generateTokens));
+                    if (rate > best_rate) {
+                        best_rate = rate;
+                        best_p = &pr;
+                    }
+                }
+                if (!best_p)
+                    continue; // No plan serves both phases here.
+                cand.prefillPlan = best_p->plan;
+                cand.decodePlan = best_p->plan;
+            } else {
+                const ExplorationResult *bp =
+                    bestValid(islands[p].prefill);
+                const ExplorationResult *bd = bestValid(islands[d].decode);
+                if (!bp || !bd)
+                    continue; // An island cannot run its phase.
+                cand.prefillPlan = bp->plan;
+                cand.decodePlan = bd->plan;
+            }
+
+            cand.report = inference.evaluate(
+                desc, workload, islands[p].cluster, cand.prefillPlan,
+                islands[d].cluster, cand.decodePlan, cluster.name);
+            if (cand.report.valid) {
+                cand.objectives.tokensPerSecond =
+                    cand.report.tokensPerSecond;
+                cand.objectives.perfPerTco = fleet_rate > 0.0
+                    ? cand.report.tokensPerSecond / fleet_rate
+                    : 0.0;
+                cand.objectives.maxConcurrentSequences =
+                    cand.report.maxConcurrentSequences;
+            }
+            out.candidates.push_back(std::move(cand));
+        }
+    }
+
+    // The multi-objective frontier over the valid placements.
+    std::vector<ParetoPointNd> scored;
+    std::vector<size_t> scoredIdx;
+    for (size_t i = 0; i < out.candidates.size(); ++i) {
+        const InferencePlacementCandidate &c = out.candidates[i];
+        if (!c.report.valid)
+            continue;
+        scored.push_back(ParetoPointNd{
+            {c.objectives.tokensPerSecond, c.objectives.perfPerTco,
+             c.objectives.maxConcurrentSequences},
+            scoredIdx.size()});
+        scoredIdx.push_back(i);
+    }
+    for (size_t idx : paretoFrontierNd(scored))
+        out.points.push_back(out.candidates[scoredIdx[idx]]);
+    std::stable_sort(out.points.begin(), out.points.end(),
+                     [](const InferencePlacementCandidate &a,
+                        const InferencePlacementCandidate &b) {
+                         return a.objectives.tokensPerSecond >
+                             b.objectives.tokensPerSecond;
+                     });
+    return out;
+}
+
+InferencePlacementFrontier
+ParetoEngine::exploreInference(const ModelDesc &desc,
+                               const InferenceWorkload &workload,
+                               const ClusterSpec &cluster,
+                               const ParetoOptions &options,
+                               EvalEngine *engine)
+{
+    return exploreInferencePlacements(desc, workload, cluster, options,
+                                      engine);
+}
+
+JsonValue
+toJson(const InferencePlacementFrontier &frontier)
+{
+    JsonValue islandArr(JsonValue::Array{});
+    for (const std::string &name : frontier.islands)
+        islandArr.append(JsonValue(name));
+
+    auto placementJson = [&](const InferencePlacementCandidate &c) {
+        JsonValue out;
+        out.set("prefill_island",
+                frontier.islands[static_cast<size_t>(c.prefillIsland)]);
+        out.set("decode_island",
+                frontier.islands[static_cast<size_t>(c.decodeIsland)]);
+        out.set("prefill_plan", c.prefillPlan.toString());
+        out.set("decode_plan", c.decodePlan.toString());
+        JsonValue obj;
+        obj.set("tokens_per_sec", c.objectives.tokensPerSecond);
+        obj.set("perf_per_tco", c.objectives.perfPerTco);
+        obj.set("max_concurrent_sequences",
+                c.objectives.maxConcurrentSequences);
+        out.set("objectives", std::move(obj));
+        out.set("report", toJson(c.report));
+        return out;
+    };
+    auto listJson =
+        [&](const std::vector<InferencePlacementCandidate> &list) {
+            JsonValue arr(JsonValue::Array{});
+            for (const InferencePlacementCandidate &c : list)
+                arr.append(placementJson(c));
+            return arr;
+        };
+
+    JsonValue out;
+    out.set("islands", std::move(islandArr));
+    out.set("frontier", listJson(frontier.points));
+    out.set("placements", listJson(frontier.candidates));
+    out.set("search", toJson(frontier.stats));
     return out;
 }
 

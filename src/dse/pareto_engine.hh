@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/inference_model.hh"
 #include "dse/search_strategy.hh"
 
 namespace madmax
@@ -123,6 +124,66 @@ struct ParetoFrontier
 };
 
 /**
+ * @name Serving-placement search space
+ * The joint space of an LLM serving deployment on a mixed-generation
+ * cluster: which island runs prefill, which runs decode (p == d is
+ * the classic colocated deployment), and which parallelization plan
+ * each phase uses. A homogeneous cluster degenerates to one island
+ * and colocated-only placement. Searched by
+ * exploreInferencePlacements() below.
+ */
+/// @{
+
+/** The three maximized objectives of one serving placement. */
+struct InferencePlacementObjectives
+{
+    double tokensPerSecond = 0.0; ///< Generated tokens/s, fleet-wide.
+
+    /**
+     * tokensPerSecond per $/hour of the WHOLE fleet — every placement
+     * on one cluster is priced against all of its islands (you pay
+     * for the pool whether a phase uses it or not), so leaving an
+     * island idle shows up as a worse perf-per-TCO, not a cheaper
+     * deployment.
+     */
+    double perfPerTco = 0.0;
+
+    /** KV-capacity ceiling on resident sequences (admission control). */
+    double maxConcurrentSequences = 0.0;
+};
+
+/** One evaluated placement of the serving joint space. */
+struct InferencePlacementCandidate
+{
+    int prefillIsland = 0; ///< Index into frontier islands.
+    int decodeIsland = 0;
+    ParallelPlan prefillPlan;
+    ParallelPlan decodePlan;
+    InferenceReport report;
+    InferencePlacementObjectives objectives; ///< Meaningful when valid.
+};
+
+/** The result of one serving-placement exploration. */
+struct InferencePlacementFrontier
+{
+    /** The evaluable islands (group name, or cluster name when
+     *  homogeneous), in ClusterSpec::groups order. */
+    std::vector<std::string> islands;
+
+    /** Every placement evaluated, in (prefill, decode) enumeration
+     *  order. Includes invalid (OOM) placements. */
+    std::vector<InferencePlacementCandidate> candidates;
+
+    /** The non-dominated valid placements, descending tokens/s. */
+    std::vector<InferencePlacementCandidate> points;
+
+    /** Whole-search evaluation cost (per-phase plan sweeps). */
+    EvalStats stats;
+};
+
+/// @}
+
+/**
  * The multi-objective DSE engine. Construction validates every
  * hardware point's cluster (PerfModel construction); explore() is
  * const and thread-safe under the same contract as StrategyExplorer.
@@ -150,6 +211,19 @@ class ParetoEngine
     ParetoFrontier explore(const ModelDesc &desc, const TaskSpec &task,
                            const ParetoOptions &options = {}) const;
 
+    /**
+     * Serving-placement search over a (possibly heterogeneous)
+     * cluster: see exploreInferencePlacements(). Static because a
+     * heterogeneous ClusterSpec cannot construct the homogeneous
+     * PerfModel catalog this class holds.
+     */
+    static InferencePlacementFrontier
+    exploreInference(const ModelDesc &desc,
+                     const InferenceWorkload &workload,
+                     const ClusterSpec &cluster,
+                     const ParetoOptions &options = {},
+                     EvalEngine *engine = nullptr);
+
   private:
     EvalEngine &engine() const;
 
@@ -163,6 +237,30 @@ class ParetoEngine
 ParetoObjectives
 scoreObjectives(const PerfReport &report, const HardwarePoint &hw,
                 const CostModelOptions &cost);
+
+/**
+ * Search serving placements of @p workload for @p desc on @p cluster.
+ * Per-phase plan selection is an exhaustive sweep of the inference
+ * plan space on each island (the space is small — the guided
+ * strategies are not needed); colocated placements pick the single
+ * plan maximizing the composed request rate, disaggregated ones pick
+ * each phase's best plan independently.
+ * @throws ConfigError on an invalid cluster or workload.
+ */
+InferencePlacementFrontier
+exploreInferencePlacements(const ModelDesc &desc,
+                           const InferenceWorkload &workload,
+                           const ClusterSpec &cluster,
+                           const ParetoOptions &options = {},
+                           EvalEngine *engine = nullptr);
+
+/**
+ * Machine-readable placement-frontier rendering, shared byte-for-byte
+ * by `madmax pareto --workload ... --format json` and `/v1/pareto`.
+ */
+JsonValue toJson(const InferencePlacementFrontier &frontier);
+
+/// @}
 
 /**
  * The public-cloud instance catalog (hw_zoo::cloudInstances) as

@@ -51,9 +51,77 @@ ClusterSpec::aggregateHbmBandwidth() const
     return device.hbmBandwidth * numDevices();
 }
 
+ClusterSpec
+ClusterSpec::groupCluster(int i) const
+{
+    if (i < 0 || i >= static_cast<int>(groups.size()))
+        fatal(strfmt("cluster '%s': device group index %d out of range "
+                     "(have %zu groups)",
+                     name.c_str(), i, groups.size()));
+    const DeviceGroup &g = groups[static_cast<size_t>(i)];
+    ClusterSpec c;
+    c.name = name + "/" + g.name;
+    c.device = g.device;
+    c.devicesPerNode = g.devicesPerNode;
+    c.numNodes = g.numNodes;
+    c.intraFabric = g.intraFabric;
+    c.interFabric = interFabric;
+    c.util = util;
+    return c;
+}
+
+int
+ClusterSpec::totalDevices() const
+{
+    if (!isHeterogeneous())
+        return numDevices();
+    int total = 0;
+    for (const DeviceGroup &g : groups)
+        total += g.numDevices();
+    return total;
+}
+
 void
 ClusterSpec::validate() const
 {
+    if (isHeterogeneous()) {
+        if (topology) {
+            fatal(strfmt("cluster '%s': explicit topology and "
+                         "device_groups cannot be combined (tier stacks "
+                         "describe one homogeneous pool; groups carry "
+                         "their own shape)",
+                         name.c_str()));
+        }
+        for (size_t i = 0; i < groups.size(); ++i) {
+            const DeviceGroup &g = groups[i];
+            if (g.name.empty()) {
+                fatal(strfmt("cluster '%s': device group %zu has no "
+                             "name",
+                             name.c_str(), i));
+            }
+            for (size_t j = 0; j < i; ++j) {
+                if (groups[j].name == g.name) {
+                    fatal(strfmt("cluster '%s': duplicate device group "
+                                 "name '%s'",
+                                 name.c_str(), g.name.c_str()));
+                }
+            }
+            // Groups reach each other over the scale-out fabric even
+            // when a group is a single node, so the NIC rate is
+            // mandatory here (the flat check below skips it for
+            // numNodes == 1).
+            if (g.device.interNodeBandwidth <= 0.0) {
+                fatal(strfmt("cluster '%s': device group '%s' needs a "
+                             "positive inter-node bandwidth to reach "
+                             "the other groups",
+                             name.c_str(), g.name.c_str()));
+            }
+            // Each island must be a valid homogeneous cluster in its
+            // own right; reuse the flat checks below on its projection.
+            groupCluster(static_cast<int>(i)).validate();
+        }
+        return;
+    }
     if (devicesPerNode < 1)
         fatal(strfmt("cluster '%s': devicesPerNode must be >= 1",
                      name.c_str()));

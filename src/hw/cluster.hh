@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "hw/device.hh"
 
@@ -48,6 +49,24 @@ struct UtilizationSpec
 };
 
 /**
+ * One homogeneous pool of devices inside a mixed-generation cluster:
+ * numNodes nodes of devicesPerNode identical devices behind a shared
+ * scale-up fabric. Groups talk to each other over the cluster-level
+ * inter-node fabric (mixed fleets are stitched at the scale-out tier;
+ * nobody NVLinks an A100 to an H100).
+ */
+struct DeviceGroup
+{
+    std::string name;
+    DeviceSpec device;
+    int devicesPerNode = 8;
+    int numNodes = 1;
+    FabricKind intraFabric = FabricKind::NVLink;
+
+    int numDevices() const { return devicesPerNode * numNodes; }
+};
+
+/**
  * A homogeneous two-level distributed system. The two-level shape
  * (devices within a node, nodes within a cluster) is what makes
  * hierarchical (intra, inter) parallelization strategies meaningful.
@@ -77,8 +96,36 @@ struct ClusterSpec
      */
     std::shared_ptr<const TopologySpec> topology;
 
+    /**
+     * Mixed-generation device pools. Empty means the classic
+     * homogeneous cluster described by the flat fields above — every
+     * existing config, report, and golden is unchanged. Non-empty
+     * makes the cluster heterogeneous: the flat device/count fields
+     * are ignored, each group is an island evaluable on its own via
+     * groupCluster(), and only phase/layer placement across islands
+     * (dse/pareto_engine.hh) knows how to price the whole cluster —
+     * PerfModel on a heterogeneous ClusterSpec is an error.
+     */
+    std::vector<DeviceGroup> groups;
+
+    /** True when the cluster is a mixed-generation fleet. */
+    bool isHeterogeneous() const { return !groups.empty(); }
+
+    /**
+     * The i-th device group as a standalone homogeneous cluster
+     * (cluster-level inter fabric and utilizations, group-level
+     * everything else). Valid only for heterogeneous clusters.
+     */
+    ClusterSpec groupCluster(int i) const;
+
     /** Total device count (= Table III "# nodes" x "devices per node"). */
     int numDevices() const { return devicesPerNode * numNodes; }
+
+    /**
+     * Device count including groups: sum of group sizes when
+     * heterogeneous, numDevices() otherwise.
+     */
+    int totalDevices() const;
 
     /** Achievable per-device intra-node bandwidth, bytes/s. */
     double effIntraBandwidth() const;

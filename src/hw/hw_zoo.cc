@@ -231,6 +231,36 @@ gaudi2System(int num_nodes)
 }
 
 ClusterSpec
+mixedInferenceFleet(int h100_nodes, int a100_nodes)
+{
+    ClusterSpec c;
+    c.name = "Mixed-H100-A100-80GB";
+    c.interFabric = FabricKind::InfiniBand;
+    // Transformer-serving utilizations (see llmTrainingSystem).
+    c.util.compute = 0.60;
+    c.util.hbm = 0.80;
+    c.util.intraLink = 0.80;
+    c.util.interLink = 0.80;
+
+    DeviceGroup h100_pool;
+    h100_pool.name = "h100-pool";
+    h100_pool.device = h100();
+    h100_pool.devicesPerNode = 8;
+    h100_pool.numNodes = h100_nodes;
+    h100_pool.intraFabric = FabricKind::NVLink;
+    c.groups.push_back(h100_pool);
+
+    DeviceGroup a100_pool;
+    a100_pool.name = "a100-80-pool";
+    a100_pool.device = a100_80();
+    a100_pool.devicesPerNode = 8;
+    a100_pool.numNodes = a100_nodes;
+    a100_pool.intraFabric = FabricKind::NVLink;
+    c.groups.push_back(a100_pool);
+    return c;
+}
+
+ClusterSpec
 awsP4d(int num_nodes)
 {
     ClusterSpec c;

@@ -58,6 +58,17 @@ ClusterSpec gaudi2System(int num_nodes = 16);
 /// @}
 
 /**
+ * Mixed-generation inference fleet: an H100 pool next to an A100 80 GB
+ * pool behind a shared InfiniBand scale-out fabric — the
+ * serve-LLMs-on-what-the-fleet-has scenario (pipeline across unequal
+ * hosts). The H100 pool's FLOPS suit compute-bound prefill; the A100
+ * pool's aggregate HBM suits memory-bound decode. Heterogeneous:
+ * evaluable only through per-group islands / phase placement, not
+ * PerfModel directly.
+ */
+ClusterSpec mixedInferenceFleet(int h100_nodes = 2, int a100_nodes = 4);
+
+/**
  * A public-cloud GPU instance type: a ClusterSpec template plus
  * pricing-free metadata used by the cloud-deployment studies.
  */

@@ -262,6 +262,21 @@ class AttentionLayer : public Layer
 
     long hidden() const { return hidden_; }
     long contextLength() const { return contextLength_; }
+    long numHeads() const { return numHeads_; }
+    long kvHeads() const { return kvHeads_; }
+
+    /**
+     * KV-cache bytes appended per token per sequence by this layer:
+     * one K and one V vector of kv_heads x head_dim elements
+     * (GQA-shrunken when kv_heads < num_heads).
+     */
+    double kvBytesPerToken(double bytes_per_element) const
+    {
+        const double head_dim =
+            static_cast<double>(hidden_) / static_cast<double>(numHeads_);
+        return 2.0 * static_cast<double>(kvHeads_) * head_dim *
+            bytes_per_element;
+    }
 
   private:
     long hidden_;

@@ -277,6 +277,48 @@ llama2_70b()
     return llama2WithContext(4096);
 }
 
+namespace
+{
+
+ModelDesc
+llama2Small(const char *base_name, long context_length, int num_layers,
+            long hidden, long num_heads, long ffn_dim)
+{
+    ModelDesc m;
+    m.name = context_length == 4096
+        ? std::string(base_name)
+        : std::string(base_name) + "-ctx" + std::to_string(context_length);
+    m.globalBatchSize = 256; // A serving batch of in-flight sequences.
+    m.contextLength = context_length;
+    m.isRecommendation = false;
+    m.computeDtype = DataType::BF16;
+    m.paramDtype = DataType::BF16;
+
+    int emb = m.graph.addLayer(std::make_unique<TokenEmbeddingLayer>(
+        "Tok_EMB", 32000, hidden, static_cast<double>(context_length), 2));
+    appendTransformer(m.graph, {emb}, num_layers, hidden, num_heads,
+                      context_length, ffn_dim, 3);
+    return m;
+}
+
+} // namespace
+
+ModelDesc
+llama2_7b(long context_length)
+{
+    // LLaMA2-7B [Touvron et al.]: 32 layers, h = 4096, 32 heads (full
+    // KV), SwiGLU ffn 11008.
+    return llama2Small("LLaMA2-7B", context_length, 32, 4096, 32, 11008);
+}
+
+ModelDesc
+llama2_13b(long context_length)
+{
+    // LLaMA2-13B [Touvron et al.]: 40 layers, h = 5120, 40 heads (full
+    // KV), SwiGLU ffn 13824.
+    return llama2Small("LLaMA2-13B", context_length, 40, 5120, 40, 13824);
+}
+
 ModelDesc
 llmMoe()
 {

@@ -43,6 +43,18 @@ ModelDesc llama2_70b();///< 70B params (GQA), 140B FLOPs/token, ctx 4096.
  */
 ModelDesc llama2WithContext(long context_length);
 
+/**
+ * @name Serving-class LLaMA2 sizes
+ * The 7B/13B checkpoints everyone actually deploys (no GQA — full KV
+ * heads, which is exactly what makes their KV caches grow fast and
+ * decode go memory-bound). Default global batch is a serving batch
+ * (256 in-flight sequences), not a training batch.
+ */
+/// @{
+ModelDesc llama2_7b(long context_length = 4096);  ///< 32L, h=4096.
+ModelDesc llama2_13b(long context_length = 4096); ///< 40L, h=5120.
+/// @}
+
 ModelDesc llmMoe();    ///< Hypothetical 1.8T params, 16-way MoE, ctx 8192.
 /// @}
 

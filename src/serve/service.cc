@@ -280,11 +280,39 @@ EvalService::runPareto(const HttpRequest &request)
     JsonValue body = JsonValue::parse(request.body);
     if (!body.isObject())
         fatal("request body must be a JSON object with \"model\" and "
-              "\"task\" members");
-    for (const char *key : {"model", "task"})
-        if (!body.has(key))
-            fatal(std::string("request body missing \"") + key +
-                  "\" member");
+              "\"task\" (or \"workload\") members");
+    if (!body.has("model"))
+        fatal("request body missing \"model\" member");
+
+    // A "workload" member switches to the serving-placement search
+    // (mirrors `madmax pareto --workload` byte-for-byte): phases are
+    // derived from the workload, so the task-sweep knobs don't apply.
+    if (body.has("workload")) {
+        for (const char *other :
+             {"task", "catalog", "nodes", "node_counts", "strategy",
+              "budget", "seed", "include_baselines"}) {
+            if (body.has(other)) {
+                fatal(std::string("\"workload\" derives the serving "
+                                  "phases itself and searches "
+                                  "placements exhaustively; \"") +
+                      other +
+                      "\" does not apply (supported: \"model\", "
+                      "\"system\", \"workload\")");
+            }
+        }
+        if (!body.has("system"))
+            fatal("\"workload\" requires \"system\" (the cluster the "
+                  "placements are searched over)");
+        ModelDesc model = loadModel(body.at("model"));
+        ClusterSpec cluster = loadCluster(body.at("system"));
+        InferenceWorkload workload = loadWorkload(body.at("workload"));
+        InferencePlacementFrontier frontier = exploreInferencePlacements(
+            model, workload, cluster, {}, &engine_);
+        return jsonResponse(toJson(frontier));
+    }
+
+    if (!body.has("task"))
+        fatal("request body missing \"task\" member");
     ModelDesc model = loadModel(body.at("model"));
     TaskConfig task = loadTask(body.at("task"));
 

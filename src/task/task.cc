@@ -1,6 +1,7 @@
 #include "task/task.hh"
 
 #include "util/logging.hh"
+#include "util/strfmt.hh"
 
 namespace madmax
 {
@@ -26,6 +27,17 @@ toString(FineTuneScope scope)
     panic("toString: unknown FineTuneScope");
 }
 
+std::string
+toString(InferencePhase phase)
+{
+    switch (phase) {
+      case InferencePhase::Batch: return "batch";
+      case InferencePhase::Prefill: return "prefill";
+      case InferencePhase::Decode: return "decode";
+    }
+    panic("toString: unknown InferencePhase");
+}
+
 TaskSpec
 TaskSpec::preTraining()
 {
@@ -42,6 +54,23 @@ TaskSpec
 TaskSpec::fineTuning(FineTuneScope scope)
 {
     return TaskSpec{TaskKind::FineTuning, scope};
+}
+
+TaskSpec
+TaskSpec::prefill()
+{
+    TaskSpec t = inference();
+    t.phase = InferencePhase::Prefill;
+    return t;
+}
+
+TaskSpec
+TaskSpec::decode(long kv_length)
+{
+    TaskSpec t = inference();
+    t.phase = InferencePhase::Decode;
+    t.decodeKvLength = kv_length;
+    return t;
 }
 
 namespace
@@ -112,6 +141,21 @@ TaskSpec::toString() const
     std::string s = madmax::toString(kind);
     if (kind == TaskKind::FineTuning)
         s += " (" + madmax::toString(ftScope) + ")";
+    // Phase-split inference tasks must spell their identity out: the
+    // string participates in engine/EvalContext cache keys, and a
+    // decode task aliasing a batch task would serve stale costs. The
+    // legacy Batch phase stays plain "inference" so every existing
+    // report and golden is unchanged.
+    if (usesKvCache()) {
+        s += " (" + madmax::toString(phase);
+        if (phase == InferencePhase::Decode && decodeKvLength > 0)
+            s += strfmt("@%ld", decodeKvLength);
+        if (kvCapacityTokens > 0)
+            s += strfmt(", kv-cap %ld", kvCapacityTokens);
+        if (kvBytesPerElement != 2.0)
+            s += strfmt(", kv %.3gB/elem", kvBytesPerElement);
+        s += ")";
+    }
     return s;
 }
 

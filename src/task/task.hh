@@ -30,8 +30,25 @@ enum class FineTuneScope
     EmbeddingOnly,  ///< Tune embedding tables; freeze dense layers.
 };
 
+/**
+ * Which half of an LLM serving request an inference task models.
+ * Batch is the legacy whole-forward inference (recommendation
+ * ranking, encoder models) — the default, and byte-identical to the
+ * pre-phase behavior. Prefill runs the full prompt through the model
+ * (compute-bound, writes the KV cache); Decode models one
+ * autoregressive token step (memory-bound: reads the weights plus the
+ * accumulated KV cache per generated token).
+ */
+enum class InferencePhase
+{
+    Batch,
+    Prefill,
+    Decode,
+};
+
 std::string toString(TaskKind kind);
 std::string toString(FineTuneScope scope);
+std::string toString(InferencePhase phase);
 
 /**
  * A task description. Pure value type; all queries are per layer
@@ -43,10 +60,45 @@ struct TaskSpec
     TaskKind kind = TaskKind::PreTraining;
     FineTuneScope ftScope = FineTuneScope::DenseOnly;
 
+    /**
+     * LLM serving phase; only meaningful for Inference. Batch keeps
+     * every legacy code path (no KV cache, whole-context forward).
+     */
+    InferencePhase phase = InferencePhase::Batch;
+
+    /**
+     * KV-cache length in tokens that a Decode step attends over
+     * (prompt plus already-generated tokens). 0 means the model's own
+     * contextLength. Ignored for Batch/Prefill.
+     */
+    long decodeKvLength = 0;
+
+    /**
+     * KV-cache tokens per sequence to reserve HBM capacity for (the
+     * worst-case sequence length admission control plans against).
+     * 0 means the model's contextLength. Ignored for Batch.
+     */
+    long kvCapacityTokens = 0;
+
+    /**
+     * Bytes per KV-cache element (2 = fp16/bf16, 1 = fp8-quantized
+     * cache). Ignored for Batch.
+     */
+    double kvBytesPerElement = 2.0;
+
     /** Convenience factories. */
     static TaskSpec preTraining();
     static TaskSpec inference();
     static TaskSpec fineTuning(FineTuneScope scope);
+
+    /** Inference restricted to the prompt pass (KV cache is written). */
+    static TaskSpec prefill();
+
+    /**
+     * Inference restricted to one token-generation step against a KV
+     * cache of @p kv_length tokens (0 = model context length).
+     */
+    static TaskSpec decode(long kv_length = 0);
 
     /** True if any backward pass runs at all. */
     bool needsBackward() const { return kind != TaskKind::Inference; }
@@ -79,6 +131,13 @@ struct TaskSpec
 
     /** True if forward activations must be retained for backward. */
     bool retainsActivations() const { return needsBackward(); }
+
+    /** True if the task holds a KV cache in device memory. */
+    bool usesKvCache() const
+    {
+        return kind == TaskKind::Inference &&
+            phase != InferencePhase::Batch;
+    }
 
     std::string toString() const;
 };

@@ -334,6 +334,190 @@ TEST(ConfigLoader, TaskRoundTrip)
     EXPECT_TRUE(back.plan.fsdpPrefetch);
 }
 
+TEST(ConfigLoader, HeterogeneousClusterFromJson)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "name": "mixed",
+        "inter_fabric": "infiniband",
+        "device_groups": [
+            {"name": "fast",
+             "device": {"name": "H100", "peak_tflops_16": 756,
+                        "peak_tflops_tf32": 378, "peak_tflops_fp32": 67,
+                        "hbm_gib": 80, "hbm_gbps": 2000,
+                        "intra_node_gbps": 450, "inter_node_gbps": 400},
+             "devices_per_node": 8, "num_nodes": 2},
+            {"name": "big",
+             "device": {"name": "A100-80GB", "peak_tflops_16": 312,
+                        "peak_tflops_tf32": 156, "peak_tflops_fp32": 19.5,
+                        "hbm_gib": 80, "hbm_gbps": 2000,
+                        "intra_node_gbps": 300, "inter_node_gbps": 200},
+             "devices_per_node": 8, "num_nodes": 4}
+        ]
+    })json");
+    ClusterSpec c = loadCluster(j);
+    EXPECT_TRUE(c.isHeterogeneous());
+    ASSERT_EQ(c.groups.size(), 2u);
+    EXPECT_EQ(c.groups[0].name, "fast");
+    EXPECT_EQ(c.groups[1].device.name, "A100-80GB");
+    EXPECT_EQ(c.totalDevices(), 16 + 32);
+    EXPECT_EQ(c.interFabric, FabricKind::InfiniBand);
+    c.validate();
+}
+
+TEST(ConfigLoader, HeterogeneousClusterRoundTripsThroughJson)
+{
+    ClusterSpec original = hw_zoo::mixedInferenceFleet();
+    JsonValue j = toJson(original);
+    // Heterogeneous clusters serialize their groups, not flat fields.
+    EXPECT_TRUE(j.has("device_groups"));
+    EXPECT_FALSE(j.has("device"));
+    ClusterSpec back = loadCluster(j);
+    ASSERT_EQ(back.groups.size(), original.groups.size());
+    for (size_t i = 0; i < back.groups.size(); ++i) {
+        EXPECT_EQ(back.groups[i].name, original.groups[i].name);
+        EXPECT_EQ(back.groups[i].numNodes, original.groups[i].numNodes);
+        EXPECT_NEAR(back.groups[i].device.peakFlopsTensor16,
+                    original.groups[i].device.peakFlopsTensor16, 1e6);
+    }
+    EXPECT_EQ(back.totalDevices(), original.totalDevices());
+}
+
+TEST(ConfigLoader, ServingPhaseTasksParseAndRoundTrip)
+{
+    // Kind shorthand.
+    TaskConfig prefill = loadTask(
+        JsonValue::parse(R"json({"task": "prefill"})json"));
+    EXPECT_EQ(prefill.task.phase, InferencePhase::Prefill);
+    EXPECT_TRUE(prefill.task.usesKvCache());
+
+    // Explicit phase key with the KV knobs.
+    TaskConfig decode = loadTask(JsonValue::parse(R"json({
+        "task": "inference", "phase": "decode",
+        "decode_kv_tokens": 4096, "kv_capacity_tokens": 4352,
+        "kv_bytes_per_element": 1
+    })json"));
+    EXPECT_EQ(decode.task.phase, InferencePhase::Decode);
+    EXPECT_EQ(decode.task.decodeKvLength, 4096);
+    EXPECT_EQ(decode.task.kvCapacityTokens, 4352);
+    EXPECT_DOUBLE_EQ(decode.task.kvBytesPerElement, 1.0);
+
+    TaskConfig back = loadTask(toJson(decode));
+    EXPECT_EQ(back.task.toString(), decode.task.toString());
+
+    // The classic batch task keeps the legacy JSON shape.
+    TaskConfig batch = loadTask(
+        JsonValue::parse(R"json({"task": "inference"})json"));
+    EXPECT_FALSE(toJson(batch).has("phase"));
+
+    EXPECT_THROW(loadTask(JsonValue::parse(
+                     R"json({"task": "inference", "phase": "warmup"})json")),
+                 ConfigError);
+}
+
+TEST(ConfigLoader, ServingTaskKvKnobErrorsAreActionable)
+{
+    try {
+        loadTask(JsonValue::parse(R"json({
+            "task": "decode", "kv_capacity_tokens": -1
+        })json"));
+        FAIL() << "negative kv_capacity_tokens must be fatal";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("kv_capacity_tokens"),
+                  std::string::npos);
+    }
+    try {
+        loadTask(JsonValue::parse(R"json({
+            "task": "prefill", "kv_bytes_per_element": 0
+        })json"));
+        FAIL() << "zero kv_bytes_per_element must be fatal";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("fp8"), std::string::npos);
+    }
+}
+
+TEST(ConfigLoader, LlmContextMustBePositive)
+{
+    JsonValue j = JsonValue::parse(R"json({
+        "type": "llm", "name": "bad", "global_batch": 8,
+        "context": 0, "vocab": 1000, "hidden": 64, "layers": 1,
+        "heads": 4, "ffn": 256
+    })json");
+    try {
+        loadModel(j);
+        FAIL() << "context 0 must be fatal";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("context"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("Llama-2"),
+                  std::string::npos);
+    }
+}
+
+TEST(ConfigLoader, Llama2ZooNamesTakeAContext)
+{
+    JsonValue j = JsonValue::parse(
+        R"json({"type": "zoo", "name": "llama2-13b", "context": 2048})json");
+    ModelDesc m = loadModel(j);
+    EXPECT_EQ(m.name, "LLaMA2-13B-ctx2048");
+    EXPECT_EQ(m.contextLength, 2048);
+    JsonValue d = JsonValue::parse(
+        R"json({"type": "zoo", "name": "llama2-7b"})json");
+    EXPECT_EQ(loadModel(d).contextLength, 4096);
+}
+
+TEST(ConfigLoader, WorkloadParsesAndValidates)
+{
+    InferenceWorkload w = loadWorkload(JsonValue::parse(R"json({
+        "prompt_tokens": 512, "generate_tokens": 128,
+        "kv_bytes_per_element": 1,
+        "prefill_group": "fast", "decode_group": "big"
+    })json"));
+    EXPECT_EQ(w.promptTokens, 512);
+    EXPECT_EQ(w.generateTokens, 128);
+    EXPECT_DOUBLE_EQ(w.kvBytesPerElement, 1.0);
+    EXPECT_EQ(w.prefillGroup, "fast");
+    EXPECT_EQ(w.decodeGroup, "big");
+
+    // Defaults: prompt from the model, 256 generated, fp16 cache.
+    InferenceWorkload d = loadWorkload(JsonValue::parse("{}"));
+    EXPECT_EQ(d.promptTokens, 0);
+    EXPECT_EQ(d.generateTokens, 256);
+
+    InferenceWorkload back = loadWorkload(toJson(w));
+    EXPECT_EQ(back.promptTokens, w.promptTokens);
+    EXPECT_EQ(back.decodeGroup, w.decodeGroup);
+
+    EXPECT_THROW(loadWorkload(JsonValue::parse(
+                     R"json({"prompt_tokens": -5})json")),
+                 ConfigError);
+    EXPECT_THROW(loadWorkload(JsonValue::parse(
+                     R"json({"generate_tokens": 0})json")),
+                 ConfigError);
+    try {
+        loadWorkload(JsonValue::parse(
+            R"json({"kv_bytes_per_element": -2})json"));
+        FAIL() << "negative KV bytes must be fatal";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("kv_bytes_per_element"),
+                  std::string::npos);
+    }
+}
+
+TEST(ConfigLoader, ShippedServingConfigsLoad)
+{
+    ModelDesc m = loadModelFile(std::string(MADMAX_CONFIG_DIR) +
+                                "/model_llama2_13b.json");
+    EXPECT_EQ(m.name, "LLaMA2-13B-ctx2048");
+    ClusterSpec c = loadClusterFile(std::string(MADMAX_CONFIG_DIR) +
+                                    "/system_mixed_inference.json");
+    EXPECT_TRUE(c.isHeterogeneous());
+    EXPECT_EQ(c.totalDevices(),
+              hw_zoo::mixedInferenceFleet().totalDevices());
+    InferenceWorkload w = loadWorkloadFile(
+        std::string(MADMAX_CONFIG_DIR) + "/workload_serving.json");
+    EXPECT_EQ(w.generateTokens, 256);
+}
+
 TEST(ConfigLoader, ShippedConfigsLoad)
 {
     // The configs/ directory ships working examples; paths are

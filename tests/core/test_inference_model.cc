@@ -1,0 +1,232 @@
+/**
+ * @file
+ * InferenceModel tests: the serving-workload contract (validation,
+ * phase-task derivation, KV bytes per request), the continuous-
+ * batching composition laws (colocated rates compose harmonically,
+ * disaggregated pipelines run at the bottleneck stage plus the KV
+ * shipment), the colocated shared-footprint OOM check, and the
+ * KV-capacity concurrency ceiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/inference_model.hh"
+#include "hw/hw_zoo.hh"
+#include "model/model_zoo.hh"
+#include "util/logging.hh"
+
+namespace madmax
+{
+
+namespace
+{
+
+/** A small serving scenario that evaluates in milliseconds: the 7B
+ *  model at a short prompt on one A100-80GB node. */
+ModelDesc
+smallModel()
+{
+    return model_zoo::llama2_7b(512);
+}
+
+ClusterSpec
+pool(const char *name, int nodes)
+{
+    ClusterSpec c = hw_zoo::llmTrainingSystem().withNumNodes(nodes);
+    c.name = name;
+    return c;
+}
+
+ParallelPlan
+ddpPlan()
+{
+    ParallelPlan plan;
+    plan.set(LayerClass::DenseEmbedding, HierStrategy{Strategy::DDP});
+    plan.set(LayerClass::Transformer, HierStrategy{Strategy::DDP});
+    return plan;
+}
+
+} // namespace
+
+TEST(InferenceWorkload, ValidatesAgainstTheModel)
+{
+    ModelDesc desc = smallModel();
+    InferenceWorkload w;
+    EXPECT_NO_THROW(w.validate(desc));
+    EXPECT_EQ(w.effectivePrompt(desc), 512);
+
+    InferenceWorkload explicit_prompt;
+    explicit_prompt.promptTokens = 512;
+    EXPECT_NO_THROW(explicit_prompt.validate(desc));
+
+    InferenceWorkload mismatched;
+    mismatched.promptTokens = 2048; // Model was built at 512.
+    EXPECT_THROW(mismatched.validate(desc), ConfigError);
+
+    InferenceWorkload negative;
+    negative.promptTokens = -1;
+    EXPECT_THROW(negative.validate(desc), ConfigError);
+
+    InferenceWorkload no_decode;
+    no_decode.generateTokens = 0;
+    EXPECT_THROW(no_decode.validate(desc), ConfigError);
+
+    InferenceWorkload bad_kv;
+    bad_kv.kvBytesPerElement = -2.0;
+    EXPECT_THROW(bad_kv.validate(desc), ConfigError);
+}
+
+TEST(InferenceModelTasks, PhaseTasksCarryTheKvGeometry)
+{
+    ModelDesc desc = smallModel();
+    InferenceWorkload w;
+    w.generateTokens = 128;
+
+    TaskSpec prefill = InferenceModel::prefillTask(desc, w);
+    EXPECT_EQ(prefill.phase, InferencePhase::Prefill);
+    EXPECT_TRUE(prefill.usesKvCache());
+    EXPECT_EQ(prefill.kvCapacityTokens, 512);
+
+    // Decode prices the steady-state step (KV at prompt + gen/2) but
+    // budgets capacity for the full sequence (prompt + gen).
+    TaskSpec decode = InferenceModel::decodeTask(desc, w);
+    EXPECT_EQ(decode.phase, InferencePhase::Decode);
+    EXPECT_EQ(decode.decodeKvLength, 512 + 64);
+    EXPECT_EQ(decode.kvCapacityTokens, 512 + 128);
+
+    // The phase tasks must not alias the batch task (or each other)
+    // in the engine's memoization key.
+    EXPECT_NE(prefill.toString(), TaskSpec::inference().toString());
+    EXPECT_NE(prefill.toString(), decode.toString());
+}
+
+TEST(InferenceModelTasks, KvBytesPerRequestMatchesTheArchitecture)
+{
+    ModelDesc desc = smallModel();
+    // LLaMA2-7B: 32 attention layers, h=4096, full KV -> 2 (K and V)
+    // x 4096 x 2 B/elem x 32 layers = 512 KiB of cache per token.
+    const double per_token =
+        InferenceModel::kvBytesForTokens(desc, 1, 2.0);
+    EXPECT_DOUBLE_EQ(per_token, 2.0 * 4096 * 2.0 * 32);
+    EXPECT_DOUBLE_EQ(InferenceModel::kvBytesForTokens(desc, 512, 2.0),
+                     512 * per_token);
+    // An fp8 cache halves it.
+    EXPECT_DOUBLE_EQ(InferenceModel::kvBytesForTokens(desc, 1, 1.0),
+                     per_token / 2.0);
+}
+
+TEST(InferenceModel, ColocatedRatesComposeHarmonically)
+{
+    ModelDesc desc = smallModel();
+    InferenceWorkload w;
+    w.generateTokens = 64;
+    ClusterSpec cluster = pool("a100-pool", 2);
+
+    InferenceModel model;
+    InferenceReport r = model.evaluate(desc, w, cluster, ddpPlan(),
+                                       cluster, ddpPlan());
+    ASSERT_TRUE(r.valid);
+    EXPECT_FALSE(r.disaggregated);
+    EXPECT_DOUBLE_EQ(r.kvTransferRate, 0.0);
+
+    // One pool alternates phases: 1/rate = 1/prefill + 1/decode.
+    EXPECT_NEAR(1.0 / r.requestRate,
+                1.0 / r.prefillRate + 1.0 / r.decodeRate, 1e-12);
+    EXPECT_LT(r.requestRate, r.prefillRate);
+    EXPECT_LT(r.requestRate, r.decodeRate);
+
+    EXPECT_DOUBLE_EQ(r.tokensPerSecond, r.requestRate * 64);
+    EXPECT_DOUBLE_EQ(r.ttftSeconds, r.prefill.iterationTime);
+    EXPECT_DOUBLE_EQ(r.tpotSeconds, r.decode.iterationTime);
+    EXPECT_DOUBLE_EQ(r.e2eSeconds, r.ttftSeconds + 64 * r.tpotSeconds);
+
+    // A decode step advances the whole batch by one token; it must be
+    // far cheaper than the full prompt pass.
+    EXPECT_LT(r.decode.iterationTime, r.prefill.iterationTime);
+
+    // The decode footprint carries the KV cache; prefill's stops at
+    // the prompt, so it is no larger.
+    EXPECT_GT(r.decode.memory.kvCacheBytes, 0.0);
+    EXPECT_LE(r.prefill.memory.kvCacheBytes,
+              r.decode.memory.kvCacheBytes);
+
+    // The batch is resident, so the concurrency ceiling at least
+    // admits it.
+    EXPECT_GE(r.maxConcurrentSequences,
+              static_cast<double>(desc.globalBatchSize));
+}
+
+TEST(InferenceModel, DisaggregatedPipelineRunsAtTheBottleneck)
+{
+    ModelDesc desc = smallModel();
+    InferenceWorkload w;
+    w.generateTokens = 64;
+    ClusterSpec prefill_pool = pool("prefill-pool", 2);
+    ClusterSpec decode_pool = pool("decode-pool", 2);
+
+    InferenceModel model;
+    InferenceReport r =
+        model.evaluate(desc, w, prefill_pool, ddpPlan(), decode_pool,
+                       ddpPlan(), "two-pool-deployment");
+    ASSERT_TRUE(r.valid);
+    EXPECT_TRUE(r.disaggregated);
+    EXPECT_EQ(r.clusterName, "two-pool-deployment");
+
+    // Pipeline law: the sustained rate is the slowest stage.
+    EXPECT_GT(r.kvTransferRate, 0.0);
+    EXPECT_DOUBLE_EQ(
+        r.requestRate,
+        std::min({r.prefillRate, r.decodeRate, r.kvTransferRate}));
+
+    // TTFT pays the KV shipment on top of the prompt pass.
+    EXPECT_GT(r.ttftSeconds, r.prefill.iterationTime);
+    EXPECT_GT(r.kvBytesPerRequest, 0.0);
+}
+
+TEST(InferenceModel, ColocatedSharedFootprintCanOomWhenPhasesFitAlone)
+{
+    // At context 1024 with batch-256 sequences resident, the 13B
+    // model's KV cache next to the prefill working set overflows a
+    // single 8-GPU A100-80GB node, even though each phase fits on its
+    // own island of the same shape.
+    ModelDesc desc = model_zoo::llama2_13b(1024);
+    InferenceWorkload w;
+    ClusterSpec one_node = pool("one-node", 1);
+
+    InferenceModel model;
+    InferenceReport colocated = model.evaluate(
+        desc, w, one_node, ddpPlan(), one_node, ddpPlan());
+    ClusterSpec other = one_node;
+    other.name = "other-node";
+    InferenceReport split = model.evaluate(desc, w, one_node, ddpPlan(),
+                                           other, ddpPlan());
+    ASSERT_TRUE(split.valid);
+    EXPECT_TRUE(split.prefill.valid);
+    EXPECT_TRUE(split.decode.valid);
+    EXPECT_FALSE(colocated.valid) << "colocated pools must fit the "
+                                     "wider phase next to the cache";
+    // The invalid report renders a diagnosis instead of rates.
+    EXPECT_NE(colocated.summary().find("INVALID"), std::string::npos);
+}
+
+TEST(InferenceModel, JsonGatesRateKeysOnValidity)
+{
+    ModelDesc desc = smallModel();
+    InferenceWorkload w;
+    ClusterSpec cluster = pool("a100-pool", 2);
+    InferenceModel model;
+    InferenceReport r = model.evaluate(desc, w, cluster, ddpPlan(),
+                                       cluster, ddpPlan());
+    ASSERT_TRUE(r.valid);
+    JsonValue j = toJson(r);
+    EXPECT_TRUE(j.at("valid").asBool());
+    EXPECT_FALSE(j.at("disaggregated").asBool());
+    EXPECT_GT(j.at("tokens_per_sec").asDouble(), 0.0);
+    EXPECT_FALSE(j.has("kv_transfer_rate_per_sec")); // Colocated.
+    EXPECT_TRUE(j.has("prefill"));
+    EXPECT_TRUE(j.has("decode"));
+}
+
+} // namespace madmax

@@ -141,4 +141,50 @@ TEST(LayerProcessor, WorkScalesWithBatchAndInverselyWithDevices)
     EXPECT_NEAR(fewer.forwardTime(m.graph.layer(1)) / t1, 2.0, 1e-9);
 }
 
+TEST(LayerProcessor, DecodeStepIsSingleTokenAndMemoryBound)
+{
+    ModelDesc m = model_zoo::llama2_7b(512);
+    ClusterSpec c = hw_zoo::llmTrainingSystem().withNumNodes(2);
+    LayerProcessor lp(c, m);
+    const Layer &attn = m.graph.layer(1);
+    const Layer &ffn = m.graph.layer(2);
+    ASSERT_EQ(attn.kind(), LayerKind::Attention);
+    ASSERT_EQ(ffn.kind(), LayerKind::FeedForward);
+
+    // Every non-decode task prices the classic whole-context forward.
+    EXPECT_DOUBLE_EQ(lp.forwardTime(attn, TaskSpec::inference()),
+                     lp.forwardTime(attn));
+    EXPECT_DOUBLE_EQ(lp.forwardTime(attn, TaskSpec::prefill()),
+                     lp.forwardTime(attn));
+    EXPECT_DOUBLE_EQ(lp.forwardTime(attn, TaskSpec::preTraining()),
+                     lp.forwardTime(attn));
+
+    // A decode step emits one token, not ctx of them: it must be far
+    // cheaper than the full forward but can never beat the HBM floor
+    // of streaming the weights through the device.
+    TaskSpec decode = TaskSpec::decode(512);
+    const double step = lp.forwardTime(attn, decode);
+    EXPECT_LT(step, lp.forwardTime(attn) / 10.0);
+    EXPECT_GT(step, 0.0);
+
+    // Per-token decode FLOPs: the GEMV against the weights plus
+    // attention over the cache (2 FLOPs per cached element pair).
+    const double h = 4096.0;
+    EXPECT_DOUBLE_EQ(lp.decodeFlopsPerToken(attn, 512),
+                     2.0 * attn.paramCount() + 4.0 * h * 512.0);
+    EXPECT_DOUBLE_EQ(lp.decodeFlopsPerToken(ffn, 512),
+                     2.0 * ffn.paramCount());
+
+    // A longer cache means more bytes and FLOPs per step.
+    TaskSpec longer = TaskSpec::decode(4096);
+    EXPECT_GT(lp.forwardTime(attn, longer), step);
+
+    // Embeddings are lookups: decode scales their traffic to one
+    // token, so the step is ctx times cheaper.
+    const Layer &emb = m.graph.layer(0);
+    ASSERT_EQ(emb.kind(), LayerKind::TokenEmbedding);
+    EXPECT_NEAR(lp.forwardTime(emb, decode) * 512.0,
+                lp.forwardTime(emb), lp.forwardTime(emb) * 1e-9);
+}
+
 } // namespace madmax

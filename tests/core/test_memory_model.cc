@@ -170,4 +170,65 @@ TEST(MemoryModel, FootprintTotalSumsComponents)
                 1.0);
 }
 
+TEST(MemoryModel, KvCacheGrowsWithContextAndRidesTheBatchSplit)
+{
+    MemoryModel m;
+    ModelDesc desc = model_zoo::llama2_7b(512);
+    ClusterSpec cluster = hw_zoo::llmTrainingSystem().withNumNodes(2);
+    ParallelPlan plan = ParallelPlan::fsdpBaseline();
+
+    // Batch-phase inference carries no cache: the legacy footprint is
+    // untouched by the phase split.
+    MemoryFootprint batch =
+        m.evaluate(desc, TaskSpec::inference(), plan, cluster);
+    EXPECT_DOUBLE_EQ(batch.kvCacheBytes, 0.0);
+
+    // Prefill at the prompt length: 2 (K,V) x h x 2 B x 32 layers per
+    // token, x 512 tokens, x the device's share of the batch.
+    MemoryFootprint prefill =
+        m.evaluate(desc, TaskSpec::prefill(), plan, cluster);
+    const double batch_share = 256.0 / cluster.numDevices();
+    EXPECT_DOUBLE_EQ(prefill.kvCacheBytes,
+                     2.0 * 4096 * 2.0 * 32 * 512 * batch_share);
+    EXPECT_NEAR(prefill.total() - prefill.kvCacheBytes, batch.total(),
+                batch.total() * 0.05);
+
+    // An explicit capacity budget (prompt + generated) scales the
+    // cache linearly past the context length.
+    TaskSpec capped = TaskSpec::decode(512);
+    capped.kvCapacityTokens = 1024;
+    MemoryFootprint decode = m.evaluate(desc, capped, plan, cluster);
+    EXPECT_DOUBLE_EQ(decode.kvCacheBytes, 2.0 * prefill.kvCacheBytes);
+    // total() includes the cache.
+    EXPECT_GE(decode.total(), decode.kvCacheBytes);
+
+    // A 1-byte (fp8) cache halves it.
+    TaskSpec fp8 = capped;
+    fp8.kvBytesPerElement = 1.0;
+    EXPECT_DOUBLE_EQ(m.evaluate(desc, fp8, plan, cluster).kvCacheBytes,
+                     decode.kvCacheBytes / 2.0);
+}
+
+TEST(MemoryModel, GroupedQueryAttentionShrinksTheCache)
+{
+    // LLaMA2-70B uses 8 KV heads against 64 query heads: its per-token
+    // cache must be 8x smaller than a full-KV model of the same
+    // hidden size would carry.
+    MemoryModel m;
+    ModelDesc desc = model_zoo::llama2_70b();
+    ClusterSpec cluster = hw_zoo::llmTrainingSystem();
+    MemoryFootprint fp = m.evaluate(desc, TaskSpec::prefill(),
+                                    ParallelPlan::fsdpBaseline(),
+                                    cluster);
+    const auto &attn = static_cast<const AttentionLayer &>(
+        desc.graph.layer(1));
+    ASSERT_EQ(attn.kind(), LayerKind::Attention);
+    EXPECT_DOUBLE_EQ(
+        attn.kvBytesPerToken(2.0),
+        2.0 * attn.kvHeads() *
+            (8192.0 / static_cast<double>(attn.numHeads())) * 2.0);
+    EXPECT_LT(attn.kvHeads(), attn.numHeads());
+    EXPECT_GT(fp.kvCacheBytes, 0.0);
+}
+
 } // namespace madmax

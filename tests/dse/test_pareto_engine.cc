@@ -442,4 +442,151 @@ TEST(ParetoGolden, Gpt3CloudJsonSnapshot)
                 toJson(f, engine.hardware()).dump(2) + "\n");
 }
 
+// ---------------------------------------------------------------------
+// Serving-placement search over (possibly heterogeneous) clusters.
+
+namespace
+{
+
+/** The exemplar serving scenario: LLaMA2-13B at a 2048-token prompt
+ *  on the mixed H100 + A100-80GB fleet, 256 generated tokens. */
+struct MixedServingConfig
+{
+    ModelDesc desc = model_zoo::llama2_13b(2048);
+    InferenceWorkload workload;
+    ClusterSpec cluster = hw_zoo::mixedInferenceFleet();
+};
+
+bool
+strictlyDominates(const InferencePlacementObjectives &a,
+                  const InferencePlacementObjectives &b)
+{
+    return a.tokensPerSecond > b.tokensPerSecond &&
+        a.perfPerTco > b.perfPerTco &&
+        a.maxConcurrentSequences > b.maxConcurrentSequences;
+}
+
+} // namespace
+
+TEST(InferencePlacement, HomogeneousClusterDegeneratesToColocated)
+{
+    ModelDesc desc = model_zoo::llama2_7b(512);
+    InferenceWorkload workload;
+    ClusterSpec cluster = hw_zoo::llmTrainingSystem().withNumNodes(2);
+    InferencePlacementFrontier f =
+        exploreInferencePlacements(desc, workload, cluster);
+    ASSERT_EQ(f.islands.size(), 1u);
+    EXPECT_EQ(f.islands[0], cluster.name);
+    ASSERT_EQ(f.candidates.size(), 1u);
+    EXPECT_FALSE(f.candidates[0].report.disaggregated);
+    ASSERT_EQ(f.points.size(), 1u);
+    EXPECT_GT(f.points[0].objectives.tokensPerSecond, 0.0);
+    // Colocated serving uses one plan for both phases: the weights
+    // cannot reshard between a prompt pass and the next token step.
+    EXPECT_EQ(f.points[0].prefillPlan.toString(),
+              f.points[0].decodePlan.toString());
+}
+
+// The ISSUE acceptance bar: on the exemplar mixed-generation fleet,
+// the disaggregated placement (compute-dense H100s prefill, capacity-
+// dense A100s decode) strictly dominates the best homogeneous
+// (colocated, single-island) placement on ALL THREE objectives.
+TEST(InferencePlacement, DisaggregationDominatesOnTheMixedFleet)
+{
+    MixedServingConfig cfg;
+    InferencePlacementFrontier f = exploreInferencePlacements(
+        cfg.desc, cfg.workload, cfg.cluster);
+    ASSERT_EQ(f.islands.size(), 2u);
+    EXPECT_EQ(f.islands[0], "h100-pool");
+    EXPECT_EQ(f.islands[1], "a100-80-pool");
+    ASSERT_EQ(f.candidates.size(), 4u); // 2 islands x 2 phases.
+
+    const InferencePlacementCandidate *winner = nullptr;
+    std::vector<const InferencePlacementCandidate *> colocated;
+    for (const InferencePlacementCandidate &c : f.candidates) {
+        if (c.prefillIsland == 0 && c.decodeIsland == 1)
+            winner = &c;
+        if (c.prefillIsland == c.decodeIsland)
+            colocated.push_back(&c);
+    }
+    ASSERT_NE(winner, nullptr);
+    ASSERT_TRUE(winner->report.valid);
+    EXPECT_TRUE(winner->report.disaggregated);
+    ASSERT_EQ(colocated.size(), 2u);
+    for (const InferencePlacementCandidate *c : colocated) {
+        ASSERT_TRUE(c->report.valid);
+        EXPECT_TRUE(strictlyDominates(winner->objectives,
+                                      c->objectives))
+            << "H100-prefill/A100-decode must strictly dominate "
+               "colocated " << f.islands[static_cast<size_t>(
+                   c->prefillIsland)];
+    }
+    // It is the unique frontier point of this scenario.
+    ASSERT_EQ(f.points.size(), 1u);
+    EXPECT_EQ(f.points[0].prefillIsland, 0);
+    EXPECT_EQ(f.points[0].decodeIsland, 1);
+
+    // Decode on the A100 pool (more devices -> fewer resident
+    // sequences per device) beats the H100 pool's token step.
+    EXPECT_LT(winner->report.tpotSeconds,
+              colocated[0]->report.tpotSeconds);
+}
+
+TEST(InferencePlacement, PinsRestrictTheSearch)
+{
+    MixedServingConfig cfg;
+    cfg.workload.prefillGroup = "h100-pool";
+    cfg.workload.decodeGroup = "a100-80-pool";
+    InferencePlacementFrontier f = exploreInferencePlacements(
+        cfg.desc, cfg.workload, cfg.cluster);
+    ASSERT_EQ(f.candidates.size(), 1u);
+    EXPECT_EQ(f.candidates[0].prefillIsland, 0);
+    EXPECT_EQ(f.candidates[0].decodeIsland, 1);
+    EXPECT_TRUE(f.candidates[0].report.disaggregated);
+}
+
+TEST(InferencePlacement, RejectsUnknownGroupPins)
+{
+    MixedServingConfig cfg;
+    cfg.workload.decodeGroup = "b200-pool";
+    try {
+        exploreInferencePlacements(cfg.desc, cfg.workload, cfg.cluster);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown device group \"b200-pool\""),
+                  std::string::npos) << msg;
+        // Actionable: the error lists what the cluster does define.
+        EXPECT_NE(msg.find("h100-pool"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("a100-80-pool"), std::string::npos) << msg;
+    }
+}
+
+TEST(InferencePlacement, DeterministicAcrossEngineThreadCounts)
+{
+    MixedServingConfig cfg;
+    InferencePlacementFrontier serial = exploreInferencePlacements(
+        cfg.desc, cfg.workload, cfg.cluster);
+    EvalEngineOptions opts;
+    opts.jobs = 4;
+    EvalEngine engine(opts);
+    InferencePlacementFrontier parallel = exploreInferencePlacements(
+        cfg.desc, cfg.workload, cfg.cluster, {}, &engine);
+    serial.stats.wallSeconds = parallel.stats.wallSeconds = 0.0;
+    EXPECT_EQ(toJson(serial).dump(2), toJson(parallel).dump(2));
+}
+
+// Full JSON rendering of the exemplar placement search — the exact
+// body `madmax pareto --workload ... --format json` and `/v1/pareto`
+// (with a "workload" member) emit for this configuration.
+TEST(ParetoGolden, MixedFleetPlacementJsonSnapshot)
+{
+    MixedServingConfig cfg;
+    InferencePlacementFrontier f = exploreInferencePlacements(
+        cfg.desc, cfg.workload, cfg.cluster);
+    f.stats.wallSeconds = 0.0;
+    checkGolden("pareto_llama2_mixed_placement.txt",
+                toJson(f).dump(2) + "\n");
+}
+
 } // namespace madmax

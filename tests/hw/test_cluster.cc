@@ -2,6 +2,7 @@
 
 #include "hw/cluster.hh"
 #include "hw/hw_zoo.hh"
+#include "hw/topology.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -139,6 +140,83 @@ TEST(FabricKind, Names)
     EXPECT_EQ(toString(FabricKind::NVLink), "NVLink");
     EXPECT_EQ(toString(FabricKind::RoCE), "RoCE");
     EXPECT_EQ(toString(FabricKind::InfiniBand), "InfiniBand");
+}
+
+namespace
+{
+
+/** A two-group mixed fleet for the heterogeneity tests. */
+ClusterSpec
+twoGroupCluster()
+{
+    ClusterSpec c;
+    c.name = "mixed";
+    c.interFabric = FabricKind::InfiniBand;
+    DeviceGroup fast;
+    fast.name = "fast";
+    fast.device = hw_zoo::h100();
+    fast.devicesPerNode = 8;
+    fast.numNodes = 2;
+    c.groups.push_back(fast);
+    DeviceGroup big;
+    big.name = "big";
+    big.device = hw_zoo::a100_80();
+    big.devicesPerNode = 4;
+    big.numNodes = 6;
+    c.groups.push_back(big);
+    return c;
+}
+
+} // namespace
+
+TEST(DeviceGroups, GroupClusterProjectsAnIsland)
+{
+    ClusterSpec c = twoGroupCluster();
+    EXPECT_TRUE(c.isHeterogeneous());
+    EXPECT_EQ(c.totalDevices(), 16 + 24);
+    c.validate();
+
+    ClusterSpec island = c.groupCluster(1);
+    EXPECT_FALSE(island.isHeterogeneous());
+    EXPECT_EQ(island.name, "mixed/big");
+    EXPECT_EQ(island.device.name, "A100-80GB");
+    EXPECT_EQ(island.devicesPerNode, 4);
+    EXPECT_EQ(island.numNodes, 6);
+    // Cluster-level scale-out fabric and utilizations carry over, so
+    // islands price collectives exactly like a standalone cluster.
+    EXPECT_EQ(island.interFabric, c.interFabric);
+    EXPECT_EQ(island.util.interLink, c.util.interLink);
+    island.validate();
+}
+
+TEST(DeviceGroups, ValidateRejectsMalformedFleets)
+{
+    // Duplicate group names would make placements ambiguous.
+    ClusterSpec dup = twoGroupCluster();
+    dup.groups[1].name = "fast";
+    EXPECT_THROW(dup.validate(), ConfigError);
+
+    ClusterSpec unnamed = twoGroupCluster();
+    unnamed.groups[0].name.clear();
+    EXPECT_THROW(unnamed.validate(), ConfigError);
+
+    // Groups are stitched at the scale-out tier; a group whose device
+    // has no inter-node bandwidth cannot reach the others.
+    ClusterSpec stranded = twoGroupCluster();
+    stranded.groups[0].device.interNodeBandwidth = 0.0;
+    EXPECT_THROW(stranded.validate(), ConfigError);
+
+    // An explicit topology describes ONE homogeneous tier stack; it
+    // cannot coexist with device groups.
+    ClusterSpec conflicted = twoGroupCluster();
+    conflicted.topology = std::make_shared<const TopologySpec>(
+        hw_zoo::flatTopologyPreset(hw_zoo::dlrmTrainingSystem()));
+    EXPECT_THROW(conflicted.validate(), ConfigError);
+
+    // Group shapes are validated like standalone clusters.
+    ClusterSpec empty_group = twoGroupCluster();
+    empty_group.groups[1].numNodes = 0;
+    EXPECT_THROW(empty_group.validate(), ConfigError);
 }
 
 } // namespace madmax

@@ -130,4 +130,23 @@ TEST(HwZoo, AwsP4dHasQuarterOfZionExInterBandwidth)
                 4.0, 0.01);
 }
 
+TEST(HwZoo, MixedInferenceFleetIsAValidTwoIslandCluster)
+{
+    ClusterSpec fleet = hw_zoo::mixedInferenceFleet();
+    fleet.validate();
+    ASSERT_TRUE(fleet.isHeterogeneous());
+    ASSERT_EQ(fleet.groups.size(), 2u);
+    EXPECT_EQ(fleet.groups[0].name, "h100-pool");
+    EXPECT_EQ(fleet.groups[1].name, "a100-80-pool");
+    EXPECT_EQ(fleet.totalDevices(), 2 * 8 + 4 * 8);
+
+    // The compute-dense island outruns the capacity-dense island on
+    // FLOPs; both have the same per-device HBM capacity, so the A100
+    // pool's extra devices are what make it the decode island.
+    ClusterSpec h = fleet.groupCluster(0);
+    ClusterSpec a = fleet.groupCluster(1);
+    EXPECT_GT(h.device.peakFlopsTensor16, a.device.peakFlopsTensor16);
+    EXPECT_GT(a.aggregateHbmCapacity(), h.aggregateHbmCapacity());
+}
+
 } // namespace madmax

@@ -168,6 +168,48 @@ TEST(ModelZoo, LlmMoeUsesSixteenExpertsTwoActive)
     EXPECT_TRUE(found);
 }
 
+TEST(ModelZoo, Llama2ServingClassShapesMatchThePaper)
+{
+    // LLaMA2-7B [Touvron et al.]: 32 layers of h = 4096, 32 full-KV
+    // heads, SwiGLU ffn 11008 — about 6.7B parameters.
+    ModelDesc m7 = model_zoo::llama2_7b();
+    EXPECT_EQ(m7.name, "LLaMA2-7B");
+    EXPECT_EQ(m7.contextLength, 4096);
+    EXPECT_EQ(m7.globalBatchSize, 256);
+    // Tok_EMB + 32 x (Attn, FFN) + head.
+    EXPECT_EQ(m7.graph.layer(0).kind(), LayerKind::TokenEmbedding);
+    EXPECT_EQ(m7.graph.layer(1).name(), "Attn_0");
+    EXPECT_EQ(m7.graph.layer(2).name(), "FFN_0");
+    EXPECT_NEAR(m7.graph.totals().paramCount / 6.7e9, 1.0, 0.05);
+    const auto &attn7 =
+        static_cast<const AttentionLayer &>(m7.graph.layer(1));
+    EXPECT_EQ(attn7.hidden(), 4096);
+    EXPECT_EQ(attn7.numHeads(), 32);
+    EXPECT_EQ(attn7.kvHeads(), attn7.numHeads()); // Full KV, no GQA.
+
+    // LLaMA2-13B: 40 layers of h = 5120, 40 heads, ffn 13824.
+    ModelDesc m13 = model_zoo::llama2_13b(2048);
+    EXPECT_EQ(m13.name, "LLaMA2-13B-ctx2048");
+    EXPECT_EQ(m13.contextLength, 2048);
+    EXPECT_NEAR(m13.graph.totals().paramCount / 13.0e9, 1.0, 0.05);
+    const auto &attn13 =
+        static_cast<const AttentionLayer &>(m13.graph.layer(1));
+    EXPECT_EQ(attn13.hidden(), 5120);
+    EXPECT_EQ(attn13.numHeads(), 40);
+    int transformer_layers = 0;
+    for (int i = 0; i < m13.graph.numLayers(); ++i)
+        transformer_layers +=
+            m13.graph.layer(i).kind() == LayerKind::Attention;
+    EXPECT_EQ(transformer_layers, 40);
+
+    // The serving prompt length is an architecture knob: shrinking it
+    // leaves the parameter count alone but cuts the per-token KV cost
+    // the inference model prices off contextLength.
+    EXPECT_NEAR(m13.graph.totals().paramCount /
+                    model_zoo::llama2_13b().graph.totals().paramCount,
+                1.0, 1e-9);
+}
+
 TEST(ModelZoo, DlrmGraphShapeMatchesFig5)
 {
     // Fig. 5 execution order: EMB, Bottom MLP, interaction, Top MLP;

@@ -401,4 +401,76 @@ TEST(EvalService, ConcurrentClientsReceiveIdenticalBytes)
               0);
 }
 
+namespace
+{
+
+/** A /v1/pareto serving-placement body over the shipped Llama-2
+ *  serving triple (model + mixed fleet + workload). */
+JsonValue
+workloadParetoBody()
+{
+    const std::string dir = MADMAX_CONFIG_DIR;
+    JsonValue body;
+    body.set("model",
+             JsonValue::parseFile(dir + "/model_llama2_13b.json"));
+    body.set("system",
+             JsonValue::parseFile(dir + "/system_mixed_inference.json"));
+    body.set("workload",
+             JsonValue::parseFile(dir + "/workload_serving.json"));
+    return body;
+}
+
+} // namespace
+
+TEST(EvalService, ParetoWorkloadMirrorsTheCliPlacementSearch)
+{
+    EvalService service;
+    HttpResponse resp =
+        service.handle(post("/v1/pareto", workloadParetoBody().dump(2)));
+    ASSERT_EQ(resp.status, 200) << resp.body;
+
+    // Byte-identical to what the CLI's --workload JSON mode prints
+    // (modulo wall time, which is nondeterministic).
+    JsonValue doc = JsonValue::parse(resp.body);
+    ASSERT_TRUE(doc.at("islands").isArray());
+    EXPECT_EQ(doc.at("islands").size(), 2u);
+    EXPECT_EQ(doc.at("placements").size(), 4u);
+    ASSERT_GT(doc.at("frontier").size(), 0u);
+    const JsonValue &top = doc.at("frontier").at(size_t{0});
+    EXPECT_EQ(top.at("prefill_island").asString(), "h100-pool");
+    EXPECT_EQ(top.at("decode_island").asString(), "a100-80-pool");
+    EXPECT_GT(top.at("objectives").at("tokens_per_sec").asDouble(), 0.0);
+    EXPECT_TRUE(top.at("report").at("valid").asBool());
+}
+
+TEST(EvalService, ParetoWorkloadRejectsSweepKeys)
+{
+    EvalService service;
+
+    // The placement search derives its own phases; the sweep-shaped
+    // keys are contradictions, not extras to ignore.
+    JsonValue conflicted = workloadParetoBody();
+    conflicted.set("budget", 16);
+    HttpResponse resp =
+        service.handle(post("/v1/pareto", conflicted.dump(2)));
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("workload"), std::string::npos);
+
+    JsonValue withTask = workloadParetoBody();
+    withTask.set("task",
+                 JsonValue::parse(R"json({"task": "inference"})json"));
+    EXPECT_EQ(
+        service.handle(post("/v1/pareto", withTask.dump(2))).status, 400);
+
+    // A workload body still needs the system it places onto.
+    const std::string dir = MADMAX_CONFIG_DIR;
+    JsonValue noSystem;
+    noSystem.set("model",
+                 JsonValue::parseFile(dir + "/model_llama2_13b.json"));
+    noSystem.set("workload",
+                 JsonValue::parseFile(dir + "/workload_serving.json"));
+    EXPECT_EQ(
+        service.handle(post("/v1/pareto", noSystem.dump(2))).status, 400);
+}
+
 } // namespace madmax

@@ -88,4 +88,43 @@ TEST(TaskSpec, Names)
     EXPECT_EQ(toString(FineTuneScope::DenseOnly), "dense-only");
 }
 
+TEST(TaskSpec, InferencePhases)
+{
+    EXPECT_EQ(toString(InferencePhase::Batch), "batch");
+    EXPECT_EQ(toString(InferencePhase::Prefill), "prefill");
+    EXPECT_EQ(toString(InferencePhase::Decode), "decode");
+
+    // The classic batch task is untouched by the phase split — its
+    // toString (and therefore every engine cache key and golden) is
+    // byte-identical to the pre-phase world.
+    TaskSpec batch = TaskSpec::inference();
+    EXPECT_EQ(batch.phase, InferencePhase::Batch);
+    EXPECT_FALSE(batch.usesKvCache());
+    EXPECT_EQ(batch.toString(), "inference");
+
+    TaskSpec prefill = TaskSpec::prefill();
+    EXPECT_EQ(prefill.kind, TaskKind::Inference);
+    EXPECT_TRUE(prefill.usesKvCache());
+    EXPECT_EQ(prefill.toString(), "inference (prefill)");
+
+    TaskSpec decode = TaskSpec::decode(4096);
+    EXPECT_TRUE(decode.usesKvCache());
+    EXPECT_EQ(decode.decodeKvLength, 4096);
+    EXPECT_EQ(decode.toString(), "inference (decode@4096)");
+
+    // Every KV knob lands in the string: the engine memoizes on
+    // task.toString(), so distinct tasks must never alias.
+    TaskSpec capped = TaskSpec::decode(4096);
+    capped.kvCapacityTokens = 4352;
+    EXPECT_NE(capped.toString(), decode.toString());
+    TaskSpec fp8 = TaskSpec::decode(4096);
+    fp8.kvBytesPerElement = 1.0;
+    EXPECT_NE(fp8.toString(), decode.toString());
+
+    // Training tasks never use a KV cache regardless of the fields.
+    TaskSpec training = TaskSpec::preTraining();
+    training.phase = InferencePhase::Decode;
+    EXPECT_FALSE(training.usesKvCache());
+}
+
 } // namespace madmax

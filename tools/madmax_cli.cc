@@ -69,6 +69,10 @@ usage()
         "                  annealing|genetic] [--budget N] [--seed N]\n"
         "                  [--jobs N] [--top N] [--no-baselines]\n"
         "                  [--format json|text]\n"
+        "  madmax pareto   --model M.json --system S.json\n"
+        "                  --workload W.json  (serving-placement\n"
+        "                  search; docs/inference.md) [--jobs N]\n"
+        "                  [--top N] [--format json|text]\n"
         "  madmax describe --model M.json\n"
         "  madmax serve    [--port N] [--jobs N] [--workers N]\n"
         "                  [--queue-depth N] [--idle-timeout SEC]\n"
@@ -291,9 +295,81 @@ parseNodeCounts(const std::string &value)
     return counts;
 }
 
+/** `madmax pareto --workload W.json`: serving-placement search over a
+ *  (possibly heterogeneous) system instead of a task-plan sweep. */
+int
+cmdParetoWorkload(const std::map<std::string, std::string> &flags)
+{
+    for (const char *other :
+         {"task", "catalog", "nodes", "node-counts", "strategy",
+          "budget", "seed", "no-baselines"}) {
+        if (flags.count(other)) {
+            fatal(strfmt("--workload derives the serving phases "
+                         "itself and searches placements exhaustively; "
+                         "--%s does not apply (supported: --model "
+                         "--system --workload --jobs --top --format)",
+                         other));
+        }
+    }
+    ModelDesc model = loadModelFile(require(flags, "model"));
+    ClusterSpec cluster = loadClusterFile(require(flags, "system"));
+    InferenceWorkload workload =
+        loadWorkloadFile(require(flags, "workload"));
+
+    EvalEngineOptions engine_opts;
+    engine_opts.jobs =
+        static_cast<int>(intFlag(flags, "jobs", 1, 0, 4096));
+    EvalEngine engine(engine_opts);
+    InferencePlacementFrontier frontier =
+        exploreInferencePlacements(model, workload, cluster, {},
+                                   &engine);
+
+    if (wantJson(flags)) {
+        std::cout << toJson(frontier).dump(2) << "\n";
+        return frontier.points.empty() ? 2 : 0;
+    }
+
+    size_t top = static_cast<size_t>(
+        intFlag(flags, "top", 0, 0, 1L << 30));
+    std::cout << strfmt(
+        "placement search: %zu islands, %zu placements evaluated, "
+        "%zu on frontier\n",
+        frontier.islands.size(), frontier.candidates.size(),
+        frontier.points.size());
+    AsciiTable table({"rank", "prefill", "decode", "plan (prefill)",
+                      "plan (decode)", "tokens/s", "perf/($/hr)",
+                      "max seqs"});
+    size_t shown = 0;
+    for (const InferencePlacementCandidate &c : frontier.points) {
+        if (top != 0 && shown >= top)
+            break;
+        ++shown;
+        table.addRow(
+            {std::to_string(shown),
+             frontier.islands[static_cast<size_t>(c.prefillIsland)],
+             frontier.islands[static_cast<size_t>(c.decodeIsland)],
+             c.prefillPlan.toString(), c.decodePlan.toString(),
+             formatCount(c.objectives.tokensPerSecond) + "/s",
+             strfmt("%.4g", c.objectives.perfPerTco),
+             formatCount(c.objectives.maxConcurrentSequences)});
+    }
+    table.print(std::cout);
+    if (!frontier.points.empty())
+        std::cout << "\n" << frontier.points.front().report.summary();
+    const EvalStats &s = frontier.stats;
+    std::cout << strfmt(
+        "search: %ld evaluations, %ld cache hits, %ld pruned, %s "
+        "(%d jobs)\n",
+        s.evaluations, s.cacheHits, s.pruned,
+        formatTime(s.wallSeconds).c_str(), engine.jobs());
+    return frontier.points.empty() ? 2 : 0;
+}
+
 int
 cmdPareto(const std::map<std::string, std::string> &flags)
 {
+    if (flags.count("workload"))
+        return cmdParetoWorkload(flags);
     ModelDesc model = loadModelFile(require(flags, "model"));
     TaskConfig task = loadTaskFile(require(flags, "task"));
 
@@ -508,9 +584,9 @@ main(int argc, char **argv)
             return cmdExplore(parseFlags(argc, argv, 2, cmd, spec));
         }
         if (cmd == "pareto") {
-            spec.value = {"model", "task", "system", "node-counts",
-                          "catalog", "nodes", "strategy", "budget",
-                          "seed", "jobs", "top", "format"};
+            spec.value = {"model", "task", "system", "workload",
+                          "node-counts", "catalog", "nodes", "strategy",
+                          "budget", "seed", "jobs", "top", "format"};
             spec.boolean = {"json", "no-baselines"};
             return cmdPareto(parseFlags(argc, argv, 2, cmd, spec));
         }
